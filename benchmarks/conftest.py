@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's evaluation artifacts
+(Figures 2-5, plus ablations).  Results are printed as fixed-width
+tables *and* persisted under ``benchmarks/results/`` (CSV + text) so
+``pytest benchmarks/ --benchmark-only`` leaves the reproduced series on
+disk even though pytest captures stdout.
+
+Grids are trimmed relative to the paper's plots to keep the full
+harness in the minutes range; pass ``--full-grids`` for denser sweeps.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-grids", action="store_true", default=False,
+        help="run benchmark sweeps on dense (paper-resolution) grids",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_grids(request) -> bool:
+    return request.config.getoption("--full-grids")
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Persist and print a result table: ``emit('fig2', table, notes)``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, table: Table, notes: str = "") -> None:
+        text = table.render()
+        (RESULTS_DIR / f"{name}.csv").write_text(table.to_csv())
+        body = (notes.rstrip() + "\n\n" if notes else "") + text + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(body)
+        print(f"\n=== {name} ===")
+        if notes:
+            print(notes)
+        print(text)
+
+    return _emit

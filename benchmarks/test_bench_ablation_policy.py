@@ -1,0 +1,69 @@
+"""Ablation: switch-on-empty vs strict cycling ("idle").
+
+The paper's policy context-switches the moment a class's queue
+empties.  The ablation removes that feature: the quantum runs to its
+PH expiry over an idle machine.  Both the analytic model and the
+simulator implement both policies; this bench quantifies the benefit
+of early switching across quantum lengths (it grows with the quantum —
+a long quantum over an empty queue is pure waste).
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import GangSchedulingModel
+from repro.sim import GangSimulation
+from repro.workloads import fig23_config
+
+QUANTA = [0.5, 1.0, 2.0, 4.0]
+
+
+def solve_policies(q):
+    switch = GangSchedulingModel(
+        fig23_config(0.4, q, policy="switch")).solve()
+    idle = GangSchedulingModel(
+        fig23_config(0.4, q, policy="idle")).solve()
+    return switch, idle
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_policy_ablation(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: [solve_policies(q) for q in QUANTA], rounds=1, iterations=1)
+
+    table = Table("quantum_mean", ["N_switch", "N_idle", "idle_penalty"])
+    penalties = []
+    for q, (sw, idle) in zip(QUANTA, rows):
+        penalty = idle.mean_jobs() / sw.mean_jobs()
+        penalties.append(penalty)
+        table.add_row(q, [sw.mean_jobs(), idle.mean_jobs(), penalty])
+    emit("ablation_policy", table, notes=(
+        "Switch-on-empty (paper) vs strict cycling (idle) on the fig2 "
+        "system at rho = 0.4 (analytic model).\n"
+        "idle_penalty = N_idle / N_switch; grows with the quantum."))
+
+    assert all(p > 1.0 for p in penalties)
+    assert penalties[-1] > penalties[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_policy_ablation_simulation_agrees(benchmark, emit):
+    """The same ordering must hold in the full simulator."""
+    q = 2.0
+
+    def run_pair():
+        sw = GangSimulation(fig23_config(0.4, q, policy="switch"),
+                            seed=5, warmup=2000.0).run(30_000.0)
+        idle = GangSimulation(fig23_config(0.4, q, policy="idle"),
+                              seed=5, warmup=2000.0).run(30_000.0)
+        return sw, idle
+
+    sw, idle = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    table = Table("policy_sim", ["N_total"])
+    table.add_row(0, [sw.total_mean_jobs])     # 0 = switch
+    table.add_row(1, [idle.total_mean_jobs])   # 1 = idle
+    emit("ablation_policy_sim", table, notes=(
+        "Simulation cross-check of the policy ablation (row 0 = "
+        "switch-on-empty, row 1 = strict cycle), fig2 config, "
+        "quantum 2."))
+    assert idle.total_mean_jobs > sw.total_mean_jobs

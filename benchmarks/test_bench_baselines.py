@@ -1,0 +1,100 @@
+"""Baseline comparison: gang scheduling vs pure time- and space-sharing.
+
+The paper's introduction motivates gang scheduling as the combination
+of time-sharing's responsiveness and space-sharing's throughput.  This
+bench runs the three policies (plus the SP2-style lending variant) on
+a mixed interactive/batch workload and reports per-class response
+times.  Expected ordering:
+
+* pure time-sharing wastes processors on small jobs (the machine
+  serializes work that could space-share) — worst overall;
+* pure space-sharing runs to completion — batch-friendly but
+  interactive jobs get stuck behind whole-machine jobs;
+* gang scheduling bounds interactive delay via the timeplexing cycle
+  while keeping partitions busy;
+* partition lending (the paper's SP2 deviation) recovers some of the
+  capacity the modeled policy idles away.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import ClassConfig, SystemConfig
+from repro.sim import (
+    GangSimulation,
+    PartitionLendingSimulation,
+    SpaceSharingSimulation,
+    TimeSharingSimulation,
+)
+
+
+def mixed_workload() -> SystemConfig:
+    """Interactive + medium + batch classes on 8 processors.
+
+    The 2-processor medium class gives the lending variant something to
+    lend to: its queued jobs fit the capacity the interactive class
+    leaves idle.
+    """
+    return SystemConfig(processors=8, classes=(
+        ClassConfig.markovian(1, arrival_rate=2.0, service_rate=1.0,
+                              quantum_mean=1.0, overhead_mean=0.01,
+                              name="interactive"),
+        ClassConfig.markovian(2, arrival_rate=0.8, service_rate=1.0,
+                              quantum_mean=2.0, overhead_mean=0.01,
+                              name="medium"),
+        ClassConfig.markovian(8, arrival_rate=0.2, service_rate=1.0,
+                              quantum_mean=4.0, overhead_mean=0.01,
+                              name="batch"),
+    ))
+
+
+POLICIES = {
+    "gang": lambda cfg, s, w: GangSimulation(cfg, seed=s, warmup=w),
+    "lending": lambda cfg, s, w: PartitionLendingSimulation(cfg, seed=s,
+                                                            warmup=w),
+    "space": lambda cfg, s, w: SpaceSharingSimulation(cfg, seed=s, warmup=w),
+    "time": lambda cfg, s, w: TimeSharingSimulation(cfg, seed=s, warmup=w,
+                                                    quantum=1.0,
+                                                    overhead=0.01),
+}
+
+
+def run_all(horizon):
+    cfg = mixed_workload()
+    out = {}
+    for name, factory in POLICIES.items():
+        reps = [factory(cfg, seed, horizon * 0.1).run(horizon)
+                for seed in range(3)]
+        out[name] = (
+            sum(r.mean_response_time[0] for r in reps) / len(reps),
+            sum(r.mean_response_time[-1] for r in reps) / len(reps),
+            sum(r.total_mean_jobs for r in reps) / len(reps),
+        )
+    return out
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_scheduler_comparison(benchmark, emit, full_grids):
+    horizon = 60_000.0 if full_grids else 20_000.0
+    out = benchmark.pedantic(run_all, args=(horizon,),
+                             rounds=1, iterations=1)
+
+    order = ["gang", "lending", "space", "time"]
+    table = Table("policy", ["T_interactive", "T_batch", "N_total"])
+    for i, name in enumerate(order):
+        table.add_row(i, list(out[name]))
+    emit("baselines", table, notes=(
+        "Scheduler comparison on an interactive+batch mix, 8 processors "
+        f"(rows in order {order}).\n"
+        "Gang bounds interactive delay while keeping partitions busy; "
+        "pure time-sharing serializes the machine; pure space-sharing "
+        "delays interactive jobs behind whole-machine batch jobs."))
+
+    t_gang, t_space, t_time = (out["gang"][0], out["space"][0],
+                               out["time"][0])
+    # Interactive responsiveness: gang well ahead of time-sharing.
+    assert t_gang < t_time / 3, (t_gang, t_time)
+    # Gang keeps overall congestion below pure time-sharing.
+    assert out["gang"][2] < out["time"][2]
+    # Lending never hurts overall congestion materially.
+    assert out["lending"][2] < out["gang"][2] * 1.10

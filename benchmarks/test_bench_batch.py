@@ -1,0 +1,65 @@
+"""Extension bench: batch arrivals (the paper's Section 3 remark).
+
+Sweeps the batch-size distribution at *constant offered job load* and
+reports the congestion cost of burstiness, analytically (banded ->
+re-blocked QBD model) and via simulation.  Not a paper figure — the
+paper only claims the extension is possible; this bench demonstrates
+it working end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core import BatchGangSchedulingModel, ClassConfig, SystemConfig
+from repro.sim import BatchArrivalGangSimulation
+
+JOB_RATE = 0.5          # jobs per unit time, held constant
+BATCH_SIZES = [1, 2, 3, 4]
+
+
+def config_for(batch_size: int) -> SystemConfig:
+    return SystemConfig(processors=2, classes=(
+        ClassConfig.markovian(1, arrival_rate=JOB_RATE / batch_size,
+                              service_rate=1.0, quantum_mean=2.0,
+                              overhead_mean=0.1),))
+
+
+def pmf_for(batch_size: int) -> list[float]:
+    return [0.0] * (batch_size - 1) + [1.0]
+
+
+def run_sweep():
+    rows = []
+    for b in BATCH_SIZES:
+        cfg = config_for(b)
+        pmf = pmf_for(b)
+        model = BatchGangSchedulingModel(cfg, [pmf]).solve()
+        sims = [BatchArrivalGangSimulation(cfg, [pmf], seed=s,
+                                           warmup=1500.0).run(20_000.0)
+                .mean_jobs[0] for s in range(3)]
+        rows.append((b, model.mean_jobs(0), float(np.mean(sims))))
+    return rows
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_batch_arrival_extension(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table("batch_size", ["N_model", "N_sim"])
+    for b, n_model, n_sim in rows:
+        table.add_row(b, [n_model, n_sim])
+    emit("extension_batch", table, notes=(
+        "Batch-arrival extension (paper Section 3 remark): mean jobs vs "
+        f"fixed batch size at constant job rate {JOB_RATE} on a "
+        "2-partition class.  Burstiness alone grows the queue; the "
+        "banded/re-blocked analytic model tracks the simulation (single "
+        "class: no decomposition approximation)."))
+
+    model_ns = [r[1] for r in rows]
+    sim_ns = [r[2] for r in rows]
+    # Congestion strictly grows with burstiness at constant load.
+    assert all(a < b for a, b in zip(model_ns, model_ns[1:])), model_ns
+    # Model tracks simulation within a few percent in the exact regime.
+    for (b, n_model, n_sim) in rows:
+        assert n_model == pytest.approx(n_sim, rel=0.08), (b, n_model, n_sim)

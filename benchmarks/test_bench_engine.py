@@ -1,0 +1,59 @@
+"""Micro-benchmarks: event-engine throughput and PH sampling rates.
+
+Not a paper artifact — capacity planning for the simulation substrate
+(how long a figure-scale crosscheck costs and why).
+"""
+
+import numpy as np
+import pytest
+
+from repro.phasetype import coxian, erlang, exponential
+from repro.phasetype.random import sampler_for
+from repro.sim import GangSimulation
+from repro.sim.engine import Simulator
+from repro.workloads import fig23_config
+
+
+@pytest.mark.benchmark(group="engine")
+def test_event_engine_throughput(benchmark):
+    """Schedule/dispatch cost of the bare event loop."""
+
+    def pump():
+        sim = Simulator()
+
+        def tick():
+            if sim.now < 10_000.0:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(until=11_000.0)
+        return sim.events_processed
+
+    events = benchmark(pump)
+    assert events == 10_001
+
+
+@pytest.mark.benchmark(group="engine")
+def test_gang_simulation_event_rate(benchmark):
+    """End-to-end simulation cost on the fig2 configuration."""
+    cfg = fig23_config(0.4, 2.0)
+
+    def run():
+        return GangSimulation(cfg, seed=0).run(5_000.0).events
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 10_000
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.parametrize("dist,name", [
+    (exponential(1.0), "exponential"),
+    (erlang(4, rate=1.0), "erlang4"),
+    (coxian([2.0, 1.0], [0.3, 1.0]), "coxian2"),
+], ids=["exp", "erlang4", "cox2"])
+def test_ph_sampling_rate(benchmark, dist, name):
+    sampler = sampler_for(dist)
+    rng = np.random.default_rng(0)
+    xs = benchmark(sampler.draw_batch, rng, 10_000)
+    assert xs.shape == (10_000,)
+    assert abs(xs.mean() - dist.mean) / dist.mean < 0.1

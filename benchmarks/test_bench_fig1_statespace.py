@@ -1,0 +1,81 @@
+"""Figure 1: the per-class state-transition diagram.
+
+The paper's Figure 1 draws the class-p Markov chain for Poisson
+arrivals, exponential service, exponential overhead, an Erlang-K
+quantum and 3 servers.  This bench rebuilds that chain, exports its
+state graph (nodes + labeled transitions) to
+``benchmarks/results/fig1_diagram.txt`` in DOT format, and times the
+construction.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.generator import build_class_qbd
+from repro.workloads import fig1_example_config
+
+K = 4  # Erlang stages of the quantum, the paper's "M_p = K"
+
+
+def build_fig1_chain():
+    cfg = fig1_example_config(quantum_stages=K)
+    from repro.core.vacation import heavy_traffic_vacation
+    vacation = heavy_traffic_vacation(cfg, 0)
+    return build_class_qbd(
+        cfg.partitions(0), cfg.classes[0].arrival, cfg.classes[0].service,
+        cfg.classes[0].quantum, vacation,
+        policy=cfg.empty_queue_policy, with_labels=True)
+
+
+@pytest.mark.benchmark(group="statespace")
+def test_fig1_state_diagram(benchmark, emit):
+    process, space = benchmark.pedantic(build_fig1_chain,
+                                        rounds=3, iterations=1)
+
+    # The paper's structural facts for this example.
+    assert space.partitions == 3                      # "3 servers"
+    assert space.m_arrival == 1 and space.m_service == 1
+    assert space.m_quantum == K
+    assert process.boundary_levels == 3
+
+    # Export the boundary + first repeating level as a DOT digraph.
+    lines = ["digraph fig1 {", '  rankdir="LR";']
+    edge_count = 0
+    for i in range(5):
+        labels_i = space.labels(min(i, space.boundary_levels + 1))
+        for j in (i - 1, i, i + 1):
+            if j < 0 or j > 4:
+                continue
+            blk = process.block(i, j)
+            if blk is None:
+                continue
+            labels_j = space.labels(min(j, space.boundary_levels + 1))
+            for a in range(blk.shape[0]):
+                for b in range(blk.shape[1]):
+                    rate = blk[a, b]
+                    if rate > 0 and not (i == j and a == b):
+                        lines.append(
+                            f'  "{i}:{labels_i[a]}" -> "{j}:{labels_j[b]}"'
+                            f' [label="{rate:.3g}"];')
+                        edge_count += 1
+    lines.append("}")
+    from benchmarks.conftest import RESULTS_DIR
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fig1_diagram.txt").write_text("\n".join(lines))
+
+    # Summary table: states and transitions per level.
+    table = Table("level", ["states", "quantum_states"])
+    for lvl in range(5):
+        labels = space.labels(min(lvl, space.boundary_levels + 1))
+        dim = space.level_dim(lvl)
+        nq = sum(1 for (a, v, k) in space.states(lvl)
+                 if space.is_quantum_phase(k))
+        table.add_row(lvl, [dim, nq])
+    emit("fig1_statespace", table, notes=(
+        f"Figure 1 reproduction: class-0 chain of the paper's example "
+        f"(3 servers, Erlang-{K} quantum).  {edge_count} transitions "
+        "exported to fig1_diagram.txt."))
+
+    assert edge_count > 50
+    # Level 0 has only vacation phases under the paper's policy.
+    assert space.level_dim(0) == space.m_vacation

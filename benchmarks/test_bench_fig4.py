@@ -1,0 +1,44 @@
+"""Figure 4: mean jobs vs mean service rate.
+
+Paper: 1/gamma_p = 5, lambda_p = 0.6, mu_p = mu for every class, mu
+swept over [2, 20].  Claim: N drops dramatically as mu grows, then the
+rate of decrease becomes very low — no significant benefit from
+further service-rate increases.
+"""
+
+import pytest
+
+from repro.analysis import Table, is_monotone_decreasing
+from repro.workloads import fig4_config, sweep
+
+QUICK_GRID = [2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0]
+FULL_GRID = [2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0,
+             14.0, 16.0, 18.0, 20.0]
+
+
+def run_fig4(grid):
+    return sweep("service_rate", grid, fig4_config)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_service_rate_sweep(benchmark, emit, full_grids):
+    grid = FULL_GRID if full_grids else QUICK_GRID
+    result = benchmark.pedantic(run_fig4, args=(grid,),
+                                rounds=1, iterations=1)
+
+    table = Table("service_rate", [f"N[class{p}]" for p in range(4)])
+    for pt in result.points:
+        table.add_row(pt.value, pt.mean_jobs)
+    emit("fig4", table, notes=(
+        "Figure 4 reproduction: N_p vs common service rate mu; "
+        "1/gamma = 5, lambda_p = 0.6.\n"
+        "Paper shape: dramatic initial drop, then diminishing returns."))
+
+    for p in range(4):
+        ys = result.series(p)
+        assert is_monotone_decreasing(ys, rel_tol=0.01), f"class{p}: {ys}"
+        # Diminishing returns: the first halving of the grid removes far
+        # more jobs than the last.
+        first_drop = ys[0] - ys[1]
+        last_drop = ys[-2] - ys[-1]
+        assert first_drop > 5 * max(last_drop, 0.0), f"class{p}: {ys}"

@@ -1,0 +1,98 @@
+"""Ablation: fixed-point refinement vs heavy-traffic-only solution.
+
+The heavy-traffic model (Theorem 4.1) assumes every class exhausts its
+quantum; the fixed point (Theorem 4.3) lets vacations shrink to the
+effective quanta.  This bench quantifies the difference across loads
+and times both solves — at light load the heavy-traffic model grossly
+overestimates congestion, while near saturation the two converge
+(queues really do stay busy).
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import GangSchedulingModel
+from repro.workloads import fig23_config
+
+LOADS = [0.2, 0.4, 0.6, 0.8, 0.9]
+
+
+def solve_both(lam):
+    model = GangSchedulingModel(fig23_config(lam, 2.0))
+    ht = model.solve_heavy_traffic()
+    fp = model.solve()
+    return ht, fp
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_heavy_traffic_solve_speed(benchmark):
+    model = GangSchedulingModel(fig23_config(0.6, 2.0))
+    solved = benchmark.pedantic(model.solve_heavy_traffic,
+                                rounds=3, iterations=1)
+    assert solved.converged
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_fixed_point_solve_speed(benchmark):
+    model = GangSchedulingModel(fig23_config(0.6, 2.0))
+    solved = benchmark.pedantic(model.solve, rounds=1, iterations=1)
+    assert solved.converged
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_acceleration_ablation(benchmark, emit):
+    """Aitken extrapolation vs the plain iteration, across loads."""
+    from repro.analysis import Table as _Table
+    from repro.core.fixed_point import FixedPointOptions, run_fixed_point
+
+    def run_all():
+        rows = []
+        for lam in (0.4, 0.9):
+            cfg = fig23_config(lam, 2.0)
+            plain = run_fixed_point(cfg,
+                                    FixedPointOptions(acceleration="none"))
+            acc = run_fixed_point(cfg,
+                                  FixedPointOptions(acceleration="aitken"))
+            diff = max(abs(a - b) / b for a, b in
+                       zip(acc.history[-1].mean_jobs,
+                           plain.history[-1].mean_jobs))
+            rows.append((lam, plain.iterations, acc.iterations, diff))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = _Table("rho", ["iters_plain", "iters_aitken", "max_rel_diff"])
+    for lam, ip, ia, diff in rows:
+        table.add_row(lam, [ip, ia, diff])
+        assert ia <= ip
+        assert diff < 1e-3
+    emit("ablation_acceleration", table, notes=(
+        "Aitken delta-squared acceleration of the effective-quantum "
+        "fixed point (fig2/3 system, quantum 2): same answers, fewer "
+        "iterations."))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_fixed_point_vs_heavy_traffic(benchmark, emit):
+    table = Table("rho", ["N_ht_total", "N_fp_total", "ht_over_fp",
+                          "fp_iterations"])
+    pairs = benchmark.pedantic(
+        lambda: [solve_both(lam) for lam in LOADS], rounds=1, iterations=1)
+    ratios = []
+    for lam, (ht, fp) in zip(LOADS, pairs):
+        ratio = ht.mean_jobs() / fp.mean_jobs()
+        ratios.append(ratio)
+        table.add_row(lam, [ht.mean_jobs(), fp.mean_jobs(), ratio,
+                            fp.iterations])
+    emit("ablation_fixed_point", table, notes=(
+        "Heavy-traffic-only solution (Theorem 4.1) vs full fixed point "
+        "(Theorem 4.3) on the fig2/3 system, quantum mean 2.\n"
+        "The heavy-traffic model is a conservative upper bound that "
+        "tightens with load (exact only in the strict rho -> 1 limit; "
+        "at rho = 0.9 queues still empty often enough to leave a ~2.4x "
+        "gap)."))
+
+    # Heavy traffic is an upper bound everywhere...
+    assert all(r >= 1.0 - 1e-9 for r in ratios)
+    # ...and the bound tightens monotonically with load.
+    assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:])), ratios
+    assert ratios[-1] < 3.0

@@ -1,0 +1,64 @@
+"""Ablation: R-matrix algorithms (logarithmic reduction vs substitution).
+
+Times both solvers on the repeating blocks of a Figure 2 class chain
+across loads, and verifies they produce the same matrix.  Logarithmic
+reduction converges quadratically and should win by a growing margin
+as the drift approaches zero (rho -> 1), where successive substitution
+slows to a crawl.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core.generator import build_class_qbd
+from repro.core.vacation import heavy_traffic_vacation
+from repro.qbd.rmatrix import solve_R
+from repro.workloads import fig23_config
+
+
+def class0_blocks(lam):
+    cfg = fig23_config(lam, 1.0)
+    vacation = heavy_traffic_vacation(cfg, 0)
+    process, _ = build_class_qbd(
+        cfg.partitions(0), cfg.classes[0].arrival, cfg.classes[0].service,
+        cfg.classes[0].quantum, vacation)
+    return process.A0, process.A1, process.A2
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("method", ["logreduction", "substitution"])
+def test_rmatrix_method_speed(benchmark, method):
+    A0, A1, A2 = class0_blocks(0.9)
+    R = benchmark(solve_R, A0, A1, A2, method=method)
+    residual = R @ R @ A2 + R @ A1 + A0
+    assert np.max(np.abs(residual)) < 1e-8
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_rmatrix_methods_agree_across_loads(benchmark, emit):
+    table = Table("lambda", ["dim", "t_logred_ms", "t_subst_ms",
+                             "max_abs_diff"])
+
+    def run_all():
+        rows = []
+        for lam in (0.3, 0.6, 0.9, 0.95):
+            A0, A1, A2 = class0_blocks(lam)
+            t0 = time.perf_counter()
+            R1 = solve_R(A0, A1, A2, method="logreduction")
+            t1 = time.perf_counter()
+            R2 = solve_R(A0, A1, A2, method="substitution")
+            t2 = time.perf_counter()
+            rows.append((lam, A1.shape[0], (t1 - t0) * 1e3, (t2 - t1) * 1e3,
+                         float(np.max(np.abs(R1 - R2)))))
+        return rows
+
+    for lam, dim, t_log, t_sub, diff in benchmark.pedantic(
+            run_all, rounds=1, iterations=1):
+        table.add_row(lam, [dim, t_log, t_sub, diff])
+        assert diff < 1e-7
+    emit("ablation_rmatrix", table, notes=(
+        "R-matrix solver ablation on the class-0 chain of the fig2/3 "
+        "config: logarithmic reduction vs successive substitution."))

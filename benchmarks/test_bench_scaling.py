@@ -1,0 +1,67 @@
+"""Scaling bench: solver cost vs machine size.
+
+The paper's target platform (IBM SP2) had dozens to hundreds of nodes.
+This bench grows ``P`` with a fixed per-partition load and measures the
+analytic solve time and state-space size — the capacity-planning
+question for the *model itself* ("can I tune a 64-node machine with
+it?").  The per-class boundary grows linearly in the partition count
+``c_p = P / g(p)``, which dominates the cost.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import ClassConfig, GangSchedulingModel, SystemConfig
+
+SIZES = [8, 16, 32, 64]
+
+
+def config_for(P: int) -> SystemConfig:
+    """Two classes whose per-partition load is P-independent."""
+    return SystemConfig(processors=P, classes=(
+        ClassConfig.markovian(1, arrival_rate=0.15 * P, service_rate=0.5,
+                              quantum_mean=2.0, overhead_mean=0.01,
+                              name="small"),
+        ClassConfig.markovian(P, arrival_rate=1.2, service_rate=4.0,
+                              quantum_mean=2.0, overhead_mean=0.01,
+                              name="huge"),
+    ))
+
+
+def run_scaling():
+    rows = []
+    for P in SIZES:
+        cfg = config_for(P)
+        t0 = time.perf_counter()
+        solved = GangSchedulingModel(cfg).solve()
+        dt = time.perf_counter() - t0
+        boundary_states = sum(
+            solved.classes[0].space.level_dim(i)
+            for i in range(solved.classes[0].space.boundary_levels + 1))
+        rows.append((P, boundary_states, dt, solved.mean_jobs(),
+                     solved.iterations))
+    return rows
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_solver_scaling_with_machine_size(benchmark, emit):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+
+    table = Table("processors", ["class0_boundary_states", "solve_seconds",
+                                 "N_total", "iterations"])
+    for P, states, dt, n, iters in rows:
+        table.add_row(P, [states, dt, n, iters])
+    emit("scaling", table, notes=(
+        "Analytic solve cost vs machine size at constant per-partition "
+        "load (rho_p = 0.3 per class, 0.6 total).  The small-job "
+        "class's boundary grows linearly with the partition count."))
+
+    # Everything solves, and a 64-way machine stays in interactive range.
+    for P, states, dt, n, iters in rows:
+        assert n > 0
+        assert dt < 60.0, (P, dt)
+    # Utilization is held constant, so per-partition congestion should
+    # not blow up with size (economy of scale, if anything).
+    assert rows[-1][3] / SIZES[-1] <= rows[0][3] / SIZES[0] * 1.5

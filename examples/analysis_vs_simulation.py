@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Where the paper's decomposition is exact, and where it bends.
+
+The analysis treats each class as a queue with i.i.d. PH vacations
+(Section 4.3); footnote 2 of the paper notes the exact treatment would
+condition vacations on the other classes' populations.  This example
+makes the approximation structure visible:
+
+1. the per-class chain vs a simulation of *its own* decomposed model —
+   exact agreement (validates the machinery);
+2. the model vs the *full* gang simulation at heavy load — near
+   agreement (heavy-traffic regime);
+3. the same at moderate load — the documented independence bias.
+
+Run:  python examples/analysis_vs_simulation.py
+"""
+
+import numpy as np
+
+from repro.core import GangSchedulingModel
+from repro.sim import GangSimulation, VacationServerSimulation, run_replications
+from repro.workloads import fig23_config
+
+
+def decomposed_check(cfg, solved, seeds=3, horizon=20_000.0):
+    print("  class   model N   decomposed-sim N")
+    for p, cr in enumerate(solved.classes):
+        cls = cfg.classes[p]
+        means = []
+        for seed in range(seeds):
+            sim = VacationServerSimulation(
+                cfg.partitions(p), cls.arrival, cls.service, cls.quantum,
+                cr.vacation, seed=seed, warmup=horizon * 0.1)
+            means.append(sim.run(horizon).mean_jobs[0])
+        print(f"  {cr.name:>6}  {cr.mean_jobs:>8.3f}   "
+              f"{np.mean(means):>8.3f}  (exact tier)")
+
+
+def full_check(cfg, solved, label, horizon=25_000.0):
+    summary = run_replications(
+        lambda s, w: GangSimulation(cfg, seed=s, warmup=w),
+        replications=4, horizon=horizon, warmup=horizon * 0.1)["mean_jobs"]
+    print(f"  class   model N      sim N      rel err   ({label})")
+    for p, cr in enumerate(solved.classes):
+        rel = (cr.mean_jobs - summary.mean[p]) / summary.mean[p]
+        print(f"  {cr.name:>6}  {cr.mean_jobs:>8.3f}   "
+              f"{summary.mean[p]:>7.3f}+-{summary.half_width[p]:.3f} "
+              f"{rel:>+8.1%}")
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Tier 1 — decomposed model vs its own simulation (must match)")
+    print("=" * 64)
+    cfg = fig23_config(0.4, 2.0)
+    solved = GangSchedulingModel(cfg).solve()
+    decomposed_check(cfg, solved)
+
+    print()
+    print("=" * 64)
+    print("Tier 2 — full system, heavy load (rho = 0.9): near-exact")
+    print("=" * 64)
+    cfg_heavy = fig23_config(0.9, 1.0)
+    solved_heavy = GangSchedulingModel(cfg_heavy).solve()
+    full_check(cfg_heavy, solved_heavy, "heavy traffic", horizon=40_000.0)
+
+    print()
+    print("=" * 64)
+    print("Tier 3 — full system, moderate load (rho = 0.4): the")
+    print("independence assumption biases the model low by ~10-20%")
+    print("=" * 64)
+    full_check(cfg, solved, "moderate load")
+
+    print()
+    print("This is the approximation the paper's footnote 2 defers to an")
+    print("extended version; the reproduction implements the published")
+    print("fixed point and quantifies its error with the simulator.")
+
+
+if __name__ == "__main__":
+    main()

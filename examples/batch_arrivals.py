@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Batch arrivals: the extension the paper sketches, working end to end.
+
+Section 3 of the paper remarks that the analysis "is easily extended to
+handle batch arrivals and/or departures as long as the batch sizes are
+bounded".  This example exercises that extension both ways:
+
+* analytically — the per-class level process becomes banded (jumps of
+  1..K), is re-blocked into an ordinary QBD, and solved with the same
+  matrix-geometric machinery;
+* by simulation — the gang simulator with batched arrival epochs.
+
+It then answers an operational question: at the *same* job throughput,
+how much does burstiness (users submitting job arrays instead of single
+jobs) cost in response time, and does a longer quantum mitigate it?
+
+Run:  python examples/batch_arrivals.py
+"""
+
+import numpy as np
+
+from repro.core import BatchGangSchedulingModel, ClassConfig, SystemConfig
+from repro.sim import BatchArrivalGangSimulation
+
+JOB_RATE = 0.6   # jobs per unit time, held constant across batch sizes
+
+
+def config(batch_size: int, quantum_mean: float) -> SystemConfig:
+    return SystemConfig(processors=4, classes=(
+        ClassConfig.markovian(1, arrival_rate=JOB_RATE / batch_size,
+                              service_rate=0.5, quantum_mean=quantum_mean,
+                              overhead_mean=0.05, name="array-jobs"),
+        ClassConfig.markovian(4, arrival_rate=0.2, service_rate=1.5,
+                              quantum_mean=quantum_mean,
+                              overhead_mean=0.05, name="big"),
+    ))
+
+
+def solve_point(batch_size: int, quantum_mean: float):
+    cfg = config(batch_size, quantum_mean)
+    pmfs = [[0.0] * (batch_size - 1) + [1.0], [1.0]]
+    model = BatchGangSchedulingModel(cfg, pmfs).solve()
+    sims = [BatchArrivalGangSimulation(cfg, pmfs, seed=s, warmup=1500.0)
+            .run(15_000.0).mean_jobs[0] for s in range(3)]
+    return model, float(np.mean(sims))
+
+
+def main() -> None:
+    print(f"Constant job rate {JOB_RATE}; jobs arrive in arrays of size B.")
+    print()
+    print(f"{'B':>3}{'quantum':>9}{'N model':>10}{'N sim':>10}"
+          f"{'T model':>10}")
+    for quantum in (1.0, 4.0):
+        for b in (1, 2, 4):
+            model, sim_n = solve_point(b, quantum)
+            cls = model.classes[0]
+            print(f"{b:>3}{quantum:>9.1f}{cls.mean_jobs:>10.3f}"
+                  f"{sim_n:>10.3f}{cls.mean_response_time:>10.3f}")
+        print()
+    print("Burstiness alone (same throughput!) inflates the queue; longer")
+    print("quanta absorb bursts better because a whole array can drain")
+    print("within one time slice instead of waiting out extra cycles.")
+
+
+if __name__ == "__main__":
+    main()

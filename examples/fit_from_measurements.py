@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Measure → fit → model → tune: the full operator workflow.
+
+The paper assumes phase-type parameter distributions precisely because
+PH families can be *fitted to measurements* (its Section 3.2 cites the
+EM-fitting literature).  This example walks the whole loop:
+
+1. "measure" service times on a running system (here: synthesized from
+   a lognormal the library does NOT contain — a genuinely foreign
+   distribution);
+2. fit a phase-type law to the samples with hyper-Erlang EM;
+3. plug the fit into the analytic model;
+4. validate the fitted model against a simulation driven by the *real*
+   (lognormal) samples, via a trace;
+5. tune the quantum on the fitted model.
+
+Run:  python examples/fit_from_measurements.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ClassConfig,
+    GangSchedulingModel,
+    SystemConfig,
+    optimize_quantum,
+)
+from repro.phasetype import exponential, fit_ph_em
+from repro.workloads import ClassTrace, TraceDrivenGangSimulation, WorkloadTrace
+
+RNG = np.random.default_rng(2024)
+HORIZON = 40_000.0
+ARRIVAL_RATE = 0.5
+
+
+def measure_service_times(n: int) -> np.ndarray:
+    """The 'real' system's service times: lognormal, unknown to us."""
+    return RNG.lognormal(mean=0.0, sigma=0.8, size=n)
+
+
+def build_system(service_dist, quantum_mean: float) -> SystemConfig:
+    return SystemConfig(processors=4, classes=(
+        ClassConfig(partition_size=2,
+                    arrival=exponential(ARRIVAL_RATE),
+                    service=service_dist,
+                    quantum=exponential(mean=quantum_mean),
+                    overhead=exponential(mean=0.05),
+                    name="measured"),))
+
+
+def main() -> None:
+    # 1. measure
+    samples = measure_service_times(6000)
+    print(f"measured {samples.size} service times: "
+          f"mean={samples.mean():.3f}, scv="
+          f"{samples.var() / samples.mean() ** 2:.3f}")
+
+    # 2. fit
+    fit = fit_ph_em(samples, total_order=4)
+    d = fit.distribution
+    print(f"fitted PH: order={d.order}, branches={fit.orders}, "
+          f"mean={d.mean:.3f}, scv={d.scv:.3f}, "
+          f"avg log-lik={fit.log_likelihood:.4f}")
+
+    # 3. model with the fit
+    quantum = 2.0
+    solved = GangSchedulingModel(build_system(d, quantum)).solve()
+    print(f"\nanalytic (fitted service): N={solved.mean_jobs(0):.3f}, "
+          f"T={solved.mean_response_time(0):.3f}")
+
+    # 4. validate against the REAL service times via a trace
+    n_jobs = int(ARRIVAL_RATE * HORIZON * 1.2)
+    gaps = RNG.exponential(1.0 / ARRIVAL_RATE, size=n_jobs)
+    arrivals = np.cumsum(gaps)
+    arrivals = arrivals[arrivals <= HORIZON]
+    trace = WorkloadTrace(classes=(ClassTrace(
+        arrivals, measure_service_times(arrivals.size)),), horizon=HORIZON)
+    sim = TraceDrivenGangSimulation(build_system(d, quantum), trace,
+                                    seed=7, warmup=HORIZON * 0.1)
+    rep = sim.run(HORIZON)
+    gap = (solved.mean_jobs(0) - rep.mean_jobs[0]) / rep.mean_jobs[0]
+    print(f"trace-driven sim (real lognormal services): "
+          f"N={rep.mean_jobs[0]:.3f}  (model gap {gap:+.1%})")
+
+    # 5. tune on the fitted model
+    best = optimize_quantum(lambda q: build_system(d, q),
+                            bounds=(0.2, 8.0), tol=0.02)
+    print(f"\noptimal quantum on the fitted model: {best.quantum:.2f} "
+          f"(total N {best.objective_value:.3f}, "
+          f"{best.evaluations} solves)")
+    print("\nThe PH fit stands in for a distribution the library has no")
+    print("closed form for, and the model built on it tracks the real-")
+    print("trace simulation — the fitting loop the paper's Section 3.2")
+    print("points to.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments without the
+``wheel`` package (legacy editable installs go through
+``setup.py develop``, which needs no wheel build).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""Terminal line plots for result series.
+
+The environment has no plotting stack, but the paper's artifacts are
+*curves*; this renders them legibly in a terminal so
+``repro-gang figure 2 --plot`` (and the examples) can show shape, not
+just numbers.  Multiple series share axes and get distinct glyphs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.analysis.series import Series
+from repro.errors import ValidationError
+
+__all__ = ["ascii_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.3g}"
+
+
+def ascii_plot(series: Sequence[Series], *, width: int = 64,
+               height: int = 18, logy: bool = False,
+               title: str = "") -> str:
+    """Render one or more series as a text line plot.
+
+    Parameters
+    ----------
+    series:
+        Curves sharing the axes; each needs at least one finite point.
+    width, height:
+        Plot area size in characters (axes add a margin).
+    logy:
+        Log-scale the y axis (useful for the near-saturation figures).
+    title:
+        Optional heading line.
+    """
+    series = list(series)
+    if not series:
+        raise ValidationError("ascii_plot needs at least one series")
+    if width < 10 or height < 4:
+        raise ValidationError("plot area too small")
+
+    pts = []
+    for s in series:
+        pts.extend((x, y) for x, y in zip(s.x, s.y)
+                   if math.isfinite(x) and math.isfinite(y)
+                   and (not logy or y > 0))
+    if not pts:
+        raise ValidationError("no finite points to plot")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if logy:
+        y_lo, y_hi = math.log10(y_lo), math.log10(y_hi)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        if logy:
+            y = math.log10(y)
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    for si, s in enumerate(series):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for x, y in zip(s.x, s.y):
+            if math.isfinite(x) and math.isfinite(y) and (not logy or y > 0):
+                place(x, y, glyph)
+
+    y_top = 10 ** y_hi if logy else y_hi
+    y_bot = 10 ** y_lo if logy else y_lo
+    label_w = max(len(_fmt(y_top)), len(_fmt(y_bot)))
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = _fmt(y_top).rjust(label_w)
+        elif r == height - 1:
+            label = _fmt(y_bot).rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{' ' * label_w} +{'-' * width}+"
+    lines.append(x_axis)
+    left = _fmt(x_lo)
+    right = _fmt(x_hi)
+    pad = width - len(left) - len(right)
+    lines.append(f"{' ' * label_w}  {left}{' ' * max(pad, 1)}{right}")
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]} {s.name}"
+                        for i, s in enumerate(series))
+    lines.append(f"{' ' * label_w}  {legend}")
+    return "\n".join(lines)

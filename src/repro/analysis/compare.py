@@ -1,0 +1,58 @@
+"""Analytic-model vs simulation comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import SolvedModel
+from repro.sim.runner import ReplicationSummary
+
+__all__ = ["ComparisonRow", "compare_analytic_simulation"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One class's analytic-vs-simulated mean job count.
+
+    ``within_ci`` reports whether the analytic value falls inside the
+    simulation's across-replication confidence interval — the primary
+    acceptance criterion of the cross-validation bench.
+    """
+
+    class_name: str
+    analytic: float
+    simulated: float
+    ci_half_width: float
+    rel_error: float
+    within_ci: bool
+
+
+def compare_analytic_simulation(solved: SolvedModel,
+                                sim_summary: ReplicationSummary,
+                                ) -> list[ComparisonRow]:
+    """Compare per-class ``N_p`` between model and simulation.
+
+    Parameters
+    ----------
+    solved:
+        Output of :meth:`repro.core.model.GangSchedulingModel.solve`.
+    sim_summary:
+        The ``"mean_jobs"`` :class:`~repro.sim.runner.ReplicationSummary`
+        from :func:`repro.sim.runner.run_replications` on the same
+        configuration.
+    """
+    rows = []
+    for p, cr in enumerate(solved.classes):
+        analytic = cr.mean_jobs
+        simulated = sim_summary.mean[p]
+        hw = sim_summary.half_width[p]
+        rel = abs(analytic - simulated) / simulated if simulated > 0 else float("inf")
+        rows.append(ComparisonRow(
+            class_name=cr.name,
+            analytic=analytic,
+            simulated=simulated,
+            ci_half_width=hw,
+            rel_error=rel,
+            within_ci=sim_summary.contains(p, analytic),
+        ))
+    return rows

@@ -1,0 +1,17 @@
+"""Little's law consistency checks (Theorem 2.1: ``N = lambda T``)."""
+
+from __future__ import annotations
+
+__all__ = ["littles_law_gap"]
+
+
+def littles_law_gap(mean_jobs: float, arrival_rate: float,
+                    mean_response_time: float) -> float:
+    """Relative gap ``|N - lambda T| / N``.
+
+    Zero (to numerical precision) for the analytic model by
+    construction; shrinks with the horizon for simulation estimates.
+    """
+    if mean_jobs <= 0:
+        raise ValueError(f"mean_jobs must be positive, got {mean_jobs}")
+    return abs(mean_jobs - arrival_rate * mean_response_time) / mean_jobs

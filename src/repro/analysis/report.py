@@ -1,0 +1,91 @@
+"""Markdown report generation from persisted benchmark results.
+
+The benchmark harness leaves every regenerated series under
+``benchmarks/results/`` as CSV + text.  :func:`build_results_report`
+stitches them into one markdown document (the measured half of
+``EXPERIMENTS.md``), so the record can be regenerated from a fresh
+benchmark run with one call::
+
+    python -c "from repro.analysis.report import build_results_report; \\
+               print(build_results_report('benchmarks/results'))"
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+__all__ = ["build_results_report", "load_result_csv"]
+
+#: Section order and headings for the known artifacts.
+_SECTIONS = [
+    ("fig2", "Figure 2 — mean jobs vs quantum length (rho = 0.4)"),
+    ("fig3", "Figure 3 — mean jobs vs quantum length (rho = 0.9)"),
+    ("fig4", "Figure 4 — mean jobs vs service rate"),
+    ("fig5", "Figure 5 — mean jobs vs cycle fraction"),
+    ("fig1_statespace", "Figure 1 — state-space structure"),
+    ("crosscheck_moderate", "Cross-check vs simulation (moderate load)"),
+    ("crosscheck_heavy", "Cross-check vs simulation (heavy load)"),
+    ("ablation_fixed_point", "Ablation — fixed point vs heavy traffic"),
+    ("ablation_policy", "Ablation — switch-on-empty vs strict cycle"),
+    ("ablation_policy_sim", "Ablation — policy (simulation)"),
+    ("ablation_reduction", "Ablation — effective-quantum reduction"),
+    ("ablation_rmatrix", "Ablation — R-matrix solvers"),
+    ("baselines", "Baselines — gang vs time-/space-sharing"),
+]
+
+
+def load_result_csv(path: pathlib.Path) -> tuple[list[str], list[list[float]]]:
+    """Read one result CSV: (header, rows of floats)."""
+    lines = path.read_text().strip().splitlines()
+    header = lines[0].split(",")
+    rows = [[float(x) for x in ln.split(",")] for ln in lines[1:]]
+    return header, rows
+
+
+def _markdown_table(header: list[str], rows: list[list[float]]) -> str:
+    out = ["| " + " | ".join(header) + " |",
+           "|" + "---|" * len(header)]
+    for row in rows:
+        out.append("| " + " | ".join(f"{v:.4g}" for v in row) + " |")
+    return "\n".join(out)
+
+
+def build_results_report(results_dir: str | pathlib.Path) -> str:
+    """Assemble the measured-results markdown from a results directory.
+
+    Unknown files are appended after the known sections so nothing the
+    harness wrote is silently dropped.
+    """
+    root = pathlib.Path(results_dir)
+    if not root.is_dir():
+        raise FileNotFoundError(
+            f"{root} does not exist; run `pytest benchmarks/ "
+            "--benchmark-only` first")
+    parts = ["# Measured results", "",
+             f"Generated from `{root}`.", ""]
+    seen = set()
+    for stem, title in _SECTIONS:
+        csv = root / f"{stem}.csv"
+        txt = root / f"{stem}.txt"
+        if not csv.exists():
+            continue
+        seen.add(stem)
+        parts.append(f"## {title}")
+        parts.append("")
+        if txt.exists():
+            notes = txt.read_text().split("\n\n")[0].strip()
+            if notes and not notes[0].isdigit():
+                parts.append(notes)
+                parts.append("")
+        header, rows = load_result_csv(csv)
+        parts.append(_markdown_table(header, rows))
+        parts.append("")
+    for csv in sorted(root.glob("*.csv")):
+        if csv.stem in seen:
+            continue
+        parts.append(f"## {csv.stem}")
+        parts.append("")
+        header, rows = load_result_csv(csv)
+        parts.append(_markdown_table(header, rows))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,88 @@
+"""Lightweight tabular result containers.
+
+Deliberately minimal — no pandas dependency — but enough for the
+benchmark harness: ordered columns, CSV export, fixed-width text
+rendering.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Series", "Table"]
+
+
+@dataclass
+class Series:
+    """One named curve ``y = f(x)``."""
+
+    name: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __iter__(self):
+        return iter(zip(self.x, self.y))
+
+    def argmin(self) -> int:
+        """Index of the smallest finite y value."""
+        best, best_i = None, -1
+        for i, v in enumerate(self.y):
+            if v == v and (best is None or v < best):
+                best, best_i = v, i
+        if best_i < 0:
+            raise ValueError(f"series {self.name!r} has no finite values")
+        return best_i
+
+
+class Table:
+    """Column-ordered table of floats with a leading key column."""
+
+    def __init__(self, key_name: str, column_names: Sequence[str]):
+        self.key_name = key_name
+        self.column_names = list(column_names)
+        self.keys: list[float] = []
+        self.rows: list[list[float]] = []
+
+    def add_row(self, key: float, values: Sequence[float]) -> None:
+        values = [float(v) for v in values]
+        if len(values) != len(self.column_names):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.column_names)} columns"
+            )
+        self.keys.append(float(key))
+        self.rows.append(values)
+
+    def column(self, name: str) -> Series:
+        """Extract one column as a Series over the key."""
+        j = self.column_names.index(name)
+        s = Series(name)
+        for k, row in zip(self.keys, self.rows):
+            s.append(k, row[j])
+        return s
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        buf.write(",".join([self.key_name] + self.column_names) + "\n")
+        for k, row in zip(self.keys, self.rows):
+            buf.write(",".join(f"{v:.10g}" for v in [k] + row) + "\n")
+        return buf.getvalue()
+
+    def render(self, *, width: int = 12, precision: int = 4) -> str:
+        """Fixed-width text rendering (what the benches print)."""
+        head = "".join(f"{h:>{width}}" for h in [self.key_name] + self.column_names)
+        lines = [head, "-" * len(head)]
+        for k, row in zip(self.keys, self.rows):
+            lines.append("".join(f"{v:>{width}.{precision}f}" for v in [k] + row))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)

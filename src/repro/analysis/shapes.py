@@ -1,0 +1,73 @@
+"""Qualitative curve-shape checks.
+
+The reproduction targets the *shape* of the paper's figures (who
+wins, where knees fall, what rises or falls), not absolute numbers.
+These helpers turn "the curve bends and then increases monotonically"
+into testable predicates, with a noise tolerance so simulation series
+qualify too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "is_monotone_increasing",
+    "is_monotone_decreasing",
+    "is_u_shaped",
+    "knee_index",
+]
+
+
+def _clean(y: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(list(y), dtype=np.float64)
+    if arr.size == 0 or not np.all(np.isfinite(arr)):
+        raise ValueError("shape checks need a non-empty, finite series")
+    return arr
+
+
+def is_monotone_increasing(y: Sequence[float], *, rel_tol: float = 0.0) -> bool:
+    """Whether ``y`` never decreases by more than ``rel_tol`` relatively."""
+    arr = _clean(y)
+    scale = np.maximum(np.abs(arr[:-1]), 1e-12)
+    return bool(np.all(np.diff(arr) >= -rel_tol * scale))
+
+
+def is_monotone_decreasing(y: Sequence[float], *, rel_tol: float = 0.0) -> bool:
+    """Whether ``y`` never increases by more than ``rel_tol`` relatively."""
+    arr = _clean(y)
+    scale = np.maximum(np.abs(arr[:-1]), 1e-12)
+    return bool(np.all(np.diff(arr) <= rel_tol * scale))
+
+
+def knee_index(y: Sequence[float]) -> int:
+    """Index of the global minimum — the "knee" of a U-shaped curve."""
+    return int(np.argmin(_clean(y)))
+
+
+def is_u_shaped(y: Sequence[float], *, rel_tol: float = 0.02,
+                require_interior: bool = True) -> bool:
+    """Whether ``y`` decreases to a knee and increases after it.
+
+    Parameters
+    ----------
+    y:
+        The curve values on an increasing grid.
+    rel_tol:
+        Allowed relative wiggle in each half (simulation noise).
+    require_interior:
+        Demand the knee be strictly inside the grid (a curve that only
+        falls, or only rises, is not U-shaped).
+
+    The paper's Figures 2/3 claim exactly this shape for ``N_p``
+    versus the mean quantum length.
+    """
+    arr = _clean(y)
+    k = knee_index(arr)
+    if require_interior and (k == 0 or k == arr.size - 1):
+        return False
+    left_ok = is_monotone_decreasing(arr[:k + 1], rel_tol=rel_tol)
+    right_ok = is_monotone_increasing(arr[k:], rel_tol=rel_tol)
+    return left_ok and right_ok

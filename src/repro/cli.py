@@ -1,0 +1,200 @@
+"""Command-line interface: ``repro-gang`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``solve``
+    Solve one gang-scheduled configuration analytically and print the
+    per-class report.
+``figure``
+    Regenerate one of the paper's figures (2-5) as a text table.
+``simulate``
+    Run the discrete-event simulator on a configuration and print the
+    statistics (optionally next to the analytic solution).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import ClassConfig, GangSchedulingModel, SystemConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_system_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--processors", type=int, default=8,
+                   help="total processors P (default 8)")
+    p.add_argument("--class", dest="classes", action="append",
+                   metavar="g,lam,mu,quantum,overhead", default=None,
+                   help="add a job class: partition size, arrival rate, "
+                        "service rate, mean quantum, mean overhead "
+                        "(repeatable; default: the paper's fig-2 classes)")
+    p.add_argument("--policy", choices=("switch", "idle"), default="switch",
+                   help="behaviour when a queue empties mid-quantum")
+    p.add_argument("--config", metavar="FILE", default=None,
+                   help="load the system from a JSON file (see "
+                        "repro.serialize); overrides --processors/--class")
+
+
+def _parse_system(args) -> SystemConfig:
+    if getattr(args, "config", None):
+        from repro.serialize import load_system
+        return load_system(args.config)
+    if args.classes:
+        classes = []
+        for spec in args.classes:
+            try:
+                g, lam, mu, q, oh = (float(x) for x in spec.split(","))
+            except ValueError:
+                raise SystemExit(
+                    f"bad --class spec {spec!r}; expected g,lam,mu,quantum,"
+                    "overhead")
+            classes.append(ClassConfig.markovian(
+                int(g), arrival_rate=lam, service_rate=mu,
+                quantum_mean=q, overhead_mean=oh))
+        return SystemConfig(processors=args.processors,
+                            classes=tuple(classes),
+                            empty_queue_policy=args.policy)
+    from repro.workloads import fig23_config
+    return fig23_config(0.4, 2.0, policy=args.policy)
+
+
+def _cmd_solve(args) -> int:
+    config = _parse_system(args)
+    solved = GangSchedulingModel(config).solve(
+        heavy_traffic_only=args.heavy_traffic)
+    print(solved.describe())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.analysis import Table
+    from repro.workloads import fig23_config, fig4_config, fig5_config, sweep
+    grids = {
+        "2": ("quantum_mean", [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.5, 6.0],
+              lambda q: fig23_config(0.4, q)),
+        "3": ("quantum_mean", [0.15, 0.25, 0.4, 0.6, 1.0, 2.0, 4.0, 6.0],
+              lambda q: fig23_config(0.9, q)),
+        "4": ("service_rate", [2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0],
+              fig4_config),
+    }
+    if args.number in grids:
+        name, grid, factory = grids[args.number]
+        result = sweep(name, grid, factory)
+        table = Table(name, [f"N[{n}]" for n in result.class_names])
+        for pt in result.points:
+            table.add_row(pt.value, pt.mean_jobs)
+    else:
+        # Figure 5: one curve per focus class.
+        grid = [0.15, 0.3, 0.45, 0.6, 0.75, 0.9]
+        table = Table("fraction", [f"N[class{p}]" for p in range(4)])
+        for f in grid:
+            row = []
+            for p in range(4):
+                solved = GangSchedulingModel(
+                    fig5_config(focus_class=p, fraction=f)).solve()
+                row.append(solved.mean_jobs(p))
+            table.add_row(f, row)
+    print(table.render())
+    if args.plot:
+        from repro.analysis import ascii_plot
+        print()
+        print(ascii_plot([table.column(c) for c in table.column_names],
+                         title=f"Figure {args.number}"))
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from repro.core import optimize_quantum
+    base = _parse_system(args)
+
+    def with_quantum(q: float) -> SystemConfig:
+        return SystemConfig(
+            processors=base.processors,
+            classes=tuple(
+                ClassConfig(partition_size=c.partition_size,
+                            arrival=c.arrival, service=c.service,
+                            quantum=c.quantum.rescaled(q),
+                            overhead=c.overhead, name=c.name)
+                for c in base.classes),
+            empty_queue_policy=base.empty_queue_policy,
+        )
+
+    best = optimize_quantum(with_quantum, bounds=(args.min, args.max),
+                            tol=args.tol)
+    print(f"optimal quantum mean: {best.quantum:.4f}")
+    print(f"objective (total mean jobs): {best.objective_value:.4f}")
+    print(f"model solves: {best.evaluations}")
+    solved = GangSchedulingModel(with_quantum(best.quantum)).solve()
+    print()
+    print(solved.describe())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim import GangSimulation
+    config = _parse_system(args)
+    report = GangSimulation(config, seed=args.seed,
+                            warmup=args.horizon * 0.1).run(args.horizon)
+    print(report.describe(config.class_names))
+    if args.compare:
+        solved = GangSchedulingModel(config).solve()
+        print("\nanalytic comparison:")
+        for p, cr in enumerate(solved.classes):
+            sim_n = report.mean_jobs[p]
+            rel = (cr.mean_jobs - sim_n) / sim_n if sim_n else float("nan")
+            print(f"  {cr.name}: model N={cr.mean_jobs:.4f} "
+                  f"sim N={sim_n:.4f} ({rel:+.1%})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gang",
+        description="Gang-scheduling analysis and simulation "
+                    "(SPAA '96 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a configuration analytically")
+    _add_system_args(p_solve)
+    p_solve.add_argument("--heavy-traffic", action="store_true",
+                         help="heavy-traffic model only (no fixed point)")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", choices=("2", "3", "4", "5"),
+                       help="figure number")
+    p_fig.add_argument("--plot", action="store_true",
+                       help="also render the curves as a text plot")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_opt = sub.add_parser("optimize",
+                           help="find the quantum minimizing total mean jobs")
+    _add_system_args(p_opt)
+    p_opt.add_argument("--min", type=float, default=0.1,
+                       help="lower bound of the quantum search (default 0.1)")
+    p_opt.add_argument("--max", type=float, default=8.0,
+                       help="upper bound of the quantum search (default 8)")
+    p_opt.add_argument("--tol", type=float, default=0.01,
+                       help="relative interval tolerance (default 0.01)")
+    p_opt.set_defaults(func=_cmd_optimize)
+
+    p_sim = sub.add_parser("simulate", help="simulate a configuration")
+    _add_system_args(p_sim)
+    p_sim.add_argument("--horizon", type=float, default=20_000.0,
+                       help="simulated time (default 20000)")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--compare", action="store_true",
+                       help="also solve analytically and compare")
+    p_sim.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,300 @@
+"""Construction of the per-class QBD generator blocks.
+
+Given class ``p``'s PH parameters and a vacation distribution
+``F_p = PH(zeta, V)``, this module assembles the level-transition
+blocks of the Markov chain ``{X_p(t)}`` of Section 4.1 and packages
+them as a :class:`repro.qbd.structure.QBDProcess` with boundary levels
+``0 .. c_p`` (eq. 20 of the paper).
+
+Transition inventory (rates; ``s0`` denotes PH exit-rate vectors and
+Greek letters initial vectors):
+
+===========================  =======================================
+event                        rate and state change
+===========================  =======================================
+arrival-phase jump           ``S_A[a, a']``
+arrival (level up)           ``s_A0[a] alpha_A[a']``; if ``i < c`` the
+                             job takes a partition and draws a service
+                             phase from ``beta_B``
+service-phase jump           ``v[n] S_B[n, n']`` (quantum phases only)
+service completion           ``v[n] s_B0[n]`` (quantum only); level
+                             down; if ``i > c`` the head-of-queue job
+                             takes the slot with phase ``beta_B``; if
+                             ``i = 1`` (switch policy) the system
+                             context-switches into the vacation
+quantum-phase jump           ``S_G[k, k']``
+quantum expiry               ``s_G0[k] zeta[j]`` into vacation phases
+vacation-phase jump          ``V[j, j']``
+vacation expiry, ``i >= 1``  ``v_0[j] beta_G[k']`` into quantum phases
+vacation expiry, ``i = 0``   switch policy: ``v_0[j] zeta[j']`` — the
+                             empty quantum is skipped and the next
+                             vacation begins at once; idle policy: the
+                             quantum starts over the empty system
+===========================  =======================================
+
+Jobs keep their service phase across preemptions (vacations freeze the
+service process), and a job that takes a partition during a vacation
+draws its initial service phase immediately — only phase *progress*
+requires the quantum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.statespace import ClassStateSpace
+from repro.errors import ValidationError
+from repro.phasetype import PhaseType
+from repro.qbd.structure import QBDProcess
+
+__all__ = ["build_class_qbd", "class_state_space"]
+
+
+def class_state_space(partitions: int, arrival: PhaseType, service: PhaseType,
+                      quantum: PhaseType, vacation: PhaseType,
+                      policy: str = "switch") -> ClassStateSpace:
+    """State space implied by the PH orders of the four distributions."""
+    return ClassStateSpace(
+        partitions=partitions,
+        m_arrival=arrival.order,
+        m_service=service.order,
+        m_quantum=quantum.order,
+        m_vacation=vacation.order,
+        policy=policy,
+    )
+
+
+def build_class_qbd(partitions: int, arrival: PhaseType, service: PhaseType,
+                    quantum: PhaseType, vacation: PhaseType,
+                    *, policy: str = "switch",
+                    with_labels: bool = False) -> tuple[QBDProcess, ClassStateSpace]:
+    """Build the QBD for one class given its vacation distribution.
+
+    Parameters
+    ----------
+    partitions:
+        ``c_p = P / g(p)``.
+    arrival, service, quantum:
+        The class's own PH parameters (must have no atom at zero).
+    vacation:
+        The PH distribution ``F_p`` of the time the processors belong
+        to other classes (heavy-traffic form from Theorem 4.1 or
+        fixed-point form from Theorem 4.3).  Must have no atom at zero
+        (guaranteed when it starts with a proper context-switch
+        overhead).
+    policy:
+        ``"switch"`` (paper) or ``"idle"`` (strict cycle ablation).
+    with_labels:
+        Attach per-level state labels to the returned process (for the
+        Figure 1 diagram export); costs memory on big spaces.
+
+    Returns
+    -------
+    (QBDProcess, ClassStateSpace)
+    """
+    for what, dist in (("arrival", arrival), ("service", service),
+                       ("quantum", quantum), ("vacation", vacation)):
+        if dist.atom_at_zero > 1e-12:
+            raise ValidationError(
+                f"{what} distribution has an atom at zero "
+                f"({dist.atom_at_zero:.3g}); the chain would have instantaneous "
+                "transitions"
+            )
+    space = class_state_space(partitions, arrival, service, quantum, vacation, policy)
+    builder = _BlockBuilder(space, arrival, service, quantum, vacation)
+
+    c = space.boundary_levels
+    ups = [builder.up(i) for i in range(c + 1)]          # levels 0..c (c's up == A0)
+    downs = [None] + [builder.down(i) for i in range(1, c + 2)]  # 1..c+1
+    locals_ = [builder.local(i) for i in range(c + 2)]   # 0..c+1
+
+    A0 = ups[c]
+    A1 = locals_[c + 1]
+    A2 = downs[c + 1]
+    # Diagonals: negative total outflow per state.
+    A1 = _with_diagonal(A1, [A0, A2])
+
+    boundary: list[list[np.ndarray | None]] = [
+        [None] * (c + 1) for _ in range(c + 1)
+    ]
+    for i in range(c + 1):
+        out_blocks = []
+        if i > 0:
+            boundary[i][i - 1] = downs[i]
+            out_blocks.append(downs[i])
+        up_blk = ups[i] if i < c else A0   # level c's up block is A0
+        out_blocks.append(up_blk)
+        if i < c:
+            boundary[i][i + 1] = ups[i]
+        boundary[i][i] = _with_diagonal(locals_[i], out_blocks)
+
+    labels = None
+    if with_labels:
+        labels = tuple(space.labels(i) for i in range(c + 1)) + (space.labels(c + 1),)
+    process = QBDProcess(
+        boundary=tuple(tuple(row) for row in boundary),
+        A0=A0, A1=A1, A2=A2, level_labels=labels,
+    )
+    return process, space
+
+
+def _with_diagonal(local: np.ndarray, other_blocks) -> np.ndarray:
+    """Set the diagonal so each state's row sums to zero across all blocks."""
+    out = local.copy()
+    total = out.sum(axis=1)
+    for blk in other_blocks:
+        if blk is not None:
+            total = total + blk.sum(axis=1)
+    out[np.diag_indices_from(out)] -= total
+    return out
+
+
+class _BlockBuilder:
+    """Assembles off-diagonal rate blocks for one class's chain."""
+
+    def __init__(self, space: ClassStateSpace, arrival: PhaseType,
+                 service: PhaseType, quantum: PhaseType, vacation: PhaseType):
+        self.sp = space
+        self.SA = np.asarray(arrival.S)
+        self.aA = np.asarray(arrival.alpha)
+        self.sA0 = np.asarray(arrival.exit_rates)
+        self.SB = np.asarray(service.S)
+        self.aB = np.asarray(service.alpha)
+        self.sB0 = np.asarray(service.exit_rates)
+        self.SG = np.asarray(quantum.S)
+        self.bG = np.asarray(quantum.alpha)
+        self.sG0 = np.asarray(quantum.exit_rates)
+        self.V = np.asarray(vacation.S)
+        self.zeta = np.asarray(vacation.alpha)
+        self.v0 = np.asarray(vacation.exit_rates)
+
+    # -- helpers -------------------------------------------------------
+
+    def _add(self, M: np.ndarray, x: int, y: int, rate: float,
+             *, same_level: bool) -> None:
+        """Accumulate an off-diagonal rate, dropping within-level self-loops."""
+        if rate <= 0.0:
+            return
+        if same_level and x == y:
+            return
+        M[x, y] += rate
+
+    # -- blocks --------------------------------------------------------
+
+    def up(self, i: int) -> np.ndarray:
+        """Arrival block: level ``i`` -> ``i + 1``."""
+        sp = self.sp
+        M = np.zeros((sp.level_dim(i), sp.level_dim(i + 1)))
+        enters_service = i < sp.partitions
+        for a, v, k in sp.states(i):
+            x = sp.index(i, a, v, k)
+            base = self.sA0[a]
+            if base <= 0:
+                continue
+            for a2 in np.nonzero(self.aA)[0]:
+                r = base * self.aA[a2]
+                if enters_service:
+                    for n in np.nonzero(self.aB)[0]:
+                        v2 = list(v)
+                        v2[n] += 1
+                        y = sp.index(i + 1, int(a2), tuple(v2), k)
+                        self._add(M, x, y, r * self.aB[n], same_level=False)
+                else:
+                    y = sp.index(i + 1, int(a2), v, k)
+                    self._add(M, x, y, r, same_level=False)
+        return M
+
+    def down(self, i: int) -> np.ndarray:
+        """Service-completion block: level ``i`` -> ``i - 1`` (``i >= 1``)."""
+        sp = self.sp
+        M = np.zeros((sp.level_dim(i), sp.level_dim(i - 1)))
+        refill = i > sp.partitions        # a queued job takes the freed slot
+        empties = (i == 1)
+        for a, v, k in sp.states(i):
+            if not sp.is_quantum_phase(k):
+                continue  # service progresses only during the quantum
+            x = sp.index(i, a, v, k)
+            for n, count in enumerate(v):
+                if count == 0 or self.sB0[n] <= 0:
+                    continue
+                base = count * self.sB0[n]
+                if refill:
+                    for n2 in np.nonzero(self.aB)[0]:
+                        v2 = list(v)
+                        v2[n] -= 1
+                        v2[n2] += 1
+                        y = sp.index(i - 1, a, tuple(v2), k)
+                        self._add(M, x, y, base * self.aB[n2], same_level=False)
+                    continue
+                v2 = list(v)
+                v2[n] -= 1
+                v2t = tuple(v2)
+                if empties and sp.policy == "switch":
+                    # Last job leaves: immediate context switch into the
+                    # vacation (level 0 has vacation phases only).
+                    for j in np.nonzero(self.zeta)[0]:
+                        y = sp.index(0, a, v2t, sp.m_quantum + int(j))
+                        self._add(M, x, y, base * self.zeta[j], same_level=False)
+                else:
+                    y = sp.index(i - 1, a, v2t, k)
+                    self._add(M, x, y, base, same_level=False)
+        return M
+
+    def local(self, i: int) -> np.ndarray:
+        """Within-level block (off-diagonal part only)."""
+        sp = self.sp
+        d = sp.level_dim(i)
+        M = np.zeros((d, d))
+        for a, v, k in sp.states(i):
+            x = sp.index(i, a, v, k)
+            # Arrival-phase internal jumps.
+            for a2 in range(self.SA.shape[0]):
+                if a2 != a:
+                    self._add(M, x, sp.index(i, a2, v, k), self.SA[a, a2],
+                              same_level=True)
+            in_quantum = sp.is_quantum_phase(k)
+            if in_quantum:
+                # Service-phase internal jumps.
+                for n, count in enumerate(v):
+                    if count == 0:
+                        continue
+                    for n2 in range(self.SB.shape[0]):
+                        if n2 == n or self.SB[n, n2] <= 0:
+                            continue
+                        v2 = list(v)
+                        v2[n] -= 1
+                        v2[n2] += 1
+                        self._add(M, x, sp.index(i, a, tuple(v2), k),
+                                  count * self.SB[n, n2], same_level=True)
+                # Quantum-phase internal jumps.
+                for k2 in range(sp.m_quantum):
+                    if k2 != k:
+                        self._add(M, x, sp.index(i, a, v, k2), self.SG[k, k2],
+                                  same_level=True)
+                # Quantum expiry -> vacation start.
+                if self.sG0[k] > 0:
+                    for j in np.nonzero(self.zeta)[0]:
+                        self._add(M, x, sp.index(i, a, v, sp.m_quantum + int(j)),
+                                  self.sG0[k] * self.zeta[j], same_level=True)
+            else:
+                j = k - sp.m_quantum
+                # Vacation-phase internal jumps.
+                for j2 in range(sp.m_vacation):
+                    if j2 != j:
+                        self._add(M, x, sp.index(i, a, v, sp.m_quantum + j2),
+                                  self.V[j, j2], same_level=True)
+                # Vacation expiry.
+                if self.v0[j] > 0:
+                    if i >= 1 or sp.policy == "idle":
+                        # Quantum begins.
+                        for k2 in np.nonzero(self.bG)[0]:
+                            self._add(M, x, sp.index(i, a, v, int(k2)),
+                                      self.v0[j] * self.bG[k2], same_level=True)
+                    else:
+                        # Level 0 under switch policy: the empty quantum
+                        # is skipped; the next vacation starts at once.
+                        for j2 in np.nonzero(self.zeta)[0]:
+                            self._add(M, x,
+                                      sp.index(0, a, v, sp.m_quantum + int(j2)),
+                                      self.v0[j] * self.zeta[j2], same_level=True)
+        return M

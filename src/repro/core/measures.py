@@ -1,0 +1,123 @@
+"""Steady-state performance measures for one job class.
+
+Section 4.5 of the paper: the mean number of class-``p`` jobs ``N_p``
+in the closed form of eq. (37), the mean response time
+``T_p = N_p / lambda_p`` by Little's law (Theorem 2.1), plus the
+operational quantities the figures discuss — waiting counts, the
+fraction of time the class holds the processors, partition utilization
+and throughput (the latter doubles as an internal consistency check:
+in steady state it must equal ``lambda_p``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.statespace import ClassStateSpace
+from repro.phasetype import PhaseType
+from repro.qbd.stationary import QBDStationaryDistribution
+
+__all__ = ["ClassMeasures", "compute_measures"]
+
+
+@dataclass(frozen=True)
+class ClassMeasures:
+    """Steady-state measures of one class.
+
+    Attributes
+    ----------
+    mean_jobs:
+        ``N_p = E[number in system]`` (eq. 37).
+    mean_response_time:
+        ``T_p = N_p / lambda_p``.
+    mean_jobs_waiting:
+        ``E[(i - c_p)^+]`` — jobs without a partition.
+    mean_jobs_in_service:
+        ``E[min(i, c_p)]`` — jobs holding a partition (served or
+        frozen during vacations).
+    service_fraction:
+        Long-run fraction of time the class holds the processors
+        (``P(k < M_p)``).
+    skip_probability_flow:
+        Stationary rate of *skipped* quanta per unit time
+        (vacation completions at level 0); 0 under the idle policy.
+    throughput:
+        Stationary departure rate; equals the arrival rate when the
+        truncations are consistent (used as a self-check).
+    utilization:
+        Fraction of the class's partition-time actually busy serving:
+        ``E[min(i, c) 1{quantum}] / c_p``.
+    variance_jobs:
+        ``Var[number in system]``.
+    """
+
+    mean_jobs: float
+    mean_response_time: float
+    mean_jobs_waiting: float
+    mean_jobs_in_service: float
+    service_fraction: float
+    skip_probability_flow: float
+    throughput: float
+    utilization: float
+    variance_jobs: float
+
+
+def compute_measures(space: ClassStateSpace, solution: QBDStationaryDistribution,
+                     *, arrival_rate: float, service: PhaseType,
+                     vacation: PhaseType) -> ClassMeasures:
+    """Evaluate all class measures from the stationary solution."""
+    c = space.boundary_levels
+    mean_jobs = solution.mean_level
+    var_jobs = solution.variance_level
+    resp = mean_jobs / arrival_rate
+
+    # Aggregated phase vector over levels >= c: pi_c (I - R)^{-1}.
+    agg = solution.repeating_phase_marginal()
+
+    # E[min(i, c)] = sum_{i<c} i pi_i e + c P(level >= c).
+    mean_in_service = sum(i * solution.level_mass(i) for i in range(c))
+    mean_in_service += c * float(agg.sum())
+    mean_waiting = mean_jobs - mean_in_service
+
+    # Masks over the level-c phase structure (shared by all levels >= c).
+    quantum_mask_rep = np.array(
+        [space.is_quantum_phase(k) for (_, _, k) in space.states(c)], dtype=bool
+    )
+
+    service_fraction = float(agg[quantum_mask_rep].sum())
+    utilization_num = c * float(agg[quantum_mask_rep].sum())
+    throughput = 0.0
+    sB0 = service.exit_rates
+    states_c = list(space.states(c))
+    for j, (a, v, k) in enumerate(states_c):
+        if space.is_quantum_phase(k):
+            throughput += agg[j] * float(np.dot(v, sB0))
+    for i in range(c):
+        pi = solution.level(i)
+        for j, (a, v, k) in enumerate(space.states(i)):
+            if space.is_quantum_phase(k):
+                service_fraction += pi[j]
+                utilization_num += min(i, c) * pi[j]
+                throughput += pi[j] * float(np.dot(v, sB0))
+
+    # Skipped-quantum flow: vacation completions while empty.
+    skip_flow = 0.0
+    if space.policy == "switch":
+        pi0 = solution.level(0)
+        v0 = vacation.exit_rates
+        for j, (a, v, k) in enumerate(space.states(0)):
+            skip_flow += pi0[j] * v0[k - space.m_quantum]
+
+    return ClassMeasures(
+        mean_jobs=mean_jobs,
+        mean_response_time=resp,
+        mean_jobs_waiting=mean_waiting,
+        mean_jobs_in_service=mean_in_service,
+        service_fraction=service_fraction,
+        skip_probability_flow=skip_flow,
+        throughput=throughput,
+        utilization=utilization_num / c if c > 0 else 0.0,
+        variance_jobs=var_jobs,
+    )

@@ -1,0 +1,197 @@
+"""Scheduler tuning on top of the analytic model.
+
+The paper's stated purpose: *"Our model and analysis can be used to
+tune our scheduler in order to maximize its performance on each
+hardware platform."*  This module turns the solved model into that
+tuning loop:
+
+* :func:`optimize_quantum` — pick the quantum length minimizing a
+  congestion objective (the Figures 2/3 knee), by golden-section
+  search on the empirically unimodal curve;
+* :func:`optimize_cycle_split` — divide the timeplexing cycle among
+  classes (the Figure 5 trade-off) to minimize a weighted objective,
+  by Nelder-Mead on a softmax parameterization of the simplex.
+
+Objectives receive the :class:`~repro.core.model.SolvedModel` and
+return a scalar; saturated classes contribute ``inf``, which steers
+the search away from infeasible allocations automatically.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from repro.core.config import SystemConfig
+from repro.core.model import GangSchedulingModel, SolvedModel
+from repro.errors import UnstableSystemError, ValidationError
+
+__all__ = [
+    "total_jobs_objective",
+    "weighted_response_objective",
+    "optimize_quantum",
+    "optimize_cycle_split",
+    "QuantumOptimum",
+    "CycleSplitOptimum",
+]
+
+
+def total_jobs_objective(solved: SolvedModel) -> float:
+    """``sum_p N_p`` — overall congestion (Little: total delay rate)."""
+    return solved.mean_jobs()
+
+
+def weighted_response_objective(weights: Sequence[float]
+                                ) -> Callable[[SolvedModel], float]:
+    """``sum_p w_p T_p`` — class-weighted mean response time."""
+    w = [float(x) for x in weights]
+
+    def objective(solved: SolvedModel) -> float:
+        if len(w) != len(solved.classes):
+            raise ValidationError(
+                f"{len(w)} weights for {len(solved.classes)} classes")
+        return sum(wi * c.mean_response_time
+                   for wi, c in zip(w, solved.classes))
+
+    return objective
+
+
+def _evaluate(config: SystemConfig, objective, model_kwargs) -> float:
+    try:
+        solved = GangSchedulingModel(config, **(model_kwargs or {})).solve()
+    except UnstableSystemError:
+        return math.inf
+    return float(objective(solved))
+
+
+class QuantumOptimum:
+    """Result of :func:`optimize_quantum`."""
+
+    def __init__(self, quantum: float, objective_value: float,
+                 evaluations: int):
+        #: The optimal mean quantum length.
+        self.quantum = quantum
+        #: Objective at the optimum.
+        self.objective_value = objective_value
+        #: Number of model solves performed.
+        self.evaluations = evaluations
+
+    def __repr__(self) -> str:
+        return (f"QuantumOptimum(quantum={self.quantum:.6g}, "
+                f"objective={self.objective_value:.6g}, "
+                f"evaluations={self.evaluations})")
+
+
+def optimize_quantum(config_factory: Callable[[float], SystemConfig],
+                     *, bounds: tuple[float, float],
+                     objective: Callable[[SolvedModel], float] = total_jobs_objective,
+                     tol: float = 1e-3, max_evaluations: int = 60,
+                     model_kwargs: dict | None = None) -> QuantumOptimum:
+    """Golden-section search for the best quantum length.
+
+    Parameters
+    ----------
+    config_factory:
+        ``quantum_mean -> SystemConfig``.
+    bounds:
+        Search interval ``(lo, hi)``, ``0 < lo < hi``.
+    objective:
+        Scalar objective over the solved model (default: total mean
+        jobs).  The Figure 2/3 curves are unimodal in the quantum, so
+        golden-section is appropriate; for a non-unimodal custom
+        objective, grid-search first.
+    tol:
+        Relative interval width at which to stop.
+    """
+    lo, hi = bounds
+    if not 0 < lo < hi:
+        raise ValidationError(f"bounds must satisfy 0 < lo < hi, got {bounds}")
+    invphi = (math.sqrt(5.0) - 1.0) / 2.0
+    evals = 0
+
+    cache: dict[float, float] = {}
+
+    def f(q: float) -> float:
+        nonlocal evals
+        if q not in cache:
+            cache[q] = _evaluate(config_factory(q), objective, model_kwargs)
+            evals += 1
+        return cache[q]
+
+    a, b = lo, hi
+    c = b - invphi * (b - a)
+    d = a + invphi * (b - a)
+    while (b - a) > tol * max(1.0, b) and evals < max_evaluations:
+        if f(c) <= f(d):
+            b, d = d, c
+            c = b - invphi * (b - a)
+        else:
+            a, c = c, d
+            d = a + invphi * (b - a)
+    best_q = min(cache, key=cache.get)
+    return QuantumOptimum(quantum=best_q, objective_value=cache[best_q],
+                          evaluations=evals)
+
+
+class CycleSplitOptimum:
+    """Result of :func:`optimize_cycle_split`."""
+
+    def __init__(self, fractions: tuple[float, ...], objective_value: float,
+                 evaluations: int):
+        #: Optimal cycle fractions, summing to 1.
+        self.fractions = fractions
+        self.objective_value = objective_value
+        self.evaluations = evaluations
+
+    def __repr__(self) -> str:
+        fr = ", ".join(f"{f:.4f}" for f in self.fractions)
+        return (f"CycleSplitOptimum(fractions=({fr}), "
+                f"objective={self.objective_value:.6g}, "
+                f"evaluations={self.evaluations})")
+
+
+def optimize_cycle_split(config_factory: Callable[[tuple[float, ...]], SystemConfig],
+                         num_classes: int, *,
+                         objective: Callable[[SolvedModel], float] = total_jobs_objective,
+                         initial: Sequence[float] | None = None,
+                         max_evaluations: int = 200,
+                         model_kwargs: dict | None = None) -> CycleSplitOptimum:
+    """Optimize the division of the cycle's quantum budget.
+
+    Parameters
+    ----------
+    config_factory:
+        ``fractions -> SystemConfig`` where ``fractions`` is a tuple of
+        ``num_classes`` positive numbers summing to 1.
+    num_classes:
+        ``L``.
+    initial:
+        Starting fractions (default: even split).
+    """
+    if num_classes < 2:
+        raise ValidationError("cycle-split optimization needs >= 2 classes")
+    x0 = np.log(np.asarray(initial if initial is not None
+                           else [1.0 / num_classes] * num_classes))
+    evals = 0
+
+    def unpack(z: np.ndarray) -> tuple[float, ...]:
+        w = np.exp(z - z.max())
+        w = w / w.sum()
+        return tuple(float(v) for v in w)
+
+    def f(z: np.ndarray) -> float:
+        nonlocal evals
+        evals += 1
+        fractions = unpack(z)
+        return _evaluate(config_factory(fractions), objective, model_kwargs)
+
+    res = sciopt.minimize(f, x0, method="Nelder-Mead",
+                          options={"maxfev": max_evaluations,
+                                   "xatol": 1e-3, "fatol": 1e-4})
+    fractions = unpack(res.x)
+    return CycleSplitOptimum(fractions=fractions,
+                             objective_value=float(res.fun),
+                             evaluations=evals)

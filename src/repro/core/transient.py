@@ -1,0 +1,138 @@
+"""Transient behaviour of a class chain: how fast steady state arrives.
+
+The paper's analysis is purely steady-state.  Operationally, the next
+question is transient: after a reconfiguration (a class enabled, a
+quantum retuned), how long until the queues settle?  This module
+answers it for one class's decomposed chain by uniformized transient
+analysis on a truncated copy of its QBD — ``E[N_p(t)]`` as a curve,
+plus a settling-time estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.series import Series
+from repro.core.model import SolvedModel
+from repro.errors import ValidationError
+from repro.markov.uniformization import transient_distribution
+
+__all__ = ["TransientResult", "transient_mean_jobs"]
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """``E[N_p(t)]`` on a time grid, with the stationary limit."""
+
+    times: tuple[float, ...]
+    mean_jobs: tuple[float, ...]
+    stationary_mean: float
+
+    def as_series(self, name: str = "E[N(t)]") -> Series:
+        s = Series(name)
+        for t, n in zip(self.times, self.mean_jobs):
+            s.append(t, n)
+        return s
+
+    def settling_time(self, rel_tol: float = 0.05) -> float:
+        """First grid time after which ``E[N(t)]`` stays within
+        ``rel_tol`` of the stationary mean.  ``inf`` if never on this
+        grid."""
+        target = self.stationary_mean
+        band = rel_tol * max(target, 1e-12)
+        settled_from = float("inf")
+        for t, n in zip(self.times, self.mean_jobs):
+            if abs(n - target) <= band:
+                if settled_from == float("inf"):
+                    settled_from = t
+            else:
+                settled_from = float("inf")
+        return settled_from
+
+
+def transient_mean_jobs(solved: SolvedModel, p: int, times,
+                        *, initial_level: int = 0,
+                        truncation_mass: float = 1e-8,
+                        max_levels: int = 200) -> TransientResult:
+    """``E[N_p(t)]`` for class ``p`` starting from a fixed queue length.
+
+    The chain is class ``p``'s converged decomposed model (vacations at
+    their fixed-point law), truncated where the *stationary* tail mass
+    drops below ``truncation_mass`` (the transient from a modest start
+    stays below the stationary tail for all t, so the truncation is
+    safe).  The start state is ``initial_level`` jobs with the vacation
+    beginning — "the class is switched on at t = 0".
+
+    Parameters
+    ----------
+    times:
+        Increasing evaluation times.
+    initial_level:
+        Jobs present at t = 0 (0 = empty start).
+    """
+    cr = solved.classes[p]
+    if not cr.stable:
+        raise ValidationError(f"class {p} is saturated; no steady state")
+    times = [float(t) for t in times]
+    if not times or any(t < 0 for t in times) \
+            or any(b <= a for a, b in zip(times, times[1:])):
+        raise ValidationError("times must be positive and strictly increasing")
+
+    space = cr.space
+    sol = cr.stationary
+    # Truncation level from the stationary tail.
+    levels = space.boundary_levels + 2
+    while levels < max_levels and sol.tail_probability(levels) > truncation_mass:
+        levels += 1
+    levels += 1
+
+    # Rebuild the process (cheap) to get the truncated generator.
+    from repro.core.generator import build_class_qbd
+    cls = solved.config.classes[p]
+    process, _ = build_class_qbd(
+        space.partitions, cls.arrival, cls.service, cls.quantum,
+        cr.vacation, policy=space.policy)
+    Q, tags = process.truncated_generator(levels)
+    level_of_state = np.asarray([lvl for (lvl, _) in tags], dtype=np.float64)
+
+    # Start state: `initial_level` jobs, arrival phase from its initial
+    # vector, all service entries fresh, vacation just beginning.
+    if initial_level >= levels - 1:
+        raise ValidationError(
+            f"initial_level {initial_level} exceeds the truncation window")
+    p0 = np.zeros(Q.shape[0])
+    offset = sum(space.level_dim(i) for i in range(initial_level))
+    aA = np.asarray(cls.arrival.alpha)
+    zeta = np.asarray(cr.vacation.alpha)
+    vecs = space.service_vectors(initial_level)
+    # Fresh jobs all start in the service PH's first-entry mix; use the
+    # composition of initial_level jobs drawn from alpha_B (multinomial).
+    from repro.utils.combinatorics import multinomial_compositions
+    entries = multinomial_compositions(space.in_service(initial_level),
+                                       np.asarray(cls.service.alpha))
+    vmap = space.service_vector_index(initial_level)
+    nk = len(space.cycle_phases_at(initial_level))
+    for a in range(space.m_arrival):
+        for comp, vprob in entries:
+            vidx = vmap[comp]
+            for kj, k in enumerate(space.cycle_phases_at(initial_level)):
+                if space.is_quantum_phase(k):
+                    continue
+                j = k - space.m_quantum
+                weight = aA[a] * vprob * zeta[j]
+                p0[offset + (a * len(vecs) + vidx) * nk + kj] += weight
+    if p0.sum() <= 0:
+        raise ValidationError("could not construct a valid start state")
+    p0 = p0 / p0.sum()
+
+    means = []
+    for t in times:
+        pt = transient_distribution(Q, p0, t)
+        means.append(float(pt @ level_of_state))
+    return TransientResult(
+        times=tuple(times),
+        mean_jobs=tuple(means),
+        stationary_mean=cr.mean_jobs,
+    )

@@ -1,0 +1,79 @@
+"""Absorbing-chain analysis.
+
+Given a CTMC partitioned into transient states ``T`` and absorbing
+states ``A``, the generator has the block form::
+
+    Q = [ S   B ]      S: T x T  (sub-generator)
+        [ 0   0 ]      B: T x A  (absorption rates)
+
+The *fundamental matrix* ``N = (-S)^{-1}`` collects expected sojourn
+times; ``N B`` gives absorption probabilities and ``N e`` mean times to
+absorption.  Theorem 4.3 of the paper builds exactly such a chain to
+define the effective-quantum distribution: the class-``p`` "in service"
+states are made transient and every exit to the waiting states is
+redirected to a single absorbing state ``(0, 0)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_subgenerator
+
+__all__ = [
+    "fundamental_matrix",
+    "absorption_probabilities",
+    "expected_time_to_absorption",
+]
+
+
+def fundamental_matrix(S: np.ndarray, *, validate: bool = True) -> np.ndarray:
+    """``N = (-S)^{-1}``: expected time spent in each transient state.
+
+    ``N[i, j]`` is the expected total time spent in transient state
+    ``j`` before absorption, starting from transient state ``i``.
+    """
+    if validate:
+        S = check_subgenerator(S)
+    else:
+        S = np.asarray(S, dtype=np.float64)
+    return np.linalg.inv(-S)
+
+
+def absorption_probabilities(S: np.ndarray, B: np.ndarray,
+                             *, validate: bool = True) -> np.ndarray:
+    """Probability of ending in each absorbing state: ``(-S)^{-1} B``.
+
+    Rows index the starting transient state, columns the absorbing
+    state; each row sums to 1 for a proper absorbing chain.
+    """
+    N = fundamental_matrix(S, validate=validate)
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim == 1:
+        B = B[:, None]
+    if B.shape[0] != N.shape[0]:
+        raise ValueError(
+            f"B has {B.shape[0]} rows but there are {N.shape[0]} transient states"
+        )
+    return N @ B
+
+
+def expected_time_to_absorption(S: np.ndarray, start: np.ndarray | None = None,
+                                *, validate: bool = True) -> float | np.ndarray:
+    """Mean time to absorption.
+
+    With ``start=None`` returns the vector of means per starting
+    transient state (``N e``); with an initial distribution returns the
+    scalar ``start N e`` — the mean of the PH distribution
+    ``PH(start, S)``.
+    """
+    N = fundamental_matrix(S, validate=validate)
+    times = N.sum(axis=1)
+    if start is None:
+        return times
+    start = np.asarray(start, dtype=np.float64)
+    if start.shape != (N.shape[0],):
+        raise ValueError(
+            f"start must have shape ({N.shape[0]},), got {start.shape}"
+        )
+    return float(start @ times)

@@ -1,0 +1,91 @@
+"""Birth-death chains in closed form.
+
+Classical results used as independent oracles by the test suite (the
+gang model must collapse to these in its limit cases) and as a
+convenience for users: stationary distributions and moments of
+birth-death processes, including the M/M/1, M/M/c and M/M/c/K queues.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import UnstableSystemError, ValidationError
+
+__all__ = [
+    "birth_death_stationary",
+    "mm1_mean_jobs",
+    "mmc_mean_jobs",
+    "mmc_erlang_c",
+    "mmck_blocking_probability",
+]
+
+
+def birth_death_stationary(birth: Callable[[int], float],
+                           death: Callable[[int], float],
+                           levels: int) -> np.ndarray:
+    """Stationary vector of a truncated birth-death chain.
+
+    ``pi_{n+1} / pi_n = birth(n) / death(n+1)`` — the detailed-balance
+    product form.  ``levels`` states ``0..levels-1`` are computed and
+    normalized; for an infinite stable chain choose ``levels`` large
+    enough that the tail mass is negligible.
+    """
+    if levels < 1:
+        raise ValidationError(f"levels must be >= 1, got {levels}")
+    weights = np.empty(levels)
+    weights[0] = 1.0
+    for n in range(levels - 1):
+        b = birth(n)
+        d = death(n + 1)
+        if d <= 0:
+            raise ValidationError(f"death rate at level {n + 1} must be positive")
+        weights[n + 1] = weights[n] * b / d
+    total = weights.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise UnstableSystemError("birth-death weights diverge: unstable chain")
+    return weights / total
+
+
+def mm1_mean_jobs(lam: float, mu: float) -> float:
+    """M/M/1 mean number in system: ``rho / (1 - rho)``."""
+    rho = lam / mu
+    if rho >= 1:
+        raise UnstableSystemError(f"M/M/1 unstable: rho={rho}", drift=lam - mu)
+    return rho / (1 - rho)
+
+
+def mmc_erlang_c(lam: float, mu: float, c: int) -> float:
+    """Erlang-C: probability an M/M/c arrival must wait."""
+    rho = lam / (c * mu)
+    if rho >= 1:
+        raise UnstableSystemError(f"M/M/{c} unstable: rho={rho}",
+                                  drift=lam - c * mu)
+    a = lam / mu
+    p0_inv = sum(a ** k / math.factorial(k) for k in range(c)) \
+        + a ** c / (math.factorial(c) * (1 - rho))
+    return (a ** c / (math.factorial(c) * (1 - rho))) / p0_inv
+
+
+def mmc_mean_jobs(lam: float, mu: float, c: int) -> float:
+    """M/M/c mean number in system: ``C(c, a) rho / (1-rho) + a``."""
+    rho = lam / (c * mu)
+    return mmc_erlang_c(lam, mu, c) * rho / (1 - rho) + lam / mu
+
+
+def mmck_blocking_probability(lam: float, mu: float, c: int, K: int) -> float:
+    """M/M/c/K blocking probability (Erlang loss generalization).
+
+    ``K >= c`` is the total capacity including those in service.
+    """
+    if K < c:
+        raise ValidationError(f"capacity K={K} must be >= servers c={c}")
+    pi = birth_death_stationary(
+        birth=lambda n: lam if n < K else 0.0,
+        death=lambda n: min(n, c) * mu,
+        levels=K + 1,
+    )
+    return float(pi[K])

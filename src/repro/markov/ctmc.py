@@ -1,0 +1,169 @@
+"""Continuous-time Markov chains on finite state spaces."""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from repro.errors import ReducibleChainError
+from repro.utils.linalg import stationary_from_generator
+from repro.utils.validation import check_generator, check_probability_vector
+
+__all__ = ["ContinuousTimeMarkovChain"]
+
+
+class ContinuousTimeMarkovChain:
+    """A finite CTMC defined by its infinitesimal generator ``Q``.
+
+    Implements the Section 2.2 machinery of the paper: validation of
+    the generator, irreducibility (strong connectivity of the positive-
+    rate digraph), and the stationary distribution from the global
+    balance equations ``pi Q = 0``, ``pi e = 1`` (Theorem 2.4).
+
+    Parameters
+    ----------
+    Q:
+        Square generator matrix (validated on construction).
+    labels:
+        Optional hashable labels for the states, used by
+        :meth:`state_index` and in reports.
+    """
+
+    def __init__(self, Q, labels=None):
+        self._Q = check_generator(Q)
+        n = self._Q.shape[0]
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != n:
+                raise ValueError(
+                    f"{len(labels)} labels supplied for {n} states"
+                )
+        self._labels = labels
+
+    @property
+    def Q(self) -> np.ndarray:
+        """The generator matrix (read-only view)."""
+        v = self._Q.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def num_states(self) -> int:
+        return self._Q.shape[0]
+
+    @property
+    def labels(self):
+        return self._labels
+
+    def state_index(self, label) -> int:
+        """Index of the state with the given label."""
+        if self._labels is None:
+            raise ValueError("chain was constructed without labels")
+        return self._labels.index(label)
+
+    def __repr__(self) -> str:
+        return f"ContinuousTimeMarkovChain(n={self.num_states})"
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def max_exit_rate(self) -> float:
+        """``q_max = max_i (-Q[i, i])``, the uniformization rate."""
+        return float(np.max(-np.diag(self._Q))) if self.num_states else 0.0
+
+    def is_irreducible(self) -> bool:
+        """Whether the positive-rate digraph is strongly connected.
+
+        For a finite CTMC, irreducibility implies ergodicity (positive
+        recurrence of all states), so this is the full Theorem 2.4
+        hypothesis check.
+        """
+        n = self.num_states
+        if n <= 1:
+            return True
+        adj = sp.csr_matrix((self._Q > 0).astype(np.int8))
+        ncomp, _ = connected_components(adj, directed=True, connection="strong")
+        return ncomp == 1
+
+    def communicating_classes(self) -> list[list[int]]:
+        """Strongly connected components of the transition digraph."""
+        n = self.num_states
+        adj = sp.csr_matrix((self._Q > 0).astype(np.int8))
+        ncomp, labels = connected_components(adj, directed=True, connection="strong")
+        out: list[list[int]] = [[] for _ in range(ncomp)]
+        for i, c in enumerate(labels):
+            out[c].append(i)
+        return out
+
+    # ------------------------------------------------------------------
+    # Steady state
+    # ------------------------------------------------------------------
+
+    def stationary_distribution(self, *, method: str = "gth") -> np.ndarray:
+        """Solve ``pi Q = 0, pi e = 1`` for the unique stationary vector.
+
+        Raises :class:`~repro.errors.ReducibleChainError` if the chain
+        is reducible.
+        """
+        if not self.is_irreducible():
+            raise ReducibleChainError(
+                "stationary distribution requested for a reducible chain; "
+                "restrict to a recurrent class first"
+            )
+        return stationary_from_generator(self._Q, method=method)
+
+    def expected_rewards(self, rewards, *, method: str = "gth") -> float:
+        """Long-run average of a per-state reward vector."""
+        rewards = np.asarray(rewards, dtype=np.float64)
+        if rewards.shape != (self.num_states,):
+            raise ValueError(
+                f"rewards must have shape ({self.num_states},), got {rewards.shape}"
+            )
+        return float(self.stationary_distribution(method=method) @ rewards)
+
+    # ------------------------------------------------------------------
+    # Transient behaviour
+    # ------------------------------------------------------------------
+
+    def transient_distribution(self, p0, t: float, *, tol: float = 1e-12) -> np.ndarray:
+        """State distribution at time ``t`` starting from ``p0``.
+
+        Computed by uniformization (Poisson-weighted powers of the
+        uniformized DTMC), which is numerically safe for stiff
+        generators — see :mod:`repro.markov.uniformization`.
+        """
+        from repro.markov.uniformization import transient_distribution
+
+        p0 = check_probability_vector(np.asarray(p0, dtype=np.float64), name="p0")
+        return transient_distribution(self._Q, p0, t, tol=tol)
+
+    def sample_path(self, rng: np.random.Generator, p0, horizon: float):
+        """Simulate one trajectory up to ``horizon``.
+
+        Returns ``(times, states)`` where ``times[0] = 0`` and
+        ``states[k]`` is occupied on ``[times[k], times[k+1])``.
+        Mainly used by tests to cross-check analytic quantities.
+        """
+        p0 = check_probability_vector(np.asarray(p0, dtype=np.float64), name="p0")
+        state = int(rng.choice(self.num_states, p=p0))
+        t = 0.0
+        times = [0.0]
+        states = [state]
+        while True:
+            rate = -self._Q[state, state]
+            if rate <= 0:
+                break  # absorbing state
+            t += rng.exponential(1.0 / rate)
+            if t >= horizon:
+                break
+            row = np.clip(self._Q[state].copy(), 0.0, None)
+            row[state] = 0.0
+            state = int(rng.choice(self.num_states, p=row / row.sum()))
+            times.append(t)
+            states.append(state)
+        return np.asarray(times), np.asarray(states)

@@ -1,0 +1,124 @@
+"""Discrete-time Markov chains on finite state spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from repro.errors import ConvergenceError, ReducibleChainError
+from repro.utils.linalg import solve_stationary_dtmc
+from repro.utils.validation import check_probability_vector, check_stochastic
+
+__all__ = ["DiscreteTimeMarkovChain"]
+
+
+class DiscreteTimeMarkovChain:
+    """A finite DTMC defined by its row-stochastic transition matrix ``P``."""
+
+    def __init__(self, P, labels=None):
+        self._P = check_stochastic(P)
+        n = self._P.shape[0]
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != n:
+                raise ValueError(f"{len(labels)} labels supplied for {n} states")
+        self._labels = labels
+
+    @property
+    def P(self) -> np.ndarray:
+        """Transition probability matrix (read-only view)."""
+        v = self._P.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def num_states(self) -> int:
+        return self._P.shape[0]
+
+    @property
+    def labels(self):
+        return self._labels
+
+    def __repr__(self) -> str:
+        return f"DiscreteTimeMarkovChain(n={self.num_states})"
+
+    def is_irreducible(self) -> bool:
+        """Strong connectivity of the positive-probability digraph."""
+        if self.num_states <= 1:
+            return True
+        adj = sp.csr_matrix((self._P > 0).astype(np.int8))
+        ncomp, _ = connected_components(adj, directed=True, connection="strong")
+        return ncomp == 1
+
+    def is_aperiodic(self) -> bool:
+        """Aperiodicity check via gcd of cycle lengths through state 0.
+
+        Sufficient shortcut: any positive diagonal entry makes an
+        irreducible chain aperiodic; otherwise compute the period as the
+        gcd of (d_in + 1 + d_back) over edges, using BFS distances.
+        """
+        P = self._P
+        if np.any(np.diag(P) > 0):
+            return True
+        # Compute the period of the (assumed single) communicating class
+        # containing state 0 using the standard BFS-labelling trick.
+        n = self.num_states
+        dist = np.full(n, -1)
+        dist[0] = 0
+        order = [0]
+        head = 0
+        while head < len(order):
+            i = order[head]
+            head += 1
+            for j in np.nonzero(P[i] > 0)[0]:
+                if dist[j] < 0:
+                    dist[j] = dist[i] + 1
+                    order.append(int(j))
+        g = 0
+        for i in range(n):
+            if dist[i] < 0:
+                continue
+            for j in np.nonzero(P[i] > 0)[0]:
+                if dist[j] >= 0:
+                    g = np.gcd(g, dist[i] + 1 - dist[j])
+        return g == 1
+
+    def stationary_distribution(self, *, method: str = "gth") -> np.ndarray:
+        """Solve ``pi P = pi, pi e = 1``.
+
+        ``method`` is ``"gth"`` (robust elimination) or ``"power"``
+        (power iteration with damping-free convergence check; requires
+        aperiodicity).
+        """
+        if not self.is_irreducible():
+            raise ReducibleChainError(
+                "stationary distribution requested for a reducible chain"
+            )
+        if method == "gth":
+            return solve_stationary_dtmc(self._P)
+        if method == "power":
+            return self._power_iteration()
+        raise ValueError(f"unknown method {method!r}")
+
+    def _power_iteration(self, *, tol: float = 1e-13, max_iter: int = 200_000) -> np.ndarray:
+        pi = np.full(self.num_states, 1.0 / self.num_states)
+        for it in range(max_iter):
+            nxt = pi @ self._P
+            delta = float(np.max(np.abs(nxt - pi)))
+            pi = nxt
+            if delta < tol:
+                return pi / pi.sum()
+        raise ConvergenceError(
+            "power iteration did not converge (is the chain periodic?)",
+            iterations=max_iter, residual=delta,
+        )
+
+    def step_distribution(self, p0, n: int = 1) -> np.ndarray:
+        """Distribution after ``n`` steps from initial distribution ``p0``."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        p = check_probability_vector(np.asarray(p0, dtype=np.float64), name="p0")
+        for _ in range(n):
+            p = p @ self._P
+        return p

@@ -1,0 +1,121 @@
+"""First-passage analysis for finite CTMCs.
+
+Hitting probabilities and mean hitting times onto a target set,
+computed through the absorbing-chain machinery (make the target
+absorbing, read the fundamental matrix).  Used e.g. to answer "how
+long until this class's queue first empties" — the emptying time whose
+minimum with the raw quantum *is* the effective quantum of
+Theorem 4.3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_generator
+
+__all__ = ["mean_hitting_times", "hitting_probabilities", "first_passage_ph"]
+
+
+def _split(Q: np.ndarray, target: Sequence[int]):
+    n = Q.shape[0]
+    target = sorted(set(int(t) for t in target))
+    if not target:
+        raise ValidationError("target set must be non-empty")
+    if target[0] < 0 or target[-1] >= n:
+        raise ValidationError(f"target indices out of range for {n} states")
+    others = [i for i in range(n) if i not in set(target)]
+    return np.asarray(others, dtype=np.intp), np.asarray(target, dtype=np.intp)
+
+
+def mean_hitting_times(Q, target: Sequence[int]) -> np.ndarray:
+    """Expected time to first reach ``target`` from every state.
+
+    Entries for target states are 0.  States that cannot reach the
+    target yield ``inf``.
+    """
+    Q = check_generator(Q)
+    others, tgt = _split(Q, target)
+    n = Q.shape[0]
+    out = np.zeros(n)
+    if others.size == 0:
+        return out
+    S = Q[np.ix_(others, others)]
+    try:
+        times = np.linalg.solve(S, -np.ones(others.size))
+    except np.linalg.LinAlgError:
+        # Singular: some states never reach the target.
+        times, *_ = np.linalg.lstsq(S, -np.ones(others.size), rcond=None)
+        # Mark genuinely non-reaching states as inf via reachability.
+        reach = _reaches(Q, others, set(int(t) for t in tgt))
+        times = np.where(reach, times, np.inf)
+    out[others] = times
+    return out
+
+
+def _reaches(Q: np.ndarray, others: np.ndarray, target: set[int]) -> np.ndarray:
+    """Boolean per non-target state: can it reach the target set?"""
+    n = Q.shape[0]
+    adj = Q > 0
+    # Backward BFS from the target.
+    reached = np.zeros(n, dtype=bool)
+    frontier = list(target)
+    for t in target:
+        reached[t] = True
+    while frontier:
+        j = frontier.pop()
+        for i in range(n):
+            if adj[i, j] and not reached[i]:
+                reached[i] = True
+                frontier.append(i)
+    return reached[others]
+
+
+def hitting_probabilities(Q, target: Sequence[int],
+                          avoid: Sequence[int]) -> np.ndarray:
+    """P(reach ``target`` before ``avoid``), from every state.
+
+    ``target`` and ``avoid`` must be disjoint; both are treated as
+    absorbing.
+    """
+    Q = check_generator(Q)
+    tset, aset = set(map(int, target)), set(map(int, avoid))
+    if tset & aset:
+        raise ValidationError("target and avoid sets must be disjoint")
+    n = Q.shape[0]
+    out = np.zeros(n)
+    for t in tset:
+        out[t] = 1.0
+    transient = [i for i in range(n) if i not in tset | aset]
+    if not transient:
+        return out
+    tr = np.asarray(transient, dtype=np.intp)
+    S = Q[np.ix_(tr, tr)]
+    b = Q[np.ix_(tr, np.asarray(sorted(tset), dtype=np.intp))].sum(axis=1)
+    probs, *_ = np.linalg.lstsq(S, -b, rcond=None)
+    out[tr] = np.clip(probs, 0.0, 1.0)
+    return out
+
+
+def first_passage_ph(Q, target: Sequence[int], start: np.ndarray):
+    """The first-passage *time distribution* as a PhaseType.
+
+    Restrict the generator to the non-target states (sub-generator) and
+    use the start distribution over them; mass starting inside the
+    target becomes an atom at zero.  Requires every non-target state to
+    reach the target (otherwise the PH would be defective).
+    """
+    from repro.phasetype import PhaseType
+
+    Q = check_generator(Q)
+    others, tgt = _split(Q, target)
+    start = np.asarray(start, dtype=np.float64)
+    if start.shape != (Q.shape[0],):
+        raise ValidationError(
+            f"start must have shape ({Q.shape[0]},), got {start.shape}")
+    S = Q[np.ix_(others, others)]
+    alpha = start[others]
+    return PhaseType(alpha, S)

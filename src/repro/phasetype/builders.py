@@ -1,0 +1,136 @@
+"""Constructors for the standard named phase-type families.
+
+Every builder accepts either the natural rate parameters or a target
+``mean``, and returns a :class:`~repro.phasetype.distribution.PhaseType`.
+These are the families the paper's examples use: exponential
+interarrival/service/overhead distributions and Erlang-``K`` quantum
+lengths (Figure 1), with the general machinery accepting any PH.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.phasetype.distribution import PhaseType
+
+__all__ = [
+    "exponential",
+    "erlang",
+    "generalized_erlang",
+    "hypoexponential",
+    "hyperexponential",
+    "coxian",
+]
+
+
+def _positive(value: float, name: str) -> float:
+    value = float(value)
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def exponential(rate: float | None = None, *, mean: float | None = None) -> PhaseType:
+    """Exponential distribution as an order-1 PH.
+
+    Exactly one of ``rate`` and ``mean`` must be given.
+    """
+    if (rate is None) == (mean is None):
+        raise ValidationError("specify exactly one of rate= or mean=")
+    lam = _positive(rate if rate is not None else 1.0 / _positive(mean, "mean"), "rate")
+    return PhaseType([1.0], [[-lam]])
+
+
+def erlang(k: int, rate: float | None = None, *, mean: float | None = None) -> PhaseType:
+    """Erlang-``k`` distribution: ``k`` exponential stages in series.
+
+    ``rate`` is the per-stage rate.  Given ``mean``, the per-stage rate
+    is ``k / mean`` (as in the paper's Section 2.5 example, where a
+    K-stage Erlang with mean ``1/mu`` has stage rate ``K mu``).
+    Erlang-``k`` has SCV ``1/k``; large ``k`` approximates a
+    deterministic quantum.
+    """
+    k = int(k)
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if (rate is None) == (mean is None):
+        raise ValidationError("specify exactly one of rate= or mean=")
+    stage_rate = _positive(rate if rate is not None else k / _positive(mean, "mean"),
+                           "rate")
+    return generalized_erlang([stage_rate] * k)
+
+
+def generalized_erlang(rates: Sequence[float]) -> PhaseType:
+    """Stages in series with possibly distinct rates (hypoexponential).
+
+    Alias of :func:`hypoexponential`, named for the generalized-Erlang
+    terminology common in the PH-fitting literature.
+    """
+    return hypoexponential(rates)
+
+
+def hypoexponential(rates: Sequence[float]) -> PhaseType:
+    """Sum of independent exponentials with the given rates (in series)."""
+    rates = [_positive(r, "stage rate") for r in rates]
+    m = len(rates)
+    if m == 0:
+        raise ValidationError("at least one stage rate is required")
+    S = np.zeros((m, m))
+    for i, r in enumerate(rates):
+        S[i, i] = -r
+        if i + 1 < m:
+            S[i, i + 1] = r
+    alpha = np.zeros(m)
+    alpha[0] = 1.0
+    return PhaseType(alpha, S)
+
+
+def hyperexponential(probs: Sequence[float], rates: Sequence[float]) -> PhaseType:
+    """Probabilistic mixture of exponentials (parallel branches).
+
+    ``probs`` must be a probability vector; branch ``i`` is exponential
+    with rate ``rates[i]``.  Hyperexponentials have SCV ``>= 1`` and are
+    the canonical high-variability PH family.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    rates = [_positive(r, "branch rate") for r in rates]
+    if probs.ndim != 1 or len(rates) != probs.size:
+        raise ValidationError("probs and rates must be 1-D of equal length")
+    if np.any(probs < 0) or abs(probs.sum() - 1.0) > 1e-9:
+        raise ValidationError("probs must be a probability vector")
+    S = np.diag([-r for r in rates])
+    return PhaseType(probs, S)
+
+
+def coxian(rates: Sequence[float], completion_probs: Sequence[float]) -> PhaseType:
+    """Coxian distribution: stages in series with early-exit probabilities.
+
+    After stage ``i`` (rate ``rates[i]``), the process exits with
+    probability ``completion_probs[i]`` and otherwise continues to
+    stage ``i+1``.  The final stage must have completion probability 1.
+    Coxians of order ``m`` can match any ``2m - 1`` moments and are the
+    target family of the three-moment fitter.
+    """
+    rates = [_positive(r, "stage rate") for r in rates]
+    ps = [float(p) for p in completion_probs]
+    m = len(rates)
+    if len(ps) != m:
+        raise ValidationError("rates and completion_probs must have equal length")
+    if m == 0:
+        raise ValidationError("at least one stage is required")
+    for i, p in enumerate(ps):
+        if not 0.0 <= p <= 1.0:
+            raise ValidationError(f"completion_probs[{i}]={p} not in [0, 1]")
+    if abs(ps[-1] - 1.0) > 1e-12:
+        raise ValidationError("the final completion probability must be 1")
+    S = np.zeros((m, m))
+    for i in range(m):
+        S[i, i] = -rates[i]
+        if i + 1 < m:
+            S[i, i + 1] = rates[i] * (1.0 - ps[i])
+    alpha = np.zeros(m)
+    alpha[0] = 1.0
+    return PhaseType(alpha, S)

@@ -1,0 +1,357 @@
+"""The :class:`PhaseType` distribution class.
+
+Notation follows Section 2.5 of the paper: an order-``m`` PH
+distribution ``PH(alpha, S)`` is the absorption time of a CTMC on
+states ``{1, ..., m, m+1}`` with generator::
+
+    Q = [ S   s0 ]
+        [ 0    0 ]
+
+where ``s0 = -S e >= 0`` is the exit-rate vector.  ``alpha`` is the
+initial distribution over transient phases; any deficit
+``1 - alpha e`` is an atom at zero.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.errors import NotAPhaseTypeError
+from repro.utils.validation import (
+    as_float_array,
+    check_subgenerator,
+    check_subprobability_vector,
+)
+
+__all__ = ["PhaseType"]
+
+
+class PhaseType:
+    """An order-``m`` continuous phase-type distribution ``PH(alpha, S)``.
+
+    Parameters
+    ----------
+    alpha:
+        Initial sub-probability vector over the ``m`` transient phases.
+        If ``sum(alpha) < 1`` the distribution has an atom of mass
+        ``1 - sum(alpha)`` at zero.
+    S:
+        ``m x m`` sub-generator (non-negative off-diagonals, row sums
+        ``<= 0``, invertible).
+
+    Examples
+    --------
+    >>> from repro.phasetype import erlang
+    >>> d = erlang(k=3, mean=1.5)
+    >>> round(d.mean, 10)
+    1.5
+    >>> round(d.scv, 10)   # Erlang-3 has SCV 1/3
+    0.3333333333
+    """
+
+    __slots__ = ("_alpha", "_S", "__dict__")
+
+    def __init__(self, alpha, S):
+        S = check_subgenerator(as_float_array(S, ndim=2, name="S"), name="S")
+        alpha = check_subprobability_vector(
+            as_float_array(alpha, ndim=1, name="alpha"), name="alpha"
+        )
+        if alpha.shape[0] != S.shape[0]:
+            raise NotAPhaseTypeError(
+                f"alpha has {alpha.shape[0]} entries but S is {S.shape[0]}x{S.shape[1]}"
+            )
+        self._alpha = alpha
+        self._S = S
+
+    # ------------------------------------------------------------------
+    # Representation
+    # ------------------------------------------------------------------
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """Initial phase vector (read-only view)."""
+        v = self._alpha.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def S(self) -> np.ndarray:
+        """Sub-generator matrix (read-only view)."""
+        m = self._S.view()
+        m.flags.writeable = False
+        return m
+
+    @property
+    def order(self) -> int:
+        """Number of transient phases ``m``."""
+        return self._S.shape[0]
+
+    @cached_property
+    def exit_rates(self) -> np.ndarray:
+        """Exit-rate vector ``s0 = -S e`` into the absorbing state."""
+        s0 = -self._S.sum(axis=1)
+        return np.clip(s0, 0.0, None)
+
+    @cached_property
+    def atom_at_zero(self) -> float:
+        """Probability mass at zero, ``1 - alpha e``."""
+        return max(0.0, 1.0 - float(self._alpha.sum()))
+
+    @cached_property
+    def _neg_S_inv(self) -> np.ndarray:
+        """``(-S)^{-1}``, the matrix of expected sojourn times."""
+        return np.linalg.inv(-self._S)
+
+    def __repr__(self) -> str:
+        return (f"PhaseType(order={self.order}, mean={self.mean:.6g}, "
+                f"scv={self.scv:.6g})")
+
+    def __eq__(self, other) -> bool:
+        """Representation equality (same ``alpha`` and ``S``).
+
+        Two PH objects can describe the same distribution with different
+        representations; this compares parameters only.
+        """
+        if not isinstance(other, PhaseType):
+            return NotImplemented
+        return (self.order == other.order
+                and np.array_equal(self._alpha, other._alpha)
+                and np.array_equal(self._S, other._S))
+
+    def __hash__(self):
+        h = self.__dict__.get("_cached_hash")
+        if h is None:
+            h = hash((self.order, self._alpha.tobytes(), self._S.tobytes()))
+            self.__dict__["_cached_hash"] = h
+        return h
+
+    # ------------------------------------------------------------------
+    # Moments
+    # ------------------------------------------------------------------
+
+    def moment(self, k: int) -> float:
+        """Raw moment ``E[X^k] = k! * alpha (-S)^{-k} e``."""
+        if k < 0:
+            raise ValueError(f"moment order must be non-negative, got {k}")
+        if k == 0:
+            return 1.0
+        v = self._alpha.copy()
+        fact = 1.0
+        for i in range(1, k + 1):
+            v = v @ self._neg_S_inv
+            fact *= i
+        return float(fact * v.sum())
+
+    @cached_property
+    def mean(self) -> float:
+        """Mean ``alpha (-S)^{-1} e``."""
+        return self.moment(1)
+
+    @cached_property
+    def variance(self) -> float:
+        """Variance ``E[X^2] - E[X]^2``."""
+        return max(0.0, self.moment(2) - self.mean ** 2)
+
+    @property
+    def std(self) -> float:
+        """Standard deviation."""
+        return float(np.sqrt(self.variance))
+
+    @cached_property
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var[X] / E[X]^2``.
+
+        The paper's evaluation sweeps are sensitive to the variability
+        of the quantum distribution; SCV is the standard one-number
+        summary (1 for exponential, ``1/k`` for Erlang-``k``).
+        """
+        mu = self.mean
+        if mu <= 0:
+            return 0.0
+        return self.variance / mu ** 2
+
+    @property
+    def rate(self) -> float:
+        """Reciprocal mean ``1 / E[X]`` (service/arrival rate)."""
+        return 1.0 / self.mean
+
+    # ------------------------------------------------------------------
+    # Distribution functions
+    # ------------------------------------------------------------------
+
+    def pdf(self, x) -> np.ndarray | float:
+        """Density ``f(x) = alpha exp(S x) s0`` for ``x > 0``.
+
+        At ``x = 0`` the limiting density ``alpha s0`` is returned; the
+        atom at zero (if any) is not represented in the density.
+        """
+        return self._eval(x, lambda E: float(E @ self.exit_rates),
+                          at_zero=float(self._alpha @ self.exit_rates),
+                          below=0.0)
+
+    def cdf(self, x) -> np.ndarray | float:
+        """CDF ``F(x) = 1 - alpha exp(S x) e`` for ``x >= 0``."""
+        return self._eval(x, lambda E: 1.0 - float(E.sum()),
+                          at_zero=self.atom_at_zero, below=0.0)
+
+    def sf(self, x) -> np.ndarray | float:
+        """Survival function ``P(X > x) = alpha exp(S x) e``."""
+        return self._eval(x, lambda E: float(E.sum()),
+                          at_zero=1.0 - self.atom_at_zero, below=1.0)
+
+    def _eval(self, x, reduce, at_zero: float, below: float):
+        scalar = np.isscalar(x) or np.ndim(x) == 0
+        x_arr = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        out = np.empty(x_arr.size)
+        for i, xi in enumerate(x_arr.ravel()):
+            if xi < 0:
+                out[i] = below
+            elif xi == 0.0:
+                out[i] = at_zero
+            else:
+                E = self._alpha @ expm(self._S * xi)
+                out[i] = reduce(E)
+        if scalar:
+            return float(out[0])
+        return out.reshape(x_arr.shape)
+
+    def laplace_transform(self, s) -> complex | float:
+        """Laplace–Stieltjes transform ``E[e^{-sX}] = alpha (sI - S)^{-1} s0 + atom``."""
+        m = self.order
+        A = s * np.eye(m) - self._S
+        val = self._alpha @ np.linalg.solve(A, self.exit_rates)
+        return val + self.atom_at_zero
+
+    def quantile(self, q: float, *, tol: float = 1e-10, max_iter: int = 200) -> float:
+        """Numerical quantile (bisection on the CDF)."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"quantile level must be in [0, 1), got {q}")
+        if q <= self.atom_at_zero:
+            return 0.0
+        lo, hi = 0.0, max(self.mean, 1e-12)
+        while self.cdf(hi) < q:
+            hi *= 2.0
+            if hi > 1e18:  # pragma: no cover - pathological
+                raise ArithmeticError("quantile search diverged")
+        for _ in range(max_iter):
+            mid = 0.5 * (lo + hi)
+            if self.cdf(mid) < q:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol * max(1.0, hi):
+                break
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw samples by simulating the absorbing chain.
+
+        Vectorized over the batch: all not-yet-absorbed walkers advance
+        one phase transition per loop iteration.  For the small orders
+        used in this library (``m`` up to a few dozen) this is fast and
+        exact.
+
+        Parameters
+        ----------
+        rng:
+            NumPy random generator.
+        size:
+            Number of samples; ``None`` returns a scalar.
+        """
+        n = 1 if size is None else int(size)
+        if n < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        m = self.order
+        total_rates = -np.diag(self._S)
+        # Jump chain: P[i, j] = S[i,j]/(-S[i,i]) for j != i,
+        # P[i, m] = s0[i]/(-S[i,i]) is absorption.
+        jump = np.zeros((m, m + 1))
+        for i in range(m):
+            if total_rates[i] > 0:
+                jump[i, :m] = self._S[i] / total_rates[i]
+                jump[i, i] = 0.0
+                jump[i, m] = self.exit_rates[i] / total_rates[i]
+            else:  # pragma: no cover - excluded by subgenerator check
+                jump[i, m] = 1.0
+        jump_cum = np.cumsum(jump, axis=1)
+
+        # Initial phases; m means "absorbed immediately" (atom at zero).
+        init = np.append(self._alpha, self.atom_at_zero)
+        phases = rng.choice(m + 1, size=n, p=init / init.sum())
+        times = np.zeros(n)
+        active = phases < m
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            ph = phases[idx]
+            times[idx] += rng.exponential(1.0 / total_rates[ph])
+            u = rng.random(len(idx))
+            nxt = (u[:, None] < jump_cum[ph]).argmax(axis=1)
+            phases[idx] = nxt
+            active[idx] = nxt < m
+        if size is None:
+            return float(times[0])
+        return times
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+
+    def rescaled(self, new_mean: float) -> "PhaseType":
+        """Return a copy scaled to have mean ``new_mean``.
+
+        Scaling a PH random variable by ``c > 0`` divides its
+        sub-generator by ``c``.
+        """
+        if new_mean <= 0:
+            raise ValueError(f"new_mean must be positive, got {new_mean}")
+        c = new_mean / self.mean
+        return PhaseType(self._alpha, self._S / c)
+
+    def embedded_generator(self) -> np.ndarray:
+        """Full ``(m+1) x (m+1)`` generator including the absorbing state."""
+        m = self.order
+        Q = np.zeros((m + 1, m + 1))
+        Q[:m, :m] = self._S
+        Q[:m, m] = self.exit_rates
+        return Q
+
+    def is_irreducible_representation(self) -> bool:
+        """Check that every phase is reachable from ``alpha`` and reaches absorption.
+
+        Irreducible representations are required by the stability
+        analysis of Theorem 4.4 (via Neuts' condition on the generator
+        ``A = A0 + A1 + A2``).  A representation failing this check can
+        be repaired with :meth:`trimmed`.
+        """
+        return len(self._reachable_phases()) == self.order
+
+    def _reachable_phases(self) -> list[int]:
+        """Phases reachable from the initial vector (BFS over positive rates)."""
+        m = self.order
+        seen = [i for i in range(m) if self._alpha[i] > 0]
+        frontier = list(seen)
+        seen_set = set(seen)
+        while frontier:
+            i = frontier.pop()
+            for j in range(m):
+                if j != i and self._S[i, j] > 0 and j not in seen_set:
+                    seen_set.add(j)
+                    frontier.append(j)
+        return sorted(seen_set)
+
+    def trimmed(self) -> "PhaseType":
+        """Remove phases unreachable from ``alpha`` (same distribution)."""
+        keep = self._reachable_phases()
+        if len(keep) == self.order:
+            return self
+        if not keep:
+            raise NotAPhaseTypeError("no reachable phases; alpha is all zero")
+        idx = np.asarray(keep)
+        return PhaseType(self._alpha[idx], self._S[np.ix_(idx, idx)])

@@ -1,0 +1,189 @@
+"""Fitting phase-type distributions to data by expectation-maximization.
+
+The paper grounds its PH assumption in the fitting literature — "a
+considerable body of research has examined the fitting of phase-type
+distributions to empirical data" (citing Asmussen-Nerman-Olsson's EM
+and Lang-Arthur's evaluations).  This module implements the
+*hyper-Erlang* EM of that family: a mixture of Erlang branches
+
+    f(x) = sum_m  alpha_m * Erlang(x; r_m, lambda_m)
+
+which is dense in all distributions on ``(0, inf)`` (like general PH)
+but has a closed-form, numerically robust M-step.  Branch structures
+(the orders ``r_m``) are selected by log-likelihood over a small
+candidate set for the given total order.
+
+Use :func:`fit_ph_em` on measured interarrival/service/overhead samples
+and feed the result straight into :class:`~repro.core.config.ClassConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.phasetype.builders import erlang
+from repro.phasetype.algebra import mixture
+from repro.phasetype.distribution import PhaseType
+
+__all__ = ["HyperErlangFit", "fit_hyper_erlang", "fit_ph_em"]
+
+
+@dataclass(frozen=True)
+class HyperErlangFit:
+    """Result of one EM run.
+
+    Attributes
+    ----------
+    distribution:
+        The fitted mixture as a :class:`PhaseType`.
+    weights, orders, rates:
+        Branch parameters (``alpha_m``, ``r_m``, ``lambda_m``).
+    log_likelihood:
+        Final average log-likelihood per sample.
+    iterations:
+        EM iterations used.
+    """
+
+    distribution: PhaseType
+    weights: tuple[float, ...]
+    orders: tuple[int, ...]
+    rates: tuple[float, ...]
+    log_likelihood: float
+    iterations: int
+
+
+def _log_erlang_pdf(x: np.ndarray, r: int, lam: float) -> np.ndarray:
+    """``log f(x)`` of Erlang(r, lam), vectorized and overflow-safe."""
+    return (r * np.log(lam) + (r - 1) * np.log(x) - lam * x
+            - special.gammaln(r))
+
+
+def fit_hyper_erlang(samples, orders, *, max_iter: int = 500,
+                     tol: float = 1e-9,
+                     rng: np.random.Generator | None = None) -> HyperErlangFit:
+    """EM fit of a hyper-Erlang mixture with fixed branch orders.
+
+    Parameters
+    ----------
+    samples:
+        Positive observations.
+    orders:
+        Erlang order of each branch, e.g. ``[1, 2, 4]``.
+    tol:
+        Stop when the average log-likelihood improves by less than this.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 1 or x.size < 2:
+        raise ValidationError("need at least two 1-D samples")
+    if np.any(x <= 0):
+        raise ValidationError("samples must be strictly positive")
+    orders = [int(r) for r in orders]
+    if not orders or any(r < 1 for r in orders):
+        raise ValidationError(f"branch orders must be positive ints: {orders}")
+    M = len(orders)
+    rng = rng or np.random.default_rng(0)
+
+    # Initialization: spread branch means across the sample quantiles.
+    qs = np.quantile(x, (np.arange(M) + 0.5) / M)
+    rates = np.array([r / max(q, 1e-12) for r, q in zip(orders, qs)])
+    weights = np.full(M, 1.0 / M)
+
+    prev_ll = -np.inf
+    for it in range(1, max_iter + 1):
+        # E-step in log space.
+        log_comp = np.stack([
+            np.log(max(weights[m], 1e-300))
+            + _log_erlang_pdf(x, orders[m], rates[m])
+            for m in range(M)
+        ])                                   # (M, n)
+        log_mix = special.logsumexp(log_comp, axis=0)
+        ll = float(np.mean(log_mix))
+        resp = np.exp(log_comp - log_mix)    # responsibilities
+        # M-step (closed form for hyper-Erlang).
+        mass = resp.sum(axis=1)
+        weights = mass / x.size
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rates = np.where(mass > 0,
+                             np.array(orders) * mass / (resp @ x),
+                             rates)
+        if ll - prev_ll < tol and it > 1:
+            break
+        prev_ll = ll
+    # Falling out of the loop at max_iter is acceptable: EM increases
+    # the likelihood monotonically, so the current iterate is simply the
+    # best found within the budget.
+
+    # Drop numerically dead branches and build the PH object.
+    keep = [m for m in range(M) if weights[m] > 1e-12]
+    if not keep:
+        raise ConvergenceError("EM collapsed all branches", iterations=it)
+    w = np.array([weights[m] for m in keep])
+    w = w / w.sum()
+    parts = [erlang(orders[m], rate=float(rates[m])) for m in keep]
+    dist = parts[0] if len(parts) == 1 else mixture(w, parts)
+    return HyperErlangFit(
+        distribution=dist,
+        weights=tuple(float(v) for v in w),
+        orders=tuple(orders[m] for m in keep),
+        rates=tuple(float(rates[m]) for m in keep),
+        log_likelihood=ll,
+        iterations=it,
+    )
+
+
+def _candidate_structures(total_order: int) -> list[list[int]]:
+    """A small, useful set of branch-order allocations."""
+    n = total_order
+    cands = [[n]]                          # single Erlang-n
+    if n >= 2:
+        cands.append([1] * n)              # hyperexponential
+        cands.append([n // 2, n - n // 2])  # two balanced branches
+    if n >= 3:
+        cands.append([1, n - 1])           # short + long branch
+    if n >= 4:
+        cands.append([1, 2, n - 3])
+    # Deduplicate.
+    seen, out = set(), []
+    for c in cands:
+        key = tuple(sorted(c))
+        if key not in seen:
+            seen.add(key)
+            out.append(sorted(c))
+    return out
+
+
+def fit_ph_em(samples, *, total_order: int = 4, max_iter: int = 500,
+              tol: float = 1e-9) -> HyperErlangFit:
+    """Fit a PH distribution of (at most) ``total_order`` phases to data.
+
+    Runs hyper-Erlang EM over a candidate set of branch structures and
+    returns the best by log-likelihood — the standard model-selection
+    recipe of the hyper-Erlang fitting literature.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.gamma(4.0, 0.5, size=4000)    # Erlang-4-ish
+    >>> fit = fit_ph_em(data, total_order=4)
+    >>> bool(abs(fit.distribution.mean - data.mean()) < 0.05)
+    True
+    """
+    if total_order < 1:
+        raise ValidationError(f"total_order must be >= 1, got {total_order}")
+    best: HyperErlangFit | None = None
+    for structure in _candidate_structures(total_order):
+        try:
+            fit = fit_hyper_erlang(samples, structure, max_iter=max_iter,
+                                   tol=tol)
+        except ConvergenceError:
+            continue
+        if best is None or fit.log_likelihood > best.log_likelihood:
+            best = fit
+    if best is None:
+        raise ConvergenceError("no candidate structure converged")
+    return best

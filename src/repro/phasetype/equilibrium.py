@@ -1,0 +1,53 @@
+"""Equilibrium (stationary-excess) distributions of PH variables.
+
+If ``X ~ PH(alpha, S)`` with mean ``m``, the *equilibrium distribution*
+``X_e`` has density ``sf_X(x) / m`` — the distribution of the residual
+life of ``X`` observed at a random time in a renewal process of ``X``'s
+(the inspection paradox, made precise).  For PH inputs the result is
+again PH with the *same* sub-generator and the initial vector
+``alpha_e = alpha (-S)^{-1} / m`` (the normalized expected sojourn
+times).
+
+This is what a Poisson arrival sees of the remaining quantum/overhead
+in steady state (PASTA), and the exact ingredient if one extends the
+simulator's empty-system fast-forward to non-exponential overheads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.phasetype.distribution import PhaseType
+
+__all__ = ["equilibrium", "residual_moment"]
+
+
+def equilibrium(dist: PhaseType) -> PhaseType:
+    """The stationary-excess distribution of a PH variable.
+
+    Examples
+    --------
+    >>> from repro.phasetype import exponential, erlang
+    >>> equilibrium(exponential(2.0)).mean    # memoryless: unchanged
+    0.5
+    >>> e = erlang(2, mean=1.0)
+    >>> round(equilibrium(e).mean, 10)        # m2/(2 m1) = 0.75
+    0.75
+    """
+    m = dist.mean
+    if m <= 0:
+        raise ValidationError("equilibrium distribution needs a positive mean")
+    S = np.asarray(dist.S)
+    alpha_e = (np.asarray(dist.alpha) @ np.linalg.inv(-S)) / m
+    return PhaseType(alpha_e, S)
+
+
+def residual_moment(dist: PhaseType, k: int) -> float:
+    """Raw moment of the equilibrium distribution.
+
+    Identity: ``E[X_e^k] = E[X^{k+1}] / ((k+1) E[X])``.
+    """
+    if k < 0:
+        raise ValidationError(f"moment order must be non-negative, got {k}")
+    return dist.moment(k + 1) / ((k + 1) * dist.mean)

@@ -1,0 +1,120 @@
+"""Fast repeated sampling from phase-type distributions.
+
+:meth:`repro.phasetype.distribution.PhaseType.sample` is convenient but
+rebuilds the embedded jump chain on every call; a discrete-event
+simulation draws millions of variates, so :class:`PhaseTypeSampler`
+precomputes everything once and exposes recognized fast paths:
+
+* order-1 PH → a single ``rng.exponential`` call;
+* pure Erlang chains → a ``rng.gamma`` call (integer shape);
+* anything else → the precomputed jump-chain walk.
+
+All paths sample the exact distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phasetype.distribution import PhaseType
+
+__all__ = ["PhaseTypeSampler", "sampler_for"]
+
+_CACHE: dict[PhaseType, "PhaseTypeSampler"] = {}
+
+
+def sampler_for(dist: PhaseType) -> "PhaseTypeSampler":
+    """Memoized sampler (PhaseType is hashable by representation)."""
+    s = _CACHE.get(dist)
+    if s is None:
+        s = PhaseTypeSampler(dist)
+        _CACHE[dist] = s
+    return s
+
+
+class PhaseTypeSampler:
+    """Precompiled sampler for one PH distribution."""
+
+    def __init__(self, dist: PhaseType):
+        self.dist = dist
+        m = dist.order
+        S = np.asarray(dist.S)
+        alpha = np.asarray(dist.alpha)
+        exit_rates = np.asarray(dist.exit_rates)
+        self._atom = dist.atom_at_zero
+
+        self._exp_rate: float | None = None
+        self._erlang: tuple[int, float] | None = None
+        if m == 1 and self._atom < 1e-15:
+            self._exp_rate = float(-S[0, 0])
+        elif self._atom < 1e-15 and self._is_pure_erlang(alpha, S, exit_rates):
+            self._erlang = (m, float(-S[0, 0]))
+
+        # General path: embedded jump chain.
+        self._total_rates = -np.diag(S)
+        jump = np.zeros((m, m + 1))
+        for i in range(m):
+            r = self._total_rates[i]
+            if r > 0:
+                jump[i, :m] = S[i] / r
+                jump[i, i] = 0.0
+                jump[i, m] = exit_rates[i] / r
+            else:  # pragma: no cover - excluded by validation
+                jump[i, m] = 1.0
+        self._jump_cum = np.cumsum(jump, axis=1)
+        init = np.append(alpha, self._atom)
+        self._init = init / init.sum()
+        self._mean_rates_inv = np.where(self._total_rates > 0,
+                                        1.0 / np.maximum(self._total_rates, 1e-300),
+                                        0.0)
+
+    @staticmethod
+    def _is_pure_erlang(alpha: np.ndarray, S: np.ndarray,
+                        exit_rates: np.ndarray) -> bool:
+        m = S.shape[0]
+        if alpha[0] != 1.0 or np.any(alpha[1:] != 0.0):
+            return False
+        rate = -S[0, 0]
+        for i in range(m):
+            if S[i, i] != -rate:
+                return False
+            expected_next = rate if i + 1 < m else 0.0
+            row = S[i].copy()
+            row[i] = 0.0
+            if i + 1 < m:
+                if row[i + 1] != expected_next:
+                    return False
+                row[i + 1] = 0.0
+            if np.any(row != 0.0) or (i + 1 == m and exit_rates[i] != rate):
+                return False
+        return True
+
+    def draw(self, rng: np.random.Generator) -> float:
+        """One variate."""
+        if self._exp_rate is not None:
+            return float(rng.exponential(1.0 / self._exp_rate))
+        if self._erlang is not None:
+            k, rate = self._erlang
+            return float(rng.gamma(k, 1.0 / rate))
+        return float(self.draw_batch(rng, 1)[0])
+
+    def draw_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` variates (vectorized walk over the jump chain)."""
+        if self._exp_rate is not None:
+            return rng.exponential(1.0 / self._exp_rate, size=n)
+        if self._erlang is not None:
+            k, rate = self._erlang
+            return rng.gamma(k, 1.0 / rate, size=n)
+        m = self.dist.order
+        phases = rng.choice(m + 1, size=n, p=self._init)
+        times = np.zeros(n)
+        active = phases < m
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            ph = phases[idx]
+            times[idx] += rng.exponential(self._mean_rates_inv[ph])
+            u = rng.random(len(idx))
+            nxt = (u[:, None] < self._jump_cum[ph]).argmax(axis=1)
+            phases[idx] = nxt
+            active[idx] = nxt < m
+        return times

@@ -1,0 +1,208 @@
+"""Banded level processes and re-blocking to QBD form.
+
+The paper notes (Section 3) that its analysis "is easily extended to
+handle batch arrivals and/or departures as long as the batch sizes are
+bounded".  Bounded batches make the level process *banded* instead of
+tridiagonal: jumps up by ``1..K`` (a batch of ``k`` jobs) and down by 1
+(single departures).  The standard reduction groups ``K`` consecutive
+levels into one *super-level*; jumps of at most ``K`` then cross at
+most one super-level boundary, restoring the QBD block-tridiagonal
+structure so the whole Theorem 4.2 machinery applies unchanged.
+
+:class:`BandedLevelProcess` describes the banded chain through a block
+accessor; :func:`reblock` performs the grouping and returns an ordinary
+:class:`~repro.qbd.structure.QBDProcess` together with a
+:class:`ReblockedIndex` that maps original levels to (super-level,
+slot) coordinates for reading the solution back.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.qbd.stationary import QBDStationaryDistribution
+from repro.qbd.structure import QBDProcess
+
+__all__ = ["BandedLevelProcess", "ReblockedIndex", "reblock"]
+
+
+@dataclass(frozen=True)
+class BandedLevelProcess:
+    """A level process with up-jumps ``1..K`` and down-jumps of 1.
+
+    Parameters
+    ----------
+    block:
+        ``block(i, j)`` returns the off-diagonal-inclusive rate block
+        from level ``i`` to level ``j`` (``None`` or zeros where no
+        transitions exist).  ``block(i, i)`` must carry the level's
+        diagonal (negative row sums across the whole band).
+    level_dim:
+        ``level_dim(i)`` — phase dimension of level ``i``.
+    max_jump:
+        ``K``: the largest upward jump.
+    regular_from:
+        Levels ``>= regular_from`` are homogeneous: ``block(i, i+k)``,
+        ``block(i, i)`` and ``block(i, i-1)`` do not depend on ``i``
+        (and ``block(i, i-1)`` lands in the same phase space).
+    """
+
+    block: Callable[[int, int], np.ndarray | None]
+    level_dim: Callable[[int], int]
+    max_jump: int
+    regular_from: int
+
+    def __post_init__(self):
+        if self.max_jump < 1:
+            raise ValidationError(f"max_jump must be >= 1, got {self.max_jump}")
+        if self.regular_from < 0:
+            raise ValidationError("regular_from must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReblockedIndex:
+    """Mapping between original levels and the re-blocked QBD.
+
+    The QBD's boundary level 0 aggregates original levels
+    ``0..regular_from``; QBD level ``J >= 1`` aggregates the ``K``
+    original levels ``regular_from + (J-1)K + 1 .. regular_from + JK``.
+    """
+
+    regular_from: int
+    max_jump: int
+    boundary_offsets: tuple[int, ...]   # offset of each original level in QBD level 0
+    regular_dim: int                    # phase dim d of a regular level
+
+    def locate(self, level: int) -> tuple[int, slice]:
+        """QBD level and the slice of its vector holding ``level``."""
+        if level < 0:
+            raise ValidationError(f"level must be non-negative, got {level}")
+        b, K = self.regular_from, self.max_jump
+        if level <= b:
+            # boundary_offsets carries a trailing sentinel (cumulative
+            # sums include the total), so level+1 is always valid here.
+            return 0, slice(self.boundary_offsets[level],
+                            self.boundary_offsets[level + 1])
+        J = (level - b - 1) // K + 1
+        slot = (level - b - 1) % K
+        return J, slice(slot * self.regular_dim, (slot + 1) * self.regular_dim)
+
+    def marginal(self, solution: QBDStationaryDistribution,
+                 level: int) -> np.ndarray:
+        """Stationary vector of one *original* level."""
+        J, sl = self.locate(level)
+        return solution.level(J)[sl]
+
+    def mean_level(self, solution: QBDStationaryDistribution,
+                   *, tol: float = 1e-12, max_super: int = 100_000) -> float:
+        """``E[original level]`` by geometric summation over super-levels.
+
+        Sums explicitly until the remaining super-level mass falls
+        below ``tol`` (the mass decays like ``sp(R)^J``, so this is a
+        handful of terms in practice).
+        """
+        b, K, d = self.regular_from, self.max_jump, self.regular_dim
+        total = 0.0
+        pi0 = solution.level(0)
+        for lvl in range(b + 1):
+            total += lvl * float(pi0[self.boundary_offsets[lvl]:
+                                     self.boundary_offsets[lvl + 1]].sum())
+        weights = np.repeat(b + 1 + np.arange(K), d).astype(np.float64)
+        J = 1
+        while J < max_super:
+            piJ = solution.level(J)
+            mass = float(piJ.sum())
+            total += float(piJ @ (weights + (J - 1) * K))
+            if mass * (b + 1 + J * K) < tol and mass < tol:
+                break
+            J += 1
+        return total
+
+
+def reblock(banded: BandedLevelProcess) -> tuple[QBDProcess, ReblockedIndex]:
+    """Group a banded process into an equivalent QBD.
+
+    Returns the QBD and the index for mapping the solution back to
+    original levels.
+    """
+    b = banded.regular_from
+    K = banded.max_jump
+    d = banded.level_dim(b + 1)
+    for k in range(2, K + 2):
+        if banded.level_dim(b + k) != d:
+            raise ValidationError(
+                f"levels above regular_from must share one phase dim; "
+                f"level {b + k} has {banded.level_dim(b + k)} != {d}")
+
+    def blk(i: int, j: int) -> np.ndarray:
+        out = banded.block(i, j)
+        if out is None:
+            return np.zeros((banded.level_dim(i), banded.level_dim(j)))
+        return np.asarray(out, dtype=np.float64)
+
+    # ---- QBD boundary level 0: original levels 0..b stacked ------------
+    dims = [banded.level_dim(i) for i in range(b + 1)]
+    offsets = np.concatenate([[0], np.cumsum(dims)]).astype(int)
+    n0 = int(offsets[-1])
+    B00 = np.zeros((n0, n0))
+    for i in range(b + 1):
+        for j in range(max(0, i - 1), min(b, i + K) + 1):
+            B00[offsets[i]:offsets[i + 1], offsets[j]:offsets[j + 1]] = \
+                blk(i, j)
+
+    # ---- super-level structure (levels b+1+JK-K+... ) -------------------
+    D = K * d
+
+    def super_slice(r: int) -> slice:
+        return slice(r * d, (r + 1) * d)
+
+    # Boundary 0 -> super 1: original i in 0..b to j in b+1..b+K.
+    B01 = np.zeros((n0, D))
+    for i in range(b + 1):
+        for j in range(b + 1, min(b + K, i + K) + 1):
+            B01[offsets[i]:offsets[i + 1], super_slice(j - b - 1)] = blk(i, j)
+    # Super 1 -> boundary 0: only level b+1 down to b.
+    B10 = np.zeros((D, n0))
+    B10[super_slice(0), offsets[b]:offsets[b + 1]] = blk(b + 1, b)
+
+    # Regular blocks, measured at a deep reference level.
+    ref = b + K + 2
+    U = {k: blk(ref, ref + k) for k in range(1, K + 1)}
+    L0 = blk(ref, ref)
+    Dn = blk(ref, ref - 1)
+
+    A1 = np.zeros((D, D))
+    A0 = np.zeros((D, D))
+    A2 = np.zeros((D, D))
+    for r in range(K):
+        # Within the super-level.
+        A1[super_slice(r), super_slice(r)] = L0
+        if r > 0:
+            A1[super_slice(r), super_slice(r - 1)] = Dn
+        for k in range(1, K - r):
+            A1[super_slice(r), super_slice(r + k)] = U[k]
+        # Up one super-level: jump size K - r + s for slot s <= r.
+        for s in range(0, r + 1):
+            k = K - r + s
+            if 1 <= k <= K:
+                A0[super_slice(r), super_slice(s)] = U[k]
+    # Down one super-level: only slot 0 -> slot K-1.
+    A2[super_slice(0), super_slice(K - 1)] = Dn
+
+    # Super level 1 uses the same regular structure except its down
+    # block goes to the boundary (B10), already handled; its within and
+    # up blocks are A1 and A0 — valid because levels b+1.. are regular.
+    process = QBDProcess(
+        boundary=((B00, B01), (B10, A1)),
+        A0=A0, A1=A1, A2=A2,
+    )
+    index = ReblockedIndex(
+        regular_from=b, max_jump=K,
+        boundary_offsets=tuple(int(o) for o in offsets),
+        regular_dim=d,
+    )
+    return process, index

@@ -1,0 +1,105 @@
+"""Boundary balance equations of a QBD.
+
+With the repeating portion expressed through ``R`` (Theorem 4.2), the
+only remaining unknowns are the boundary vectors
+``pi_0, ..., pi_b``.  They satisfy the balance equations (25)–(27) of
+the paper restricted to the boundary columns:
+
+* column ``j < b``:   ``sum_{i ~ j} pi_i B[i][j] = 0``
+* column ``j = b``:   ``pi_{b-1} B[b-1][b] + pi_b (B[b][b] + R A2) = 0``
+
+together with the normalization (eq. 24)::
+
+    sum_{i<b} pi_i e + pi_b (I - R)^{-1} e = 1 .
+
+The balance system has rank deficiency one (global balance is
+redundant), so one scalar equation is replaced by the normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.qbd.structure import QBDProcess
+
+__all__ = ["solve_boundary"]
+
+
+def solve_boundary(process: QBDProcess, R: np.ndarray) -> list[np.ndarray]:
+    """Solve for the boundary stationary vectors ``pi_0 .. pi_b``.
+
+    Parameters
+    ----------
+    process:
+        The QBD description.
+    R:
+        The rate matrix of the repeating portion, with ``sp(R) < 1``.
+
+    Returns
+    -------
+    list of ndarray
+        Boundary level vectors, not yet padded with the geometric tail.
+    """
+    b = process.boundary_levels
+    dims = process.boundary_dims()
+    offsets = np.concatenate([[0], np.cumsum(dims)]).astype(int)
+    n = int(offsets[-1])
+    R = np.asarray(R, dtype=np.float64)
+    d = process.phase_dim
+    if R.shape != (d, d):
+        raise ValidationError(f"R must be {d}x{d}, got {R.shape}")
+
+    # Column-block assembly of x M = 0 where x = [pi_0 ... pi_b].
+    M = np.zeros((n, n))
+    for j in range(b + 1):
+        cols = slice(offsets[j], offsets[j + 1])
+        for i in (j - 1, j, j + 1):
+            if i < 0 or i > b:
+                continue
+            blk = process.boundary[i][j]
+            if blk is None:
+                continue
+            M[offsets[i]:offsets[i + 1], cols] += blk
+    # Fold the repeating tail into the level-b column:
+    # pi_{b+1} A2 = pi_b R A2.
+    M[offsets[b]:offsets[b + 1], offsets[b]:offsets[b + 1]] += R @ process.A2
+
+    # Normalization coefficients: 1 for levels < b, (I-R)^{-1} e for level b.
+    norm = np.ones(n)
+    tail = np.linalg.solve(np.eye(d) - R, np.ones(d))
+    if np.any(tail < 0):
+        raise ValidationError(
+            "(I - R)^{-1} e has negative entries; sp(R) >= 1 (unstable QBD)"
+        )
+    norm[offsets[b]:offsets[b + 1]] = tail
+
+    # Replace one balance column with the normalization.  Any single
+    # balance equation is redundant for an irreducible chain; pick the
+    # one whose column has the largest norm to keep conditioning sane.
+    col_norms = np.linalg.norm(M, axis=0)
+    drop = int(np.argmax(col_norms))
+    A = M.copy()
+    A[:, drop] = norm
+    rhs = np.zeros(n)
+    rhs[drop] = 1.0
+    try:
+        x = np.linalg.solve(A.T, rhs)
+        residual = float(np.max(np.abs(x @ M))) if n else 0.0
+    except np.linalg.LinAlgError:
+        residual = np.inf
+        x = None
+    if x is None or residual > 1e-6 * max(1.0, float(np.max(np.abs(M)))) \
+            or np.any(x < -1e-8):
+        # Fall back to least squares on the full system + normalization.
+        full = np.hstack([M, norm[:, None]])
+        rhs_full = np.zeros(n + 1)
+        rhs_full[-1] = 1.0
+        x, *_ = np.linalg.lstsq(full.T, rhs_full, rcond=None)
+    x = np.clip(x, 0.0, None)
+    # Re-normalize exactly against the tail-aware mass.
+    mass = float(x @ norm)
+    if mass <= 0:
+        raise ValidationError("boundary solve produced zero probability mass")
+    x = x / mass
+    return [x[offsets[i]:offsets[i + 1]].copy() for i in range(b + 1)]

@@ -1,0 +1,144 @@
+"""Solvers for the matrix-quadratic equations of a QBD.
+
+The rate matrix ``R`` is the minimal non-negative solution of
+
+    R^2 A2 + R A1 + A0 = 0                      (eq. 23 of the paper)
+
+and the companion matrix ``G`` (first-passage probabilities one level
+down) is the minimal non-negative solution of
+
+    A0 G^2 + A1 G + A2 = 0.
+
+Two algorithms are provided:
+
+* ``"substitution"`` — natural successive substitution
+  ``R <- -(A0 + R^2 A2) A1^{-1}``, the classical linearly-convergent
+  iteration (Neuts 1981);
+* ``"logreduction"`` — Latouche–Ramaswami logarithmic reduction on the
+  uniformized (discrete-time) QBD, quadratically convergent; ``R`` is
+  recovered from ``G`` via ``R = A0 (-(A1 + A0 G))^{-1}``.
+
+Both converge only for *positive recurrent* QBDs (``sp(R) < 1``); call
+:func:`repro.qbd.stability.is_stable` first, or rely on the iteration
+budget raising :class:`~repro.errors.ConvergenceError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.markov.uniformization import uniformize
+
+__all__ = ["solve_R", "solve_G", "r_from_g", "METHODS"]
+
+METHODS = ("logreduction", "substitution")
+
+
+def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
+            method: str = "logreduction", tol: float = 1e-12,
+            max_iter: int = 100_000) -> np.ndarray:
+    """Minimal non-negative solution of ``R^2 A2 + R A1 + A0 = 0``.
+
+    Parameters
+    ----------
+    A0, A1, A2:
+        Repeating blocks of a continuous-time QBD (``A1`` carries the
+        negative diagonal).
+    method:
+        ``"logreduction"`` (default) or ``"substitution"``.
+    tol:
+        Convergence threshold on the iteration's residual measure.
+    max_iter:
+        Iteration budget; exceeded budgets raise
+        :class:`~repro.errors.ConvergenceError` (the usual cause is an
+        unstable QBD, for which the minimal solution has
+        ``sp(R) >= 1`` and substitution creeps toward it forever).
+    """
+    A0 = np.asarray(A0, dtype=np.float64)
+    A1 = np.asarray(A1, dtype=np.float64)
+    A2 = np.asarray(A2, dtype=np.float64)
+    if method == "substitution":
+        return _solve_r_substitution(A0, A1, A2, tol=tol, max_iter=max_iter)
+    if method == "logreduction":
+        G = solve_G(A0, A1, A2, tol=tol, max_iter=max_iter)
+        return r_from_g(A0, A1, G)
+    raise ValidationError(f"unknown R-matrix method {method!r}; use one of {METHODS}")
+
+
+def _solve_r_substitution(A0, A1, A2, *, tol: float, max_iter: int) -> np.ndarray:
+    neg_A1_inv = np.linalg.inv(-A1)
+    R = A0 @ neg_A1_inv  # first substitution step from R=0
+    for it in range(1, max_iter + 1):
+        R_next = (A0 + R @ R @ A2) @ neg_A1_inv
+        delta = float(np.max(np.abs(R_next - R)))
+        R = R_next
+        if delta < tol:
+            return R
+    raise ConvergenceError(
+        "successive substitution for R did not converge "
+        "(the QBD may be unstable)", iterations=max_iter, residual=delta,
+    )
+
+
+def solve_G(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
+            tol: float = 1e-12, max_iter: int = 64) -> np.ndarray:
+    """Minimal non-negative solution of ``A0 G^2 + A1 G + A2 = 0``.
+
+    Uses logarithmic reduction on the uniformized QBD.  For a positive
+    recurrent process ``G`` is stochastic; convergence is quadratic, so
+    ``max_iter`` counts *doubling* steps (64 covers any practical
+    case — the residual after ``k`` steps is order ``xi^(2^k)``).
+    """
+    A0 = np.asarray(A0, dtype=np.float64)
+    A1 = np.asarray(A1, dtype=np.float64)
+    A2 = np.asarray(A2, dtype=np.float64)
+    d = A1.shape[0]
+    # Uniformize the repeating part: (D0, D1, D2) is a discrete QBD
+    # with the same G matrix.
+    rate = float(np.max(-np.diag(A1)))
+    if rate <= 0:
+        raise ValidationError("A1 has no negative diagonal; not a CTMC QBD")
+    D0 = A0 / rate
+    D1 = A1 / rate + np.eye(d)
+    D2 = A2 / rate
+
+    I = np.eye(d)
+    inv = np.linalg.inv(I - D1)
+    H = inv @ D0   # up-step kernel
+    L = inv @ D2   # down-step kernel
+    G = L.copy()
+    T = H.copy()
+    for it in range(1, max_iter + 1):
+        U = H @ L + L @ H
+        M = H @ H
+        H = np.linalg.solve(I - U, M)
+        M = L @ L
+        L = np.linalg.solve(I - U, M)
+        G += T @ L
+        T = T @ H
+        # For a recurrent QBD G is stochastic; track both the defect of
+        # stochasticity and the shrinking correction term.
+        defect = float(np.max(np.abs(1.0 - G.sum(axis=1))))
+        correction = float(np.max(np.abs(T)))
+        if correction < tol or defect < tol:
+            break
+    else:
+        raise ConvergenceError(
+            "logarithmic reduction did not converge (unstable QBD?)",
+            iterations=max_iter, residual=max(defect, correction),
+        )
+    return np.clip(G, 0.0, None)
+
+
+def r_from_g(A0: np.ndarray, A1: np.ndarray, G: np.ndarray) -> np.ndarray:
+    """Recover ``R`` from ``G``: ``R = A0 (-(A1 + A0 G))^{-1}``.
+
+    ``U = A1 + A0 G`` is the generator of the process restricted to a
+    level before first passage down; its negated inverse collects
+    expected sojourn times, and ``R`` is the expected number of visits
+    to level ``n+1`` states per unit time in level ``n`` states.
+    """
+    A0 = np.asarray(A0, dtype=np.float64)
+    U = np.asarray(A1, dtype=np.float64) + A0 @ np.asarray(G, dtype=np.float64)
+    return A0 @ np.linalg.inv(-U)

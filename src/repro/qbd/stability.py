@@ -1,0 +1,88 @@
+"""Stability (positive recurrence) of the repeating portion of a QBD.
+
+Theorem 4.4 of the paper: when the generator ``A = A0 + A1 + A2`` of
+the phase process is irreducible with stationary vector ``y``
+(``y A = 0``, ``y e = 1``), the QBD is positive recurrent iff the mean
+upward drift is smaller than the mean downward drift::
+
+    y A0 e < y A2 e .
+
+This is equivalent to ``sp(R) < 1`` (Neuts 1981).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReducibleChainError
+from repro.utils.linalg import solve_stationary_gth
+
+__all__ = ["drift", "is_stable", "DriftReport"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of the mean-drift stability test.
+
+    Attributes
+    ----------
+    up:
+        Mean upward rate ``y A0 e``.
+    down:
+        Mean downward rate ``y A2 e``.
+    phase_stationary:
+        Stationary vector ``y`` of ``A0 + A1 + A2``.
+    """
+
+    up: float
+    down: float
+    phase_stationary: np.ndarray
+
+    @property
+    def drift(self) -> float:
+        """Net drift ``up - down``; negative means stable."""
+        return self.up - self.down
+
+    @property
+    def stable(self) -> bool:
+        return self.drift < 0.0
+
+    @property
+    def traffic_intensity(self) -> float:
+        """``rho = up / down``; stable iff ``< 1``."""
+        return self.up / self.down if self.down > 0 else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "stable" if self.stable else "UNSTABLE"
+        return (f"DriftReport(up={self.up:.6g}, down={self.down:.6g}, "
+                f"rho={self.traffic_intensity:.6g}, {verdict})")
+
+
+def drift(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray) -> DriftReport:
+    """Run the Theorem 4.4 drift test on the repeating blocks.
+
+    Raises :class:`~repro.errors.ReducibleChainError` when the phase
+    generator ``A0 + A1 + A2`` is reducible (the paper requires
+    irreducible PH representations precisely so this cannot happen).
+    """
+    A0 = np.asarray(A0, dtype=np.float64)
+    A1 = np.asarray(A1, dtype=np.float64)
+    A2 = np.asarray(A2, dtype=np.float64)
+    A = A0 + A1 + A2
+    try:
+        y = solve_stationary_gth(A)
+    except ReducibleChainError as exc:
+        raise ReducibleChainError(
+            "phase process A0+A1+A2 is reducible; use irreducible PH "
+            "representations (PhaseType.trimmed() can help)"
+        ) from exc
+    up = float(y @ A0.sum(axis=1))
+    down = float(y @ A2.sum(axis=1))
+    return DriftReport(up=up, down=down, phase_stationary=y)
+
+
+def is_stable(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray) -> bool:
+    """Whether the QBD with these repeating blocks is positive recurrent."""
+    return drift(A0, A1, A2).stable

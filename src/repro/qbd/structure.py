@@ -1,0 +1,221 @@
+"""QBD process description and structural validation.
+
+The process mirrors eq. (20) of the paper.  Levels ``0..b`` form the
+(possibly level-dependent) *boundary*; levels ``b, b+1, b+2, ...`` are
+the *repeating portion* with blocks ``(A0, A1, A2)``.  The last
+boundary level ``b`` must have the same phase dimension as the
+repeating levels: transitions ``b -> b+1`` use ``A0`` and
+``b+1 -> b`` use ``A2``.
+
+In the gang-scheduling model, ``b = c_p = P / g(p)`` (the number of
+partitions available to class ``p``) and the boundary levels have
+growing phase spaces as jobs fill the partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import as_float_array
+
+__all__ = ["QBDProcess"]
+
+
+@dataclass(frozen=True)
+class QBDProcess:
+    """A continuous-time QBD with a level-dependent boundary.
+
+    Parameters
+    ----------
+    boundary:
+        ``boundary[i][j]`` is the transition block from boundary level
+        ``i`` to boundary level ``j`` for ``|i - j| <= 1``; entries for
+        non-adjacent pairs must be ``None``.  ``boundary[i][i]``
+        contains the level's diagonal (including the negative exit
+        rates).  The list length is ``b + 1``.
+    A0, A1, A2:
+        Repeating blocks: up / local / down.  ``A1`` carries the
+        diagonal.  All are ``d x d`` with ``d`` equal to the phase
+        dimension of boundary level ``b``.
+
+    Notes
+    -----
+    Validation checks block shapes, sign patterns, and that every row
+    of the (conceptually infinite) generator sums to zero:
+
+    * boundary level ``i < b``: rows of ``[B[i][i-1] B[i][i] B[i][i+1]]``;
+    * boundary level ``b``: rows of ``[B[b][b-1] B[b][b] A0]``;
+    * repeating levels: rows of ``[A2 A1 A0]``.
+    """
+
+    boundary: tuple[tuple[np.ndarray | None, ...], ...]
+    A0: np.ndarray
+    A1: np.ndarray
+    A2: np.ndarray
+    #: Optional labels, one list per boundary level plus one for the
+    #: repeating phase space, for debugging / diagram export.
+    level_labels: tuple | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        A0 = as_float_array(self.A0, ndim=2, name="A0")
+        A1 = as_float_array(self.A1, ndim=2, name="A1")
+        A2 = as_float_array(self.A2, ndim=2, name="A2")
+        d = A1.shape[0]
+        for name, M in (("A0", A0), ("A1", A1), ("A2", A2)):
+            if M.shape != (d, d):
+                raise ValidationError(
+                    f"{name} must be {d}x{d} to match A1, got {M.shape}"
+                )
+        if np.any(A0 < 0) or np.any(A2 < 0):
+            raise ValidationError("A0 and A2 must be non-negative rate blocks")
+        off = A1.copy()
+        np.fill_diagonal(off, 0.0)
+        if np.any(off < 0):
+            raise ValidationError("A1 must have non-negative off-diagonal entries")
+
+        boundary = tuple(tuple(row) for row in self.boundary)
+        b = len(boundary) - 1
+        if b < 0:
+            raise ValidationError("boundary must contain at least one level")
+        dims = []
+        for i, row in enumerate(boundary):
+            if len(row) != b + 1:
+                raise ValidationError(
+                    f"boundary row {i} has {len(row)} entries, expected {b + 1}"
+                )
+            if row[i] is None:
+                raise ValidationError(f"boundary diagonal block [{i}][{i}] missing")
+            dims.append(as_float_array(row[i], ndim=2, name=f"B[{i}][{i}]").shape[0])
+        if dims[b] != d:
+            raise ValidationError(
+                f"last boundary level has phase dim {dims[b]}, repeating blocks have {d}"
+            )
+        # Shape and adjacency checks.
+        coerced: list[list[np.ndarray | None]] = []
+        for i in range(b + 1):
+            crow: list[np.ndarray | None] = []
+            for j in range(b + 1):
+                blk = boundary[i][j]
+                if abs(i - j) > 1:
+                    if blk is not None:
+                        raise ValidationError(
+                            f"non-adjacent boundary block [{i}][{j}] must be None"
+                        )
+                    crow.append(None)
+                    continue
+                if blk is None:
+                    crow.append(None)
+                    continue
+                blk = as_float_array(blk, ndim=2, name=f"B[{i}][{j}]")
+                if blk.shape != (dims[i], dims[j]):
+                    raise ValidationError(
+                        f"B[{i}][{j}] must be {dims[i]}x{dims[j]}, got {blk.shape}"
+                    )
+                if i != j and np.any(blk < 0):
+                    raise ValidationError(
+                        f"off-diagonal boundary block [{i}][{j}] must be non-negative"
+                    )
+                crow.append(blk)
+            coerced.append(crow)
+
+        # Row-sum (generator) checks.
+        scale = max(1.0, float(np.max(np.abs(A1))))
+        tol = 1e-8 * scale * max(d, 1)
+
+        def _rowsum(parts):
+            return sum(p.sum(axis=1) for p in parts if p is not None)
+
+        for i in range(b + 1):
+            parts = [coerced[i][j] for j in range(max(0, i - 1), min(b, i + 1) + 1)]
+            if i == b:
+                parts.append(A0)
+            rows = _rowsum(parts)
+            if np.any(np.abs(rows) > tol):
+                k = int(np.argmax(np.abs(rows)))
+                raise ValidationError(
+                    f"boundary level {i} row {k} sums to {rows[k]:.3e}, expected 0"
+                )
+        rows = A0.sum(axis=1) + A1.sum(axis=1) + A2.sum(axis=1)
+        if np.any(np.abs(rows) > tol):
+            k = int(np.argmax(np.abs(rows)))
+            raise ValidationError(
+                f"repeating level row {k} sums to {rows[k]:.3e}, expected 0"
+            )
+
+        object.__setattr__(self, "boundary", tuple(tuple(r) for r in coerced))
+        object.__setattr__(self, "A0", A0)
+        object.__setattr__(self, "A1", A1)
+        object.__setattr__(self, "A2", A2)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def boundary_levels(self) -> int:
+        """Index ``b`` of the last boundary level."""
+        return len(self.boundary) - 1
+
+    @property
+    def phase_dim(self) -> int:
+        """Phase dimension of the repeating levels."""
+        return self.A1.shape[0]
+
+    def boundary_dims(self) -> list[int]:
+        """Phase dimension of each boundary level ``0..b``."""
+        return [row[i].shape[0] for i, row in enumerate(self.boundary)]
+
+    def block(self, i: int, j: int) -> np.ndarray | None:
+        """Transition block from level ``i`` to level ``j`` (any levels).
+
+        Returns ``None`` for non-adjacent levels.  Levels beyond the
+        boundary use the repeating blocks.
+        """
+        b = self.boundary_levels
+        if abs(i - j) > 1 or i < 0 or j < 0:
+            return None
+        if i <= b and j <= b:
+            return self.boundary[i][j]
+        if j == i + 1:
+            return self.A0
+        if j == i - 1:
+            return self.A2
+        return self.A1
+
+    def truncated_generator(self, levels: int) -> tuple[np.ndarray, list[tuple[int, int]]]:
+        """Dense generator truncated to the first ``levels`` levels.
+
+        The top level's upward rates are folded onto its diagonal being
+        removed — i.e. the truncation reflects upward transitions back
+        as self-loops (rates dropped, diagonal adjusted so rows sum to
+        zero).  Used by tests to compare against direct linear solves.
+
+        Returns the matrix and a list of ``(level, phase)`` state tags.
+        """
+        if levels < self.boundary_levels + 2:
+            raise ValidationError(
+                f"need at least {self.boundary_levels + 2} levels to include "
+                "one repeating level"
+            )
+        dims = self.boundary_dims() + [self.phase_dim] * (levels - self.boundary_levels - 1)
+        offsets = np.concatenate([[0], np.cumsum(dims)])
+        n = int(offsets[-1])
+        Q = np.zeros((n, n))
+        tags: list[tuple[int, int]] = []
+        for lvl, dim in enumerate(dims):
+            tags.extend((lvl, ph) for ph in range(dim))
+        for i in range(levels):
+            for j in (i - 1, i, i + 1):
+                if j < 0 or j >= levels:
+                    continue
+                blk = self.block(i, j)
+                if blk is None:
+                    continue
+                Q[offsets[i]:offsets[i] + dims[i], offsets[j]:offsets[j] + dims[j]] = blk
+        # Repair the top level: remove the (dropped) upward rates from
+        # the diagonal so that rows sum to zero.
+        top = slice(int(offsets[levels - 1]), int(offsets[levels]))
+        row_def = Q[top].sum(axis=1)
+        Q[top, top] -= np.diag(row_def)
+        return Q, tags

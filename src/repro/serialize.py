@@ -1,0 +1,150 @@
+"""JSON (de)serialization of model configurations.
+
+Real deployments keep scheduler configurations in files; this module
+round-trips :class:`~repro.phasetype.PhaseType`,
+:class:`~repro.core.config.ClassConfig` and
+:class:`~repro.core.config.SystemConfig` through plain JSON-compatible
+dictionaries, and the CLI's ``--config`` flag consumes the same format.
+
+Format example::
+
+    {
+      "processors": 8,
+      "empty_queue_policy": "switch",
+      "classes": [
+        {
+          "name": "interactive",
+          "partition_size": 1,
+          "arrival":  {"kind": "exponential", "rate": 2.0},
+          "service":  {"kind": "erlang", "k": 2, "mean": 1.0},
+          "quantum":  {"kind": "exponential", "mean": 1.0},
+          "overhead": {"kind": "exponential", "mean": 0.01}
+        }
+      ]
+    }
+
+Distribution ``kind``s: ``exponential`` (``rate`` or ``mean``),
+``erlang`` (``k`` + ``rate``/``mean``), ``hyperexponential``
+(``probs`` + ``rates``), ``coxian`` (``rates`` +
+``completion_probs``), or ``ph`` (raw ``alpha`` + ``S``).  Arbitrary
+PH objects serialize as ``ph``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.config import ClassConfig, SystemConfig
+from repro.errors import ValidationError
+from repro.phasetype import (
+    PhaseType,
+    coxian,
+    erlang,
+    exponential,
+    hyperexponential,
+)
+
+__all__ = [
+    "phase_type_to_dict",
+    "phase_type_from_dict",
+    "system_to_dict",
+    "system_from_dict",
+    "save_system",
+    "load_system",
+]
+
+
+def phase_type_to_dict(dist: PhaseType) -> dict:
+    """Serialize a PH distribution (always as the raw ``ph`` kind)."""
+    return {
+        "kind": "ph",
+        "alpha": [float(x) for x in np.asarray(dist.alpha)],
+        "S": [[float(x) for x in row] for row in np.asarray(dist.S)],
+    }
+
+
+def phase_type_from_dict(data: dict) -> PhaseType:
+    """Build a PH distribution from its dictionary form."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ValidationError(f"distribution spec must have a 'kind': {data!r}")
+    kind = data["kind"]
+    if kind == "exponential":
+        if "rate" in data:
+            return exponential(float(data["rate"]))
+        return exponential(mean=float(data["mean"]))
+    if kind == "erlang":
+        k = int(data["k"])
+        if "rate" in data:
+            return erlang(k, rate=float(data["rate"]))
+        return erlang(k, mean=float(data["mean"]))
+    if kind == "hyperexponential":
+        return hyperexponential([float(p) for p in data["probs"]],
+                                [float(r) for r in data["rates"]])
+    if kind == "coxian":
+        return coxian([float(r) for r in data["rates"]],
+                      [float(p) for p in data["completion_probs"]])
+    if kind == "ph":
+        return PhaseType(data["alpha"], data["S"])
+    raise ValidationError(f"unknown distribution kind {kind!r}")
+
+
+def system_to_dict(config: SystemConfig) -> dict:
+    """Serialize a full system configuration."""
+    return {
+        "processors": config.processors,
+        "empty_queue_policy": config.empty_queue_policy,
+        "classes": [
+            {
+                "name": cls.name,
+                "partition_size": cls.partition_size,
+                "arrival": phase_type_to_dict(cls.arrival),
+                "service": phase_type_to_dict(cls.service),
+                "quantum": phase_type_to_dict(cls.quantum),
+                "overhead": phase_type_to_dict(cls.overhead),
+            }
+            for cls in config.classes
+        ],
+    }
+
+
+def system_from_dict(data: dict) -> SystemConfig:
+    """Build a :class:`SystemConfig` from its dictionary form."""
+    if not isinstance(data, dict):
+        raise ValidationError("system spec must be a mapping")
+    try:
+        classes = tuple(
+            ClassConfig(
+                partition_size=int(spec["partition_size"]),
+                arrival=phase_type_from_dict(spec["arrival"]),
+                service=phase_type_from_dict(spec["service"]),
+                quantum=phase_type_from_dict(spec["quantum"]),
+                overhead=phase_type_from_dict(spec["overhead"]),
+                name=str(spec.get("name", "")),
+            )
+            for spec in data["classes"]
+        )
+    except KeyError as exc:
+        raise ValidationError(f"missing field in system spec: {exc}") from exc
+    return SystemConfig(
+        processors=int(data["processors"]),
+        classes=classes,
+        empty_queue_policy=str(data.get("empty_queue_policy", "switch")),
+    )
+
+
+def save_system(config: SystemConfig, path: str | pathlib.Path) -> None:
+    """Write a configuration to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(system_to_dict(config), indent=2) + "\n")
+
+
+def load_system(path: str | pathlib.Path) -> SystemConfig:
+    """Read a configuration from a JSON file."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path} is not valid JSON: {exc}") from exc
+    return system_from_dict(data)

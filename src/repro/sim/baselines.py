@@ -1,0 +1,190 @@
+"""Baseline schedulers the paper's introduction contrasts with.
+
+* :class:`TimeSharingSimulation` — *pure time-sharing*: "all processors
+  work on a single job for a specified amount of time".  Round-robin
+  over one global FCFS job list with the whole machine dedicated to the
+  running job; a job needing only ``g(p)`` processors wastes the other
+  ``P - g(p)`` — the resource-underutilization problem the paper cites.
+* :class:`SpaceSharingSimulation` — *pure space-sharing*: jobs are
+  granted their ``g(p)``-processor partitions FCFS from the shared pool
+  and run to completion (no time-slicing, no preemption, no switch
+  overheads).  Interactive jobs can be stuck behind long ones — the
+  responsiveness problem gang scheduling fixes.
+
+Both consume the same :class:`~repro.core.config.SystemConfig` and emit
+the same :class:`~repro.sim.stats.SimulationReport`, so they are
+directly comparable with :class:`~repro.sim.gang.GangSimulation` in the
+baseline bench.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.config import SystemConfig
+from repro.errors import SimulationError
+from repro.phasetype.random import sampler_for
+from repro.sim.engine import Event, Simulator
+from repro.sim.jobs import Job
+from repro.sim.stats import ClassStats, SimulationReport
+from repro.utils.rng import StreamFactory
+
+__all__ = ["TimeSharingSimulation", "SpaceSharingSimulation"]
+
+
+class _BaseSimulation:
+    """Shared arrival plumbing for the baseline simulators."""
+
+    def __init__(self, config: SystemConfig, *, seed: int | None = None,
+                 warmup: float = 0.0):
+        self.config = config
+        self.warmup = warmup
+        self.sim = Simulator()
+        self._streams = StreamFactory(seed)
+        self.stats = [ClassStats(warmup) for _ in range(config.num_classes)]
+        self._job_counter = 0
+        self._draw_cache: dict[str, tuple] = {}
+
+    def _sample(self, dist, stream: str) -> float:
+        entry = self._draw_cache.get(stream)
+        if entry is None:
+            entry = (sampler_for(dist), self._streams.get(stream))
+            self._draw_cache[stream] = entry
+        return entry[0].draw(entry[1])
+
+    def _schedule_arrivals(self) -> None:
+        for p, cls in enumerate(self.config.classes):
+            self.sim.schedule(self._sample(cls.arrival, f"arrival.{p}"),
+                              self._on_arrival, p)
+
+    def _new_job(self, p: int) -> Job:
+        cls = self.config.classes[p]
+        self._job_counter += 1
+        job = Job(
+            job_id=self._job_counter, class_id=p,
+            arrival_time=self.sim.now,
+            service_requirement=self._sample(cls.service, f"service.{p}"),
+        )
+        self.stats[p].on_arrival(self.sim.now)
+        self.sim.schedule(self._sample(cls.arrival, f"arrival.{p}"),
+                          self._on_arrival, p)
+        return job
+
+    def run(self, horizon: float) -> SimulationReport:
+        if horizon <= self.warmup:
+            raise SimulationError(
+                f"horizon {horizon} must exceed warmup {self.warmup}"
+            )
+        self._schedule_arrivals()
+        self.sim.run(until=horizon)
+        return SimulationReport.from_stats(
+            self.stats, horizon, self.warmup, self.sim.events_processed,
+        )
+
+    # subclasses implement:
+    def _on_arrival(self, p: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class TimeSharingSimulation(_BaseSimulation):
+    """Whole-machine round-robin with a fixed quantum.
+
+    Parameters
+    ----------
+    quantum:
+        Round-robin slice length; defaults to the mean of class 0's
+        quantum distribution.
+    overhead:
+        Fixed context-switch cost paid whenever the running job
+        changes; defaults to the mean of class 0's overhead.
+    """
+
+    def __init__(self, config: SystemConfig, *, seed: int | None = None,
+                 warmup: float = 0.0, quantum: float | None = None,
+                 overhead: float | None = None):
+        super().__init__(config, seed=seed, warmup=warmup)
+        self.quantum = quantum if quantum is not None \
+            else config.classes[0].quantum.mean
+        self.overhead = overhead if overhead is not None \
+            else config.classes[0].overhead.mean
+        self._ring: deque[Job] = deque()
+        self._running: Job | None = None
+        self._slice_end: Event | None = None
+        self._completion: Event | None = None
+
+    def _on_arrival(self, p: int) -> None:
+        job = self._new_job(p)
+        self._ring.append(job)
+        if self._running is None and len(self._ring) == 1:
+            # Machine idle: dispatch immediately (no switch cost from idle).
+            self.sim.schedule(0.0, self._dispatch)
+
+    def _dispatch(self) -> None:
+        if self._running is not None or not self._ring:
+            return
+        job = self._ring.popleft()
+        self._running = job
+        done_at = job.start(self.sim.now)
+        self._completion = self.sim.schedule_at(done_at, self._finish, job)
+        self._slice_end = self.sim.schedule(self.quantum, self._preempt, job)
+
+    def _finish(self, job: Job) -> None:
+        if self._slice_end is not None:
+            self._slice_end.cancel()
+            self._slice_end = None
+        self._completion = None
+        self._running = None
+        resp = job.finish(self.sim.now)
+        self.stats[job.class_id].on_departure(self.sim.now, resp, job.arrival_time)
+        if self._ring:
+            self.sim.schedule(self.overhead, self._dispatch)
+
+    def _preempt(self, job: Job) -> None:
+        self._slice_end = None
+        if self._running is not job:
+            return
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        job.pause(self.sim.now)
+        self._running = None
+        self._ring.append(job)
+        self.sim.schedule(self.overhead, self._dispatch)
+
+
+class SpaceSharingSimulation(_BaseSimulation):
+    """FCFS run-to-completion with dynamic partition allocation.
+
+    A single FCFS queue over all classes; the head job starts as soon
+    as ``g(p)`` processors are free (strict FCFS — the head blocks
+    later jobs even if they would fit, the standard conservative
+    variant).  No preemption, no overheads.
+    """
+
+    def __init__(self, config: SystemConfig, *, seed: int | None = None,
+                 warmup: float = 0.0):
+        super().__init__(config, seed=seed, warmup=warmup)
+        self._free = config.processors
+        self._fifo: deque[Job] = deque()
+
+    def _on_arrival(self, p: int) -> None:
+        job = self._new_job(p)
+        self._fifo.append(job)
+        self._try_dispatch()
+
+    def _try_dispatch(self) -> None:
+        while self._fifo:
+            head = self._fifo[0]
+            need = self.config.classes[head.class_id].partition_size
+            if need > self._free:
+                break
+            self._fifo.popleft()
+            self._free -= need
+            done_at = head.start(self.sim.now)
+            self.sim.schedule_at(done_at, self._finish, head)
+
+    def _finish(self, job: Job) -> None:
+        self._free += self.config.classes[job.class_id].partition_size
+        resp = job.finish(self.sim.now)
+        self.stats[job.class_id].on_departure(self.sim.now, resp, job.arrival_time)
+        self._try_dispatch()

@@ -1,0 +1,76 @@
+"""Job bookkeeping for the simulators.
+
+A job carries its total service requirement (sampled from the class's
+PH service distribution on creation) and the work already received.
+Preemption is work-conserving: pausing a job freezes its remaining
+work, which is exactly the semantics of the analytic model (service PH
+phases only advance while the class holds the processors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["Job"]
+
+
+@dataclass
+class Job:
+    """One job's lifecycle state.
+
+    Attributes
+    ----------
+    job_id:
+        Unique per simulation.
+    class_id:
+        The job class ``p``.
+    arrival_time:
+        When the job entered the system.
+    service_requirement:
+        Total work, in machine-time units on a ``g(p)`` partition.
+    """
+
+    job_id: int
+    class_id: int
+    arrival_time: float
+    service_requirement: float
+    work_done: float = 0.0
+    #: When the job last (re)started executing; None while paused/queued.
+    running_since: float | None = field(default=None, repr=False)
+    #: Set when the job completes.
+    departure_time: float | None = None
+
+    @property
+    def remaining(self) -> float:
+        """Work still owed (valid only while paused)."""
+        return max(0.0, self.service_requirement - self.work_done)
+
+    def start(self, now: float) -> float:
+        """Mark the job running; return its completion time if undisturbed."""
+        if self.running_since is not None:
+            raise SimulationError(f"job {self.job_id} started twice")
+        self.running_since = now
+        return now + self.remaining
+
+    def pause(self, now: float) -> None:
+        """Bank the work done since :meth:`start`."""
+        if self.running_since is None:
+            raise SimulationError(f"job {self.job_id} paused while not running")
+        self.work_done += now - self.running_since
+        self.running_since = None
+
+    def finish(self, now: float) -> float:
+        """Mark completion; returns the response time."""
+        if self.running_since is not None:
+            self.work_done += now - self.running_since
+            self.running_since = None
+        self.departure_time = now
+        return now - self.arrival_time
+
+    @property
+    def response_time(self) -> float:
+        if self.departure_time is None:
+            raise SimulationError(f"job {self.job_id} has not departed")
+        return self.departure_time - self.arrival_time

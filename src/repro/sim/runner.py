@@ -1,0 +1,149 @@
+"""Replication driver: independent runs, confidence intervals.
+
+Steady-state simulation output is autocorrelated, so rather than
+pretending within-run samples are i.i.d. we run ``R`` independent
+replications (distinct seed streams), treat each run's point estimate
+as one observation, and form Student-t confidence intervals across
+replications — the textbook-safe approach.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as spstats
+
+__all__ = ["ReplicationSummary", "run_replications", "run_until_precise"]
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Across-replication estimate for one scalar quantity per class.
+
+    ``mean[p] +/- half_width[p]`` is the ``confidence``-level CI.
+    """
+
+    quantity: str
+    mean: tuple[float, ...]
+    half_width: tuple[float, ...]
+    replications: int
+    confidence: float
+
+    def interval(self, p: int) -> tuple[float, float]:
+        return (self.mean[p] - self.half_width[p], self.mean[p] + self.half_width[p])
+
+    def contains(self, p: int, value: float) -> bool:
+        lo, hi = self.interval(p)
+        return lo <= value <= hi
+
+    def describe(self) -> str:
+        rows = [f"{self.quantity} ({self.replications} replications, "
+                f"{self.confidence:.0%} CI)"]
+        for p, (m, h) in enumerate(zip(self.mean, self.half_width)):
+            rows.append(f"  class{p}: {m:.4f} +/- {h:.4f}")
+        return "\n".join(rows)
+
+
+def run_replications(factory, *, replications: int = 10, horizon: float,
+                     warmup: float = 0.0, base_seed: int = 0,
+                     confidence: float = 0.95) -> dict[str, ReplicationSummary]:
+    """Run independent replications of a simulation.
+
+    Parameters
+    ----------
+    factory:
+        Callable ``(seed, warmup) -> simulation`` where the simulation
+        has a ``run(horizon) -> SimulationReport`` method (all the
+        simulators in :mod:`repro.sim` qualify).
+    replications:
+        Number of independent runs (``>= 2`` for intervals).
+    horizon, warmup:
+        Per-run time horizon and statistics warmup.
+    base_seed:
+        Replication ``r`` uses seed ``base_seed + r``.
+    confidence:
+        Two-sided confidence level of the returned intervals.
+
+    Returns
+    -------
+    dict mapping ``"mean_jobs"``, ``"mean_response_time"`` and
+    ``"throughput"`` to :class:`ReplicationSummary`.
+    """
+    if replications < 2:
+        raise ValueError("need at least 2 replications for confidence intervals")
+    samples: dict[str, list[tuple[float, ...]]] = {
+        "mean_jobs": [], "mean_response_time": [], "throughput": [],
+    }
+    for r in range(replications):
+        simulation = factory(base_seed + r, warmup)
+        report = simulation.run(horizon)
+        samples["mean_jobs"].append(report.mean_jobs)
+        samples["mean_response_time"].append(report.mean_response_time)
+        samples["throughput"].append(report.throughput)
+
+    return _summarize(samples, confidence)
+
+
+def _summarize(samples: dict[str, list[tuple[float, ...]]],
+               confidence: float) -> dict[str, ReplicationSummary]:
+    replications = len(next(iter(samples.values())))
+    tcrit = float(spstats.t.ppf(0.5 + confidence / 2.0, replications - 1))
+    out: dict[str, ReplicationSummary] = {}
+    for name, rows in samples.items():
+        arr = np.asarray(rows)          # (R, L)
+        mean = arr.mean(axis=0)
+        sd = arr.std(axis=0, ddof=1)
+        hw = tcrit * sd / math.sqrt(replications)
+        out[name] = ReplicationSummary(
+            quantity=name,
+            mean=tuple(float(m) for m in mean),
+            half_width=tuple(float(h) for h in hw),
+            replications=replications,
+            confidence=confidence,
+        )
+    return out
+
+
+def run_until_precise(factory, *, horizon: float, warmup: float = 0.0,
+                      target_rel_half_width: float = 0.05,
+                      quantity: str = "mean_jobs",
+                      min_replications: int = 3, max_replications: int = 50,
+                      base_seed: int = 0, confidence: float = 0.95,
+                      ) -> dict[str, ReplicationSummary]:
+    """Sequential replications until the CI is tight enough.
+
+    Adds replications one at a time until every class's relative CI
+    half-width on ``quantity`` drops below ``target_rel_half_width``
+    (or the replication budget runs out).  The standard sequential
+    procedure for "give me N_p to ±5%" questions — no horizon
+    guesswork required.
+
+    Returns the same summary dict as :func:`run_replications`.
+    """
+    if min_replications < 2:
+        raise ValueError("need at least 2 replications for intervals")
+    if not 0 < target_rel_half_width < 1:
+        raise ValueError(
+            f"target_rel_half_width must be in (0,1), got {target_rel_half_width}")
+    samples: dict[str, list[tuple[float, ...]]] = {
+        "mean_jobs": [], "mean_response_time": [], "throughput": [],
+    }
+    if quantity not in samples:
+        raise ValueError(f"unknown quantity {quantity!r}")
+    r = 0
+    while r < max_replications:
+        report = factory(base_seed + r, warmup).run(horizon)
+        samples["mean_jobs"].append(report.mean_jobs)
+        samples["mean_response_time"].append(report.mean_response_time)
+        samples["throughput"].append(report.throughput)
+        r += 1
+        if r < min_replications:
+            continue
+        summary = _summarize(samples, confidence)[quantity]
+        rel = [h / m if m > 0 else math.inf
+               for m, h in zip(summary.mean, summary.half_width)]
+        if max(rel) <= target_rel_half_width:
+            break
+    return _summarize(samples, confidence)

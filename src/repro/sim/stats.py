@@ -1,0 +1,183 @@
+"""Online statistics collection for the simulators.
+
+Per class we track the time-average number in system (by integrating
+the jump process ``N_p(t)``), response-time tallies, and counts.  All
+accumulators honor a warmup time: contributions before it are
+discarded, so steady-state estimates are not polluted by the empty
+initial state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ClassStats", "SimulationReport"]
+
+
+class ClassStats:
+    """Accumulators for one job class."""
+
+    def __init__(self, warmup: float = 0.0):
+        self.warmup = warmup
+        self._count = 0                 # current number in system
+        self._last_change = warmup      # last time _count changed (clamped)
+        self._area = 0.0                # integral of N(t) dt past warmup
+        self._resp_sum = 0.0
+        self._resp_sq_sum = 0.0
+        self._completed = 0
+        self._arrived = 0
+        self._resp_samples: list[float] = []
+
+    # -- event hooks -----------------------------------------------------
+
+    def _advance(self, now: float) -> None:
+        if now > self._last_change:
+            start = max(self._last_change, self.warmup)
+            if now > start:
+                self._area += self._count * (now - start)
+            self._last_change = now
+
+    def on_arrival(self, now: float) -> None:
+        self._advance(now)
+        self._count += 1
+        if now >= self.warmup:
+            self._arrived += 1
+
+    def on_departure(self, now: float, response_time: float,
+                     arrival_time: float) -> None:
+        self._advance(now)
+        self._count -= 1
+        if arrival_time >= self.warmup:
+            self._completed += 1
+            self._resp_sum += response_time
+            self._resp_sq_sum += response_time * response_time
+            self._resp_samples.append(response_time)
+
+    def finalize(self, horizon: float) -> None:
+        """Close the integration window at the simulation horizon."""
+        self._advance(horizon)
+        self._horizon = horizon
+
+    # -- estimates --------------------------------------------------------
+
+    def observation_time(self, horizon: float) -> float:
+        return max(0.0, horizon - self.warmup)
+
+    def mean_jobs(self, horizon: float) -> float:
+        """Time-average ``N_p`` over ``[warmup, horizon]``."""
+        T = self.observation_time(horizon)
+        return self._area / T if T > 0 else float("nan")
+
+    @property
+    def mean_response_time(self) -> float:
+        return self._resp_sum / self._completed if self._completed else float("nan")
+
+    @property
+    def response_time_std(self) -> float:
+        n = self._completed
+        if n < 2:
+            return float("nan")
+        var = (self._resp_sq_sum - self._resp_sum ** 2 / n) / (n - 1)
+        return math.sqrt(max(0.0, var))
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def arrived(self) -> int:
+        return self._arrived
+
+    @property
+    def in_system(self) -> int:
+        return self._count
+
+    def throughput(self, horizon: float) -> float:
+        T = self.observation_time(horizon)
+        return self._completed / T if T > 0 else float("nan")
+
+    def response_quantile(self, q: float) -> float:
+        if not self._resp_samples:
+            return float("nan")
+        return float(np.quantile(self._resp_samples, q))
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Frozen summary of one simulation run.
+
+    ``mean_jobs`` / ``mean_response_time`` etc. are tuples indexed by
+    class.  ``littles_law_gap`` reports the per-class relative gap
+    between the time-average ``N_p`` and ``lambda_hat_p * T_hat_p``
+    computed from the run's own arrival rate estimate — a built-in
+    sanity check that should shrink with the horizon (Theorem 2.1).
+    """
+
+    horizon: float
+    warmup: float
+    events: int
+    mean_jobs: tuple[float, ...]
+    mean_response_time: tuple[float, ...]
+    response_time_std: tuple[float, ...]
+    #: Per class: (median, p95, p99) of the response time.
+    response_quantiles: tuple[tuple[float, float, float], ...]
+    throughput: tuple[float, ...]
+    completed: tuple[int, ...]
+    littles_law_gap: tuple[float, ...]
+    extras: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def total_mean_jobs(self) -> float:
+        return sum(self.mean_jobs)
+
+    @classmethod
+    def from_stats(cls, stats: list[ClassStats], horizon: float, warmup: float,
+                   events: int, extras: dict | None = None) -> "SimulationReport":
+        mean_jobs, resp, resp_std, thr, comp, gaps = [], [], [], [], [], []
+        quantiles = []
+        for st in stats:
+            st.finalize(horizon)
+            n_bar = st.mean_jobs(horizon)
+            t_bar = st.mean_response_time
+            lam_hat = st.arrived / st.observation_time(horizon) \
+                if st.observation_time(horizon) > 0 else float("nan")
+            mean_jobs.append(n_bar)
+            resp.append(t_bar)
+            resp_std.append(st.response_time_std)
+            quantiles.append((st.response_quantile(0.5),
+                              st.response_quantile(0.95),
+                              st.response_quantile(0.99)))
+            thr.append(st.throughput(horizon))
+            comp.append(st.completed)
+            if n_bar > 0 and t_bar == t_bar and lam_hat == lam_hat:
+                gaps.append(abs(n_bar - lam_hat * t_bar) / n_bar)
+            else:
+                gaps.append(float("nan"))
+        return cls(
+            horizon=horizon, warmup=warmup, events=events,
+            mean_jobs=tuple(mean_jobs),
+            mean_response_time=tuple(resp),
+            response_time_std=tuple(resp_std),
+            response_quantiles=tuple(quantiles),
+            throughput=tuple(thr),
+            completed=tuple(comp),
+            littles_law_gap=tuple(gaps),
+            extras=extras or {},
+        )
+
+    def describe(self, names: tuple[str, ...] | None = None) -> str:
+        lines = [f"simulation: horizon={self.horizon:g} warmup={self.warmup:g} "
+                 f"events={self.events}"]
+        for p, n in enumerate(self.mean_jobs):
+            nm = names[p] if names else f"class{p}"
+            q50, q95, q99 = self.response_quantiles[p]
+            lines.append(
+                f"  {nm}: N={n:.4f}  T={self.mean_response_time[p]:.4f}  "
+                f"T(p95)={q95:.3f}  thr={self.throughput[p]:.4f}  "
+                f"done={self.completed[p]}  "
+                f"LL-gap={self.littles_law_gap[p]:.2%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Scheduling variants beyond the modeled policy.
+
+The paper's conclusion describes the deviation its SP2 implementation
+makes from the analyzed model: *"As soon as a partition becomes idle
+in a given class, it switches to the next class, while other
+partitions of that class may still be busy"* — context switches are
+not system-wide.  :class:`PartitionLendingSimulation` implements that
+behaviour so the effect of the deviation can be quantified against the
+modeled policy (the variants bench).
+
+Interpretation implemented here: during class ``p``'s quantum, any
+processor capacity not used by class-``p`` jobs (idle partitions) is
+immediately lent, in cycle order, to waiting jobs of other classes
+whose partition size fits the idle capacity.  Lent jobs are preempted
+(work-conserving) when the machine switches turns or when class ``p``
+reclaims the capacity for a new arrival.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.sim.gang import GangSimulation
+from repro.sim.jobs import Job
+
+__all__ = ["PartitionLendingSimulation"]
+
+
+class PartitionLendingSimulation(GangSimulation):
+    """Gang scheduling with early per-partition switching (SP2 style).
+
+    Extends :class:`~repro.sim.gang.GangSimulation`; only the
+    idle-capacity handling differs.  Statistics and configuration are
+    identical, so reports are directly comparable.
+    """
+
+    def __init__(self, config: SystemConfig, *, seed: int | None = None,
+                 warmup: float = 0.0):
+        super().__init__(config, seed=seed, warmup=warmup)
+        #: Jobs of *other* classes currently borrowing idle capacity.
+        self._borrowers: list[Job] = []
+        #: Processors lent out right now.
+        self._lent = 0
+        self.lending_grants = 0
+
+    # -- capacity accounting -------------------------------------------
+
+    def _idle_processors(self) -> int:
+        """Processors unused by the running class's own jobs."""
+        p = self._current_class
+        if p is None:
+            return 0
+        g = self.config.classes[p].partition_size
+        used = len(self._active[p]) * g
+        return self.config.processors - used - self._lent
+
+    def _lend_idle_capacity(self) -> None:
+        """Grant idle processors to waiting jobs of other classes."""
+        p = self._current_class
+        if p is None:
+            return
+        L = self.config.num_classes
+        for off in range(1, L):
+            n = (p + off) % L
+            g = self.config.classes[n].partition_size
+            # Only queued jobs (no partition slot) borrow; active jobs of
+            # class n conceptually keep their slots for class n's own turn.
+            while self._queue[n] and self._idle_processors() >= g:
+                job = self._queue[n].popleft()
+                self._active[n].append(job)
+                self._borrowers.append(job)
+                self._lent += g
+                self.lending_grants += 1
+                self._start_job(job)
+
+    def _reclaim_from_borrowers(self, needed: int) -> None:
+        """Preempt most-recently-granted borrowers to free ``needed`` procs."""
+        while needed > 0 and self._borrowers:
+            job = self._borrowers.pop()
+            g = self.config.classes[job.class_id].partition_size
+            if job.running_since is not None:
+                self._pause_job(job)
+            self._active[job.class_id].remove(job)
+            self._queue[job.class_id].appendleft(job)
+            self._lent -= g
+            needed -= g
+
+    def _stop_all_borrowers(self) -> None:
+        self._reclaim_from_borrowers(self.config.processors)
+
+    # -- hooks into the base scheduler -----------------------------------
+
+    def _begin_class_turn(self, p: int) -> None:
+        super()._begin_class_turn(p)
+        if self._current_class == p:
+            self._lend_idle_capacity()
+
+    def _end_quantum(self, p: int, *, preempt: bool = False) -> None:
+        self._stop_all_borrowers()
+        super()._end_quantum(p, preempt=preempt)
+
+    def _on_arrival(self, p: int) -> None:
+        current = self._current_class
+        if (current is not None and p == current
+                and len(self._active[p]) < self.config.partitions(p)
+                and self._idle_processors() < self.config.classes[p].partition_size):
+            # The running class reclaims lent capacity for its own work.
+            self._reclaim_from_borrowers(self.config.classes[p].partition_size)
+        super()._on_arrival(p)
+        if current is not None:
+            self._lend_idle_capacity()
+
+    def _on_completion(self, job: Job) -> None:
+        if job in self._borrowers:
+            self._borrowers.remove(job)
+            self._lent -= self.config.classes[job.class_id].partition_size
+        was_current = self._current_class
+        super()._on_completion(job)
+        # A completion may have freed capacity worth lending (unless the
+        # turn just ended via switch-on-empty).
+        if self._current_class == was_current and self._current_class is not None:
+            self._lend_idle_capacity()

@@ -1,0 +1,89 @@
+"""Enumeration of compositions (occupancy vectors).
+
+The per-class gang-scheduling chain tracks, for each service phase
+``n`` of the class-``p`` service distribution, how many in-service jobs
+are currently in that phase.  A state of the service sub-process with
+``s`` jobs in service over ``m`` phases is therefore a *weak
+composition* of ``s`` into ``m`` parts — a tuple ``(j_1, ..., j_m)`` of
+non-negative integers with ``sum(j) == s``.  This module enumerates
+them in a deterministic (reverse-lexicographic) order and provides the
+index maps used to address generator blocks.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb
+
+__all__ = ["num_compositions", "compositions", "composition_index_map",
+           "multinomial_compositions"]
+
+
+def num_compositions(total: int, parts: int) -> int:
+    """Number of weak compositions of ``total`` into ``parts`` parts.
+
+    Equals the binomial coefficient ``C(total + parts - 1, parts - 1)``.
+    ``parts`` must be positive; ``total`` non-negative.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    return comb(total + parts - 1, parts - 1)
+
+
+@lru_cache(maxsize=4096)
+def compositions(total: int, parts: int) -> tuple[tuple[int, ...], ...]:
+    """All weak compositions of ``total`` into ``parts`` parts.
+
+    Returned in reverse-lexicographic order (mass drains from the first
+    coordinate): for ``total=2, parts=2`` the order is
+    ``(2,0), (1,1), (0,2)``.  The result is cached — the gang model
+    enumerates the same small composition sets for every level of every
+    class.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if parts == 1:
+        return ((total,),)
+    out: list[tuple[int, ...]] = []
+    for first in range(total, -1, -1):
+        for rest in compositions(total - first, parts - 1):
+            out.append((first,) + rest)
+    return tuple(out)
+
+
+def multinomial_compositions(total: int, probs) -> list[tuple[tuple[int, ...], float]]:
+    """Compositions of ``total`` i.i.d. draws over categories, with
+    their multinomial probabilities.
+
+    ``probs`` is the category distribution (e.g. a service PH's entry
+    vector); zero-probability compositions are omitted.  Used wherever
+    several jobs simultaneously draw initial service phases (batch
+    entries, transient start states).
+    """
+    from math import factorial
+    probs = list(float(p) for p in probs)
+    out: list[tuple[tuple[int, ...], float]] = []
+    for comp in compositions(total, len(probs)):
+        prob = float(factorial(total))
+        for cnt, p in zip(comp, probs):
+            if cnt and p == 0.0:
+                prob = 0.0
+                break
+            prob = prob / factorial(cnt) * (p ** cnt)
+        if prob > 0.0:
+            out.append((comp, prob))
+    return out
+
+
+@lru_cache(maxsize=4096)
+def composition_index_map(total: int, parts: int) -> dict[tuple[int, ...], int]:
+    """Map each composition of ``total`` into ``parts`` to its enumeration index.
+
+    Inverse of :func:`compositions`: ``composition_index_map(t, m)[v] == i``
+    iff ``compositions(t, m)[i] == v``.
+    """
+    return {v: i for i, v in enumerate(compositions(total, parts))}

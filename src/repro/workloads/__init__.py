@@ -1,0 +1,39 @@
+"""Workload construction: the paper's figure presets and sweep helpers.
+
+:mod:`~repro.workloads.presets` builds the exact configurations of the
+paper's Section 5 experiments (Figures 2-5);
+:mod:`~repro.workloads.sweeps` provides the generic one-parameter sweep
+driver used by the benchmark harness.
+"""
+
+from repro.workloads.generators import (
+    ClassTrace,
+    TraceDrivenGangSimulation,
+    WorkloadTrace,
+    generate_trace,
+)
+from repro.workloads.presets import (
+    PAPER_SERVICE_RATES,
+    fig1_example_config,
+    fig23_config,
+    fig4_config,
+    fig5_config,
+    sp2_like_config,
+)
+from repro.workloads.sweeps import SweepPoint, SweepResult, sweep
+
+__all__ = [
+    "PAPER_SERVICE_RATES",
+    "fig1_example_config",
+    "fig23_config",
+    "fig4_config",
+    "fig5_config",
+    "sp2_like_config",
+    "sweep",
+    "SweepPoint",
+    "SweepResult",
+    "ClassTrace",
+    "WorkloadTrace",
+    "generate_trace",
+    "TraceDrivenGangSimulation",
+]

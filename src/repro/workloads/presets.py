@@ -1,0 +1,179 @@
+"""The paper's experiment configurations (Section 5).
+
+All of Figures 2-5 use an 8-processor system with four classes
+``p = 0..3`` where class ``p`` has ``2^(3-p)`` partitions of
+``g(p) = 2^p`` processors, service rates in the ratio
+``mu_0 : mu_1 : mu_2 : mu_3 = 0.5 : 1 : 2 : 4`` and a context-switch
+overhead of mean ``0.01``.  All distributions are exponential unless a
+``quantum_stages`` argument asks for Erlang quanta (Figure 1's example
+uses an Erlang-K quantum).
+
+With these rates, ``g(p) / mu_p = 2`` for every class, so the total
+utilization ``rho = sum_p lambda_p g(p) / (P mu_p)`` equals the common
+per-class arrival rate ``lambda`` — which is how the paper can say
+"``lambda_p = 0.4`` and therefore ``rho = 0.4``".
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ClassConfig, SystemConfig
+from repro.errors import ValidationError
+from repro.phasetype import erlang, exponential
+
+__all__ = [
+    "PAPER_SERVICE_RATES",
+    "fig23_config",
+    "fig4_config",
+    "fig5_config",
+    "fig1_example_config",
+    "sp2_like_config",
+]
+
+#: ``mu_p`` for the four classes of Figures 2/3/5.
+PAPER_SERVICE_RATES = (0.5, 1.0, 2.0, 4.0)
+
+#: Mean context-switch overhead used throughout Section 5.
+PAPER_OVERHEAD_MEAN = 0.01
+
+#: Processors in the evaluation system.
+PAPER_PROCESSORS = 8
+
+
+def _quantum(mean: float, stages: int):
+    if stages < 1:
+        raise ValidationError(f"quantum_stages must be >= 1, got {stages}")
+    if stages == 1:
+        return exponential(mean=mean)
+    return erlang(stages, mean=mean)
+
+
+def _paper_classes(arrival_rates, service_rates, quantum_means,
+                   *, quantum_stages: int = 1,
+                   overhead_mean: float = PAPER_OVERHEAD_MEAN):
+    classes = []
+    for p, (lam, mu, qm) in enumerate(zip(arrival_rates, service_rates,
+                                          quantum_means)):
+        classes.append(ClassConfig(
+            partition_size=2 ** p,
+            arrival=exponential(lam),
+            service=exponential(mu),
+            quantum=_quantum(qm, quantum_stages),
+            overhead=exponential(mean=overhead_mean),
+            name=f"class{p}",
+        ))
+    return tuple(classes)
+
+
+def fig23_config(arrival_rate: float, quantum_mean: float,
+                 *, quantum_stages: int = 1,
+                 overhead_mean: float = PAPER_OVERHEAD_MEAN,
+                 policy: str = "switch") -> SystemConfig:
+    """One point of Figure 2 (``arrival_rate=0.4``) or 3 (``0.9``).
+
+    ``quantum_mean`` is the swept ``1/gamma``, identical for all
+    classes.
+    """
+    return SystemConfig(
+        processors=PAPER_PROCESSORS,
+        classes=_paper_classes([arrival_rate] * 4, PAPER_SERVICE_RATES,
+                               [quantum_mean] * 4,
+                               quantum_stages=quantum_stages,
+                               overhead_mean=overhead_mean),
+        empty_queue_policy=policy,
+    )
+
+
+def fig4_config(service_rate: float, *, arrival_rate: float = 0.6,
+                quantum_mean: float = 5.0,
+                overhead_mean: float = PAPER_OVERHEAD_MEAN) -> SystemConfig:
+    """One point of Figure 4: every class has service rate ``mu``.
+
+    The paper fixes ``1/gamma_p = 5`` and ``lambda_p = 0.6`` and sweeps
+    the common service rate.
+    """
+    return SystemConfig(
+        processors=PAPER_PROCESSORS,
+        classes=_paper_classes([arrival_rate] * 4, [service_rate] * 4,
+                               [quantum_mean] * 4,
+                               overhead_mean=overhead_mean),
+    )
+
+
+def fig5_config(focus_class: int, fraction: float, *,
+                cycle_quantum_budget: float = 8.0,
+                arrival_rate: float = 0.6,
+                overhead_mean: float = PAPER_OVERHEAD_MEAN) -> SystemConfig:
+    """One point of Figure 5: class ``focus_class`` gets ``fraction`` of
+    the cycle's quantum budget; the others split the rest evenly.
+
+    The paper plots ``N_p`` against the fraction of the timeplexing
+    cycle devoted to class ``p`` at ``lambda_p = 0.6`` (``rho = 0.6``).
+    ``cycle_quantum_budget`` is the total quantum time per cycle
+    (the cycle length minus the fixed overheads); the default ``8``
+    gives the same mid-sweep quanta as Figures 2/3's x-axis.
+    """
+    if not 0 <= focus_class < 4:
+        raise ValidationError(f"focus_class must be 0..3, got {focus_class}")
+    if not 0.0 < fraction < 1.0:
+        raise ValidationError(f"fraction must lie strictly in (0, 1), got {fraction}")
+    quanta = [cycle_quantum_budget * (1.0 - fraction) / 3.0] * 4
+    quanta[focus_class] = cycle_quantum_budget * fraction
+    return SystemConfig(
+        processors=PAPER_PROCESSORS,
+        classes=_paper_classes([arrival_rate] * 4, PAPER_SERVICE_RATES, quanta,
+                               overhead_mean=overhead_mean),
+    )
+
+
+def fig1_example_config(*, quantum_stages: int = 4) -> SystemConfig:
+    """The small system of the paper's Figure 1 state diagram.
+
+    One class with 3 servers (partitions), Poisson arrivals,
+    exponential service and overhead, and an Erlang-``K`` quantum.  A
+    second class provides the vacation period.
+    """
+    return SystemConfig(
+        processors=6,
+        classes=(
+            ClassConfig(
+                partition_size=2,
+                arrival=exponential(0.5),
+                service=exponential(1.0),
+                quantum=erlang(quantum_stages, mean=2.0),
+                overhead=exponential(mean=0.05),
+                name="figure1",
+            ),
+            ClassConfig.markovian(3, arrival_rate=0.3, service_rate=1.0,
+                                  quantum_mean=2.0, overhead_mean=0.05,
+                                  name="background"),
+        ),
+    )
+
+
+def sp2_like_config(*, interactive_load: float = 0.5,
+                    batch_load: float = 0.4) -> SystemConfig:
+    """A stylized SP2 multiprogramming mix (the paper's motivating target).
+
+    Class ``interactive``: many small partitions, short jobs, short
+    quanta — needs responsiveness.  Class ``batch``: whole-machine
+    jobs, long service, long quanta — needs throughput.  Used by the
+    quantum-tuning example.
+    """
+    P = 16
+    interactive = ClassConfig(
+        partition_size=1,
+        arrival=exponential(interactive_load * P * 2.0 / 4.0),
+        service=exponential(2.0),
+        quantum=exponential(mean=1.0),
+        overhead=exponential(mean=0.02),
+        name="interactive",
+    )
+    batch = ClassConfig(
+        partition_size=16,
+        arrival=exponential(batch_load * 0.25),
+        service=exponential(0.25),
+        quantum=exponential(mean=6.0),
+        overhead=exponential(mean=0.02),
+        name="batch",
+    )
+    return SystemConfig(processors=P, classes=(interactive, batch))

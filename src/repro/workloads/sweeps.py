@@ -1,0 +1,123 @@
+"""Generic one-parameter sweep driver.
+
+Every figure of the paper is "solve the model along a grid of one
+parameter and plot ``N_p``".  :func:`sweep` runs that loop for any
+``value -> SystemConfig`` factory, via the analytic model and/or the
+simulator, and returns a :class:`SweepResult` table the benches print.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import SystemConfig
+from repro.core.model import GangSchedulingModel
+
+__all__ = ["SweepPoint", "SweepResult", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Solved metrics at one sweep value."""
+
+    value: float
+    mean_jobs: tuple[float, ...]
+    mean_response_time: tuple[float, ...]
+    iterations: int
+    converged: bool
+    error: str | None = None
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep: one :class:`SweepPoint` per grid value."""
+
+    parameter: str
+    class_names: tuple[str, ...]
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def values(self) -> list[float]:
+        return [pt.value for pt in self.points]
+
+    def series(self, p: int) -> list[float]:
+        """The ``N_p`` curve for class ``p`` (``nan`` for failed points)."""
+        return [pt.mean_jobs[p] if pt.error is None else float("nan")
+                for pt in self.points]
+
+    def to_rows(self) -> list[list]:
+        """Header + rows, ready for CSV or pretty printing."""
+        header = [self.parameter] + [f"N[{n}]" for n in self.class_names]
+        rows: list[list] = [header]
+        for pt in self.points:
+            if pt.error is None:
+                rows.append([pt.value] + list(pt.mean_jobs))
+            else:
+                rows.append([pt.value] + [float("nan")] * len(self.class_names))
+        return rows
+
+    def render(self, *, fmt: str = "{:>10.4f}") -> str:
+        """Fixed-width text table mirroring the paper's figure series."""
+        rows = self.to_rows()
+        out = ["  ".join(f"{h:>10}" for h in rows[0])]
+        for row in rows[1:]:
+            out.append("  ".join(fmt.format(v) for v in row))
+        return "\n".join(out)
+
+
+def sweep(parameter: str, values: Sequence[float],
+          config_factory: Callable[[float], SystemConfig],
+          *, heavy_traffic_only: bool = False,
+          model_kwargs: dict | None = None,
+          solve_kwargs: dict | None = None,
+          skip_errors: bool = True) -> SweepResult:
+    """Solve the analytic model along a parameter grid.
+
+    Parameters
+    ----------
+    parameter:
+        Display name of the swept quantity (table header).
+    values:
+        Grid values, passed to ``config_factory`` one at a time.
+    config_factory:
+        ``value -> SystemConfig``.
+    heavy_traffic_only:
+        Solve only the Theorem 4.1 model (no fixed point).
+    model_kwargs, solve_kwargs:
+        Extra keyword arguments for :class:`GangSchedulingModel` /
+        its ``solve``.
+    skip_errors:
+        Record unstable/failed points (with the error message) instead
+        of aborting the sweep.
+    """
+    result: SweepResult | None = None
+    for v in values:
+        config = config_factory(v)
+        names = config.class_names
+        if result is None:
+            result = SweepResult(parameter=parameter, class_names=names)
+        try:
+            model = GangSchedulingModel(config, **(model_kwargs or {}))
+            solved = model.solve(heavy_traffic_only=heavy_traffic_only,
+                                 **(solve_kwargs or {}))
+            result.points.append(SweepPoint(
+                value=float(v),
+                mean_jobs=tuple(c.mean_jobs for c in solved.classes),
+                mean_response_time=tuple(c.mean_response_time
+                                         for c in solved.classes),
+                iterations=solved.iterations,
+                converged=solved.converged,
+            ))
+        except Exception as exc:  # noqa: BLE001 - reported per point
+            if not skip_errors:
+                raise
+            result.points.append(SweepPoint(
+                value=float(v),
+                mean_jobs=tuple(float("nan") for _ in names),
+                mean_response_time=tuple(float("nan") for _ in names),
+                iterations=0, converged=False,
+                error=f"{type(exc).__name__}: {exc}",
+            ))
+    if result is None:
+        raise ValueError("sweep requires at least one grid value")
+    return result

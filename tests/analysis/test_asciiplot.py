@@ -1,0 +1,75 @@
+"""Tests for the terminal line plotter."""
+
+import math
+
+import pytest
+
+from repro.analysis import Series, ascii_plot
+from repro.errors import ValidationError
+
+
+def make_series(name="s", n=10):
+    s = Series(name)
+    for i in range(n):
+        s.append(i, i * i)
+    return s
+
+
+class TestAsciiPlot:
+    def test_contains_axes_and_legend(self):
+        art = ascii_plot([make_series("quad")])
+        assert "quad" in art
+        assert "|" in art and "+" in art
+        assert "o" in art        # first series glyph
+
+    def test_title(self):
+        art = ascii_plot([make_series()], title="hello")
+        assert art.splitlines()[0] == "hello"
+
+    def test_multiple_series_distinct_glyphs(self):
+        a = make_series("a")
+        b = Series("b")
+        for i in range(10):
+            b.append(i, 100 - i)
+        art = ascii_plot([a, b])
+        assert "o a" in art and "x b" in art
+        assert "x" in art.split("b")[0]
+
+    def test_y_labels_show_range(self):
+        art = ascii_plot([make_series(n=5)])
+        assert "16" in art     # max of i^2 for i<5
+        assert "0" in art
+
+    def test_log_scale_handles_wide_range(self):
+        s = Series("wide")
+        for i in range(1, 8):
+            s.append(i, 10.0 ** i)
+        art = ascii_plot([s], logy=True)
+        assert "1e+07" in art or "1e+7" in art
+
+    def test_skips_nonfinite(self):
+        s = Series("gappy")
+        s.append(0, 1.0)
+        s.append(1, math.nan)
+        s.append(2, 3.0)
+        art = ascii_plot([s])
+        assert "gappy" in art
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([])
+        s = Series("nanonly")
+        s.append(0, math.nan)
+        with pytest.raises(ValidationError):
+            ascii_plot([s])
+
+    def test_rejects_tiny_area(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([make_series()], width=3, height=2)
+
+    def test_constant_series_ok(self):
+        s = Series("flat")
+        for i in range(5):
+            s.append(i, 2.0)
+        art = ascii_plot([s])
+        assert "flat" in art

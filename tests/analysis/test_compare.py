@@ -1,0 +1,60 @@
+"""Tests for analytic-vs-simulation comparison plumbing."""
+
+import pytest
+
+from repro.analysis import compare_analytic_simulation
+from repro.core import GangSchedulingModel
+from repro.sim import GangSimulation, run_replications
+
+
+@pytest.fixture(scope="module")
+def pieces(two_class_config):
+    solved = GangSchedulingModel(two_class_config).solve()
+    summary = run_replications(
+        lambda seed, warmup: GangSimulation(two_class_config, seed=seed,
+                                            warmup=warmup),
+        replications=3, horizon=5000.0, warmup=500.0)["mean_jobs"]
+    return solved, summary
+
+
+# two_class_config is function-scoped in the root conftest; redefine a
+# module-scoped copy for the expensive fixture above.
+@pytest.fixture(scope="module")
+def two_class_config():
+    from repro.core import ClassConfig, SystemConfig
+    return SystemConfig(processors=4, classes=(
+        ClassConfig.markovian(1, arrival_rate=0.5, service_rate=0.5,
+                              quantum_mean=1.5, overhead_mean=0.05,
+                              name="small"),
+        ClassConfig.markovian(4, arrival_rate=0.4, service_rate=2.0,
+                              quantum_mean=1.5, overhead_mean=0.05,
+                              name="big"),
+    ))
+
+
+class TestCompare:
+    def test_row_per_class(self, pieces):
+        solved, summary = pieces
+        rows = compare_analytic_simulation(solved, summary)
+        assert [r.class_name for r in rows] == ["small", "big"]
+
+    def test_rel_error_definition(self, pieces):
+        solved, summary = pieces
+        rows = compare_analytic_simulation(solved, summary)
+        for p, r in enumerate(rows):
+            expect = abs(solved.mean_jobs(p) - summary.mean[p]) \
+                / summary.mean[p]
+            assert r.rel_error == pytest.approx(expect)
+
+    def test_within_ci_consistent_with_interval(self, pieces):
+        solved, summary = pieces
+        rows = compare_analytic_simulation(solved, summary)
+        for p, r in enumerate(rows):
+            lo, hi = summary.interval(p)
+            assert r.within_ci == (lo <= r.analytic <= hi)
+
+    def test_carries_ci_half_width(self, pieces):
+        solved, summary = pieces
+        rows = compare_analytic_simulation(solved, summary)
+        for p, r in enumerate(rows):
+            assert r.ci_half_width == summary.half_width[p]

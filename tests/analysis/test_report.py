@@ -1,0 +1,44 @@
+"""Tests for the results-report builder."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Table, build_results_report
+
+
+@pytest.fixture
+def results_dir(tmp_path) -> pathlib.Path:
+    t = Table("quantum_mean", ["N[class0]", "N[class1]"])
+    t.add_row(0.5, [1.2, 0.8])
+    t.add_row(2.0, [1.0, 0.9])
+    (tmp_path / "fig2.csv").write_text(t.to_csv())
+    (tmp_path / "fig2.txt").write_text("Figure 2 notes.\n\n" + t.render())
+    t2 = Table("x", ["y"])
+    t2.add_row(1.0, [2.0])
+    (tmp_path / "custom_extra.csv").write_text(t2.to_csv())
+    return tmp_path
+
+
+class TestBuildResultsReport:
+    def test_known_section_rendered(self, results_dir):
+        md = build_results_report(results_dir)
+        assert "## Figure 2" in md
+        assert "Figure 2 notes." in md
+        assert "| quantum_mean | N[class0] | N[class1] |" in md
+        assert "| 0.5 | 1.2 | 0.8 |" in md
+
+    def test_unknown_files_appended(self, results_dir):
+        md = build_results_report(results_dir)
+        assert "## custom_extra" in md
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_results_report(tmp_path / "nope")
+
+    def test_real_results_dir_if_present(self):
+        real = pathlib.Path("benchmarks/results")
+        if not real.is_dir():
+            pytest.skip("benchmark results not generated yet")
+        md = build_results_report(real)
+        assert md.startswith("# Measured results")

@@ -1,0 +1,103 @@
+"""Tests for result containers and shape predicates."""
+
+import pytest
+
+from repro.analysis import (
+    Series,
+    Table,
+    is_monotone_decreasing,
+    is_monotone_increasing,
+    is_u_shaped,
+    knee_index,
+    littles_law_gap,
+)
+
+
+class TestSeries:
+    def test_append_and_iterate(self):
+        s = Series("n")
+        s.append(1, 10.0)
+        s.append(2, 5.0)
+        assert list(s) == [(1.0, 10.0), (2.0, 5.0)]
+        assert len(s) == 2
+
+    def test_argmin(self):
+        s = Series("n", x=[1, 2, 3], y=[5.0, 1.0, 9.0])
+        assert s.argmin() == 1
+
+    def test_argmin_skips_nan(self):
+        s = Series("n", x=[1, 2], y=[float("nan"), 2.0])
+        assert s.argmin() == 1
+
+    def test_argmin_all_nan_raises(self):
+        s = Series("n", x=[1], y=[float("nan")])
+        with pytest.raises(ValueError):
+            s.argmin()
+
+
+class TestTable:
+    def test_round_trip(self):
+        t = Table("q", ["N0", "N1"])
+        t.add_row(1.0, [2.0, 3.0])
+        t.add_row(2.0, [1.5, 2.5])
+        assert len(t) == 2
+        col = t.column("N1")
+        assert col.y == [3.0, 2.5]
+
+    def test_csv(self):
+        t = Table("q", ["N0"])
+        t.add_row(1.0, [0.25])
+        csv = t.to_csv()
+        assert csv.splitlines()[0] == "q,N0"
+        assert "0.25" in csv
+
+    def test_render_fixed_width(self):
+        t = Table("q", ["N0"])
+        t.add_row(1.0, [2.0])
+        text = t.render()
+        assert "q" in text and "N0" in text and "2.0000" in text
+
+    def test_row_length_checked(self):
+        t = Table("q", ["N0", "N1"])
+        with pytest.raises(ValueError):
+            t.add_row(1.0, [2.0])
+
+
+class TestShapePredicates:
+    def test_monotone_increasing(self):
+        assert is_monotone_increasing([1, 2, 3])
+        assert not is_monotone_increasing([1, 3, 2])
+        assert is_monotone_increasing([1.0, 0.995, 2.0], rel_tol=0.01)
+
+    def test_monotone_decreasing(self):
+        assert is_monotone_decreasing([3, 2, 1])
+        assert not is_monotone_decreasing([3, 1, 2])
+
+    def test_u_shape_detection(self):
+        assert is_u_shaped([5, 3, 1, 2, 4])
+        assert not is_u_shaped([5, 4, 3, 2, 1])        # knee at edge
+        assert not is_u_shaped([1, 2, 3, 4, 5])
+        assert not is_u_shaped([5, 1, 5, 1, 5])        # not monotone halves
+
+    def test_u_shape_with_noise(self):
+        ys = [5.0, 3.0, 1.0, 1.01, 0.999, 2.0, 4.0]
+        assert is_u_shaped(ys, rel_tol=0.05)
+
+    def test_knee_index(self):
+        assert knee_index([4, 2, 1, 3]) == 2
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            is_u_shaped([1.0, float("nan"), 2.0])
+
+
+class TestLittlesLaw:
+    def test_exact(self):
+        assert littles_law_gap(2.0, 0.5, 4.0) == pytest.approx(0.0)
+
+    def test_gap(self):
+        assert littles_law_gap(2.0, 0.5, 5.0) == pytest.approx(0.25)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            littles_law_gap(0.0, 1.0, 1.0)

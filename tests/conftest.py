@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClassConfig, SystemConfig
+from repro.phasetype import erlang, exponential, hyperexponential
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator for statistical tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def single_class_config() -> SystemConfig:
+    """A small one-class system (the exactly-solvable regime)."""
+    return SystemConfig(processors=4, classes=(
+        ClassConfig.markovian(2, arrival_rate=0.8, service_rate=1.0,
+                              quantum_mean=2.0, overhead_mean=0.5,
+                              name="solo"),
+    ))
+
+
+@pytest.fixture
+def two_class_config() -> SystemConfig:
+    """A small two-class system exercising the fixed point."""
+    return SystemConfig(processors=4, classes=(
+        ClassConfig.markovian(1, arrival_rate=0.5, service_rate=0.5,
+                              quantum_mean=1.5, overhead_mean=0.05,
+                              name="small"),
+        ClassConfig.markovian(4, arrival_rate=0.4, service_rate=2.0,
+                              quantum_mean=1.5, overhead_mean=0.05,
+                              name="big"),
+    ))
+
+
+@pytest.fixture
+def phased_class_config() -> SystemConfig:
+    """Non-exponential distributions in every slot (order > 1 PH)."""
+    return SystemConfig(processors=2, classes=(
+        ClassConfig(
+            partition_size=1,
+            arrival=hyperexponential([0.4, 0.6], [0.3, 1.2]),
+            service=erlang(2, mean=1.0),
+            quantum=erlang(3, mean=2.0),
+            overhead=exponential(mean=0.05),
+            name="phased",
+        ),
+        ClassConfig.markovian(2, arrival_rate=0.3, service_rate=1.5,
+                              quantum_mean=2.0, overhead_mean=0.05,
+                              name="plain"),
+    ))

@@ -1,0 +1,93 @@
+"""Tests for the scheduler-tuning API."""
+
+import pytest
+
+from repro.core import (
+    ClassConfig,
+    GangSchedulingModel,
+    SystemConfig,
+    optimize_cycle_split,
+    optimize_quantum,
+    total_jobs_objective,
+    weighted_response_objective,
+)
+from repro.errors import ValidationError
+from repro.workloads import fig23_config
+
+
+class TestObjectives:
+    def test_total_jobs(self, two_class_config):
+        solved = GangSchedulingModel(two_class_config).solve()
+        assert total_jobs_objective(solved) == pytest.approx(
+            solved.mean_jobs())
+
+    def test_weighted_response(self, two_class_config):
+        solved = GangSchedulingModel(two_class_config).solve()
+        obj = weighted_response_objective([2.0, 0.0])
+        assert obj(solved) == pytest.approx(2 * solved.mean_response_time(0))
+
+    def test_weight_count_checked(self, two_class_config):
+        solved = GangSchedulingModel(two_class_config).solve()
+        with pytest.raises(ValidationError):
+            weighted_response_objective([1.0])(solved)
+
+
+class TestOptimizeQuantum:
+    def test_finds_fig3_knee(self):
+        """On the rho=0.9 curve the knee sits near 0.4-0.6."""
+        opt = optimize_quantum(lambda q: fig23_config(0.9, q),
+                               bounds=(0.15, 4.0), tol=0.02)
+        assert 0.3 <= opt.quantum <= 0.9, opt
+        # The optimum beats both interval endpoints.
+        lo = GangSchedulingModel(fig23_config(0.9, 0.15)).solve().mean_jobs()
+        hi = GangSchedulingModel(fig23_config(0.9, 4.0)).solve().mean_jobs()
+        assert opt.objective_value < min(lo, hi)
+
+    def test_respects_evaluation_budget(self):
+        opt = optimize_quantum(lambda q: fig23_config(0.4, q),
+                               bounds=(0.2, 4.0), max_evaluations=8)
+        assert opt.evaluations <= 8
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValidationError):
+            optimize_quantum(lambda q: fig23_config(0.4, q),
+                             bounds=(2.0, 1.0))
+
+    def test_unstable_region_scored_inf(self):
+        # Bounds reaching into the overhead-dominated unstable zone at
+        # rho = 0.9: the optimizer must still come back with a stable
+        # quantum.
+        opt = optimize_quantum(lambda q: fig23_config(0.9, q),
+                               bounds=(0.02, 1.0), tol=0.05)
+        assert opt.objective_value < float("inf")
+        assert opt.quantum > 0.1
+
+
+class TestOptimizeCycleSplit:
+    @staticmethod
+    def builder(fractions):
+        budget = 4.0
+        return SystemConfig(processors=4, classes=(
+            ClassConfig.markovian(1, arrival_rate=1.2, service_rate=1.0,
+                                  quantum_mean=budget * fractions[0],
+                                  overhead_mean=0.02, name="small"),
+            ClassConfig.markovian(4, arrival_rate=0.2, service_rate=1.0,
+                                  quantum_mean=budget * fractions[1],
+                                  overhead_mean=0.02, name="big"),
+        ))
+
+    def test_favors_the_loaded_class(self):
+        opt = optimize_cycle_split(self.builder, 2, max_evaluations=60)
+        # Class 0 offers rho=0.3 vs class 1's 0.2 and is interactive
+        # (4 partitions): it should receive the larger share.
+        assert opt.fractions[0] > 0.5
+        assert sum(opt.fractions) == pytest.approx(1.0)
+
+    def test_beats_even_split(self):
+        opt = optimize_cycle_split(self.builder, 2, max_evaluations=60)
+        even = GangSchedulingModel(self.builder((0.5, 0.5))).solve()
+        assert opt.objective_value <= even.mean_jobs() + 1e-6
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValidationError):
+            optimize_cycle_split(self.builder, 1)

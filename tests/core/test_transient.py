@@ -1,0 +1,80 @@
+"""Tests for transient analysis of the class chains."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClassConfig,
+    GangSchedulingModel,
+    SystemConfig,
+    transient_mean_jobs,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def solved():
+    cfg = SystemConfig(processors=2, classes=(
+        ClassConfig.markovian(1, arrival_rate=0.8, service_rate=1.0,
+                              quantum_mean=2.0, overhead_mean=0.3),))
+    return GangSchedulingModel(cfg).solve()
+
+
+class TestTransient:
+    def test_converges_to_stationary(self, solved):
+        tr = transient_mean_jobs(solved, 0, [1.0, 10.0, 100.0, 300.0])
+        assert tr.mean_jobs[-1] == pytest.approx(tr.stationary_mean,
+                                                 rel=1e-4)
+
+    def test_monotone_relaxation_from_empty(self, solved):
+        """From an empty start, E[N(t)] rises toward the mean."""
+        tr = transient_mean_jobs(solved, 0, [0.5, 1, 2, 4, 8, 16, 32])
+        diffs = np.diff(tr.mean_jobs)
+        assert np.all(diffs > -1e-9)
+        assert tr.mean_jobs[0] < tr.stationary_mean
+
+    def test_overloaded_start_relaxes_down(self, solved):
+        tr = transient_mean_jobs(solved, 0, [1.0, 5.0, 20.0, 100.0],
+                                 initial_level=10)
+        assert tr.mean_jobs[0] > tr.stationary_mean
+        assert tr.mean_jobs[-1] == pytest.approx(tr.stationary_mean,
+                                                 rel=1e-3)
+
+    def test_settling_time_behaves(self, solved):
+        tr = transient_mean_jobs(solved, 0, [0.5, 1, 2, 4, 8, 16, 32, 64])
+        ts = tr.settling_time(rel_tol=0.05)
+        assert 0.5 <= ts <= 64.0
+        # Looser band settles no later.
+        assert tr.settling_time(rel_tol=0.2) <= ts
+
+    def test_series_export(self, solved):
+        tr = transient_mean_jobs(solved, 0, [1.0, 2.0])
+        s = tr.as_series("n")
+        assert s.x == [1.0, 2.0]
+        assert len(s.y) == 2
+
+    def test_validates_times(self, solved):
+        with pytest.raises(ValidationError):
+            transient_mean_jobs(solved, 0, [2.0, 1.0])
+        with pytest.raises(ValidationError):
+            transient_mean_jobs(solved, 0, [])
+
+    def test_initial_level_bounds(self, solved):
+        with pytest.raises(ValidationError):
+            transient_mean_jobs(solved, 0, [1.0], initial_level=10_000)
+
+    def test_matches_simulation_snapshot(self, solved):
+        """E[N(t)] at a mid-relaxation time vs many short sim runs."""
+        from repro.sim import GangSimulation
+        cfg = solved.config
+        t_snap = 4.0
+        tr = transient_mean_jobs(solved, 0, [t_snap])
+        counts = []
+        for seed in range(400):
+            sim = GangSimulation(cfg, seed=seed)
+            sim.run(t_snap)
+            counts.append(sim.stats[0].in_system)
+        sim_mean = float(np.mean(counts))
+        se = float(np.std(counts, ddof=1) / np.sqrt(len(counts)))
+        assert abs(tr.mean_jobs[0] - sim_mean) < max(3 * se, 0.08), (
+            tr.mean_jobs[0], sim_mean, se)

@@ -1,0 +1,44 @@
+"""Smoke tests of the figure pipelines (coarse grids, full solve path).
+
+The full-resolution figures live in ``benchmarks/``; these tests assert
+the *shapes* the paper reports on small grids so the suite stays fast.
+"""
+
+import pytest
+
+from repro.analysis import is_monotone_decreasing, is_u_shaped
+from repro.workloads import fig23_config, fig4_config, fig5_config, sweep
+
+
+@pytest.mark.slow
+class TestFigureShapes:
+    def test_fig2_heavy_class_u_shape(self):
+        """Class 3 (whole machine) shows the fall-then-rise of Figure 2."""
+        res = sweep("quantum", [0.05, 0.25, 1.0, 3.0, 6.0],
+                    lambda q: fig23_config(0.4, q))
+        ys = res.series(3)
+        assert is_u_shaped(ys, rel_tol=0.02), ys
+
+    def test_fig4_service_rate_sweep_decreases(self):
+        res = sweep("mu", [2.0, 4.0, 10.0, 20.0], fig4_config)
+        for p in range(4):
+            assert is_monotone_decreasing(res.series(p), rel_tol=0.01)
+
+    def test_fig4_flattens(self):
+        res = sweep("mu", [2.0, 4.0, 10.0, 20.0], fig4_config)
+        ys = res.series(0)
+        # Early drop dwarfs the late drop (diminishing returns).
+        assert (ys[0] - ys[1]) > 5 * (ys[2] - ys[3])
+
+    def test_fig5_focus_class_decreases_in_fraction(self):
+        res = sweep("fraction", [0.15, 0.4, 0.7, 0.85],
+                    lambda f: fig5_config(focus_class=0, fraction=f))
+        assert is_monotone_decreasing(res.series(0), rel_tol=0.01)
+
+    def test_fig5_other_classes_suffer(self):
+        res = sweep("fraction", [0.2, 0.8],
+                    lambda f: fig5_config(focus_class=0, fraction=f))
+        # Giving class 0 most of the cycle increases someone else's N.
+        others_small = sum(res.points[0].mean_jobs[1:])
+        others_large = sum(res.points[1].mean_jobs[1:])
+        assert others_large > others_small

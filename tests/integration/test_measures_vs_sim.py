@@ -1,0 +1,83 @@
+"""Operational measures cross-validated against instrumented simulation.
+
+Beyond mean jobs, the analytic model reports service fractions, skip
+flows and utilization; each is checked here against what the simulator
+actually did — in the single-class regime where the model is exact.
+"""
+
+import pytest
+
+from repro.core import ClassConfig, GangSchedulingModel, SystemConfig
+from repro.sim import GangSimulation
+from repro.sim.trace import TracingGangSimulation
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = SystemConfig(processors=2, classes=(
+        ClassConfig.markovian(1, arrival_rate=0.7, service_rate=1.0,
+                              quantum_mean=1.5, overhead_mean=0.4),))
+    solved = GangSchedulingModel(cfg).solve()
+    return cfg, solved
+
+
+HORIZON = 60_000.0
+WARMUP = 3_000.0
+
+
+class TestOperationalMeasures:
+    def test_skip_flow_matches_skip_rate(self, setup):
+        """Stationary skipped-quantum flow = skips per unit time in sim."""
+        cfg, solved = setup
+        sim = GangSimulation(cfg, seed=2, warmup=WARMUP)
+        sim.run(HORIZON)
+        sim_rate = sim.quanta_skipped[0] / HORIZON
+        model_rate = solved.classes[0].measures.skip_probability_flow
+        assert model_rate == pytest.approx(sim_rate, rel=0.05)
+
+    def test_service_fraction_matches_busy_share(self, setup):
+        """P(quantum phase) = fraction of time the class held the CPUs.
+
+        The trace's busy share counts actual quantum time; skipped
+        quanta contribute zero to both sides.
+        """
+        cfg, solved = setup
+        sim = TracingGangSimulation(cfg, seed=3)
+        sim.run(HORIZON)
+        share = sim.trace.busy_share(0, HORIZON)
+        model = solved.classes[0].measures.service_fraction
+        assert model == pytest.approx(share, rel=0.04)
+
+    def test_utilization_matches_rho(self, setup):
+        cfg, solved = setup
+        assert solved.classes[0].measures.utilization == pytest.approx(
+            cfg.utilization(0), rel=1e-6)
+
+    def test_waiting_count_via_little_on_queue(self, setup):
+        """E[waiting jobs] = lambda * E[wait] (Little on the queue)."""
+        from repro.core import waiting_time_distribution
+        cfg, solved = setup
+        wt = waiting_time_distribution(solved, 0)
+        lam = cfg.classes[0].arrival_rate
+        # "Waiting" in the measure = no partition; the tagged-job wait
+        # ends at first service, which also requires the quantum.  The
+        # two notions differ by the partition-holding-but-frozen time,
+        # so Little gives an upper bound here:
+        assert lam * wt.mean >= solved.classes[0].measures.mean_jobs_waiting - 1e-6
+
+    def test_realized_quantum_mean_matches_effective_quantum(self, setup):
+        """Trace-measured quantum durations vs the model's effective
+        quantum (conditional on actually running)."""
+        import numpy as np
+
+        from repro.core.fixed_point import FixedPointOptions, run_fixed_point
+        from repro.core.vacation import effective_quantum
+        cfg, _ = setup
+        res = run_fixed_point(cfg, FixedPointOptions())
+        eq = effective_quantum(res.spaces[0], res.processes[0],
+                               res.solutions[0], res.vacations[0])
+        cond_mean = eq.mean / (1.0 - eq.atom_at_zero)
+        sim = TracingGangSimulation(cfg, seed=4)
+        sim.run(HORIZON)
+        durs = sim.trace.quantum_durations(0)
+        assert cond_mean == pytest.approx(float(np.mean(durs)), rel=0.05)

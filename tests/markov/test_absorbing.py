@@ -1,0 +1,68 @@
+"""Tests for absorbing-chain analysis."""
+
+import numpy as np
+import pytest
+
+from repro.markov import (
+    absorption_probabilities,
+    expected_time_to_absorption,
+    fundamental_matrix,
+)
+from repro.phasetype import erlang, hypoexponential
+
+
+class TestFundamentalMatrix:
+    def test_single_phase(self):
+        N = fundamental_matrix(np.array([[-2.0]]))
+        assert N == pytest.approx(np.array([[0.5]]))
+
+    def test_series_chain(self):
+        # Two stages in series with rates 1 and 2: from stage 0 the
+        # chain spends 1 time unit in 0 and 0.5 in 1.
+        S = np.array([[-1.0, 1.0], [0.0, -2.0]])
+        N = fundamental_matrix(S)
+        assert N == pytest.approx(np.array([[1.0, 0.5], [0.0, 0.5]]))
+
+
+class TestAbsorptionProbabilities:
+    def test_two_exits(self):
+        # One transient state, two absorbing targets with rates 1 and 3.
+        S = np.array([[-4.0]])
+        B = np.array([[1.0, 3.0]])
+        probs = absorption_probabilities(S, B)
+        assert probs == pytest.approx(np.array([[0.25, 0.75]]))
+
+    def test_rows_sum_to_one(self):
+        S = np.array([[-3.0, 1.0], [0.5, -2.0]])
+        B = -np.asarray(S).sum(axis=1, keepdims=True)
+        probs = absorption_probabilities(S, B)
+        assert probs.sum(axis=1) == pytest.approx([1.0, 1.0])
+
+    def test_vector_B_promoted(self):
+        S = np.array([[-1.0]])
+        probs = absorption_probabilities(S, np.array([1.0]))
+        assert probs.shape == (1, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            absorption_probabilities(np.array([[-1.0]]),
+                                     np.array([[1.0], [1.0]]))
+
+
+class TestMeanAbsorptionTime:
+    def test_matches_ph_mean(self):
+        d = erlang(3, mean=2.0)
+        t = expected_time_to_absorption(np.asarray(d.S),
+                                        np.asarray(d.alpha))
+        assert t == pytest.approx(2.0)
+
+    def test_per_state_vector(self):
+        d = hypoexponential([1.0, 2.0])
+        times = expected_time_to_absorption(np.asarray(d.S))
+        # From stage 0: 1 + 0.5; from stage 1: 0.5.
+        assert times == pytest.approx([1.5, 0.5])
+
+    def test_start_shape_checked(self):
+        with pytest.raises(ValueError):
+            expected_time_to_absorption(np.array([[-1.0]]),
+                                        np.array([0.5, 0.5]))

@@ -1,0 +1,81 @@
+"""Tests for the closed-form birth-death oracles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnstableSystemError, ValidationError
+from repro.markov import (
+    birth_death_stationary,
+    mm1_mean_jobs,
+    mmc_erlang_c,
+    mmc_mean_jobs,
+    mmck_blocking_probability,
+)
+from repro.utils.linalg import solve_stationary_gth
+
+
+class TestBirthDeathStationary:
+    def test_mm1_geometric(self):
+        lam, mu = 0.5, 1.0
+        pi = birth_death_stationary(lambda n: lam, lambda n: mu, 200)
+        rho = lam / mu
+        assert pi[:5] == pytest.approx((1 - rho) * rho ** np.arange(5),
+                                       abs=1e-9)
+
+    def test_matches_gth_on_explicit_generator(self):
+        birth = lambda n: 1.0 + 0.1 * n
+        death = lambda n: 2.0 * n
+        levels = 30
+        pi = birth_death_stationary(birth, death, levels)
+        Q = np.zeros((levels, levels))
+        for n in range(levels):
+            if n + 1 < levels:
+                Q[n, n + 1] = birth(n)
+            if n > 0:
+                Q[n, n - 1] = death(n)
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        assert pi == pytest.approx(solve_stationary_gth(Q), abs=1e-10)
+
+    def test_rejects_zero_death(self):
+        with pytest.raises(ValidationError):
+            birth_death_stationary(lambda n: 1.0, lambda n: 0.0, 5)
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValidationError):
+            birth_death_stationary(lambda n: 1.0, lambda n: 1.0, 0)
+
+
+class TestQueueFormulas:
+    def test_mm1(self):
+        assert mm1_mean_jobs(0.5, 1.0) == pytest.approx(1.0)
+        with pytest.raises(UnstableSystemError):
+            mm1_mean_jobs(1.0, 1.0)
+
+    def test_erlang_c_bounds(self):
+        c = mmc_erlang_c(3.0, 1.0, 4)
+        assert 0.0 < c < 1.0
+
+    def test_mmc_reduces_to_mm1(self):
+        assert mmc_mean_jobs(0.5, 1.0, 1) == pytest.approx(mm1_mean_jobs(0.5, 1.0))
+
+    def test_mmc_matches_birth_death(self):
+        lam, mu, c = 2.5, 1.0, 4
+        pi = birth_death_stationary(lambda n: lam,
+                                    lambda n: min(n, c) * mu, 400)
+        direct = float(np.arange(400) @ pi)
+        assert mmc_mean_jobs(lam, mu, c) == pytest.approx(direct, rel=1e-8)
+
+    def test_mmck_blocking(self):
+        # M/M/1/1 (Erlang loss with one server): B = a/(1+a).
+        lam, mu = 2.0, 1.0
+        a = lam / mu
+        assert mmck_blocking_probability(lam, mu, 1, 1) == \
+            pytest.approx(a / (1 + a))
+
+    def test_mmck_capacity_check(self):
+        with pytest.raises(ValidationError):
+            mmck_blocking_probability(1.0, 1.0, 4, 2)
+
+    def test_mmck_large_K_approaches_mmc(self):
+        # With huge capacity and stable load, blocking vanishes.
+        assert mmck_blocking_probability(0.5, 1.0, 2, 200) < 1e-10

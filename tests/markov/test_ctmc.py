@@ -1,0 +1,124 @@
+"""Tests for ContinuousTimeMarkovChain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotAGeneratorError, ReducibleChainError
+from repro.markov import ContinuousTimeMarkovChain
+
+
+@pytest.fixture
+def birth_death():
+    """3-state birth-death chain with known stationary vector."""
+    Q = np.array([
+        [-1.0, 1.0, 0.0],
+        [2.0, -3.0, 1.0],
+        [0.0, 2.0, -2.0],
+    ])
+    return ContinuousTimeMarkovChain(Q)
+
+
+class TestConstruction:
+    def test_validates_generator(self):
+        with pytest.raises(NotAGeneratorError):
+            ContinuousTimeMarkovChain([[1.0, -1.0], [0.0, 0.0]])
+
+    def test_labels(self):
+        c = ContinuousTimeMarkovChain([[-1.0, 1.0], [1.0, -1.0]],
+                                      labels=["idle", "busy"])
+        assert c.state_index("busy") == 1
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ContinuousTimeMarkovChain([[0.0]], labels=["a", "b"])
+
+    def test_q_is_readonly(self, birth_death):
+        with pytest.raises(ValueError):
+            birth_death.Q[0, 0] = -5.0
+
+
+class TestStructure:
+    def test_irreducible(self, birth_death):
+        assert birth_death.is_irreducible()
+
+    def test_reducible_detected(self):
+        Q = np.array([[-1.0, 1.0, 0.0],
+                      [1.0, -1.0, 0.0],
+                      [0.0, 1.0, -1.0]])
+        c = ContinuousTimeMarkovChain(Q)
+        assert not c.is_irreducible()
+        classes = c.communicating_classes()
+        assert sorted(map(sorted, classes)) == [[0, 1], [2]]
+
+    def test_max_exit_rate(self, birth_death):
+        assert birth_death.max_exit_rate == 3.0
+
+    def test_single_state_is_irreducible(self):
+        assert ContinuousTimeMarkovChain([[0.0]]).is_irreducible()
+
+
+class TestStationary:
+    def test_detailed_balance_solution(self, birth_death):
+        pi = birth_death.stationary_distribution()
+        # Birth-death: pi_{i+1}/pi_i = birth/death.
+        assert pi[1] / pi[0] == pytest.approx(1.0 / 2.0)
+        assert pi[2] / pi[1] == pytest.approx(1.0 / 2.0)
+
+    def test_methods_agree(self, birth_death):
+        a = birth_death.stationary_distribution(method="gth")
+        b = birth_death.stationary_distribution(method="direct")
+        assert a == pytest.approx(b)
+
+    def test_reducible_raises(self):
+        Q = np.array([[0.0, 0.0], [1.0, -1.0]])
+        with pytest.raises(ReducibleChainError):
+            ContinuousTimeMarkovChain(Q).stationary_distribution()
+
+    def test_expected_rewards(self, birth_death):
+        pi = birth_death.stationary_distribution()
+        r = np.array([0.0, 1.0, 2.0])
+        assert birth_death.expected_rewards(r) == pytest.approx(pi @ r)
+
+    def test_rewards_shape_checked(self, birth_death):
+        with pytest.raises(ValueError):
+            birth_death.expected_rewards([1.0])
+
+
+class TestTransient:
+    def test_converges_to_stationary(self, birth_death):
+        p0 = np.array([1.0, 0.0, 0.0])
+        pt = birth_death.transient_distribution(p0, 200.0)
+        assert pt == pytest.approx(birth_death.stationary_distribution(),
+                                   abs=1e-8)
+
+    def test_zero_time_identity(self, birth_death):
+        p0 = np.array([0.0, 1.0, 0.0])
+        assert birth_death.transient_distribution(p0, 0.0) == pytest.approx(p0)
+
+    def test_matches_expm(self, birth_death):
+        from scipy.linalg import expm
+        p0 = np.array([0.2, 0.5, 0.3])
+        t = 0.7
+        expect = p0 @ expm(np.asarray(birth_death.Q) * t)
+        got = birth_death.transient_distribution(p0, t)
+        assert got == pytest.approx(expect, abs=1e-10)
+
+
+class TestSamplePath:
+    def test_occupation_fractions_converge(self, birth_death, rng):
+        times, states = birth_death.sample_path(rng, [1.0, 0.0, 0.0],
+                                                horizon=20_000.0)
+        # Time-weighted occupancy ~ stationary distribution.
+        pi = birth_death.stationary_distribution()
+        bounds = np.append(times, 20_000.0)
+        occ = np.zeros(3)
+        for s, t0, t1 in zip(states, bounds[:-1], bounds[1:]):
+            occ[s] += t1 - t0
+        occ /= occ.sum()
+        assert occ == pytest.approx(pi, abs=0.02)
+
+    def test_absorbing_state_ends_path(self, rng):
+        Q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        c = ContinuousTimeMarkovChain(Q)
+        times, states = c.sample_path(rng, [1.0, 0.0], horizon=1e6)
+        assert states[-1] == 1

@@ -1,0 +1,90 @@
+"""Tests for DiscreteTimeMarkovChain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotStochasticError, ReducibleChainError
+from repro.markov import DiscreteTimeMarkovChain
+
+
+@pytest.fixture
+def weather():
+    P = np.array([[0.7, 0.3], [0.4, 0.6]])
+    return DiscreteTimeMarkovChain(P)
+
+
+class TestConstruction:
+    def test_validates(self):
+        with pytest.raises(NotStochasticError):
+            DiscreteTimeMarkovChain([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_labels(self):
+        c = DiscreteTimeMarkovChain([[1.0]], labels=["x"])
+        assert c.labels == ["x"]
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            DiscreteTimeMarkovChain([[1.0]], labels=["x", "y"])
+
+
+class TestStructure:
+    def test_irreducible(self, weather):
+        assert weather.is_irreducible()
+
+    def test_reducible(self):
+        P = np.array([[1.0, 0.0], [0.5, 0.5]])
+        assert not DiscreteTimeMarkovChain(P).is_irreducible()
+
+    def test_aperiodic_with_self_loop(self, weather):
+        assert weather.is_aperiodic()
+
+    def test_periodic_cycle_detected(self):
+        P = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert not DiscreteTimeMarkovChain(P).is_aperiodic()
+
+    def test_odd_cycle_is_aperiodic(self):
+        P = np.array([
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.5, 0.5, 0.0],
+        ])
+        # Cycles of length 2 and 3 coexist -> gcd 1.
+        assert DiscreteTimeMarkovChain(P).is_aperiodic()
+
+
+class TestStationary:
+    def test_known_solution(self, weather):
+        pi = weather.stationary_distribution()
+        assert pi == pytest.approx([4 / 7, 3 / 7])
+
+    def test_power_matches_gth(self, weather):
+        a = weather.stationary_distribution(method="gth")
+        b = weather.stationary_distribution(method="power")
+        assert a == pytest.approx(b, abs=1e-10)
+
+    def test_reducible_raises(self):
+        P = np.array([[1.0, 0.0], [0.5, 0.5]])
+        with pytest.raises(ReducibleChainError):
+            DiscreteTimeMarkovChain(P).stationary_distribution()
+
+    def test_unknown_method(self, weather):
+        with pytest.raises(ValueError):
+            weather.stationary_distribution(method="magic")
+
+
+class TestStepDistribution:
+    def test_zero_steps(self, weather):
+        p0 = [1.0, 0.0]
+        assert weather.step_distribution(p0, 0) == pytest.approx(p0)
+
+    def test_one_step(self, weather):
+        assert weather.step_distribution([1.0, 0.0], 1) == \
+            pytest.approx([0.7, 0.3])
+
+    def test_many_steps_converge(self, weather):
+        p = weather.step_distribution([1.0, 0.0], 200)
+        assert p == pytest.approx(weather.stationary_distribution(), abs=1e-12)
+
+    def test_negative_steps_rejected(self, weather):
+        with pytest.raises(ValueError):
+            weather.step_distribution([1.0, 0.0], -1)

@@ -1,0 +1,121 @@
+"""Tests for first-passage analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.markov.firstpassage import (
+    first_passage_ph,
+    hitting_probabilities,
+    mean_hitting_times,
+)
+
+
+@pytest.fixture
+def ring():
+    """3-state unidirectional ring with unit rates."""
+    return np.array([
+        [-1.0, 1.0, 0.0],
+        [0.0, -1.0, 1.0],
+        [1.0, 0.0, -1.0],
+    ])
+
+
+class TestMeanHittingTimes:
+    def test_ring(self, ring):
+        # From 0 to 2: two unit-rate hops.
+        t = mean_hitting_times(ring, [2])
+        assert t == pytest.approx([2.0, 1.0, 0.0])
+
+    def test_birth_death(self):
+        # M/M/1-like: hitting 0 from 1 is the busy period mean
+        # 1/(mu - lam) for lam < mu.
+        lam, mu = 0.5, 1.0
+        n = 60
+        Q = np.zeros((n, n))
+        for i in range(n):
+            if i + 1 < n:
+                Q[i, i + 1] = lam
+            if i > 0:
+                Q[i, i - 1] = mu
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        t = mean_hitting_times(Q, [0])
+        assert t[1] == pytest.approx(1.0 / (mu - lam), rel=1e-6)
+
+    def test_unreachable_is_inf(self):
+        Q = np.array([
+            [0.0, 0.0, 0.0],       # absorbing, not the target
+            [1.0, -1.0, 0.0],
+            [0.0, 1.0, -1.0],
+        ])
+        t = mean_hitting_times(Q, [2])
+        assert t[0] == np.inf
+
+    def test_empty_target_rejected(self, ring):
+        with pytest.raises(ValidationError):
+            mean_hitting_times(ring, [])
+
+    def test_out_of_range_rejected(self, ring):
+        with pytest.raises(ValidationError):
+            mean_hitting_times(ring, [7])
+
+
+class TestHittingProbabilities:
+    def test_gambler_ruin(self):
+        # Symmetric walk on 0..4, absorbing ends: P(hit 4 before 0 | i)
+        # = i/4.
+        n = 5
+        Q = np.zeros((n, n))
+        for i in range(1, n - 1):
+            Q[i, i - 1] = 1.0
+            Q[i, i + 1] = 1.0
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        probs = hitting_probabilities(Q, target=[4], avoid=[0])
+        assert probs == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_biased_walk(self):
+        p_up, p_dn = 2.0, 1.0
+        n = 4
+        Q = np.zeros((n, n))
+        for i in range(1, n - 1):
+            Q[i, i - 1] = p_dn
+            Q[i, i + 1] = p_up
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        probs = hitting_probabilities(Q, target=[n - 1], avoid=[0])
+        # Classical ruin formula with r = dn/up = 1/2.
+        r = p_dn / p_up
+        expect = [(1 - r ** i) / (1 - r ** (n - 1)) for i in range(n)]
+        assert probs == pytest.approx(expect)
+
+    def test_disjointness_enforced(self, ring):
+        with pytest.raises(ValidationError):
+            hitting_probabilities(ring, target=[1], avoid=[1])
+
+
+class TestFirstPassagePH:
+    def test_matches_mean_hitting_time(self, ring):
+        start = np.array([1.0, 0.0, 0.0])
+        d = first_passage_ph(ring, [2], start)
+        assert d.mean == pytest.approx(mean_hitting_times(ring, [2])[0])
+
+    def test_atom_when_starting_in_target(self, ring):
+        start = np.array([0.5, 0.0, 0.5])
+        d = first_passage_ph(ring, [2], start)
+        assert d.atom_at_zero == pytest.approx(0.5)
+
+    def test_distribution_is_erlang_for_series(self):
+        # Ring 0 -> 1 -> 2 with unit rates, starting at 0: Erlang-2.
+        Q = np.array([
+            [-1.0, 1.0, 0.0],
+            [0.0, -1.0, 1.0],
+            [0.0, 0.0, 0.0],
+        ])
+        d = first_passage_ph(Q, [2], np.array([1.0, 0.0, 0.0]))
+        from repro.phasetype import erlang
+        ref = erlang(2, rate=1.0)
+        xs = np.linspace(0.1, 5, 12)
+        assert d.cdf(xs) == pytest.approx(ref.cdf(xs), abs=1e-10)
+
+    def test_start_shape_checked(self, ring):
+        with pytest.raises(ValidationError):
+            first_passage_ph(ring, [2], np.array([1.0, 0.0]))

@@ -1,0 +1,74 @@
+"""Property-based tests for the Markov toolkit."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.markov import DiscreteTimeMarkovChain
+from repro.markov.uniformization import uniformize
+from repro.utils.linalg import (
+    solve_stationary_dtmc,
+    solve_stationary_gth,
+    stationary_from_generator,
+)
+
+
+@st.composite
+def irreducible_generators(draw, max_n: int = 6):
+    """Dense random generators — strictly positive off-diagonals."""
+    n = draw(st.integers(2, max_n))
+    raw = draw(hnp.arrays(
+        np.float64, (n, n),
+        elements=st.floats(0.05, 5.0, allow_nan=False, allow_infinity=False),
+    ))
+    Q = raw.copy()
+    np.fill_diagonal(Q, 0.0)
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    return Q
+
+
+@given(Q=irreducible_generators())
+@settings(max_examples=50, deadline=None)
+def test_gth_solves_balance_equations(Q):
+    pi = solve_stationary_gth(Q)
+    assert np.all(pi > 0)
+    np.testing.assert_allclose(pi.sum(), 1.0, rtol=1e-12)
+    np.testing.assert_allclose(pi @ Q, 0.0, atol=1e-9)
+
+
+@given(Q=irreducible_generators())
+@settings(max_examples=50, deadline=None)
+def test_gth_agrees_with_direct_solver(Q):
+    a = solve_stationary_gth(Q)
+    b = stationary_from_generator(Q, method="direct")
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+@given(Q=irreducible_generators())
+@settings(max_examples=50, deadline=None)
+def test_uniformization_preserves_stationary_vector(Q):
+    # The paper's Section 2.4 equivalence, as a universal property.
+    P, rate = uniformize(Q)
+    pi_c = solve_stationary_gth(Q)
+    pi_d = solve_stationary_dtmc(P)
+    np.testing.assert_allclose(pi_c, pi_d, atol=1e-9)
+    assert rate >= np.max(-np.diag(Q)) - 1e-12
+
+
+@given(Q=irreducible_generators(), slack=st.floats(1.0, 3.0))
+@settings(max_examples=30, deadline=None)
+def test_uniformization_rate_slack_keeps_stochasticity(Q, slack):
+    rate = np.max(-np.diag(Q)) * slack
+    P, _ = uniformize(Q, q_max=rate)
+    assert np.all(P >= 0)
+    np.testing.assert_allclose(P.sum(axis=1), 1.0, atol=1e-12)
+
+
+@given(Q=irreducible_generators())
+@settings(max_examples=30, deadline=None)
+def test_uniformized_chain_aperiodic_when_diagonal_positive(Q):
+    P, _ = uniformize(Q)
+    chain = DiscreteTimeMarkovChain(P)
+    if np.any(np.diag(P) > 0):
+        assert chain.is_aperiodic()

@@ -1,0 +1,162 @@
+"""Tests for PH closure operations (Theorem 2.5 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.phasetype import (
+    PhaseType,
+    convolve,
+    convolve_many,
+    erlang,
+    exponential,
+    hyperexponential,
+    maximum,
+    minimum,
+    mixture,
+    scale,
+)
+
+
+class TestConvolve:
+    def test_means_add(self):
+        f = exponential(1.0)
+        g = erlang(2, mean=3.0)
+        assert convolve(f, g).mean == pytest.approx(f.mean + g.mean)
+
+    def test_variances_add(self):
+        f = erlang(2, mean=1.0)
+        g = hyperexponential([0.5, 0.5], [1.0, 4.0])
+        assert convolve(f, g).variance == pytest.approx(f.variance + g.variance)
+
+    def test_order_adds(self):
+        assert convolve(erlang(2, rate=1.0), erlang(3, rate=1.0)).order == 5
+
+    def test_two_exponentials_make_erlang(self):
+        c = convolve(exponential(2.0), exponential(2.0))
+        e = erlang(2, rate=2.0)
+        xs = np.linspace(0.01, 5, 50)
+        assert c.cdf(xs) == pytest.approx(e.cdf(xs), abs=1e-10)
+
+    def test_theorem_2_5_block_structure(self):
+        f, g = erlang(2, rate=1.0), exponential(3.0)
+        c = convolve(f, g)
+        # Upper-left block is S_F; coupling is exit(F) x alpha(G).
+        assert np.allclose(c.S[:2, :2], f.S)
+        assert np.allclose(c.S[:2, 2:], np.outer(f.exit_rates, g.alpha))
+        assert np.allclose(c.S[2:, 2:], g.S)
+
+    def test_atom_in_first_operand(self):
+        f = PhaseType([0.5], [[-1.0]])      # atom 0.5 at zero
+        g = exponential(1.0)
+        c = convolve(f, g)
+        # X + Y where X = 0 w.p. 1/2: mean = 0.5*1 + 1 = 1.5.
+        assert c.mean == pytest.approx(1.5)
+        assert c.atom_at_zero == pytest.approx(0.0)
+
+    def test_atoms_multiply(self):
+        f = PhaseType([0.5], [[-1.0]])    # atom 0.5
+        g = PhaseType([0.25], [[-1.0]])   # atom 0.75
+        assert convolve(f, g).atom_at_zero == pytest.approx(0.5 * 0.75)
+
+    def test_laplace_transforms_multiply(self):
+        f = erlang(2, mean=1.0)
+        g = exponential(0.7)
+        c = convolve(f, g)
+        for s in [0.3, 1.0, 2.5]:
+            assert c.laplace_transform(s) == pytest.approx(
+                f.laplace_transform(s) * g.laplace_transform(s))
+
+
+class TestConvolveMany:
+    def test_matches_paper_vacation_structure(self):
+        # C_p * G_{p+1} * C_{p+1}: order sums, mean sums.
+        parts = [exponential(mean=0.01), exponential(mean=2.0),
+                 exponential(mean=0.01)]
+        v = convolve_many(parts)
+        assert v.order == 3
+        assert v.mean == pytest.approx(2.02)
+
+    def test_single_element(self):
+        f = erlang(2, mean=1.0)
+        assert convolve_many([f]) is f
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            convolve_many([])
+
+
+class TestMixture:
+    def test_mean_is_convex_combination(self):
+        f, g = exponential(1.0), exponential(0.25)
+        m = mixture([0.3, 0.7], [f, g])
+        assert m.mean == pytest.approx(0.3 * f.mean + 0.7 * g.mean)
+
+    def test_cdf_is_convex_combination(self):
+        f, g = erlang(2, mean=1.0), exponential(2.0)
+        m = mixture([0.5, 0.5], [f, g])
+        xs = np.linspace(0.0, 4.0, 9)
+        assert m.cdf(xs) == pytest.approx(0.5 * f.cdf(xs) + 0.5 * g.cdf(xs))
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValidationError):
+            mixture([0.5, 0.6], [exponential(1.0), exponential(2.0)])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            mixture([1.0], [exponential(1.0), exponential(2.0)])
+
+
+class TestScale:
+    def test_mean_scales(self):
+        d = scale(erlang(3, mean=1.0), 4.0)
+        assert d.mean == pytest.approx(4.0)
+
+    def test_scv_invariant(self):
+        base = erlang(3, mean=1.0)
+        assert scale(base, 7.0).scv == pytest.approx(base.scv)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            scale(exponential(1.0), -2.0)
+
+
+class TestMinimum:
+    def test_exponential_minimum_rate_adds(self):
+        m = minimum(exponential(2.0), exponential(3.0))
+        assert m.mean == pytest.approx(1.0 / 5.0)
+
+    def test_sf_multiplies(self):
+        f = erlang(2, mean=1.0)
+        g = exponential(1.5)
+        m = minimum(f, g)
+        for x in [0.2, 1.0, 3.0]:
+            assert m.sf(x) == pytest.approx(f.sf(x) * g.sf(x))
+
+    def test_sampled_agreement(self, rng):
+        f, g = erlang(2, mean=2.0), exponential(1.0)
+        m = minimum(f, g)
+        direct = np.minimum(f.sample(rng, 30_000), g.sample(rng, 30_000))
+        assert m.mean == pytest.approx(direct.mean(), rel=0.05)
+
+
+class TestMaximum:
+    def test_cdf_multiplies(self):
+        f = exponential(1.0)
+        g = erlang(2, mean=1.0)
+        m = maximum(f, g)
+        for x in [0.2, 1.0, 3.0]:
+            assert m.cdf(x) == pytest.approx(f.cdf(x) * g.cdf(x), abs=1e-9)
+
+    def test_exponential_pair_mean(self):
+        # E[max] = 1/a + 1/b - 1/(a+b).
+        a, b = 2.0, 3.0
+        m = maximum(exponential(a), exponential(b))
+        assert m.mean == pytest.approx(1 / a + 1 / b - 1 / (a + b))
+
+    def test_min_max_mean_identity(self):
+        # E[min] + E[max] = E[X] + E[Y].
+        f = erlang(2, mean=1.5)
+        g = hyperexponential([0.5, 0.5], [1.0, 3.0])
+        total = minimum(f, g).mean + maximum(f, g).mean
+        assert total == pytest.approx(f.mean + g.mean)

@@ -1,0 +1,125 @@
+"""Tests for the named PH families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.phasetype import (
+    coxian,
+    erlang,
+    exponential,
+    generalized_erlang,
+    hyperexponential,
+    hypoexponential,
+)
+
+
+class TestExponential:
+    def test_by_rate(self):
+        assert exponential(4.0).mean == pytest.approx(0.25)
+
+    def test_by_mean(self):
+        assert exponential(mean=0.25).rate == pytest.approx(4.0)
+
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(ValidationError):
+            exponential()
+        with pytest.raises(ValidationError):
+            exponential(1.0, mean=1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            exponential(0.0)
+        with pytest.raises(ValidationError):
+            exponential(mean=-1.0)
+
+
+class TestErlang:
+    def test_mean_parameterization_matches_paper(self):
+        # Paper Section 2.5: K-stage Erlang with mean 1/mu has stage
+        # rate K*mu.
+        d = erlang(4, mean=0.5)
+        assert d.S[0, 0] == pytest.approx(-8.0)
+        assert d.mean == pytest.approx(0.5)
+
+    def test_scv(self):
+        for k in (1, 2, 5, 10):
+            assert erlang(k, rate=1.0).scv == pytest.approx(1.0 / k)
+
+    def test_k1_is_exponential(self):
+        assert erlang(1, rate=2.0).mean == exponential(2.0).mean
+
+    def test_rejects_k0(self):
+        with pytest.raises(ValidationError):
+            erlang(0, rate=1.0)
+
+    def test_requires_one_parameter(self):
+        with pytest.raises(ValidationError):
+            erlang(2)
+
+
+class TestHypoexponential:
+    def test_mean_is_sum(self):
+        d = hypoexponential([1.0, 2.0, 4.0])
+        assert d.mean == pytest.approx(1.0 + 0.5 + 0.25)
+
+    def test_variance_is_sum(self):
+        d = hypoexponential([1.0, 2.0])
+        assert d.variance == pytest.approx(1.0 + 0.25)
+
+    def test_generalized_erlang_alias(self):
+        a = generalized_erlang([1.0, 3.0])
+        b = hypoexponential([1.0, 3.0])
+        assert a == b
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            hypoexponential([])
+
+
+class TestHyperexponential:
+    def test_mean(self):
+        d = hyperexponential([0.25, 0.75], [1.0, 3.0])
+        assert d.mean == pytest.approx(0.25 / 1.0 + 0.75 / 3.0)
+
+    def test_scv_at_least_one(self):
+        d = hyperexponential([0.5, 0.5], [0.1, 10.0])
+        assert d.scv >= 1.0
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValidationError):
+            hyperexponential([0.5, 0.4], [1.0, 2.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            hyperexponential([1.0], [1.0, 2.0])
+
+
+class TestCoxian:
+    def test_all_exit_probability_one_is_exponential(self):
+        d = coxian([2.0], [1.0])
+        assert d.mean == pytest.approx(0.5)
+
+    def test_never_exit_early_is_hypoexponential(self):
+        d = coxian([1.0, 2.0], [0.0, 1.0])
+        assert d.mean == pytest.approx(hypoexponential([1.0, 2.0]).mean)
+
+    def test_early_exit_shortens_mean(self):
+        long = coxian([1.0, 1.0], [0.0, 1.0])
+        short = coxian([1.0, 1.0], [0.9, 1.0])
+        assert short.mean < long.mean
+        # Exact: 1 + (1 - p1) * 1.
+        assert short.mean == pytest.approx(1.0 + 0.1)
+
+    def test_final_probability_must_be_one(self):
+        with pytest.raises(ValidationError):
+            coxian([1.0, 2.0], [0.5, 0.5])
+
+    def test_probabilities_in_unit_interval(self):
+        with pytest.raises(ValidationError):
+            coxian([1.0, 2.0], [1.5, 1.0])
+
+    def test_sampling_matches_mean(self, rng):
+        d = coxian([2.0, 1.0], [0.3, 1.0])
+        xs = d.sample(rng, size=30_000)
+        assert xs.mean() == pytest.approx(d.mean, rel=0.05)

@@ -1,0 +1,88 @@
+"""Tests for hyper-Erlang EM fitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.phasetype import erlang, exponential, hyperexponential
+from repro.phasetype.em import fit_hyper_erlang, fit_ph_em
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestFitHyperErlang:
+    def test_recovers_exponential(self, rng):
+        data = rng.exponential(2.0, size=5000)
+        fit = fit_hyper_erlang(data, [1])
+        assert fit.distribution.mean == pytest.approx(2.0, rel=0.05)
+        assert fit.distribution.scv == pytest.approx(1.0, rel=0.1)
+
+    def test_recovers_erlang(self, rng):
+        true = erlang(4, mean=2.0)
+        data = true.sample(rng, size=6000)
+        fit = fit_hyper_erlang(data, [4])
+        assert fit.distribution.mean == pytest.approx(2.0, rel=0.05)
+        assert fit.rates[0] == pytest.approx(2.0, rel=0.1)   # k/mean
+
+    def test_recovers_hyperexponential_mixture(self, rng):
+        true = hyperexponential([0.3, 0.7], [0.2, 2.0])
+        data = true.sample(rng, size=8000)
+        fit = fit_hyper_erlang(data, [1, 1])
+        assert fit.distribution.mean == pytest.approx(true.mean, rel=0.08)
+        assert fit.distribution.scv == pytest.approx(true.scv, rel=0.25)
+
+    def test_likelihood_monotone_in_structure_freedom(self, rng):
+        data = rng.gamma(2.0, 1.0, size=3000)
+        single = fit_hyper_erlang(data, [2])
+        richer = fit_hyper_erlang(data, [1, 2])
+        # Extra branch can only help at the global optimum; EM may stop
+        # a whisker short of it, hence the tolerance.
+        assert richer.log_likelihood >= single.log_likelihood - 1e-4
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValidationError):
+            fit_hyper_erlang([1.0, -2.0], [1])
+
+    def test_rejects_empty_orders(self, rng):
+        with pytest.raises(ValidationError):
+            fit_hyper_erlang(rng.exponential(1.0, 100), [])
+
+    def test_weights_sum_to_one(self, rng):
+        data = rng.exponential(1.0, 2000)
+        fit = fit_hyper_erlang(data, [1, 2, 3])
+        assert sum(fit.weights) == pytest.approx(1.0)
+
+
+class TestFitPhEM:
+    def test_low_variability_picks_erlang_like(self, rng):
+        data = erlang(4, mean=1.0).sample(rng, size=6000)
+        fit = fit_ph_em(data, total_order=4)
+        assert fit.distribution.scv == pytest.approx(0.25, rel=0.25)
+
+    def test_high_variability_picks_mixture(self, rng):
+        true = hyperexponential([0.2, 0.8], [0.1, 2.0])
+        data = true.sample(rng, size=8000)
+        fit = fit_ph_em(data, total_order=4)
+        assert fit.distribution.scv > 1.5
+        assert len(fit.orders) >= 2
+
+    def test_result_usable_in_model(self, rng):
+        """Fitted distributions drop straight into the gang model."""
+        from repro.core import ClassConfig, GangSchedulingModel, SystemConfig
+        data = rng.gamma(2.0, 0.5, size=4000)
+        fitted = fit_ph_em(data, total_order=3).distribution
+        cfg = SystemConfig(processors=2, classes=(
+            ClassConfig(partition_size=1,
+                        arrival=exponential(0.4),
+                        service=fitted.rescaled(1.0),
+                        quantum=exponential(mean=2.0),
+                        overhead=exponential(mean=0.1)),))
+        solved = GangSchedulingModel(cfg).solve()
+        assert solved.mean_jobs(0) > 0
+
+    def test_total_order_validated(self, rng):
+        with pytest.raises(ValidationError):
+            fit_ph_em(rng.exponential(1.0, 100), total_order=0)

@@ -1,0 +1,62 @@
+"""Tests for PH equilibrium (stationary-excess) distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.phasetype import (
+    equilibrium,
+    erlang,
+    exponential,
+    hyperexponential,
+    residual_moment,
+)
+
+
+class TestEquilibrium:
+    def test_exponential_is_fixed_point(self):
+        # Memorylessness: the equilibrium of Exp is itself.
+        d = exponential(2.0)
+        e = equilibrium(d)
+        xs = np.linspace(0.01, 5, 20)
+        assert e.cdf(xs) == pytest.approx(d.cdf(xs), abs=1e-10)
+
+    def test_mean_identity(self):
+        # E[X_e] = E[X^2] / (2 E[X]).
+        for d in (erlang(3, mean=2.0),
+                  hyperexponential([0.4, 0.6], [0.5, 3.0])):
+            assert equilibrium(d).mean == pytest.approx(
+                d.moment(2) / (2 * d.mean))
+
+    def test_density_is_scaled_survival(self):
+        d = erlang(2, mean=1.0)
+        e = equilibrium(d)
+        xs = np.linspace(0.05, 6, 25)
+        assert e.pdf(xs) == pytest.approx(d.sf(xs) / d.mean, abs=1e-9)
+
+    def test_erlang_equilibrium_mean(self):
+        # Erlang-2 mean 1: m2 = 1.5 -> equilibrium mean 0.75.
+        assert equilibrium(erlang(2, mean=1.0)).mean == pytest.approx(0.75)
+
+    def test_low_variability_shortens_residual(self):
+        # SCV < 1: residual shorter than original mean; SCV > 1: longer.
+        low = erlang(5, mean=1.0)
+        high = hyperexponential([0.5, 0.5], [0.25, 4.0])
+        assert equilibrium(low).mean < low.mean
+        assert equilibrium(high).mean > high.mean
+
+
+class TestResidualMoment:
+    def test_matches_equilibrium_moments(self):
+        d = erlang(3, mean=2.0)
+        e = equilibrium(d)
+        for k in (1, 2, 3):
+            assert residual_moment(d, k) == pytest.approx(e.moment(k),
+                                                          rel=1e-9)
+
+    def test_zeroth_moment_is_one(self):
+        assert residual_moment(exponential(1.0), 0) == pytest.approx(1.0)
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ValidationError):
+            residual_moment(exponential(1.0), -1)

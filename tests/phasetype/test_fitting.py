@@ -1,0 +1,98 @@
+"""Tests for moment-matching PH fitting."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.phasetype import fit_moments, match_three_moments, match_two_moments
+
+
+class TestTwoMoments:
+    @pytest.mark.parametrize("mean,scv", [
+        (1.0, 1.0), (2.5, 0.5), (0.3, 0.07), (1.0, 4.0), (10.0, 1.8),
+        (0.01, 0.33),
+    ])
+    def test_matches_exactly(self, mean, scv):
+        d = match_two_moments(mean, scv)
+        assert d.mean == pytest.approx(mean, rel=1e-9)
+        assert d.scv == pytest.approx(scv, rel=1e-9)
+
+    def test_scv_one_is_exponential(self):
+        assert match_two_moments(2.0, 1.0).order == 1
+
+    def test_high_scv_is_order_two(self):
+        assert match_two_moments(1.0, 5.0).order == 2
+
+    def test_low_scv_order_grows(self):
+        d = match_two_moments(1.0, 0.1)
+        assert 10 <= d.order <= 11
+
+    def test_scv_floor_capped(self):
+        d = match_two_moments(1.0, 1e-6)
+        assert d.mean == pytest.approx(1.0, rel=1e-9)
+        assert d.order <= 100
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            match_two_moments(-1.0, 1.0)
+        with pytest.raises(ValidationError):
+            match_two_moments(1.0, 0.0)
+
+
+class TestThreeMoments:
+    @pytest.mark.parametrize("m", [
+        # Moments of genuine Coxian-2 distributions (hence feasible):
+        # coxian([2, 1], [0.4, 1]) and two high-variability triples.
+        (1.1, 2.3, 7.05),
+        (1.0, 2.5, 10.0),
+        (1.0, 3.0, 16.0),
+    ])
+    def test_matches_when_feasible(self, m):
+        d = match_three_moments(*m)
+        for k, target in enumerate(m, start=1):
+            assert d.moment(k) == pytest.approx(target, rel=1e-5)
+
+    def test_exponential_shortcut(self):
+        d = match_three_moments(2.0, 8.0, 48.0)
+        assert d.order == 1
+
+    def test_falls_back_on_infeasible(self):
+        # Deterministic-like moments (scv ~ 0) are infeasible for Coxian-2;
+        # the fallback still matches the mean.
+        d = match_three_moments(1.0, 1.0 + 1e-9, 1.0)
+        assert d.mean == pytest.approx(1.0, rel=0.05)
+
+    def test_strict_raises_on_infeasible(self):
+        with pytest.raises(ValidationError):
+            match_three_moments(1.0, 1.0 + 1e-9, 1.0, strict=True)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            match_three_moments(1.0, -2.0, 6.0)
+
+
+class TestFitMoments:
+    def test_one_moment(self):
+        d = fit_moments([3.0])
+        assert d.order == 1 and d.mean == pytest.approx(3.0)
+
+    def test_two_moments(self):
+        d = fit_moments([1.0, 3.0])  # scv = 2
+        assert d.scv == pytest.approx(2.0, rel=1e-9)
+
+    def test_three_moments(self):
+        d = fit_moments([1.0, 2.5, 10.0])
+        assert d.moment(3) == pytest.approx(10.0, rel=1e-5)
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValidationError):
+            fit_moments([])
+        with pytest.raises(ValidationError):
+            fit_moments([1.0, 2.0, 3.0, 4.0])
+
+    def test_infeasible_pair_fallback(self):
+        d = fit_moments([1.0, 0.5])   # m2 < m1^2 impossible
+        assert d.mean == pytest.approx(1.0, rel=1e-6)
+
+    def test_infeasible_pair_strict(self):
+        with pytest.raises(ValidationError):
+            fit_moments([1.0, 0.5], strict=True)

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the PH algebra.
+
+Strategies generate random *valid* PH distributions from the named
+families; properties assert the algebraic identities that must hold
+for every member of the class.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phasetype import (
+    convolve,
+    erlang,
+    exponential,
+    hyperexponential,
+    hypoexponential,
+    match_two_moments,
+    maximum,
+    minimum,
+    mixture,
+    scale,
+)
+
+rates = st.floats(min_value=0.05, max_value=20.0,
+                  allow_nan=False, allow_infinity=False)
+means = st.floats(min_value=0.05, max_value=50.0,
+                  allow_nan=False, allow_infinity=False)
+scvs = st.floats(min_value=0.02, max_value=20.0,
+                 allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def phase_types(draw):
+    """A random small PH distribution from a random family."""
+    kind = draw(st.sampled_from(["exp", "erlang", "hypo", "hyper"]))
+    if kind == "exp":
+        return exponential(draw(rates))
+    if kind == "erlang":
+        return erlang(draw(st.integers(1, 5)), rate=draw(rates))
+    if kind == "hypo":
+        n = draw(st.integers(1, 4))
+        return hypoexponential([draw(rates) for _ in range(n)])
+    n = draw(st.integers(2, 4))
+    ws = [draw(st.floats(0.05, 1.0)) for _ in range(n)]
+    total = sum(ws)
+    return hyperexponential([w / total for w in ws],
+                            [draw(rates) for _ in range(n)])
+
+
+@given(f=phase_types(), g=phase_types())
+@settings(max_examples=60, deadline=None)
+def test_convolution_means_and_variances_add(f, g):
+    c = convolve(f, g)
+    np.testing.assert_allclose(c.mean, f.mean + g.mean, rtol=1e-8)
+    np.testing.assert_allclose(c.variance, f.variance + g.variance,
+                               rtol=1e-6, atol=1e-12)
+
+
+@given(f=phase_types(), g=phase_types(),
+       x=st.floats(min_value=0.0, max_value=30.0))
+@settings(max_examples=60, deadline=None)
+def test_min_max_survival_identities(f, g, x):
+    np.testing.assert_allclose(minimum(f, g).sf(x), f.sf(x) * g.sf(x),
+                               atol=1e-8)
+    np.testing.assert_allclose(maximum(f, g).cdf(x), f.cdf(x) * g.cdf(x),
+                               atol=1e-8)
+
+
+@given(f=phase_types(), c=st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=60, deadline=None)
+def test_scaling_moments(f, c):
+    s = scale(f, c)
+    np.testing.assert_allclose(s.mean, c * f.mean, rtol=1e-9)
+    np.testing.assert_allclose(s.scv, f.scv, rtol=1e-7)
+
+
+@given(f=phase_types(), g=phase_types(), w=st.floats(0.01, 0.99))
+@settings(max_examples=60, deadline=None)
+def test_mixture_moments_are_convex(f, g, w):
+    m = mixture([w, 1 - w], [f, g])
+    np.testing.assert_allclose(m.mean, w * f.mean + (1 - w) * g.mean,
+                               rtol=1e-9)
+    np.testing.assert_allclose(m.moment(2),
+                               w * f.moment(2) + (1 - w) * g.moment(2),
+                               rtol=1e-8)
+
+
+@given(f=phase_types(), x=st.floats(0.0, 20.0), y=st.floats(0.0, 20.0))
+@settings(max_examples=60, deadline=None)
+def test_cdf_monotone_and_bounded(f, x, y):
+    lo, hi = sorted((x, y))
+    cl, ch = f.cdf(lo), f.cdf(hi)
+    assert -1e-12 <= cl <= ch <= 1.0 + 1e-12
+
+
+@given(mean=means, scv=scvs)
+@settings(max_examples=60, deadline=None)
+def test_two_moment_fit_roundtrip(mean, scv):
+    d = match_two_moments(mean, scv)
+    np.testing.assert_allclose(d.mean, mean, rtol=1e-8)
+    np.testing.assert_allclose(d.scv, scv, rtol=1e-6)
+
+
+@given(f=phase_types())
+@settings(max_examples=60, deadline=None)
+def test_moments_satisfy_cauchy_schwarz(f):
+    # E[X^2] >= (E[X])^2 for any distribution.
+    assert f.moment(2) >= f.mean ** 2 * (1 - 1e-12)
+
+
+@given(f=phase_types())
+@settings(max_examples=40, deadline=None)
+def test_exit_rates_nonnegative_and_consistent(f):
+    s0 = f.exit_rates
+    assert np.all(s0 >= 0)
+    np.testing.assert_allclose(np.asarray(f.S).sum(axis=1) + s0, 0.0,
+                               atol=1e-10)

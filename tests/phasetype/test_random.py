@@ -1,0 +1,63 @@
+"""Tests for the fast PH sampler."""
+
+import numpy as np
+import pytest
+
+from repro.phasetype import PhaseType, coxian, erlang, exponential, hyperexponential
+from repro.phasetype.random import PhaseTypeSampler, sampler_for
+
+
+class TestFastPaths:
+    def test_exponential_fast_path(self):
+        s = PhaseTypeSampler(exponential(2.0))
+        assert s._exp_rate == pytest.approx(2.0)
+
+    def test_erlang_fast_path(self):
+        s = PhaseTypeSampler(erlang(4, rate=3.0))
+        assert s._erlang == (4, pytest.approx(3.0))
+
+    def test_coxian_uses_general_path(self):
+        s = PhaseTypeSampler(coxian([1.0, 2.0], [0.5, 1.0]))
+        assert s._exp_rate is None and s._erlang is None
+
+    def test_hyperexponential_not_erlang(self):
+        s = PhaseTypeSampler(hyperexponential([0.5, 0.5], [1.0, 2.0]))
+        assert s._erlang is None
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("dist", [
+        exponential(1.7),
+        erlang(3, mean=2.0),
+        hyperexponential([0.3, 0.7], [0.5, 2.0]),
+        coxian([2.0, 1.0], [0.4, 1.0]),
+    ], ids=["exp", "erlang", "h2", "cox2"])
+    def test_batch_mean_and_scv(self, dist, rng):
+        xs = sampler_for(dist).draw_batch(rng, 50_000)
+        assert xs.mean() == pytest.approx(dist.mean, rel=0.04)
+        scv_hat = xs.var() / xs.mean() ** 2
+        assert scv_hat == pytest.approx(dist.scv, rel=0.12)
+
+    def test_draw_single(self, rng):
+        x = sampler_for(erlang(2, mean=1.0)).draw(rng)
+        assert x > 0
+
+    def test_atom_handled(self, rng):
+        d = PhaseType([0.4], [[-1.0]])
+        xs = sampler_for(d).draw_batch(rng, 20_000)
+        assert np.mean(xs == 0.0) == pytest.approx(0.6, abs=0.02)
+
+    def test_sampler_cache_returns_same_object(self):
+        d = exponential(1.0)
+        assert sampler_for(d) is sampler_for(d)
+
+    def test_cache_distinguishes_distributions(self):
+        assert sampler_for(exponential(1.0)) is not sampler_for(exponential(2.0))
+
+    def test_agrees_with_slow_sampler(self, rng):
+        d = coxian([2.0, 0.5], [0.3, 1.0])
+        fast = sampler_for(d).draw_batch(np.random.default_rng(0), 40_000)
+        slow = d.sample(np.random.default_rng(1), size=40_000)
+        assert fast.mean() == pytest.approx(slow.mean(), rel=0.04)
+        assert np.quantile(fast, 0.9) == pytest.approx(np.quantile(slow, 0.9),
+                                                       rel=0.05)

@@ -1,0 +1,100 @@
+"""Tests for the R/G matrix solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.qbd.rmatrix import r_from_g, solve_G, solve_R
+from repro.utils.linalg import spectral_radius
+
+
+def mm1_blocks(lam, mu):
+    return (np.array([[lam]]), np.array([[-(lam + mu)]]), np.array([[mu]]))
+
+
+def phase_blocks():
+    """A 2-phase QBD: MAP-modulated M/M/1-like process."""
+    lam0, lam1 = 0.8, 0.2
+    mu = 1.0
+    sw = 0.3
+    A0 = np.diag([lam0, lam1])
+    A2 = np.diag([mu, mu])
+    A1 = np.array([
+        [-(lam0 + mu + sw), sw],
+        [sw, -(lam1 + mu + sw)],
+    ])
+    return A0, A1, A2
+
+
+class TestMM1:
+    def test_r_is_rho(self):
+        A0, A1, A2 = mm1_blocks(0.6, 1.0)
+        for method in ("logreduction", "substitution"):
+            R = solve_R(A0, A1, A2, method=method)
+            assert R[0, 0] == pytest.approx(0.6, abs=1e-10)
+
+    def test_g_is_one(self):
+        # For a recurrent chain, G is stochastic; scalar case: G = 1.
+        A0, A1, A2 = mm1_blocks(0.6, 1.0)
+        G = solve_G(A0, A1, A2)
+        assert G[0, 0] == pytest.approx(1.0, abs=1e-10)
+
+
+class TestPhaseCase:
+    def test_methods_agree(self):
+        A0, A1, A2 = phase_blocks()
+        R1 = solve_R(A0, A1, A2, method="logreduction")
+        R2 = solve_R(A0, A1, A2, method="substitution")
+        assert R1 == pytest.approx(R2, abs=1e-8)
+
+    def test_quadratic_residual(self):
+        A0, A1, A2 = phase_blocks()
+        R = solve_R(A0, A1, A2)
+        residual = R @ R @ A2 + R @ A1 + A0
+        assert np.max(np.abs(residual)) < 1e-10
+
+    def test_minimality_sp_below_one(self):
+        A0, A1, A2 = phase_blocks()
+        R = solve_R(A0, A1, A2)
+        assert spectral_radius(R) < 1.0
+
+    def test_r_nonnegative(self):
+        A0, A1, A2 = phase_blocks()
+        assert np.all(solve_R(A0, A1, A2) >= 0)
+
+    def test_g_stochastic(self):
+        A0, A1, A2 = phase_blocks()
+        G = solve_G(A0, A1, A2)
+        assert np.all(G >= 0)
+        assert G.sum(axis=1) == pytest.approx([1.0, 1.0], abs=1e-9)
+
+    def test_g_quadratic_residual(self):
+        A0, A1, A2 = phase_blocks()
+        G = solve_G(A0, A1, A2)
+        residual = A0 @ G @ G + A1 @ G + A2
+        assert np.max(np.abs(residual)) < 1e-9
+
+    def test_r_from_g_consistency(self):
+        A0, A1, A2 = phase_blocks()
+        G = solve_G(A0, A1, A2)
+        R = r_from_g(A0, A1, G)
+        assert R == pytest.approx(solve_R(A0, A1, A2, method="substitution"),
+                                  abs=1e-8)
+
+
+class TestFailureModes:
+    def test_unknown_method(self):
+        A0, A1, A2 = mm1_blocks(0.5, 1.0)
+        with pytest.raises(ValidationError, match="unknown"):
+            solve_R(A0, A1, A2, method="newton")
+
+    def test_unstable_minimal_root_is_one(self):
+        # For rho > 1 the quadratic's roots are {1, rho}; the minimal
+        # non-negative solution is 1 and sp(R) = 1 flags instability.
+        A0, A1, A2 = mm1_blocks(1.5, 1.0)
+        R = solve_R(A0, A1, A2, method="substitution", tol=1e-10)
+        assert R[0, 0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_no_diagonal_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_G(np.array([[0.0]]), np.array([[0.0]]), np.array([[0.0]]))

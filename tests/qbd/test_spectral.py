@@ -1,0 +1,81 @@
+"""Tests for caudal-characteristic (tail-decay) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.qbd import QBDProcess, caudal_characteristic, decay_rate, solve_qbd
+
+
+def mm1_solution(rho=0.7):
+    lam, mu = rho, 1.0
+    boundary = (
+        (np.array([[-lam]]), np.array([[lam]])),
+        (np.array([[mu]]), np.array([[-(lam + mu)]])),
+    )
+    proc = QBDProcess(boundary=boundary, A0=[[lam]],
+                      A1=[[-(lam + mu)]], A2=[[mu]])
+    return solve_qbd(proc)
+
+
+def phase_solution():
+    lam0, lam1, mu, sw = 0.5, 0.2, 1.0, 0.3
+    A0 = np.diag([lam0, lam1])
+    A2 = np.diag([mu, mu])
+    A1 = np.array([[-(lam0 + mu + sw), sw],
+                   [sw, -(lam1 + mu + sw)]])
+    B00 = np.array([[-(lam0 + sw), sw], [sw, -(lam1 + sw)]])
+    proc = QBDProcess(boundary=((B00, A0.copy()), (A2.copy(), A1.copy())),
+                      A0=A0, A1=A1, A2=A2)
+    return solve_qbd(proc)
+
+
+class TestDecayRate:
+    def test_mm1_eta_is_rho(self):
+        assert decay_rate(mm1_solution(0.7).R) == pytest.approx(0.7)
+
+    def test_phase_case_in_unit_interval(self):
+        eta = decay_rate(phase_solution().R)
+        assert 0 < eta < 1
+
+
+class TestCaudalCharacteristic:
+    def test_mm1_exact(self):
+        sol = mm1_solution(0.6)
+        cc = caudal_characteristic(sol)
+        assert cc.eta == pytest.approx(0.6)
+        # M/M/1: P(N > k) = rho^{k+1} exactly.
+        for k in (0, 2, 5, 10):
+            assert cc.tail_estimate(k) == pytest.approx(0.6 ** (k + 1),
+                                                        rel=1e-9)
+
+    def test_asymptotics_match_true_tail(self):
+        sol = phase_solution()
+        cc = caudal_characteristic(sol)
+        # Ratio estimate/truth -> 1 as k grows.
+        for k in (20, 40):
+            true = sol.tail_probability(k)
+            est = cc.tail_estimate(k)
+            assert est == pytest.approx(true, rel=1e-3)
+
+    def test_tail_ratio_is_eta(self):
+        sol = phase_solution()
+        cc = caudal_characteristic(sol)
+        r = sol.tail_probability(31) / sol.tail_probability(30)
+        assert r == pytest.approx(cc.eta, rel=1e-6)
+
+    def test_quantile_level(self):
+        sol = mm1_solution(0.5)
+        cc = caudal_characteristic(sol)
+        k = cc.quantile_level(1e-6)
+        assert cc.tail_estimate(k) <= 1e-6 < cc.tail_estimate(k - 1)
+
+    def test_quantile_level_bounds(self):
+        cc = caudal_characteristic(mm1_solution(0.5))
+        import pytest as _pytest
+        with _pytest.raises(Exception):
+            cc.quantile_level(0.0)
+
+    def test_perron_vectors_positive(self):
+        cc = caudal_characteristic(phase_solution())
+        assert np.all(cc.left_vector > -1e-12)
+        assert np.all(cc.right_vector > -1e-12)

@@ -1,0 +1,153 @@
+"""Tests for the decomposed simulator, the lending variant, and the
+replication runner."""
+
+import pytest
+
+from repro.core import ClassConfig, SystemConfig
+from repro.errors import SimulationError
+from repro.phasetype import erlang, exponential
+from repro.sim import (
+    GangSimulation,
+    PartitionLendingSimulation,
+    VacationServerSimulation,
+    run_replications,
+    run_until_precise,
+)
+
+
+class TestVacationServer:
+    def test_mm1_limit_with_tiny_vacations(self):
+        lam, mu = 0.6, 1.0
+        sim = VacationServerSimulation(
+            1, exponential(lam), exponential(mu),
+            quantum=exponential(mean=100.0),
+            vacation=exponential(mean=1e-4),
+            seed=0, warmup=2000.0)
+        rep = sim.run(60_000.0)
+        assert rep.mean_jobs[0] == pytest.approx(lam / (mu - lam), rel=0.08)
+
+    def test_vacations_increase_congestion(self):
+        lam, mu = 0.6, 1.0
+        base = VacationServerSimulation(
+            1, exponential(lam), exponential(mu),
+            exponential(mean=2.0), exponential(mean=1e-4),
+            seed=1, warmup=1000.0).run(30_000.0)
+        vac = VacationServerSimulation(
+            1, exponential(lam), exponential(mu),
+            exponential(mean=2.0), exponential(mean=1.0),
+            seed=1, warmup=1000.0).run(30_000.0)
+        assert vac.mean_jobs[0] > base.mean_jobs[0]
+
+    def test_erlang_vacations_run(self):
+        sim = VacationServerSimulation(
+            2, exponential(0.8), exponential(1.0),
+            erlang(2, mean=1.5), erlang(3, mean=0.5),
+            seed=2, warmup=100.0)
+        rep = sim.run(5000.0)
+        assert rep.mean_jobs[0] > 0
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(SimulationError):
+            VacationServerSimulation(0, exponential(1.0), exponential(1.0),
+                                     exponential(1.0), exponential(1.0))
+
+
+class TestPartitionLending:
+    @pytest.fixture
+    def cfg(self):
+        return SystemConfig(processors=4, classes=(
+            ClassConfig.markovian(1, arrival_rate=0.5, service_rate=0.5,
+                                  quantum_mean=2.0, overhead_mean=0.02),
+            ClassConfig.markovian(2, arrival_rate=0.5, service_rate=1.0,
+                                  quantum_mean=2.0, overhead_mean=0.02),
+        ))
+
+    def test_lending_happens(self, cfg):
+        sim = PartitionLendingSimulation(cfg, seed=1, warmup=500.0)
+        sim.run(20_000.0)
+        assert sim.lending_grants > 0
+
+    def test_lending_does_not_leak_capacity(self, cfg):
+        sim = PartitionLendingSimulation(cfg, seed=2)
+        for t in range(1, 41):
+            sim.sim.run(until=t * 50.0)
+            assert 0 <= sim._lent <= cfg.processors
+
+    def test_lending_improves_on_modeled_policy(self, cfg):
+        base = sum(GangSimulation(cfg, seed=s, warmup=2000.0)
+                   .run(40_000.0).total_mean_jobs for s in range(3))
+        lend = sum(PartitionLendingSimulation(cfg, seed=s, warmup=2000.0)
+                   .run(40_000.0).total_mean_jobs for s in range(3))
+        # Work-conserving lending should not hurt overall congestion.
+        assert lend < base * 1.05
+
+    def test_littles_law_still_holds(self, cfg):
+        rep = PartitionLendingSimulation(cfg, seed=3,
+                                         warmup=1000.0).run(30_000.0)
+        assert max(rep.littles_law_gap) < 0.03
+
+
+class TestRunReplications:
+    def test_summary_structure(self, two_class_config):
+        out = run_replications(
+            lambda seed, warmup: GangSimulation(two_class_config, seed=seed,
+                                                warmup=warmup),
+            replications=3, horizon=3000.0, warmup=200.0)
+        assert set(out) == {"mean_jobs", "mean_response_time", "throughput"}
+        mj = out["mean_jobs"]
+        assert mj.replications == 3
+        assert len(mj.mean) == 2
+        assert all(h >= 0 for h in mj.half_width)
+
+    def test_interval_contains_its_mean(self, two_class_config):
+        out = run_replications(
+            lambda seed, warmup: GangSimulation(two_class_config, seed=seed,
+                                                warmup=warmup),
+            replications=3, horizon=3000.0)
+        mj = out["mean_jobs"]
+        assert mj.contains(0, mj.mean[0])
+        lo, hi = mj.interval(0)
+        assert lo <= mj.mean[0] <= hi
+
+    def test_needs_two_replications(self, two_class_config):
+        with pytest.raises(ValueError):
+            run_replications(lambda s, w: GangSimulation(two_class_config),
+                             replications=1, horizon=100.0)
+
+    def test_run_until_precise_hits_target(self, two_class_config):
+        target = 0.10
+        out = run_until_precise(
+            lambda seed, warmup: GangSimulation(two_class_config, seed=seed,
+                                                warmup=warmup),
+            horizon=6000.0, warmup=500.0,
+            target_rel_half_width=target, max_replications=30)
+        mj = out["mean_jobs"]
+        rel = [h / m for m, h in zip(mj.mean, mj.half_width)]
+        assert max(rel) <= target or mj.replications == 30
+        assert mj.replications >= 3
+
+    def test_run_until_precise_respects_budget(self, two_class_config):
+        out = run_until_precise(
+            lambda seed, warmup: GangSimulation(two_class_config, seed=seed,
+                                                warmup=warmup),
+            horizon=1500.0, target_rel_half_width=0.001,   # unreachable
+            max_replications=4)
+        assert out["mean_jobs"].replications == 4
+
+    def test_run_until_precise_validation(self, two_class_config):
+        factory = lambda s, w: GangSimulation(two_class_config, seed=s)
+        with pytest.raises(ValueError):
+            run_until_precise(factory, horizon=100.0,
+                              target_rel_half_width=1.5)
+        with pytest.raises(ValueError):
+            run_until_precise(factory, horizon=100.0, quantity="latency")
+
+    def test_half_width_shrinks_with_replications(self, two_class_config):
+        def factory(seed, warmup):
+            return GangSimulation(two_class_config, seed=seed, warmup=warmup)
+        few = run_replications(factory, replications=3, horizon=2000.0,
+                               base_seed=0)["mean_jobs"]
+        many = run_replications(factory, replications=10, horizon=2000.0,
+                                base_seed=0)["mean_jobs"]
+        # t-quantile shrinks and 1/sqrt(R) shrinks: expect narrower CIs.
+        assert sum(many.half_width) < sum(few.half_width)

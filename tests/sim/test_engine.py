@@ -1,0 +1,108 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "c")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.run(until=10.0)
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_tiebreak_at_equal_times(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.schedule(1.0, log.append, tag)
+        sim.run(until=2.0)
+        assert log == ["a", "b", "c"]
+
+    def test_schedule_during_event(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run(until=10.0)
+        assert log == [0, 1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, print)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, print)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        ev = sim.schedule(1.0, log.append, "x")
+        ev.cancel()
+        sim.run(until=5.0)
+        assert log == []
+
+    def test_cancelled_not_counted(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.events_processed == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek() == 2.0
+
+
+class TestRunSemantics:
+    def test_clock_advances_to_horizon(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_events_beyond_horizon_left_pending(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, log.append, "late")
+        sim.run(until=5.0)
+        assert log == []
+        sim.run(until=20.0)
+        assert log == ["late"]
+
+    def test_backwards_horizon_rejected(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_now_is_event_time_inside_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run(until=10.0)
+        assert seen == [2.5]

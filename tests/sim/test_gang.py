@@ -1,0 +1,103 @@
+"""Tests for the gang-scheduling simulator."""
+
+import pytest
+
+from repro.core import ClassConfig, SystemConfig
+from repro.errors import SimulationError
+from repro.sim import GangSimulation
+
+
+def one_class(lam=0.5, mu=1.0, g=2, P=4, q=2.0, oh=0.01, policy="switch"):
+    return SystemConfig(processors=P, classes=(
+        ClassConfig.markovian(g, arrival_rate=lam, service_rate=mu,
+                              quantum_mean=q, overhead_mean=oh),),
+        empty_queue_policy=policy)
+
+
+class TestBasicOperation:
+    def test_reproducible_given_seed(self):
+        cfg = one_class()
+        a = GangSimulation(cfg, seed=42).run(2000.0)
+        b = GangSimulation(cfg, seed=42).run(2000.0)
+        assert a.mean_jobs == b.mean_jobs
+        assert a.events == b.events
+
+    def test_seed_matters(self):
+        cfg = one_class()
+        a = GangSimulation(cfg, seed=1).run(2000.0)
+        b = GangSimulation(cfg, seed=2).run(2000.0)
+        assert a.mean_jobs != b.mean_jobs
+
+    def test_horizon_must_exceed_warmup(self):
+        with pytest.raises(SimulationError):
+            GangSimulation(one_class(), warmup=10.0).run(5.0)
+
+    def test_littles_law_holds(self):
+        rep = GangSimulation(one_class(), seed=3, warmup=500.0).run(20_000.0)
+        assert rep.littles_law_gap[0] < 0.02
+
+    def test_throughput_matches_arrival_rate(self):
+        rep = GangSimulation(one_class(lam=0.5), seed=4,
+                             warmup=500.0).run(30_000.0)
+        assert rep.throughput[0] == pytest.approx(0.5, rel=0.05)
+
+    def test_instrumentation_counts(self):
+        sim = GangSimulation(one_class(), seed=5)
+        sim.run(2000.0)
+        assert sim.quanta_started[0] > 0
+        assert sim.quanta_skipped[0] > 0        # light load: skips happen
+        assert sim.early_switches[0] > 0        # switch-on-empty happens
+
+
+class TestPolicyDifferences:
+    def test_idle_policy_never_switches_early(self):
+        sim = GangSimulation(one_class(policy="idle"), seed=6)
+        sim.run(2000.0)
+        assert sim.early_switches[0] == 0
+
+    def test_switch_policy_responds_faster(self):
+        # Two classes so idle time actually costs something.
+        def cfg(policy):
+            return SystemConfig(processors=4, classes=(
+                ClassConfig.markovian(1, arrival_rate=0.6, service_rate=0.5,
+                                      quantum_mean=3.0, overhead_mean=0.02),
+                ClassConfig.markovian(4, arrival_rate=0.3, service_rate=1.5,
+                                      quantum_mean=3.0, overhead_mean=0.02),
+            ), empty_queue_policy=policy)
+        sw = GangSimulation(cfg("switch"), seed=7, warmup=2000.0).run(50_000.0)
+        idle = GangSimulation(cfg("idle"), seed=7, warmup=2000.0).run(50_000.0)
+        assert sw.total_mean_jobs < idle.total_mean_jobs
+
+
+class TestMultiClassConservation:
+    def test_all_jobs_accounted(self, two_class_config):
+        sim = GangSimulation(two_class_config, seed=8)
+        rep = sim.run(5000.0)
+        for p in range(2):
+            st = sim.stats[p]
+            # arrived (post-warmup) = completed + still in system (up to
+            # the pre-warmup backlog, zero here since warmup=0).
+            assert st.arrived == st.completed + st.in_system
+
+    def test_work_conservation_on_active_jobs(self, two_class_config):
+        sim = GangSimulation(two_class_config, seed=9)
+        sim.run(3000.0)
+        for p in range(2):
+            for job in sim._active[p]:
+                assert job.work_done <= job.service_requirement + 1e-9
+
+    def test_partition_limit_respected(self, two_class_config):
+        sim = GangSimulation(two_class_config, seed=10)
+        # Run in small steps, checking the invariant as we go.
+        for t in range(1, 21):
+            sim.sim.run(until=t * 100.0)
+            for p in range(2):
+                assert len(sim._active[p]) <= two_class_config.partitions(p)
+        # Note: run() was driven manually; stats not finalized here.
+
+
+class TestPhaseTypeWorkloads:
+    def test_erlang_quantum_runs(self, phased_class_config):
+        rep = GangSimulation(phased_class_config, seed=11,
+                             warmup=200.0).run(5000.0)
+        assert all(m > 0 for m in rep.mean_jobs)

@@ -1,0 +1,121 @@
+"""Tests for Job lifecycle and statistics accumulators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.jobs import Job
+from repro.sim.stats import ClassStats, SimulationReport
+
+
+class TestJob:
+    def make(self, work=5.0):
+        return Job(job_id=1, class_id=0, arrival_time=0.0,
+                   service_requirement=work)
+
+    def test_start_returns_completion_time(self):
+        j = self.make(5.0)
+        assert j.start(2.0) == 7.0
+
+    def test_pause_banks_work(self):
+        j = self.make(5.0)
+        j.start(0.0)
+        j.pause(2.0)
+        assert j.remaining == pytest.approx(3.0)
+        assert j.start(10.0) == pytest.approx(13.0)
+
+    def test_double_start_rejected(self):
+        j = self.make()
+        j.start(0.0)
+        with pytest.raises(SimulationError):
+            j.start(1.0)
+
+    def test_pause_when_not_running_rejected(self):
+        with pytest.raises(SimulationError):
+            self.make().pause(1.0)
+
+    def test_finish_returns_response_time(self):
+        j = self.make(2.0)
+        j.start(1.0)
+        assert j.finish(3.0) == pytest.approx(3.0)
+        assert j.response_time == pytest.approx(3.0)
+
+    def test_response_before_departure_rejected(self):
+        with pytest.raises(SimulationError):
+            _ = self.make().response_time
+
+
+class TestClassStats:
+    def test_time_average_rectangle(self):
+        st = ClassStats(warmup=0.0)
+        st.on_arrival(0.0)
+        st.on_departure(4.0, 4.0, 0.0)
+        st.finalize(8.0)
+        # One job for 4 of 8 time units.
+        assert st.mean_jobs(8.0) == pytest.approx(0.5)
+
+    def test_warmup_discards_early_area(self):
+        st = ClassStats(warmup=10.0)
+        st.on_arrival(0.0)           # present the whole run
+        st.finalize(20.0)
+        assert st.mean_jobs(20.0) == pytest.approx(1.0)
+
+    def test_warmup_discards_early_responses(self):
+        st = ClassStats(warmup=10.0)
+        st.on_arrival(0.0)
+        st.on_departure(5.0, 5.0, 0.0)    # pre-warmup arrival: ignored
+        st.on_arrival(12.0)
+        st.on_departure(15.0, 3.0, 12.0)
+        st.finalize(20.0)
+        assert st.completed == 1
+        assert st.mean_response_time == pytest.approx(3.0)
+
+    def test_response_std(self):
+        st = ClassStats()
+        st.on_arrival(0.0)
+        st.on_departure(1.0, 1.0, 0.0)
+        st.on_arrival(1.0)
+        st.on_departure(4.0, 3.0, 1.0)
+        st.finalize(4.0)
+        assert st.response_time_std == pytest.approx((2.0) ** 0.5, rel=1e-9)
+
+    def test_quantile(self):
+        st = ClassStats()
+        for i in range(1, 101):
+            st.on_arrival(float(i))
+            st.on_departure(float(i), float(i), float(i))
+        st.finalize(101.0)
+        assert st.response_quantile(0.5) == pytest.approx(50.5)
+
+
+class TestSimulationReport:
+    def test_from_stats_aggregates(self):
+        st = ClassStats()
+        st.on_arrival(0.0)
+        st.on_departure(2.0, 2.0, 0.0)
+        rep = SimulationReport.from_stats([st], horizon=10.0, warmup=0.0,
+                                          events=42)
+        assert rep.mean_jobs[0] == pytest.approx(0.2)
+        assert rep.throughput[0] == pytest.approx(0.1)
+        assert rep.total_mean_jobs == pytest.approx(0.2)
+        assert rep.events == 42
+
+    def test_littles_law_gap_small_for_consistent_run(self):
+        st = ClassStats()
+        t = 0.0
+        # Deterministic alternating arrivals/departures: N=0.5, lam=0.5,
+        # T=1 -> Little's law holds exactly.
+        for i in range(1000):
+            st.on_arrival(t)
+            st.on_departure(t + 1.0, 1.0, t)
+            t += 2.0
+        rep = SimulationReport.from_stats([st], horizon=t, warmup=0.0,
+                                          events=0)
+        assert rep.littles_law_gap[0] < 0.01
+
+    def test_describe_renders(self):
+        st = ClassStats()
+        st.on_arrival(0.0)
+        st.on_departure(1.0, 1.0, 0.0)
+        rep = SimulationReport.from_stats([st], 10.0, 0.0, 5)
+        text = rep.describe(names=("web",))
+        assert "web" in text and "N=" in text

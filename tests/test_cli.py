@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.processors == 8
+        assert args.policy == "switch"
+
+    def test_bad_class_spec(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--class", "1,2"])
+
+
+class TestSolve:
+    def test_default_config_prints_report(self, capsys):
+        assert main(["solve", "--heavy-traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "class0" in out and "total N=" in out
+
+    def test_custom_classes(self, capsys):
+        rc = main(["solve", "--processors", "4",
+                   "--class", "1,0.4,1,2,0.02",
+                   "--class", "4,0.2,2,2,0.02"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P=4" in out and "L=2" in out
+
+
+class TestFigure:
+    def test_figure_4_table(self, capsys):
+        assert main(["figure", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "service_rate" in out
+        assert "N[class3]" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "7"])
+
+
+class TestFigurePlot:
+    def test_plot_flag_renders_curves(self, capsys):
+        assert main(["figure", "4", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "N[class0]" in out
+        assert "+--" in out     # plot frame
+
+
+class TestOptimize:
+    def test_optimize_small_system(self, capsys):
+        rc = main(["optimize", "--processors", "2",
+                   "--class", "1,0.5,1,2,0.1",
+                   "--min", "0.5", "--max", "4.0", "--tol", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimal quantum mean" in out
+        assert "converged=True" in out
+
+
+class TestSimulate:
+    def test_simulate_with_compare(self, capsys):
+        rc = main(["simulate", "--processors", "4",
+                   "--class", "2,0.4,1,2,0.02",
+                   "--horizon", "4000", "--compare"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulation:" in out
+        assert "analytic comparison:" in out

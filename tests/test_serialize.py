@@ -1,0 +1,124 @@
+"""Tests for configuration (de)serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ClassConfig, SystemConfig
+from repro.errors import ValidationError
+from repro.phasetype import coxian, erlang, exponential, hyperexponential
+from repro.serialize import (
+    load_system,
+    phase_type_from_dict,
+    phase_type_to_dict,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+
+
+class TestPhaseTypeRoundTrip:
+    @pytest.mark.parametrize("dist", [
+        exponential(2.0),
+        erlang(3, mean=1.5),
+        hyperexponential([0.3, 0.7], [0.5, 2.0]),
+        coxian([2.0, 1.0], [0.4, 1.0]),
+    ], ids=["exp", "erlang", "h2", "cox2"])
+    def test_raw_roundtrip(self, dist):
+        again = phase_type_from_dict(phase_type_to_dict(dist))
+        assert np.allclose(again.alpha, dist.alpha)
+        assert np.allclose(again.S, dist.S)
+
+    def test_named_kinds(self):
+        d = phase_type_from_dict({"kind": "erlang", "k": 4, "mean": 2.0})
+        assert d.order == 4 and d.mean == pytest.approx(2.0)
+        d = phase_type_from_dict({"kind": "exponential", "rate": 0.5})
+        assert d.mean == pytest.approx(2.0)
+        d = phase_type_from_dict({"kind": "hyperexponential",
+                                  "probs": [0.5, 0.5], "rates": [1, 2]})
+        assert d.order == 2
+        d = phase_type_from_dict({"kind": "coxian", "rates": [1.0, 2.0],
+                                  "completion_probs": [0.3, 1.0]})
+        assert d.order == 2
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            phase_type_from_dict({"kind": "weibull"})
+
+    def test_missing_kind(self):
+        with pytest.raises(ValidationError, match="kind"):
+            phase_type_from_dict({"rate": 1.0})
+
+
+class TestSystemRoundTrip:
+    def test_roundtrip_preserves_solution(self, two_class_config):
+        again = system_from_dict(system_to_dict(two_class_config))
+        assert again.processors == two_class_config.processors
+        assert again.class_names == two_class_config.class_names
+        from repro.core import GangSchedulingModel
+        a = GangSchedulingModel(two_class_config).solve_heavy_traffic()
+        b = GangSchedulingModel(again).solve_heavy_traffic()
+        assert a.mean_jobs() == pytest.approx(b.mean_jobs(), rel=1e-12)
+
+    def test_json_serializable(self, two_class_config):
+        text = json.dumps(system_to_dict(two_class_config))
+        assert "processors" in text
+
+    def test_file_roundtrip(self, two_class_config, tmp_path):
+        path = tmp_path / "system.json"
+        save_system(two_class_config, path)
+        again = load_system(path)
+        assert again.utilization() == pytest.approx(
+            two_class_config.utilization())
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="JSON"):
+            load_system(path)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValidationError, match="missing"):
+            system_from_dict({"processors": 4, "classes": [{"name": "x"}]})
+
+    def test_policy_default(self, two_class_config):
+        data = system_to_dict(two_class_config)
+        del data["empty_queue_policy"]
+        assert system_from_dict(data).empty_queue_policy == "switch"
+
+
+class TestPropertyRoundTrip:
+    """Random PH representations survive serialization bit-for-bit."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    rates = st.floats(0.05, 10.0, allow_nan=False, allow_infinity=False)
+
+    @given(rate=rates, k=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_erlang_roundtrip(self, rate, k):
+        d = erlang(k, rate=rate)
+        again = phase_type_from_dict(phase_type_to_dict(d))
+        assert np.array_equal(again.alpha, d.alpha)
+        assert np.array_equal(again.S, d.S)
+
+    @given(w=st.floats(0.05, 0.95), r1=rates, r2=rates)
+    @settings(max_examples=40, deadline=None)
+    def test_hyper_roundtrip_preserves_moments(self, w, r1, r2):
+        d = hyperexponential([w, 1 - w], [r1, r2])
+        again = phase_type_from_dict(phase_type_to_dict(d))
+        assert again.mean == pytest.approx(d.mean, rel=1e-12)
+        assert again.moment(3) == pytest.approx(d.moment(3), rel=1e-12)
+
+
+class TestCLIIntegration:
+    def test_solve_from_config_file(self, two_class_config, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "system.json"
+        save_system(two_class_config, path)
+        assert main(["solve", "--config", str(path),
+                     "--heavy-traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "small" in out and "big" in out

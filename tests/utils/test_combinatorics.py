@@ -1,0 +1,87 @@
+"""Tests for repro.utils.combinatorics."""
+
+import pytest
+
+from repro.utils.combinatorics import (
+    composition_index_map,
+    compositions,
+    multinomial_compositions,
+    num_compositions,
+)
+
+
+class TestNumCompositions:
+    @pytest.mark.parametrize("total,parts,expected", [
+        (0, 1, 1), (0, 3, 1), (1, 1, 1), (2, 2, 3), (3, 2, 4),
+        (4, 3, 15), (5, 4, 56),
+    ])
+    def test_counts(self, total, parts, expected):
+        assert num_compositions(total, parts) == expected
+
+    def test_matches_enumeration(self):
+        for total in range(5):
+            for parts in range(1, 5):
+                assert num_compositions(total, parts) == \
+                    len(compositions(total, parts))
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            num_compositions(2, 0)
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            num_compositions(-1, 2)
+
+
+class TestCompositions:
+    def test_order_is_reverse_lex(self):
+        assert compositions(2, 2) == ((2, 0), (1, 1), (0, 2))
+
+    def test_all_sums_correct(self):
+        for v in compositions(4, 3):
+            assert sum(v) == 4
+            assert all(x >= 0 for x in v)
+
+    def test_unique(self):
+        vs = compositions(5, 3)
+        assert len(set(vs)) == len(vs)
+
+    def test_single_part(self):
+        assert compositions(7, 1) == ((7,),)
+
+    def test_zero_total(self):
+        assert compositions(0, 3) == ((0, 0, 0),)
+
+    def test_deterministic_across_calls(self):
+        assert compositions(3, 3) == compositions(3, 3)
+
+
+class TestMultinomialCompositions:
+    def test_probabilities_sum_to_one(self):
+        out = multinomial_compositions(3, [0.2, 0.5, 0.3])
+        assert sum(p for _, p in out) == pytest.approx(1.0)
+
+    def test_binomial_case(self):
+        out = dict(multinomial_compositions(2, [0.25, 0.75]))
+        assert out[(2, 0)] == pytest.approx(0.0625)
+        assert out[(1, 1)] == pytest.approx(2 * 0.25 * 0.75)
+        assert out[(0, 2)] == pytest.approx(0.5625)
+
+    def test_zero_probability_categories_omitted(self):
+        out = multinomial_compositions(2, [1.0, 0.0])
+        assert out == [((2, 0), 1.0)]
+
+    def test_zero_draws(self):
+        out = multinomial_compositions(0, [0.5, 0.5])
+        assert out == [((0, 0), 1.0)]
+
+
+class TestIndexMap:
+    def test_inverse_of_enumeration(self):
+        vs = compositions(3, 3)
+        m = composition_index_map(3, 3)
+        for i, v in enumerate(vs):
+            assert m[v] == i
+
+    def test_size(self):
+        assert len(composition_index_map(4, 2)) == num_compositions(4, 2)

@@ -1,0 +1,158 @@
+"""Tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReducibleChainError, ValidationError
+from repro.utils.linalg import (
+    drazin_like_solve,
+    geometric_tail_sum,
+    kron_sum,
+    solve_stationary_dtmc,
+    solve_stationary_gth,
+    spectral_radius,
+    stationary_from_generator,
+)
+
+
+def random_generator(rng, n):
+    """Random irreducible generator (dense positive off-diagonals)."""
+    Q = rng.uniform(0.1, 2.0, size=(n, n))
+    np.fill_diagonal(Q, 0.0)
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    return Q
+
+
+class TestSpectralRadius:
+    def test_diagonal(self):
+        assert spectral_radius(np.diag([0.5, -0.9])) == pytest.approx(0.9)
+
+    def test_empty(self):
+        assert spectral_radius(np.zeros((0, 0))) == 0.0
+
+    def test_rotation_matrix(self):
+        theta = 0.3
+        R = np.array([[np.cos(theta), -np.sin(theta)],
+                      [np.sin(theta), np.cos(theta)]])
+        assert spectral_radius(R) == pytest.approx(1.0)
+
+
+class TestKronSum:
+    def test_shape(self):
+        A = np.array([[-1.0, 1.0], [0.5, -0.5]])
+        B = np.array([[-2.0, 2.0], [1.0, -1.0]])
+        K = kron_sum(A, B)
+        assert K.shape == (4, 4)
+
+    def test_generator_of_independent_pair(self):
+        # Kronecker sum of two generators is again a generator.
+        A = np.array([[-1.0, 1.0], [0.5, -0.5]])
+        B = np.array([[-2.0, 2.0], [1.0, -1.0]])
+        K = kron_sum(A, B)
+        assert np.allclose(K.sum(axis=1), 0.0)
+
+    def test_eigenvalues_add(self):
+        A = np.diag([-1.0, -2.0])
+        B = np.diag([-3.0, -5.0])
+        K = kron_sum(A, B)
+        assert sorted(np.diag(K)) == [-7.0, -6.0, -5.0, -4.0]
+
+
+class TestGTH:
+    def test_two_state_ctmc(self):
+        Q = np.array([[-1.0, 1.0], [3.0, -3.0]])
+        pi = solve_stationary_gth(Q)
+        assert pi == pytest.approx([0.75, 0.25])
+
+    def test_matches_direct_solve(self, rng):
+        Q = random_generator(rng, 7)
+        pi_gth = solve_stationary_gth(Q)
+        pi_dir = stationary_from_generator(Q, method="direct")
+        assert pi_gth == pytest.approx(pi_dir, abs=1e-10)
+
+    def test_balance_residual(self, rng):
+        Q = random_generator(rng, 12)
+        pi = solve_stationary_gth(Q)
+        assert np.max(np.abs(pi @ Q)) < 1e-10
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_single_state(self):
+        assert solve_stationary_gth(np.array([[0.0]])) == pytest.approx([1.0])
+
+    def test_transient_state_gets_zero_mass(self):
+        # State 2 feeds {0,1} but nothing returns: pi_2 = 0.
+        Q = np.array([[-1.0, 1.0, 0.0],
+                      [1.0, -1.0, 0.0],
+                      [0.0, 1.0, -1.0]])
+        pi = solve_stationary_gth(Q)
+        assert pi[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_unreachable_remainder_raises(self):
+        # State 1 has no transitions into state 0: elimination cannot
+        # fold it back, which GTH reports as reducibility.
+        with pytest.raises(ReducibleChainError):
+            solve_stationary_gth(np.array([[-1.0, 1.0], [0.0, 0.0]]))
+
+    def test_stiff_generator(self):
+        # Rates spanning 10 orders of magnitude: GTH stays accurate.
+        Q = np.array([
+            [-1e-5, 1e-5, 0.0],
+            [0.0, -1e5, 1e5],
+            [1.0, 0.0, -1.0],
+        ])
+        pi = solve_stationary_gth(Q)
+        assert np.max(np.abs(pi @ Q)) < 1e-8
+        assert np.all(pi > 0)
+
+    def test_dtmc(self):
+        P = np.array([[0.5, 0.5], [0.25, 0.75]])
+        pi = solve_stationary_dtmc(P)
+        assert pi @ P == pytest.approx(pi)
+        assert pi == pytest.approx([1 / 3, 2 / 3])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            solve_stationary_gth(np.zeros((0, 0)))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            stationary_from_generator(np.array([[0.0]]), method="qr")
+
+
+class TestDrazinLikeSolve:
+    def test_exact_for_invertible(self, rng):
+        A = rng.normal(size=(4, 4)) + 4 * np.eye(4)
+        B = rng.normal(size=(2, 4))
+        X = drazin_like_solve(A, B)
+        assert X @ A == pytest.approx(B, abs=1e-9)
+
+    def test_minimum_norm_for_singular(self):
+        # X A = B with singular A: returns the least-squares solution.
+        A = np.array([[1.0, 0.0], [0.0, 0.0]])
+        B = np.array([[2.0, 0.0]])
+        X = drazin_like_solve(A, B)
+        assert X @ A == pytest.approx(B, abs=1e-9)
+
+
+class TestGeometricTailSum:
+    @pytest.fixture
+    def R(self, rng):
+        M = rng.uniform(0, 0.2, size=(4, 4))
+        assert spectral_radius(M) < 1
+        return M
+
+    def test_weight0(self, R):
+        direct = sum(np.linalg.matrix_power(R, n) for n in range(400))
+        assert geometric_tail_sum(R, weight=0) == pytest.approx(direct, abs=1e-10)
+
+    def test_weight1(self, R):
+        direct = sum(n * np.linalg.matrix_power(R, n) for n in range(400))
+        assert geometric_tail_sum(R, weight=1) == pytest.approx(direct, abs=1e-10)
+
+    def test_weight2(self, R):
+        direct = sum(n * n * np.linalg.matrix_power(R, n) for n in range(600))
+        assert geometric_tail_sum(R, weight=2) == pytest.approx(direct, abs=1e-8)
+
+    def test_bad_weight(self, R):
+        with pytest.raises(ValidationError):
+            geometric_tail_sum(R, weight=3)

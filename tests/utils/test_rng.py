@@ -1,0 +1,52 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import StreamFactory, spawn_generators
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_independent_streams(self):
+        g1, g2 = spawn_generators(42, 2)
+        a = g1.random(1000)
+        b = g2.random(1000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+    def test_reproducible(self):
+        a = spawn_generators(7, 3)[1].random(10)
+        b = spawn_generators(7, 3)[1].random(10)
+        assert np.array_equal(a, b)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestStreamFactory:
+    def test_same_name_same_stream(self):
+        f = StreamFactory(1)
+        assert f.get("a") is f.get("a")
+
+    def test_different_names_different_streams(self):
+        f = StreamFactory(1)
+        a = f.get("arrivals").random(500)
+        b = f.get("service").random(500)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_irrelevant(self):
+        f1 = StreamFactory(9)
+        f2 = StreamFactory(9)
+        _ = f1.get("x")  # created first in f1 only
+        a1 = f1.get("y").random(10)
+        a2 = f2.get("y").random(10)
+        assert np.array_equal(a1, a2)
+
+    def test_seed_changes_streams(self):
+        a = StreamFactory(1).get("s").random(10)
+        b = StreamFactory(2).get("s").random(10)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,94 @@
+"""Tests for the paper's figure presets."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads import (
+    fig1_example_config,
+    fig23_config,
+    fig4_config,
+    fig5_config,
+    sp2_like_config,
+)
+
+
+class TestFig23:
+    def test_paper_topology(self):
+        cfg = fig23_config(0.4, 2.0)
+        assert cfg.processors == 8
+        assert cfg.num_classes == 4
+        for p in range(4):
+            assert cfg.classes[p].partition_size == 2 ** p
+            assert cfg.partitions(p) == 2 ** (3 - p)
+
+    def test_service_rate_ratios(self):
+        cfg = fig23_config(0.4, 2.0)
+        mus = [c.service_rate for c in cfg.classes]
+        assert mus == pytest.approx([0.5, 1.0, 2.0, 4.0])
+
+    def test_rho_equals_lambda(self):
+        # The paper's "lambda = 0.4 therefore rho = 0.4".
+        for lam in (0.4, 0.6, 0.9):
+            assert fig23_config(lam, 1.0).utilization() == pytest.approx(lam)
+
+    def test_quantum_mean_applied_to_all(self):
+        cfg = fig23_config(0.4, 3.5)
+        assert all(c.quantum.mean == pytest.approx(3.5) for c in cfg.classes)
+
+    def test_overhead_default(self):
+        cfg = fig23_config(0.4, 1.0)
+        assert all(c.overhead.mean == pytest.approx(0.01) for c in cfg.classes)
+
+    def test_erlang_quanta_option(self):
+        cfg = fig23_config(0.4, 2.0, quantum_stages=4)
+        assert cfg.classes[0].quantum.order == 4
+        assert cfg.classes[0].quantum.scv == pytest.approx(0.25)
+
+
+class TestFig4:
+    def test_common_service_rate(self):
+        cfg = fig4_config(3.0)
+        assert all(c.service_rate == pytest.approx(3.0) for c in cfg.classes)
+
+    def test_quantum_and_arrival_fixed(self):
+        cfg = fig4_config(3.0)
+        assert all(c.quantum.mean == pytest.approx(5.0) for c in cfg.classes)
+        assert all(c.arrival_rate == pytest.approx(0.6) for c in cfg.classes)
+
+
+class TestFig5:
+    def test_fraction_split(self):
+        cfg = fig5_config(focus_class=1, fraction=0.5,
+                          cycle_quantum_budget=8.0)
+        assert cfg.classes[1].quantum.mean == pytest.approx(4.0)
+        for p in (0, 2, 3):
+            assert cfg.classes[p].quantum.mean == pytest.approx(4.0 / 3.0)
+
+    def test_total_budget_conserved(self):
+        cfg = fig5_config(focus_class=2, fraction=0.3,
+                          cycle_quantum_budget=10.0)
+        assert sum(c.quantum.mean for c in cfg.classes) == pytest.approx(10.0)
+
+    def test_rho_is_0_6(self):
+        assert fig5_config(0, 0.5).utilization() == pytest.approx(0.6)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValidationError):
+            fig5_config(0, 0.0)
+        with pytest.raises(ValidationError):
+            fig5_config(0, 1.0)
+        with pytest.raises(ValidationError):
+            fig5_config(7, 0.5)
+
+
+class TestOtherPresets:
+    def test_fig1_has_erlang_quantum(self):
+        cfg = fig1_example_config(quantum_stages=4)
+        assert cfg.classes[0].quantum.order == 4
+        assert cfg.partitions(0) == 3   # "3 servers" in the paper's figure
+
+    def test_sp2_like_is_stable_mix(self):
+        cfg = sp2_like_config()
+        assert cfg.num_classes == 2
+        assert cfg.utilization() < 1.0
+        assert cfg.class_names == ("interactive", "batch")
