@@ -37,6 +37,10 @@ Subpackages
     variant, pure time-/space-sharing baselines, replication driver.
 ``repro.workloads``
     The paper's figure presets and generic parameter sweeps.
+``repro.resilience``
+    Production hardening: solver fallback chains with retry/budget
+    guards, crash-safe sweep checkpointing, deterministic fault
+    injection.
 ``repro.analysis``
     Result tables, shape checks, model-vs-simulation comparison.
 """
@@ -48,8 +52,10 @@ from repro.core import (
     SystemConfig,
 )
 from repro.errors import (
+    CheckpointError,
     ConvergenceError,
     ReproError,
+    SolverBudgetExceededError,
     UnstableSystemError,
     ValidationError,
 )
@@ -70,5 +76,7 @@ __all__ = [
     "ValidationError",
     "UnstableSystemError",
     "ConvergenceError",
+    "SolverBudgetExceededError",
+    "CheckpointError",
     "__version__",
 ]

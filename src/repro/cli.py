@@ -18,6 +18,7 @@ import argparse
 import sys
 
 from repro.core import ClassConfig, GangSchedulingModel, SystemConfig
+from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -81,7 +82,7 @@ def _cmd_figure(args) -> int:
     }
     if args.number in grids:
         name, grid, factory = grids[args.number]
-        result = sweep(name, grid, factory)
+        result = sweep(name, grid, factory, checkpoint=args.checkpoint)
         table = Table(name, [f"N[{n}]" for n in result.class_names])
         for pt in result.points:
             table.add_row(pt.value, pt.mean_jobs)
@@ -154,6 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-gang",
         description="Gang-scheduling analysis and simulation "
                     "(SPAA '96 reproduction)")
+    parser.add_argument("--traceback", action="store_true",
+                        help="dump the full traceback on solver errors "
+                             "instead of a one-line message")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_solve = sub.add_parser("solve", help="solve a configuration analytically")
@@ -167,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="figure number")
     p_fig.add_argument("--plot", action="store_true",
                        help="also render the curves as a text plot")
+    p_fig.add_argument("--checkpoint", metavar="FILE", default=None,
+                       help="journal completed sweep points to FILE "
+                            "(JSONL) and resume from it if it exists")
     p_fig.set_defaults(func=_cmd_figure)
 
     p_opt = sub.add_parser("optimize",
@@ -193,7 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Solver failures (instability, non-convergence, bad
+        # checkpoints) are expected operational outcomes: report them
+        # readably and exit 2, reserving tracebacks for --traceback.
+        if args.traceback:
+            raise
+        print(f"repro-gang: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -53,6 +53,8 @@ from repro.errors import UnstableSystemError
 from repro.phasetype import PhaseType
 from repro.qbd.stationary import QBDStationaryDistribution, solve_qbd
 from repro.qbd.structure import QBDProcess
+from repro.resilience.fallback import DEFAULT_POLICY, ResiliencePolicy
+from repro.resilience.faults import maybe_fault
 
 __all__ = ["FixedPointOptions", "FixedPointResult", "IterationRecord",
            "run_fixed_point"]
@@ -91,6 +93,10 @@ class FixedPointOptions:
     tol: float = 1e-5
     reduction: str = "moments2"
     rmatrix_method: str = "logreduction"
+    #: Fallback/retry policy for every per-class QBD solve (see
+    #: :mod:`repro.resilience.fallback`); ``None`` disables fallback,
+    #: restoring fail-fast single-method solves.
+    resilience: ResiliencePolicy | None = DEFAULT_POLICY
     truncation_mass: float = 1e-9
     max_truncation_levels: int = 400
     heavy_traffic_only: bool = False
@@ -149,7 +155,9 @@ def _solve_all(config: SystemConfig, vacations: list[PhaseType],
             vacations[p], policy=config.empty_queue_policy,
         )
         try:
-            sol = solve_qbd(process, method=opts.rmatrix_method)
+            maybe_fault("fixed_point.class_solve", key=p)
+            sol = solve_qbd(process, method=opts.rmatrix_method,
+                            resilience=opts.resilience)
             sat = False
         except UnstableSystemError:
             sol = None

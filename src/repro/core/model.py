@@ -15,6 +15,7 @@ from repro.core.measures import ClassMeasures, compute_measures
 from repro.core.statespace import ClassStateSpace
 from repro.phasetype import PhaseType
 from repro.qbd.stationary import QBDStationaryDistribution
+from repro.resilience.fallback import DEFAULT_POLICY, ResiliencePolicy
 
 __all__ = ["GangSchedulingModel", "SolvedModel", "ClassResult"]
 
@@ -106,7 +107,8 @@ class GangSchedulingModel:
     ----------
     config:
         The system description.
-    reduction, rmatrix_method, truncation_mass, max_truncation_levels:
+    reduction, rmatrix_method, truncation_mass, max_truncation_levels, \
+resilience:
         Passed through to :class:`~repro.core.fixed_point.FixedPointOptions`.
 
     Examples
@@ -126,12 +128,14 @@ class GangSchedulingModel:
     def __init__(self, config: SystemConfig, *, reduction: str = "moments2",
                  rmatrix_method: str = "logreduction",
                  truncation_mass: float = 1e-9,
-                 max_truncation_levels: int = 400):
+                 max_truncation_levels: int = 400,
+                 resilience: "ResiliencePolicy | None" = DEFAULT_POLICY):
         self.config = config
         self._reduction = reduction
         self._rmatrix_method = rmatrix_method
         self._truncation_mass = truncation_mass
         self._max_truncation_levels = max_truncation_levels
+        self._resilience = resilience
 
     def _options(self, max_iterations: int, tol: float,
                  heavy_traffic_only: bool) -> FixedPointOptions:
@@ -143,6 +147,7 @@ class GangSchedulingModel:
             truncation_mass=self._truncation_mass,
             max_truncation_levels=self._max_truncation_levels,
             heavy_traffic_only=heavy_traffic_only,
+            resilience=self._resilience,
         )
 
     def solve(self, *, max_iterations: int = 200, tol: float = 1e-5,

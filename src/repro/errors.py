@@ -16,6 +16,8 @@ __all__ = [
     "NotAPhaseTypeError",
     "UnstableSystemError",
     "ConvergenceError",
+    "SolverBudgetExceededError",
+    "CheckpointError",
     "ReducibleChainError",
     "SimulationError",
 ]
@@ -76,6 +78,40 @@ class ConvergenceError(ReproError):
         self.iterations = iterations
         #: Final residual / change measure when the budget ran out.
         self.residual = residual
+
+
+class SolverBudgetExceededError(ConvergenceError):
+    """A resilient solve ran out of its iteration or wall-clock budget.
+
+    Raised by :mod:`repro.resilience.fallback` when the combined
+    retry/fallback attempts exhaust the caller's
+    :class:`~repro.resilience.fallback.RetryPolicy` budgets before any
+    method produces an acceptable solution.  Inherits the
+    ``iterations``/``residual`` diagnostics of
+    :class:`ConvergenceError` and adds the budget bookkeeping.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None,
+                 elapsed: float | None = None,
+                 budget: float | None = None):
+        super().__init__(message, iterations=iterations, residual=residual)
+        #: Wall-clock seconds spent before giving up (``None`` if the
+        #: iteration budget, not the clock, was the binding constraint).
+        self.elapsed = elapsed
+        #: The budget that was exceeded (seconds or iterations,
+        #: matching whichever constraint fired).
+        self.budget = budget
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint journal is unusable.
+
+    Raised when a journal's header does not match the sweep being
+    resumed (different parameter or class names) — resuming would mix
+    results from incompatible runs.  Truncated trailing records (the
+    crash case) are *not* an error; they are dropped on load.
+    """
 
 
 class ReducibleChainError(ReproError):

@@ -103,6 +103,7 @@ class DiscreteTimeMarkovChain:
 
     def _power_iteration(self, *, tol: float = 1e-13, max_iter: int = 200_000) -> np.ndarray:
         pi = np.full(self.num_states, 1.0 / self.num_states)
+        delta = float("inf")
         for it in range(max_iter):
             nxt = pi @ self._P
             delta = float(np.max(np.abs(nxt - pi)))

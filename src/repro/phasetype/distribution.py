@@ -17,7 +17,7 @@ from __future__ import annotations
 from functools import cached_property
 
 import numpy as np
-from scipy.linalg import expm
+from scipy import stats
 
 from repro.errors import NotAPhaseTypeError
 from repro.utils.validation import (
@@ -202,6 +202,36 @@ class PhaseType:
         return self._eval(x, lambda E: float(E.sum()),
                           at_zero=1.0 - self.atom_at_zero, below=1.0)
 
+    @cached_property
+    def _uniformized(self) -> tuple[np.ndarray, float]:
+        """Substochastic jump matrix ``P = I + S/theta`` and rate ``theta``."""
+        theta = float(np.max(-np.diag(self._S)))
+        P = self._S / theta + np.eye(self.order)
+        np.clip(P, 0.0, None, out=P)
+        return P, theta
+
+    def _front(self, x: float) -> np.ndarray:
+        """``alpha exp(S x)`` by uniformization (Poisson-weighted steps).
+
+        scipy's ``expm`` takes an exact-superdiagonal shortcut for
+        triangular input that collapses to garbage when two diagonal
+        entries differ by ~1 ulp (a hypoexponential with nearly equal
+        rates); here every term is a sub-probability vector, so the
+        series is unconditionally stable.
+        """
+        P, theta = self._uniformized
+        lam = theta * x
+        lo, hi = stats.poisson.interval(1.0 - 1e-14, lam)
+        lo, hi = int(max(lo, 0)), int(hi) + 1
+        weights = stats.poisson.pmf(np.arange(hi + 1), lam)
+        out = np.zeros_like(self._alpha)
+        v = self._alpha.copy()
+        for k in range(hi + 1):
+            if k >= lo:
+                out += weights[k] * v
+            v = v @ P
+        return out
+
     def _eval(self, x, reduce, at_zero: float, below: float):
         scalar = np.isscalar(x) or np.ndim(x) == 0
         x_arr = np.atleast_1d(np.asarray(x, dtype=np.float64))
@@ -212,8 +242,7 @@ class PhaseType:
             elif xi == 0.0:
                 out[i] = at_zero
             else:
-                E = self._alpha @ expm(self._S * xi)
-                out[i] = reduce(E)
+                out[i] = reduce(self._front(float(xi)))
         if scalar:
             return float(out[0])
         return out.reshape(x_arr.shape)

@@ -120,7 +120,8 @@ def fit_hyper_erlang(samples, orders, *, max_iter: int = 500,
     # Drop numerically dead branches and build the PH object.
     keep = [m for m in range(M) if weights[m] > 1e-12]
     if not keep:
-        raise ConvergenceError("EM collapsed all branches", iterations=it)
+        raise ConvergenceError("EM collapsed all branches", iterations=it,
+                               residual=float(np.max(weights)))
     w = np.array([weights[m] for m in keep])
     w = w / w.sum()
     parts = [erlang(orders[m], rate=float(rates[m])) for m in keep]
@@ -176,14 +177,22 @@ def fit_ph_em(samples, *, total_order: int = 4, max_iter: int = 500,
     if total_order < 1:
         raise ValidationError(f"total_order must be >= 1, got {total_order}")
     best: HyperErlangFit | None = None
+    failures: list[ConvergenceError] = []
     for structure in _candidate_structures(total_order):
         try:
             fit = fit_hyper_erlang(samples, structure, max_iter=max_iter,
                                    tol=tol)
-        except ConvergenceError:
+        except ConvergenceError as exc:
+            failures.append(exc)
             continue
         if best is None or fit.log_likelihood > best.log_likelihood:
             best = fit
     if best is None:
-        raise ConvergenceError("no candidate structure converged")
+        iterations = sum(e.iterations or 0 for e in failures) or None
+        residuals = [e.residual for e in failures if e.residual is not None]
+        raise ConvergenceError(
+            f"no candidate structure converged "
+            f"({len(failures)} structure(s) tried)",
+            iterations=iterations,
+            residual=min(residuals) if residuals else None)
     return best

@@ -14,8 +14,10 @@ This package provides:
 * :class:`~repro.qbd.structure.QBDProcess` — the process description
   (level-dependent boundary blocks + repeating blocks) with structural
   validation;
-* :mod:`~repro.qbd.rmatrix` — two ``R`` solvers (successive
-  substitution and logarithmic reduction);
+* :mod:`~repro.qbd.rmatrix` — four ``R`` solvers (logarithmic
+  reduction, cyclic reduction, successive substitution, and a
+  spectral invariant-subspace solve — the rungs of the resilience
+  fallback chain);
 * :mod:`~repro.qbd.stability` — the mean-drift stability test
   (Theorem 4.4);
 * :mod:`~repro.qbd.boundary` / :mod:`~repro.qbd.stationary` — boundary

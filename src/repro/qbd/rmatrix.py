@@ -9,30 +9,43 @@ down) is the minimal non-negative solution of
 
     A0 G^2 + A1 G + A2 = 0.
 
-Two algorithms are provided:
+Four algorithms are provided:
 
 * ``"substitution"`` — natural successive substitution
   ``R <- -(A0 + R^2 A2) A1^{-1}``, the classical linearly-convergent
   iteration (Neuts 1981);
 * ``"logreduction"`` — Latouche–Ramaswami logarithmic reduction on the
   uniformized (discrete-time) QBD, quadratically convergent; ``R`` is
-  recovered from ``G`` via ``R = A0 (-(A1 + A0 G))^{-1}``.
+  recovered from ``G`` via ``R = A0 (-(A1 + A0 G))^{-1}``;
+* ``"cr"`` — Bini–Meini cyclic reduction on the uniformized QBD, the
+  other quadratically convergent reduction (a genuinely different
+  recurrence from logreduction, so the two rarely fail together);
+* ``"spectral"`` — direct invariant-subspace solve: the eigenvalues of
+  ``G`` are the roots of ``det(z^2 A0 + z A1 + A2)`` in the closed
+  unit disk, found via a companion linearization.  Non-iterative, so
+  it is immune to slow-convergence failures entirely (at the price of
+  requiring ``G`` to be diagonalizable); it serves as the last rung of
+  the resilience fallback chain.
 
-Both converge only for *positive recurrent* QBDs (``sp(R) < 1``); call
-:func:`repro.qbd.stability.is_stable` first, or rely on the iteration
-budget raising :class:`~repro.errors.ConvergenceError`.
+All but ``"spectral"`` converge only for *positive recurrent* QBDs
+(``sp(R) < 1``); call :func:`repro.qbd.stability.is_stable` first, or
+rely on the iteration budget raising
+:class:`~repro.errors.ConvergenceError`.  For multi-method solving
+with automatic fallback, retries, and budgets, use
+:func:`repro.resilience.fallback.resilient_solve_R`.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy import linalg as _sla
 
 from repro.errors import ConvergenceError, ValidationError
-from repro.markov.uniformization import uniformize
+from repro.resilience.faults import maybe_corrupt, maybe_fault
 
 __all__ = ["solve_R", "solve_G", "r_from_g", "METHODS"]
 
-METHODS = ("logreduction", "substitution")
+METHODS = ("logreduction", "cr", "substitution", "spectral")
 
 
 def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
@@ -46,7 +59,7 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
         Repeating blocks of a continuous-time QBD (``A1`` carries the
         negative diagonal).
     method:
-        ``"logreduction"`` (default) or ``"substitution"``.
+        One of :data:`METHODS` (default ``"logreduction"``).
     tol:
         Convergence threshold on the iteration's residual measure.
     max_iter:
@@ -58,12 +71,21 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
     A0 = np.asarray(A0, dtype=np.float64)
     A1 = np.asarray(A1, dtype=np.float64)
     A2 = np.asarray(A2, dtype=np.float64)
+    if method not in METHODS:
+        raise ValidationError(
+            f"unknown R-matrix method {method!r}; use one of {METHODS}")
+    maybe_fault("rmatrix.solve", key=method)
     if method == "substitution":
-        return _solve_r_substitution(A0, A1, A2, tol=tol, max_iter=max_iter)
-    if method == "logreduction":
-        G = solve_G(A0, A1, A2, tol=tol, max_iter=max_iter)
-        return r_from_g(A0, A1, G)
-    raise ValidationError(f"unknown R-matrix method {method!r}; use one of {METHODS}")
+        R = _solve_r_substitution(A0, A1, A2, tol=tol, max_iter=max_iter)
+    else:
+        if method == "logreduction":
+            G = solve_G(A0, A1, A2, tol=tol, max_iter=max_iter)
+        elif method == "cr":
+            G = _solve_g_cr(A0, A1, A2, tol=tol, max_iter=max_iter)
+        else:  # spectral
+            G = _solve_g_spectral(A0, A1, A2, tol=tol)
+        R = r_from_g(A0, A1, G)
+    return maybe_corrupt("rmatrix.result", R, key=method)
 
 
 def _solve_r_substitution(A0, A1, A2, *, tol: float, max_iter: int) -> np.ndarray:
@@ -90,19 +112,8 @@ def solve_G(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
     ``max_iter`` counts *doubling* steps (64 covers any practical
     case — the residual after ``k`` steps is order ``xi^(2^k)``).
     """
-    A0 = np.asarray(A0, dtype=np.float64)
-    A1 = np.asarray(A1, dtype=np.float64)
-    A2 = np.asarray(A2, dtype=np.float64)
-    d = A1.shape[0]
-    # Uniformize the repeating part: (D0, D1, D2) is a discrete QBD
-    # with the same G matrix.
-    rate = float(np.max(-np.diag(A1)))
-    if rate <= 0:
-        raise ValidationError("A1 has no negative diagonal; not a CTMC QBD")
-    D0 = A0 / rate
-    D1 = A1 / rate + np.eye(d)
-    D2 = A2 / rate
-
+    D0, D1, D2 = _uniformized_blocks(A0, A1, A2)
+    d = D1.shape[0]
     I = np.eye(d)
     inv = np.linalg.inv(I - D1)
     H = inv @ D0   # up-step kernel
@@ -128,6 +139,103 @@ def solve_G(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
             "logarithmic reduction did not converge (unstable QBD?)",
             iterations=max_iter, residual=max(defect, correction),
         )
+    return np.clip(G, 0.0, None)
+
+
+def _uniformized_blocks(A0, A1, A2) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Uniformize the repeating part: ``(D0, D1, D2)`` is a discrete
+    QBD with the same ``G`` matrix (``D1`` carries the lazy self-loop)."""
+    A0 = np.asarray(A0, dtype=np.float64)
+    A1 = np.asarray(A1, dtype=np.float64)
+    A2 = np.asarray(A2, dtype=np.float64)
+    rate = float(np.max(-np.diag(A1)))
+    if rate <= 0:
+        raise ValidationError("A1 has no negative diagonal; not a CTMC QBD")
+    return A0 / rate, A1 / rate + np.eye(A1.shape[0]), A2 / rate
+
+
+def _solve_g_cr(A0, A1, A2, *, tol: float, max_iter: int = 64) -> np.ndarray:
+    """Bini–Meini cyclic reduction for ``G`` on the uniformized QBD.
+
+    With discrete blocks ``(up, local, down) = (D0, D1, D2)`` the
+    recurrences square the path length each step; the "hat" sequence
+    converges quadratically to ``U = D1 + D0 G`` (local transitions
+    taboo of going down), from which
+    ``G = (I - U)^{-1} D2``.
+    """
+    D0, D1, D2 = _uniformized_blocks(A0, A1, A2)
+    d = D1.shape[0]
+    I = np.eye(d)
+    down, local, up = D2.copy(), D1.copy(), D0.copy()
+    local_hat = D1.copy()
+    for it in range(1, max_iter + 1):
+        S = np.linalg.inv(I - local)
+        downS = down @ S
+        upS = up @ S
+        local_hat = local_hat + upS @ down
+        local = local + downS @ up + upS @ down
+        down = downS @ down
+        up = upS @ up
+        # ``up`` shrinks to zero quadratically for a positive recurrent
+        # QBD; it bounds the remaining correction to ``local_hat``.
+        correction = float(np.max(np.abs(up)))
+        if correction < tol:
+            break
+    else:
+        raise ConvergenceError(
+            "cyclic reduction did not converge (unstable QBD?)",
+            iterations=max_iter, residual=correction,
+        )
+    G = np.linalg.solve(I - local_hat, D2)
+    return np.clip(G, 0.0, None)
+
+
+def _solve_g_spectral(A0, A1, A2, *, tol: float) -> np.ndarray:
+    """Invariant-subspace solve for ``G``.
+
+    Eigenpairs ``G v = z v`` satisfy the quadratic eigenvalue problem
+    ``(z^2 A0 + z A1 + A2) v = 0``; the minimal non-negative solvent
+    collects the ``d`` roots inside the closed unit disk.  Solved via
+    the companion linearization
+
+        [ 0    I  ] [ v  ]       [ I  0  ] [ v  ]
+        [ -A2  -A1] [ zv ]  =  z [ 0  A0 ] [ zv ] .
+
+    Raises :class:`~repro.errors.ConvergenceError` when the selected
+    eigenvector basis is numerically singular (defective ``G``) or the
+    reconstructed solvent fails the quadratic-residual check.
+    """
+    A0 = np.asarray(A0, dtype=np.float64)
+    A1 = np.asarray(A1, dtype=np.float64)
+    A2 = np.asarray(A2, dtype=np.float64)
+    d = A1.shape[0]
+    I = np.eye(d)
+    Z = np.zeros((d, d))
+    lhs = np.block([[Z, I], [-A2, -A1]])
+    rhs = np.block([[I, Z], [Z, A0]])
+    vals, vecs = _sla.eig(lhs, rhs)
+    moduli = np.abs(vals)
+    moduli[~np.isfinite(moduli)] = np.inf  # infinite eigenvalues (A0 singular)
+    order = np.argsort(moduli)
+    chosen = order[:d]
+    if moduli[chosen[-1]] > 1.0 + 1e-8:
+        raise ConvergenceError(
+            "spectral solve found fewer than d roots in the unit disk "
+            "(unstable QBD?)", residual=float(moduli[chosen[-1]] - 1.0))
+    V = vecs[:d, chosen]
+    z = vals[chosen]
+    try:
+        G = np.real(V @ np.diag(z) @ np.linalg.inv(V))
+    except np.linalg.LinAlgError as exc:
+        raise ConvergenceError(
+            f"spectral solve: eigenvector basis is singular ({exc}); "
+            "G may be defective") from None
+    residual = float(np.max(np.abs(A0 @ G @ G + A1 @ G + A2)))
+    scale = max(1.0, float(np.max(np.abs(A1))))
+    if not np.isfinite(residual) or residual > scale * max(tol * 1e4, 1e-8):
+        raise ConvergenceError(
+            "spectral solve residual too large (ill-conditioned "
+            "eigenbasis?)", residual=residual)
     return np.clip(G, 0.0, None)
 
 

@@ -19,6 +19,13 @@ from repro.qbd.boundary import solve_boundary
 from repro.qbd.rmatrix import solve_R
 from repro.qbd.stability import DriftReport, drift
 from repro.qbd.structure import QBDProcess
+from repro.resilience.fallback import (
+    DEFAULT_POLICY,
+    ResiliencePolicy,
+    SolveReport,
+    resilient_solve_R,
+)
+from repro.resilience.faults import maybe_fault
 from repro.utils.linalg import spectral_radius
 
 __all__ = ["solve_qbd", "QBDStationaryDistribution"]
@@ -41,6 +48,9 @@ class QBDStationaryDistribution:
     boundary_pi: tuple[np.ndarray, ...]
     R: np.ndarray
     drift_report: DriftReport
+    #: Attempt history of the resilient ``R`` solve (``None`` when the
+    #: solve ran without the resilience layer).
+    solve_report: SolveReport | None = None
 
     @property
     def boundary_levels(self) -> int:
@@ -139,7 +149,9 @@ class QBDStationaryDistribution:
 
 
 def solve_qbd(process: QBDProcess, *, method: str = "logreduction",
-              tol: float = 1e-12, require_stable: bool = True) -> QBDStationaryDistribution:
+              tol: float = 1e-12, require_stable: bool = True,
+              resilience: ResiliencePolicy | None = DEFAULT_POLICY,
+              ) -> QBDStationaryDistribution:
     """Full matrix-geometric solution of a QBD.
 
     Parameters
@@ -147,19 +159,34 @@ def solve_qbd(process: QBDProcess, *, method: str = "logreduction",
     process:
         Validated QBD description.
     method:
-        ``R``-matrix algorithm (see :func:`repro.qbd.rmatrix.solve_R`).
+        Primary ``R``-matrix algorithm (see
+        :func:`repro.qbd.rmatrix.solve_R`).
     tol:
         Convergence tolerance for the ``R`` iteration.
     require_stable:
         When ``True`` (default), raise
         :class:`~repro.errors.UnstableSystemError` if the drift test
         fails instead of attempting a divergent iteration.
+    resilience:
+        Fallback/retry policy for the ``R`` solve (see
+        :func:`repro.resilience.fallback.resilient_solve_R`): when the
+        primary method fails, the remaining algorithms are tried in
+        turn and the attempt history lands on the result's
+        ``solve_report``.  Pass ``None`` to run the single configured
+        method with no retries (legacy behaviour).
 
     Raises
     ------
     UnstableSystemError
         If the repeating portion has non-negative mean drift.
+    ConvergenceError
+        If the ``R`` solve fails — with resilience enabled, only after
+        every method in the chain has failed.
+    SolverBudgetExceededError
+        If the resilience policy's iteration or wall-clock budget ran
+        out before any method succeeded.
     """
+    maybe_fault("qbd.solve")
     report = drift(process.A0, process.A1, process.A2)
     if require_stable and not report.stable:
         raise UnstableSystemError(
@@ -167,6 +194,14 @@ def solve_qbd(process: QBDProcess, *, method: str = "logreduction",
             f"mean down-rate {report.down:.6g} (rho={report.traffic_intensity:.4g})",
             drift=report.drift,
         )
-    R = solve_R(process.A0, process.A1, process.A2, method=method, tol=tol)
+    if resilience is None:
+        R = solve_R(process.A0, process.A1, process.A2, method=method, tol=tol)
+        solve_report = None
+    else:
+        R, solve_report = resilient_solve_R(
+            process.A0, process.A1, process.A2, method=method, tol=tol,
+            policy=resilience)
     pi = solve_boundary(process, R)
-    return QBDStationaryDistribution(boundary_pi=tuple(pi), R=R, drift_report=report)
+    return QBDStationaryDistribution(boundary_pi=tuple(pi), R=R,
+                                     drift_report=report,
+                                     solve_report=solve_report)

@@ -1,0 +1,128 @@
+"""Crash-safe JSONL journaling for long-running sweeps.
+
+A sweep over thousands of grid points must not lose every solved point
+to one crash.  :class:`SweepJournal` appends one JSON record per
+completed point (flushed and fsync'd, so a kill between points loses
+nothing) and loads tolerantly: a trailing partial line — the signature
+of a crash mid-write — is dropped, not fatal.
+
+The journal is self-describing: the first record is a header carrying
+the sweep's identity (parameter name, class names).  Resuming against
+a journal whose header disagrees raises
+:class:`~repro.errors.CheckpointError` instead of silently mixing
+incompatible runs.
+
+Records are plain JSON objects.  Python's ``json`` round-trips floats
+exactly (shortest-repr encoding) and accepts the non-strict ``NaN`` /
+``Infinity`` tokens the solver's saturated/failed points produce, so a
+resumed sweep reproduces byte-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError
+
+__all__ = ["SweepJournal"]
+
+_HEADER_KIND = "sweep-header"
+
+
+class SweepJournal:
+    """Append-only JSONL journal at ``path``.
+
+    Use :meth:`load` to recover the header and completed records,
+    :meth:`write_header` once per fresh journal, and :meth:`append`
+    after each completed point.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def repair(self) -> bool:
+        """Truncate a partial trailing line left by a crash mid-write.
+
+        Must be called before appending to a resumed journal —
+        otherwise the next record would concatenate onto the partial
+        line and corrupt it.  Returns whether anything was removed.
+        """
+        if not self.path.exists():
+            return False
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return False
+        os.truncate(self.path, data.rfind(b"\n") + 1)
+        return True
+
+    def load(self) -> tuple[dict | None, list[dict]]:
+        """Read the journal: ``(header, records)``.
+
+        Tolerates a truncated or corrupt trailing line (crash
+        mid-write); corrupt lines *before* the last one indicate real
+        damage and raise :class:`~repro.errors.CheckpointError`.
+        """
+        if not self.path.exists():
+            return None, []
+        lines = self.path.read_text().splitlines()
+        header: dict | None = None
+        records: list[dict] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # partial final write from a crash — drop it
+                raise CheckpointError(
+                    f"corrupt journal {self.path}: unparseable line {i + 1} "
+                    "before the end of the file") from None
+            if isinstance(rec, dict) and rec.get("kind") == _HEADER_KIND:
+                if header is not None:
+                    raise CheckpointError(
+                        f"corrupt journal {self.path}: duplicate header")
+                header = rec
+            else:
+                records.append(rec)
+        return header, records
+
+    def validate_header(self, header: dict | None, **expected) -> None:
+        """Check a loaded header against this sweep's identity.
+
+        ``expected`` maps header fields to required values; list/tuple
+        values are compared order-sensitively but type-insensitively.
+        """
+        if header is None:
+            raise CheckpointError(
+                f"journal {self.path} has no header; was it produced by "
+                "an incompatible version?")
+        for key, want in expected.items():
+            got = header.get(key)
+            if isinstance(want, (list, tuple)):
+                want, got = list(want), list(got or [])
+            if got != want:
+                raise CheckpointError(
+                    f"journal {self.path} belongs to a different sweep: "
+                    f"{key}={got!r}, expected {want!r}")
+
+    def write_header(self, **fields) -> None:
+        """Write the identifying header record (fresh journals only)."""
+        self._append_line({"kind": _HEADER_KIND, **fields})
+
+    def append(self, record: dict) -> None:
+        """Durably append one completed-point record."""
+        self._append_line(record)
+
+    def _append_line(self, obj: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(obj)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

@@ -35,7 +35,7 @@ class BatchArrivalGangSimulation(GangSimulation):
         One probability vector per class: ``batch_pmfs[p][k-1]`` is the
         probability an epoch brings ``k`` jobs (sizes ``1..len(pmf)``).
         Mean offered load per class becomes
-        ``lambda_p * E[batch] * / mu_p`` accordingly.
+        ``lambda_p * E[batch] / mu_p`` accordingly.
     """
 
     def __init__(self, config: SystemConfig,

@@ -4,15 +4,27 @@ Every figure of the paper is "solve the model along a grid of one
 parameter and plot ``N_p``".  :func:`sweep` runs that loop for any
 ``value -> SystemConfig`` factory, via the analytic model and/or the
 simulator, and returns a :class:`SweepResult` table the benches print.
+
+Crash safety
+------------
+Pass ``checkpoint="path/to/run.jsonl"`` and every completed point —
+including *failed* points, which are recorded with their error class —
+is journaled durably as it finishes.  Re-running the same sweep with
+the same checkpoint resumes: journaled points are loaded instead of
+re-solved, so a killed-and-resumed sweep reproduces the uninterrupted
+run exactly.  See :mod:`repro.resilience.checkpoint`.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.config import SystemConfig
 from repro.core.model import GangSchedulingModel
+from repro.resilience.checkpoint import SweepJournal
+from repro.resilience.faults import maybe_fault
 
 __all__ = ["SweepPoint", "SweepResult", "sweep"]
 
@@ -36,6 +48,8 @@ class SweepResult:
     parameter: str
     class_names: tuple[str, ...]
     points: list[SweepPoint] = field(default_factory=list)
+    #: Points loaded from a checkpoint journal instead of re-solved.
+    resumed: int = 0
 
     def values(self) -> list[float]:
         return [pt.value for pt in self.points]
@@ -65,12 +79,36 @@ class SweepResult:
         return "\n".join(out)
 
 
+def _point_record(pt: SweepPoint) -> dict:
+    return {
+        "value": pt.value,
+        "mean_jobs": list(pt.mean_jobs),
+        "mean_response_time": list(pt.mean_response_time),
+        "iterations": pt.iterations,
+        "converged": pt.converged,
+        "error": pt.error,
+    }
+
+
+def _point_from_record(rec: dict) -> SweepPoint:
+    return SweepPoint(
+        value=float(rec["value"]),
+        mean_jobs=tuple(float(v) for v in rec["mean_jobs"]),
+        mean_response_time=tuple(float(v) for v in rec["mean_response_time"]),
+        iterations=int(rec["iterations"]),
+        converged=bool(rec["converged"]),
+        error=rec.get("error"),
+    )
+
+
 def sweep(parameter: str, values: Sequence[float],
           config_factory: Callable[[float], SystemConfig],
           *, heavy_traffic_only: bool = False,
           model_kwargs: dict | None = None,
           solve_kwargs: dict | None = None,
-          skip_errors: bool = True) -> SweepResult:
+          skip_errors: bool = True,
+          checkpoint: str | os.PathLike | None = None,
+          resume: bool = True) -> SweepResult:
     """Solve the analytic model along a parameter grid.
 
     Parameters
@@ -87,37 +125,91 @@ def sweep(parameter: str, values: Sequence[float],
         Extra keyword arguments for :class:`GangSchedulingModel` /
         its ``solve``.
     skip_errors:
-        Record unstable/failed points (with the error message) instead
-        of aborting the sweep.
+        Record unstable/failed points (with the error class and
+        message) instead of aborting the sweep.
+    checkpoint:
+        Path of a JSONL journal.  Every completed point is appended
+        durably, so a crash loses at most the point in flight.
+    resume:
+        With ``checkpoint``, load journaled points and skip their
+        solves (default).  ``False`` ignores an existing journal and
+        overwrites it.
+
+    Raises
+    ------
+    CheckpointError
+        The checkpoint journal belongs to a different sweep (its
+        parameter or class names disagree) or is corrupt beyond its
+        final line.
     """
+    if len(values) == 0:
+        raise ValueError("sweep requires at least one grid value")
+    journal = SweepJournal(checkpoint) if checkpoint is not None else None
+    done: dict[float, SweepPoint] = {}
     result: SweepResult | None = None
+    header_written = False
+    if journal is not None:
+        if resume and journal.exists():
+            journal.repair()
+            header, records = journal.load()
+            if header is not None or records:
+                journal.validate_header(header, parameter=parameter)
+                done = {pt.value: pt
+                        for pt in map(_point_from_record, records)}
+                result = SweepResult(parameter=parameter,
+                                     class_names=tuple(header["class_names"]))
+                header_written = True
+            # An empty journal (crash before the header landed) is a
+            # fresh start.
+        elif journal.exists():
+            journal.path.unlink()
+        # Otherwise the header is written lazily, once the first config
+        # names the classes.
+
     for v in values:
+        v = float(v)
+        if v in done:
+            result.points.append(done[v])
+            result.resumed += 1
+            continue
         config = config_factory(v)
         names = config.class_names
         if result is None:
             result = SweepResult(parameter=parameter, class_names=names)
+        elif journal is not None and names != result.class_names:
+            from repro.errors import CheckpointError
+            raise CheckpointError(
+                f"checkpoint journal {journal.path} belongs to a different "
+                f"sweep: class names {list(result.class_names)!r}, "
+                f"factory produced {list(names)!r}")
+        if journal is not None and not header_written:
+            journal.write_header(parameter=parameter,
+                                 class_names=list(result.class_names))
+            header_written = True
         try:
+            maybe_fault("sweeps.point", key=v)
             model = GangSchedulingModel(config, **(model_kwargs or {}))
             solved = model.solve(heavy_traffic_only=heavy_traffic_only,
                                  **(solve_kwargs or {}))
-            result.points.append(SweepPoint(
-                value=float(v),
+            point = SweepPoint(
+                value=v,
                 mean_jobs=tuple(c.mean_jobs for c in solved.classes),
                 mean_response_time=tuple(c.mean_response_time
                                          for c in solved.classes),
                 iterations=solved.iterations,
                 converged=solved.converged,
-            ))
+            )
         except Exception as exc:  # noqa: BLE001 - reported per point
             if not skip_errors:
                 raise
-            result.points.append(SweepPoint(
-                value=float(v),
+            point = SweepPoint(
+                value=v,
                 mean_jobs=tuple(float("nan") for _ in names),
                 mean_response_time=tuple(float("nan") for _ in names),
                 iterations=0, converged=False,
                 error=f"{type(exc).__name__}: {exc}",
-            ))
-    if result is None:
-        raise ValueError("sweep requires at least one grid value")
+            )
+        result.points.append(point)
+        if journal is not None:
+            journal.append(_point_record(point))
     return result

@@ -1,6 +1,5 @@
 """Tests for the named PH families."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError

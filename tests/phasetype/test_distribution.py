@@ -131,6 +131,23 @@ class TestDistributionFunctions:
         with pytest.raises(ValueError):
             exponential(1.0).quantile(1.0)
 
+    def test_ulp_close_rates_stay_accurate(self):
+        # scipy.linalg.expm's triangular shortcut returns garbage (a
+        # negative superdiagonal) when two diagonal entries differ by
+        # ~1 ulp; the uniformization evaluator must not.  Found by
+        # hypothesis via maximum(exp, hypoexp) in test_properties.
+        from repro.phasetype import hypoexponential, maximum
+
+        r = 0.05
+        g = hypoexponential([r, np.nextafter(r, 1.0)])
+        near = erlang(2, rate=r)
+        for x in [0.5, 1.0, 10.0]:
+            assert g.cdf(x) == pytest.approx(near.cdf(x), abs=1e-10)
+        f = exponential(9.0)
+        m = maximum(f, g)
+        for x in [0.5, 1.0, 10.0]:
+            assert m.cdf(x) == pytest.approx(f.cdf(x) * g.cdf(x), abs=1e-10)
+
 
 class TestSampling:
     def test_sample_scalar(self, rng):

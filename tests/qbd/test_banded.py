@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.qbd import solve_qbd
-from repro.qbd.banded import BandedLevelProcess, ReblockedIndex, reblock
+from repro.qbd.banded import BandedLevelProcess, reblock
 from repro.utils.linalg import solve_stationary_gth
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ValidationError
-from repro.qbd.rmatrix import r_from_g, solve_G, solve_R
+from repro.qbd.rmatrix import METHODS, r_from_g, solve_G, solve_R
 from repro.utils.linalg import spectral_radius
 
 
@@ -29,9 +29,9 @@ def phase_blocks():
 class TestMM1:
     def test_r_is_rho(self):
         A0, A1, A2 = mm1_blocks(0.6, 1.0)
-        for method in ("logreduction", "substitution"):
+        for method in METHODS:
             R = solve_R(A0, A1, A2, method=method)
-            assert R[0, 0] == pytest.approx(0.6, abs=1e-10)
+            assert R[0, 0] == pytest.approx(0.6, abs=1e-9)
 
     def test_g_is_one(self):
         # For a recurrent chain, G is stochastic; scalar case: G = 1.
@@ -41,11 +41,22 @@ class TestMM1:
 
 
 class TestPhaseCase:
-    def test_methods_agree(self):
+    @pytest.mark.parametrize("method", [m for m in METHODS
+                                        if m != "logreduction"])
+    def test_methods_agree(self, method):
         A0, A1, A2 = phase_blocks()
         R1 = solve_R(A0, A1, A2, method="logreduction")
-        R2 = solve_R(A0, A1, A2, method="substitution")
+        R2 = solve_R(A0, A1, A2, method=method)
         assert R1 == pytest.approx(R2, abs=1e-8)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_quadratic_residual_all_methods(self, method):
+        A0, A1, A2 = phase_blocks()
+        R = solve_R(A0, A1, A2, method=method)
+        residual = R @ R @ A2 + R @ A1 + A0
+        assert np.max(np.abs(residual)) < 1e-9
+        assert np.all(R >= 0)
+        assert spectral_radius(R) < 1.0
 
     def test_quadratic_residual(self):
         A0, A1, A2 = phase_blocks()

@@ -1,0 +1,11 @@
+"""Shared safety net: no fault leaks out of a test."""
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _disarm_all_faults():
+    yield
+    faults.disarm()

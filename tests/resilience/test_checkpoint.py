@@ -1,0 +1,171 @@
+"""Tests for crash-safe sweep checkpointing and resume."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import ClassConfig, SystemConfig
+from repro.errors import CheckpointError
+from repro.resilience import faults
+from repro.resilience.checkpoint import SweepJournal
+from repro.workloads import sweep
+
+
+def tiny_config(lam):
+    return SystemConfig(processors=2, classes=(
+        ClassConfig.markovian(1, arrival_rate=lam, service_rate=1.0,
+                              quantum_mean=2.0, overhead_mean=0.01,
+                              name="only"),
+    ))
+
+
+GRID = [0.2, 0.5, 0.8, 1.1]
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        j = SweepJournal(tmp_path / "run.jsonl")
+        j.write_header(parameter="lambda", class_names=["only"])
+        j.append({"value": 0.5, "ok": True})
+        header, records = j.load()
+        assert header["parameter"] == "lambda"
+        assert records == [{"value": 0.5, "ok": True}]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        header, records = SweepJournal(tmp_path / "nope.jsonl").load()
+        assert header is None and records == []
+
+    def test_truncated_final_line_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        j = SweepJournal(path)
+        j.write_header(parameter="lambda", class_names=["only"])
+        j.append({"value": 0.5})
+        with open(path, "a") as fh:
+            fh.write('{"value": 0.8, "mean_jo')      # crash mid-write
+        header, records = j.load()
+        assert header is not None
+        assert records == [{"value": 0.5}]
+
+    def test_repair_truncates_partial_tail(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        j = SweepJournal(path)
+        j.append({"value": 0.5})
+        with open(path, "a") as fh:
+            fh.write('{"broken')
+        assert j.repair() is True
+        assert path.read_text() == '{"value": 0.5}\n'
+        assert j.repair() is False                   # idempotent
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"broken\n{"value": 0.5}\n')
+        with pytest.raises(CheckpointError, match="unparseable"):
+            SweepJournal(path).load()
+
+    def test_duplicate_header_raises(self, tmp_path):
+        j = SweepJournal(tmp_path / "run.jsonl")
+        j.write_header(parameter="a")
+        j.write_header(parameter="b")
+        with pytest.raises(CheckpointError, match="duplicate header"):
+            j.load()
+
+    def test_validate_header_mismatch(self, tmp_path):
+        j = SweepJournal(tmp_path / "run.jsonl")
+        with pytest.raises(CheckpointError, match="no header"):
+            j.validate_header(None, parameter="lambda")
+        with pytest.raises(CheckpointError, match="different sweep"):
+            j.validate_header({"parameter": "mu"}, parameter="lambda")
+        j.validate_header({"parameter": "lambda", "class_names": ["a"]},
+                          parameter="lambda", class_names=("a",))
+
+    def test_float_values_roundtrip_exactly(self, tmp_path):
+        j = SweepJournal(tmp_path / "run.jsonl")
+        vals = [0.1, 1 / 3, 2.0 ** -40, float("inf"), 6.02e23]
+        j.append({"vals": vals})
+        _, (rec,) = j.load()
+        assert rec["vals"] == vals                    # exact, not approx
+
+
+class TestSweepCheckpointing:
+    def test_journal_written_and_resume_skips_solves(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        first = sweep("lambda", GRID, tiny_config, checkpoint=path)
+        assert first.resumed == 0
+        # Re-running must not re-solve anything: a fault armed at every
+        # grid point would fire if any point were solved again.
+        with faults.inject("sweeps.point", raises=RuntimeError) as spec:
+            second = sweep("lambda", GRID, tiny_config, checkpoint=path)
+        assert spec.fired == 0
+        assert second.resumed == len(GRID)
+        assert second.points == first.points
+        assert second.render() == first.render()
+
+    def test_killed_and_resumed_matches_uninterrupted(self, tmp_path):
+        """Acceptance: kill mid-sweep, resume, byte-identical results."""
+        clean_path = tmp_path / "clean.jsonl"
+        crash_path = tmp_path / "crash.jsonl"
+        clean = sweep("lambda", GRID, tiny_config, checkpoint=clean_path)
+
+        # "Kill" the sweep at the third grid point: KeyboardInterrupt
+        # is not swallowed by skip_errors, like a real SIGINT.
+        with faults.inject("sweeps.point", raises=KeyboardInterrupt,
+                           keys=(GRID[2],)):
+            with pytest.raises(KeyboardInterrupt):
+                sweep("lambda", GRID, tiny_config, checkpoint=crash_path)
+        resumed = sweep("lambda", GRID, tiny_config, checkpoint=crash_path)
+
+        assert resumed.resumed == 2                   # first two survived
+        assert resumed.points == clean.points
+        assert resumed.render() == clean.render()
+        # The resumed journal is byte-identical to the uninterrupted one.
+        assert crash_path.read_bytes() == clean_path.read_bytes()
+
+    def test_failed_points_checkpointed_with_error_class(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        grid = [0.5, 5.0]                             # 5.0 is unstable
+        first = sweep("lambda", grid, tiny_config, checkpoint=path)
+        assert first.points[1].error is not None
+        assert first.points[1].error.startswith("UnstableSystemError")
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines()][1:]
+        assert records[1]["error"].startswith("UnstableSystemError")
+        # Failed points resume too — they are not retried.
+        second = sweep("lambda", grid, tiny_config, checkpoint=path)
+        assert second.resumed == 2
+        # NaN-carrying points can't use ==; compare the journal text.
+        assert second.points[1].error == first.points[1].error
+        assert second.render() == first.render()
+        assert math.isnan(second.series(0)[1])
+
+    def test_resume_false_overwrites(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep("lambda", GRID, tiny_config, checkpoint=path)
+        fresh = sweep("lambda", GRID[:2], tiny_config, checkpoint=path,
+                      resume=False)
+        assert fresh.resumed == 0
+        header, records = SweepJournal(path).load()
+        assert len(records) == 2
+
+    def test_mismatched_journal_rejected(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep("lambda", GRID[:2], tiny_config, checkpoint=path)
+        with pytest.raises(CheckpointError, match="different sweep"):
+            sweep("mu", GRID[:2], tiny_config, checkpoint=path)
+
+    def test_empty_journal_treated_as_fresh(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text("")
+        res = sweep("lambda", GRID[:2], tiny_config, checkpoint=path)
+        assert res.resumed == 0 and len(res.points) == 2
+
+    def test_extra_journal_points_ignored(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep("lambda", GRID, tiny_config, checkpoint=path)
+        narrowed = sweep("lambda", GRID[:2], tiny_config, checkpoint=path)
+        assert narrowed.values() == GRID[:2]
+        assert narrowed.resumed == 2
+
+    def test_no_checkpoint_unchanged_behaviour(self):
+        res = sweep("lambda", GRID[:2], tiny_config)
+        assert res.resumed == 0 and len(res.points) == 2

@@ -1,0 +1,112 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, UnstableSystemError
+from repro.resilience import faults
+
+
+class TestArmDisarm:
+    def test_inactive_by_default(self):
+        assert not faults.active()
+        faults.maybe_fault("anything")  # no-op
+
+    def test_arm_and_fire(self):
+        faults.arm("site", raises=ConvergenceError)
+        with pytest.raises(ConvergenceError, match="injected"):
+            faults.maybe_fault("site")
+
+    def test_disarm_one_site(self):
+        faults.arm("a", raises=ConvergenceError)
+        faults.arm("b", raises=ConvergenceError)
+        faults.disarm("a")
+        faults.maybe_fault("a")
+        with pytest.raises(ConvergenceError):
+            faults.maybe_fault("b")
+
+    def test_disarm_all(self):
+        faults.arm("a", raises=ConvergenceError)
+        faults.disarm()
+        assert not faults.active()
+
+    def test_must_raise_or_corrupt(self):
+        with pytest.raises(ValueError):
+            faults.arm("site")
+
+    def test_exception_instance_reraised(self):
+        exc = UnstableSystemError("mine", drift=0.25)
+        faults.arm("site", raises=exc)
+        with pytest.raises(UnstableSystemError) as info:
+            faults.maybe_fault("site")
+        assert info.value is exc
+
+
+class TestSelectivity:
+    def test_key_filter(self):
+        faults.arm("site", raises=ConvergenceError, keys=("logreduction",))
+        faults.maybe_fault("site", key="cr")          # not matching
+        with pytest.raises(ConvergenceError):
+            faults.maybe_fault("site", key="logreduction")
+
+    def test_times_limits_fires(self):
+        spec = faults.arm("site", raises=ConvergenceError, times=2)
+        for _ in range(2):
+            with pytest.raises(ConvergenceError):
+                faults.maybe_fault("site")
+        faults.maybe_fault("site")  # third call passes
+        assert spec.fired == 2 and spec.seen == 3
+
+    def test_calls_selects_indices(self):
+        faults.arm("site", raises=ConvergenceError, calls={1})
+        faults.maybe_fault("site")                    # call 0 passes
+        with pytest.raises(ConvergenceError):
+            faults.maybe_fault("site")                # call 1 fires
+        faults.maybe_fault("site")                    # call 2 passes
+
+    def test_deterministic_across_runs(self):
+        def run():
+            fired = []
+            with faults.inject("site", raises=ConvergenceError,
+                               calls={0, 2}):
+                for i in range(4):
+                    try:
+                        faults.maybe_fault("site")
+                        fired.append(False)
+                    except ConvergenceError:
+                        fired.append(True)
+            return fired
+        assert run() == run() == [True, False, True, False]
+
+
+class TestCorruption:
+    def test_nan_array(self):
+        faults.arm("site", corrupt="nan")
+        out = faults.maybe_corrupt("site", np.ones((2, 2)))
+        assert np.all(np.isnan(out))
+
+    def test_nan_scalar(self):
+        faults.arm("site", corrupt="nan")
+        assert np.isnan(faults.maybe_corrupt("site", 3.0))
+
+    def test_callable_corruption(self):
+        faults.arm("site", corrupt=lambda v: -v)
+        assert faults.maybe_corrupt("site", 5.0) == -5.0
+
+    def test_passthrough_when_unarmed(self):
+        x = np.ones(3)
+        assert faults.maybe_corrupt("other", x) is x
+
+
+class TestInjectContext:
+    def test_restores_previous_spec(self):
+        outer = faults.arm("site", raises=ConvergenceError, times=0)
+        with faults.inject("site", raises=UnstableSystemError):
+            with pytest.raises(UnstableSystemError):
+                faults.maybe_fault("site")
+        assert faults.spec_for("site") is outer
+
+    def test_clears_when_fresh(self):
+        with faults.inject("site", raises=ConvergenceError):
+            assert faults.active()
+        assert not faults.active()

@@ -10,7 +10,6 @@ from repro.sim.trace import TraceEventType
 from repro.workloads import (
     ClassTrace,
     TraceDrivenGangSimulation,
-    WorkloadTrace,
     generate_trace,
 )
 

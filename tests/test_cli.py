@@ -76,3 +76,35 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "simulation:" in out
         assert "analytic comparison:" in out
+
+
+class TestErrorHandling:
+    UNSTABLE = ["solve", "--processors", "2", "--class", "1,5.0,1.0,2.0,0.01"]
+
+    def test_repro_error_exits_2_with_one_line_message(self, capsys):
+        assert main(self.UNSTABLE) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("repro-gang: UnstableSystemError:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_traceback_flag_reraises(self):
+        from repro.errors import UnstableSystemError
+        with pytest.raises(UnstableSystemError):
+            main(["--traceback"] + self.UNSTABLE)
+
+    def test_checkpoint_mismatch_reported_readably(self, tmp_path, capsys):
+        path = tmp_path / "fig.jsonl"
+        path.write_text('{"kind": "sweep-header", "parameter": "other"}\n')
+        assert main(["figure", "2", "--checkpoint", str(path)]) == 2
+        assert "CheckpointError" in capsys.readouterr().err
+
+
+class TestFigureCheckpoint:
+    def test_figure_resumes_from_checkpoint(self, tmp_path, capsys):
+        path = tmp_path / "fig4.jsonl"
+        assert main(["figure", "4", "--checkpoint", str(path)]) == 0
+        first = capsys.readouterr().out
+        assert path.exists()
+        assert main(["figure", "4", "--checkpoint", str(path)]) == 0
+        assert capsys.readouterr().out == first

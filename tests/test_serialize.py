@@ -5,7 +5,6 @@ import json
 import numpy as np
 import pytest
 
-from repro.core import ClassConfig, SystemConfig
 from repro.errors import ValidationError
 from repro.phasetype import coxian, erlang, exponential, hyperexponential
 from repro.serialize import (
