@@ -82,7 +82,8 @@ def _cmd_figure(args) -> int:
     }
     if args.number in grids:
         name, grid, factory = grids[args.number]
-        result = sweep(name, grid, factory, checkpoint=args.checkpoint)
+        result = sweep(name, grid, factory, checkpoint=args.checkpoint,
+                       workers=args.workers)
         table = Table(name, [f"N[{n}]" for n in result.class_names])
         for pt in result.points:
             table.add_row(pt.value, pt.mean_jobs)
@@ -171,6 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="figure number")
     p_fig.add_argument("--plot", action="store_true",
                        help="also render the curves as a text plot")
+    p_fig.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="solve grid points in N parallel processes")
     p_fig.add_argument("--checkpoint", metavar="FILE", default=None,
                        help="journal completed sweep points to FILE "
                             "(JSONL) and resume from it if it exists")

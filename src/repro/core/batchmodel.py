@@ -208,7 +208,7 @@ def _effective_quantum_banded(space: ClassStateSpace,
     total = xi.sum() + atom_flow
     if total <= 0:
         raise ValidationError("no flow into quantum starts in batch chain")
-    return PhaseType(xi / total, T)
+    return PhaseType.from_trusted(xi / total, T)
 
 
 @dataclass(frozen=True)

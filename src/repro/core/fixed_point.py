@@ -9,6 +9,14 @@ One iteration:
 3. Reassemble every ``F_p`` from the other classes' effective quanta
    and repeat until the per-class mean job counts stop moving.
 
+The per-class work runs through the staged pipeline of
+:mod:`repro.pipeline`: one :class:`~repro.pipeline.context.SolveContext`
+per run carries reusable assembly/extraction workspaces, the previous
+iteration's ``R`` matrices (warm starts for the next solve), a
+content-keyed cache of solved chains, and per-stage wall-clock
+timings.  ``FixedPointOptions(warm_start=False, reuse_artifacts=False)``
+routes every stage through the reference implementations instead.
+
 Initialization and saturation handling
 --------------------------------------
 The natural initialization is the heavy-traffic vacation of
@@ -41,20 +49,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import SystemConfig
-from repro.core.generator import build_class_qbd
 from repro.core.statespace import ClassStateSpace
 from repro.core.vacation import (
-    effective_quantum,
     fixed_point_vacation,
     heavy_traffic_vacation,
-    reduce_order,
 )
 from repro.errors import UnstableSystemError
 from repro.phasetype import PhaseType
-from repro.qbd.stationary import QBDStationaryDistribution, solve_qbd
+from repro.pipeline import stages
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.context import SolveContext
+from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
 from repro.resilience.fallback import DEFAULT_POLICY, ResiliencePolicy
-from repro.resilience.faults import maybe_fault
 
 __all__ = ["FixedPointOptions", "FixedPointResult", "IterationRecord",
            "run_fixed_point"]
@@ -108,6 +115,19 @@ class FixedPointOptions:
     #: extrapolated iterates that turn out unstable or non-positive are
     #: simply discarded for that round.
     acceleration: str = "aitken"
+    #: Seed each class's ``R`` solve with its previous iterate (see
+    #: :func:`repro.qbd.rmatrix.solve_R`).  The fixed point moves the
+    #: blocks a little per iteration, so the previous ``R`` is a
+    #: near-solution and the warm Newton refinement converges in a
+    #: couple of steps.
+    warm_start: bool = True
+    #: Use the Kronecker assembler and vectorized extractor with their
+    #: per-class workspaces (:mod:`repro.pipeline`); ``False`` routes
+    #: every stage through the reference implementations in
+    #: :mod:`repro.core`.
+    reuse_artifacts: bool = True
+    #: Optional shared artifact cache; ``None`` gives each run its own.
+    cache: ArtifactCache | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -139,34 +159,12 @@ class FixedPointResult:
     history: list[IterationRecord] = field(default_factory=list)
     converged: bool = False
     used_bootstrap: bool = False
+    #: Wall-clock seconds per pipeline stage, accumulated over the run.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def iterations(self) -> int:
         return len(self.history)
-
-
-def _solve_all(config: SystemConfig, vacations: list[PhaseType],
-               opts: FixedPointOptions):
-    """Solve every class; saturated classes get ``None`` solutions."""
-    spaces, processes, solutions, saturated = [], [], [], []
-    for p, cls in enumerate(config.classes):
-        process, space = build_class_qbd(
-            config.partitions(p), cls.arrival, cls.service, cls.quantum,
-            vacations[p], policy=config.empty_queue_policy,
-        )
-        try:
-            maybe_fault("fixed_point.class_solve", key=p)
-            sol = solve_qbd(process, method=opts.rmatrix_method,
-                            resilience=opts.resilience)
-            sat = False
-        except UnstableSystemError:
-            sol = None
-            sat = True
-        spaces.append(space)
-        processes.append(process)
-        solutions.append(sol)
-        saturated.append(sat)
-    return spaces, processes, solutions, saturated
 
 
 def _optimistic_quanta(config: SystemConfig) -> dict[int, PhaseType]:
@@ -174,6 +172,33 @@ def _optimistic_quanta(config: SystemConfig) -> dict[int, PhaseType]:
     return {p: config.classes[p].quantum.rescaled(
         max(1e-6, 1e-3 * config.classes[p].quantum.mean))
         for p in range(config.num_classes)}
+
+
+def _aitken_target(x0: np.ndarray, x1: np.ndarray, x2: np.ndarray,
+                   tol: float) -> tuple[np.ndarray, bool]:
+    """Aitken delta-squared extrapolation of a vector mean sequence.
+
+    With ``x_{n+1} ~ x* + rho (x_n - x*)``, the extrapolation
+    ``x* ~ x_n - (dx_n)^2 / (dx_n - dx_{n-1})`` lands near the fixed
+    point in one step.  Returns ``(target, ok)``; ``ok`` is ``False``
+    unless the window shows a clean linear-convergence signature:
+    meaningful deltas whose componentwise ratios sit well inside
+    ``(0, 1)``.  Near the fixed point (or on oscillation) Aitken
+    overshoots and *slows* the plain iteration down, so such windows
+    are rejected.
+    """
+    d1, d2 = x1 - x0, x2 - x1
+    denom = d2 - d1
+    safe = np.abs(denom) > 1e-14
+    target = np.where(safe, x2 - d2 * d2 / np.where(safe, denom, 1.0), x2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(np.abs(d1) > 1e-12, d2 / d1, 0.5)
+    meaningful = float(np.max(np.abs(d2) / np.maximum(x2, 1e-12)))
+    ok = bool(np.all(target > 0) and np.all(np.isfinite(target))
+              and np.all(target <= x2 * 1.5 + 1e-12)
+              and np.all((ratio > 0.2) & (ratio < 0.95))
+              and meaningful > 50 * tol)
+    return target, ok
 
 
 def run_fixed_point(config: SystemConfig,
@@ -189,12 +214,13 @@ def run_fixed_point(config: SystemConfig,
     """
     opts = opts or FixedPointOptions()
     L = config.num_classes
+    ctx = SolveContext.create(config, opts)
     vacations = [heavy_traffic_vacation(config, p) for p in range(L)]
 
     result = FixedPointResult(spaces=[], processes=[], solutions=[],
                               vacations=vacations)
 
-    state = _solve_all(config, vacations, opts)
+    state = stages.solve_all(ctx, vacations)
     if opts.heavy_traffic_only and any(state[3]):
         bad = [p for p, s in enumerate(state[3]) if s]
         raise UnstableSystemError(
@@ -207,7 +233,7 @@ def run_fixed_point(config: SystemConfig,
         eff0 = _optimistic_quanta(config)
         vacations = [fixed_point_vacation(config, p, eff0)
                      for p in range(L)]
-        state = _solve_all(config, vacations, opts)
+        state = stages.solve_all(ctx, vacations)
     if all(state[3]):
         raise UnstableSystemError(
             "every class is saturated: the offered load exceeds the "
@@ -257,51 +283,30 @@ def run_fixed_point(config: SystemConfig,
             if saturated[p]:
                 eff[p] = config.classes[p].quantum
             else:
-                raw = effective_quantum(
-                    spaces[p], processes[p], solutions[p], vacations[p],
-                    truncation_mass=opts.truncation_mass,
-                    max_levels=opts.max_truncation_levels,
-                )
-                eff[p] = reduce_order(raw, opts.reduction)
+                eff[p] = stages.extract_class(ctx, p)
 
         # Aitken delta-squared acceleration on the per-class effective-
-        # quantum means: with x_{n+1} ~ x* + rho (x_n - x*), the
-        # extrapolation x* ~ x_n - (dx_n)^2 / (dx_n - dx_{n-1}) lands
-        # near the fixed point in one step.  Applied every third round
-        # from a window of three consecutive mean vectors.
+        # quantum means, applied every third round from a window of
+        # three consecutive mean vectors.
         eff_means_history.append(np.array([eff[p].mean for p in range(L)]))
         if opts.acceleration == "aitken" and len(eff_means_history) >= 3 \
                 and it % 3 == 2 and not any(saturated):
-            x0, x1, x2 = eff_means_history[-3:]
-            d1, d2 = x1 - x0, x2 - x1
-            denom = d2 - d1
-            safe = np.abs(denom) > 1e-14
-            target = np.where(safe, x2 - d2 * d2 / np.where(safe, denom, 1.0),
-                              x2)
-            # Extrapolate only on a clean linear-convergence signature:
-            # meaningful deltas whose componentwise ratios sit well
-            # inside (0, 1).  Near the fixed point (or on oscillation)
-            # Aitken overshoots and *slows* the plain iteration down.
-            with np.errstate(divide="ignore", invalid="ignore"):
-                ratio = np.where(np.abs(d1) > 1e-12, d2 / d1, 0.5)
-            meaningful = float(np.max(np.abs(d2) / np.maximum(x2, 1e-12)))
-            ok = (np.all(target > 0) and np.all(np.isfinite(target))
-                  and np.all(target <= x2 * 1.5 + 1e-12)
-                  and np.all((ratio > 0.2) & (ratio < 0.95))
-                  and meaningful > 50 * opts.tol)
+            target, ok = _aitken_target(*eff_means_history[-3:], opts.tol)
             if ok:
                 for p in range(L):
                     if eff[p].mean > 0 and target[p] != eff[p].mean:
-                        eff[p] = PhaseType(
+                        eff[p] = PhaseType.from_trusted(
                             eff[p].alpha,
                             np.asarray(eff[p].S) * (eff[p].mean / target[p]))
                 eff_means_history.clear()
 
-        vacations = [fixed_point_vacation(config, p, eff)
-                     for p in range(L)]
-        state = _solve_all(config, vacations, opts)
+        with ctx.timings.timed("recombine"):
+            vacations = [fixed_point_vacation(config, p, eff)
+                         for p in range(L)]
+        state = stages.solve_all(ctx, vacations)
         if all(state[3]):
             raise UnstableSystemError(
                 "every class became saturated during the fixed-point "
                 "iteration: the system is over capacity")
+    result.timings = ctx.timings.as_dict()
     return result

@@ -63,6 +63,24 @@ class ClassMeasures:
     utilization: float
     variance_jobs: float
 
+    @classmethod
+    def saturated(cls) -> "ClassMeasures":
+        """Measures of a saturated class (unstable at the fixed point).
+
+        Counts and response time diverge (``inf``); the time-share
+        quantities have no steady-state value (``nan``) because the
+        chain is not positive recurrent; and no quantum is ever
+        skipped — a saturated class never empties — so the skip flow
+        is exactly 0.
+        """
+        inf, nan = float("inf"), float("nan")
+        return cls(
+            mean_jobs=inf, mean_response_time=inf,
+            mean_jobs_waiting=inf, mean_jobs_in_service=nan,
+            service_fraction=nan, skip_probability_flow=0.0,
+            throughput=nan, utilization=nan, variance_jobs=inf,
+        )
+
 
 def compute_measures(space: ClassStateSpace, solution: QBDStationaryDistribution,
                      *, arrival_rate: float, service: PhaseType,

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.core.config import SystemConfig
 from repro.core.fixed_point import (
@@ -14,6 +15,7 @@ from repro.core.fixed_point import (
 from repro.core.measures import ClassMeasures, compute_measures
 from repro.core.statespace import ClassStateSpace
 from repro.phasetype import PhaseType
+from repro.pipeline.cache import ArtifactCache
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.resilience.fallback import DEFAULT_POLICY, ResiliencePolicy
 
@@ -58,6 +60,10 @@ class SolvedModel:
     classes: tuple[ClassResult, ...]
     history: tuple[IterationRecord, ...]
     converged: bool
+    #: Wall-clock seconds per solver-pipeline stage (assemble,
+    #: stability, rsolve, boundary, extract, reduce, recombine,
+    #: measures), accumulated over the whole solve.
+    timings: dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def iterations(self) -> int:
@@ -129,13 +135,21 @@ resilience:
                  rmatrix_method: str = "logreduction",
                  truncation_mass: float = 1e-9,
                  max_truncation_levels: int = 400,
-                 resilience: "ResiliencePolicy | None" = DEFAULT_POLICY):
+                 resilience: "ResiliencePolicy | None" = DEFAULT_POLICY,
+                 warm_start: bool = True, reuse_artifacts: bool = True,
+                 cache: ArtifactCache | None = None):
         self.config = config
         self._reduction = reduction
         self._rmatrix_method = rmatrix_method
         self._truncation_mass = truncation_mass
         self._max_truncation_levels = max_truncation_levels
         self._resilience = resilience
+        self._warm_start = warm_start
+        self._reuse_artifacts = reuse_artifacts
+        # One cache per model instance: solve() followed by
+        # solve_heavy_traffic() (or repeated solves) revisit identical
+        # heavy-traffic chains and get them for free.
+        self._cache = cache if cache is not None else ArtifactCache()
 
     def _options(self, max_iterations: int, tol: float,
                  heavy_traffic_only: bool) -> FixedPointOptions:
@@ -148,6 +162,9 @@ resilience:
             max_truncation_levels=self._max_truncation_levels,
             heavy_traffic_only=heavy_traffic_only,
             resilience=self._resilience,
+            warm_start=self._warm_start,
+            reuse_artifacts=self._reuse_artifacts,
+            cache=self._cache,
         )
 
     def solve(self, *, max_iterations: int = 200, tol: float = 1e-5,
@@ -165,16 +182,10 @@ resilience:
 
     def _package(self, raw: FixedPointResult) -> SolvedModel:
         classes = []
+        started = time.perf_counter()
         for p, cls in enumerate(self.config.classes):
             if raw.solutions[p] is None:
-                inf = float("inf")
-                measures = ClassMeasures(
-                    mean_jobs=inf, mean_response_time=inf,
-                    mean_jobs_waiting=inf, mean_jobs_in_service=float("nan"),
-                    service_fraction=float("nan"),
-                    skip_probability_flow=0.0, throughput=float("nan"),
-                    utilization=float("nan"), variance_jobs=inf,
-                )
+                measures = ClassMeasures.saturated()
             else:
                 measures = compute_measures(
                     raw.spaces[p], raw.solutions[p],
@@ -189,9 +200,13 @@ resilience:
                 vacation=raw.vacations[p],
                 measures=measures,
             ))
+        timings = dict(raw.timings)
+        timings["measures"] = (timings.get("measures", 0.0)
+                               + time.perf_counter() - started)
         return SolvedModel(
             config=self.config,
             classes=tuple(classes),
             history=tuple(raw.history),
             converged=raw.converged,
+            timings=timings,
         )

@@ -228,7 +228,9 @@ def effective_quantum(space: ClassStateSpace, process: QBDProcess,
         raise ValidationError(
             "no probability flow into quantum starts; the chain never serves"
         )
-    return PhaseType(xi / total, T)
+    # T is a sub-generator by construction (diagonal set from the
+    # row sums plus absorption); skip the O(n^3) validation.
+    return PhaseType.from_trusted(xi / total, T)
 
 
 def _off_diagonal(M: np.ndarray) -> np.ndarray:
@@ -263,4 +265,4 @@ def reduce_order(dist: PhaseType, reduction: str) -> PhaseType:
         fitted = match_three_moments(m1, m2, m3)
     if atom <= 1e-15:
         return fitted
-    return PhaseType(cond * np.asarray(fitted.alpha), fitted.S)
+    return PhaseType.from_trusted(cond * np.asarray(fitted.alpha), fitted.S)

@@ -40,7 +40,8 @@ def convolve(f: PhaseType, g: PhaseType) -> PhaseType:
     S[:nf, nf:] = np.outer(f.exit_rates, g.alpha)
     S[nf:, nf:] = g.S
     alpha = np.concatenate([f.alpha, f.atom_at_zero * g.alpha])
-    return PhaseType(alpha, S)
+    # Valid by construction from validated operands (Theorem 2.5).
+    return PhaseType.from_trusted(alpha, S)
 
 
 def convolve_many(parts: Sequence[PhaseType]) -> PhaseType:
@@ -80,14 +81,14 @@ def mixture(weights: Sequence[float], parts: Sequence[PhaseType]) -> PhaseType:
         S[pos:pos + p.order, pos:pos + p.order] = p.S
         alpha[pos:pos + p.order] = w * p.alpha
         pos += p.order
-    return PhaseType(alpha, S)
+    return PhaseType.from_trusted(alpha, S)
 
 
 def scale(f: PhaseType, c: float) -> PhaseType:
     """Distribution of ``c X`` for ``c > 0``: divide the sub-generator by ``c``."""
     if c <= 0:
         raise ValidationError(f"scale factor must be positive, got {c}")
-    return PhaseType(f.alpha, f.S / c)
+    return PhaseType.from_trusted(f.alpha, f.S / c)
 
 
 def minimum(f: PhaseType, g: PhaseType) -> PhaseType:
@@ -101,7 +102,7 @@ def minimum(f: PhaseType, g: PhaseType) -> PhaseType:
     # Atoms at zero in either operand put mass at zero for the minimum;
     # the deficit of alpha already accounts for this:
     # sum(kron(aF, aG)) = (aF e)(aG e).
-    return PhaseType(alpha, S)
+    return PhaseType.from_trusted(alpha, S)
 
 
 def maximum(f: PhaseType, g: PhaseType) -> PhaseType:
@@ -127,4 +128,4 @@ def maximum(f: PhaseType, g: PhaseType) -> PhaseType:
     # If one operand starts absorbed (atom at zero), the max is just the other.
     alpha[n_joint:n_joint + nf] = g.atom_at_zero * f.alpha
     alpha[n_joint + nf:] = f.atom_at_zero * g.alpha
-    return PhaseType(alpha, S)
+    return PhaseType.from_trusted(alpha, S)

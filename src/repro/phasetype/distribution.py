@@ -66,6 +66,23 @@ class PhaseType:
         self._alpha = alpha
         self._S = S
 
+    @classmethod
+    def from_trusted(cls, alpha, S) -> "PhaseType":
+        """Construct without validation.
+
+        For representations derived internally from already-validated
+        distributions — closure operations, rescaling, the effective-
+        quantum extraction — where the sub-generator is valid by
+        construction.  The caller guarantees ``alpha`` is a
+        sub-probability vector and ``S`` an invertible sub-generator;
+        nothing here checks either.  External inputs (user code,
+        deserialisation) must go through ``PhaseType(alpha, S)``.
+        """
+        self = object.__new__(cls)
+        self._alpha = np.ascontiguousarray(alpha, dtype=np.float64)
+        self._S = np.ascontiguousarray(S, dtype=np.float64)
+        return self
+
     # ------------------------------------------------------------------
     # Representation
     # ------------------------------------------------------------------
@@ -341,7 +358,7 @@ class PhaseType:
         if new_mean <= 0:
             raise ValueError(f"new_mean must be positive, got {new_mean}")
         c = new_mean / self.mean
-        return PhaseType(self._alpha, self._S / c)
+        return PhaseType.from_trusted(self._alpha, self._S / c)
 
     def embedded_generator(self) -> np.ndarray:
         """Full ``(m+1) x (m+1)`` generator including the absorbing state."""
@@ -383,4 +400,4 @@ class PhaseType:
         if not keep:
             raise NotAPhaseTypeError("no reachable phases; alpha is all zero")
         idx = np.asarray(keep)
-        return PhaseType(self._alpha[idx], self._S[np.ix_(idx, idx)])
+        return PhaseType.from_trusted(self._alpha[idx], self._S[np.ix_(idx, idx)])

@@ -40,7 +40,7 @@ def equilibrium(dist: PhaseType) -> PhaseType:
         raise ValidationError("equilibrium distribution needs a positive mean")
     S = np.asarray(dist.S)
     alpha_e = (np.asarray(dist.alpha) @ np.linalg.inv(-S)) / m
-    return PhaseType(alpha_e, S)
+    return PhaseType.from_trusted(alpha_e, S)
 
 
 def residual_moment(dist: PhaseType, k: int) -> float:

@@ -1,0 +1,101 @@
+"""Shared state of the staged fixed-point solve.
+
+The legacy driver threaded ``(spaces, processes, solutions, saturated)``
+tuples through each iteration and rebuilt everything else from scratch.
+The pipeline instead keeps one :class:`ClassArtifacts` per job class —
+the QBD, its solution, the last ``R`` matrix (the warm-start seed for
+the next iteration) and the reusable assembly/extraction workspaces —
+plus a solved-artifact cache and per-stage wall-clock accounting, all
+bundled in a :class:`SolveContext` created once per fixed-point run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.statespace import ClassStateSpace
+from repro.phasetype import PhaseType
+from repro.pipeline.assembly import AssemblyWorkspace
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.extract import ExtractionWorkspace
+from repro.qbd.stationary import QBDStationaryDistribution
+from repro.qbd.structure import QBDProcess
+
+__all__ = ["ClassArtifacts", "SolveContext", "StageTimings"]
+
+
+class StageTimings:
+    """Wall-clock seconds accumulated per pipeline stage."""
+
+    def __init__(self):
+        self._seconds: dict[str, float] = {}
+
+    @contextmanager
+    def timed(self, stage: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._seconds[stage] = (self._seconds.get(stage, 0.0)
+                                    + time.perf_counter() - start)
+
+    def add(self, stage: str, seconds: float) -> None:
+        self._seconds[stage] = self._seconds.get(stage, 0.0) + seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._seconds)
+
+
+@dataclass
+class ClassArtifacts:
+    """Everything the pipeline knows about one job class.
+
+    ``R`` survives saturation episodes and vacation updates — the
+    previous iterate is a good Newton seed even after the blocks move —
+    and the workspaces survive everything except a change in the
+    distributions they were built from.
+    """
+
+    index: int
+    assembly: AssemblyWorkspace | None = None
+    extraction: ExtractionWorkspace = field(default_factory=ExtractionWorkspace)
+    space: ClassStateSpace | None = None
+    process: QBDProcess | None = None
+    vacation: PhaseType | None = None
+    solution: QBDStationaryDistribution | None = None
+    R: np.ndarray | None = None
+    saturated: bool = False
+
+
+@dataclass
+class SolveContext:
+    """One fixed-point run's worth of shared pipeline state."""
+
+    config: SystemConfig
+    opts: "FixedPointOptions"  # noqa: F821 - import cycle; typing only
+    classes: list[ClassArtifacts]
+    cache: ArtifactCache
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    @classmethod
+    def create(cls, config: SystemConfig, opts,
+               cache: ArtifactCache | None = None) -> "SolveContext":
+        """Build a fresh context (one per ``run_fixed_point`` call).
+
+        ``cache`` lets a caller — e.g. a model solving several related
+        systems — share solved artifacts across runs; by default each
+        run gets its own.
+        """
+        if cache is None:
+            cache = getattr(opts, "cache", None)
+        if cache is None:  # NB: an empty ArtifactCache is falsy
+            cache = ArtifactCache()
+        return cls(config=config, opts=opts,
+                   classes=[ClassArtifacts(index=p)
+                            for p in range(config.num_classes)],
+                   cache=cache)

@@ -1,0 +1,241 @@
+"""Vectorized effective-quantum extraction (Theorem 4.3).
+
+:func:`repro.core.vacation.effective_quantum` is the reference
+implementation and documents the construction; this module computes
+the same absorbing PH with the per-iteration overhead stripped out.
+It profiles as the fixed point's dominant stage, and almost all of its
+cost was index bookkeeping rather than arithmetic:
+
+* the service/waiting index sets of every level are pure functions of
+  the :class:`~repro.core.statespace.ClassStateSpace` — an
+  :class:`ExtractionWorkspace` computes them once per space (states are
+  ordered ``(a, v, k)`` with ``k`` fastest, so they are arange
+  patterns, not state-enumeration loops);
+* every level above the boundary shares the repeating blocks, so the
+  retained/absorbing slices of ``A0``/``A1``/``A2`` are sliced once
+  and placed ``K - c`` times;
+* the truncation search walks ``pi_b R^n`` incrementally instead of
+  calling ``tail_probability`` (a fresh ``matrix_power``) per level,
+  and the entry flows of the repeating levels reuse one sliced flow
+  matrix.
+
+Results agree with the reference to floating-point noise (asserted by
+``tests/pipeline/test_extract.py``); they are not bit-identical
+because sums associate differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.statespace import ClassStateSpace
+from repro.errors import ValidationError
+from repro.phasetype import PhaseType
+from repro.qbd.stationary import QBDStationaryDistribution
+from repro.qbd.structure import QBDProcess
+
+__all__ = ["ExtractionWorkspace", "extract_effective_quantum"]
+
+
+@dataclass(frozen=True)
+class _LevelIndices:
+    """Service/waiting state indices of one level, in block order."""
+
+    svc: np.ndarray
+    wait: np.ndarray
+
+
+@dataclass(frozen=True)
+class _ExtractionPlan:
+    """Space-dependent (but solution-independent) extraction layout."""
+
+    lvl_start: int
+    boundary: tuple[_LevelIndices, ...]  # levels lvl_start..c
+    repeating: _LevelIndices             # levels > c
+
+
+class ExtractionWorkspace:
+    """Caches one :class:`_ExtractionPlan` per state space.
+
+    Spaces are value-hashable frozen dataclasses, so the cache survives
+    the per-iteration re-creation of equal spaces; it only repopulates
+    when the vacation *order* changes.
+    """
+
+    def __init__(self):
+        self._plans: dict[ClassStateSpace, _ExtractionPlan] = {}
+
+    def plan(self, space: ClassStateSpace) -> _ExtractionPlan:
+        plan = self._plans.get(space)
+        if plan is None:
+            plan = self._build(space)
+            self._plans[space] = plan
+        return plan
+
+    @staticmethod
+    def _indices(space: ClassStateSpace, level: int) -> _LevelIndices:
+        phases = space.cycle_phases_at(level)
+        nk = len(phases)
+        n_quantum = sum(1 for k in phases if space.is_quantum_phase(k))
+        blocks = space.level_dim(level) // nk
+        base = np.arange(blocks, dtype=np.intp)[:, None] * nk
+        svc = (base + np.arange(n_quantum, dtype=np.intp)).ravel()
+        wait = (base + np.arange(n_quantum, nk, dtype=np.intp)).ravel()
+        return _LevelIndices(svc=svc, wait=wait)
+
+    def _build(self, space: ClassStateSpace) -> _ExtractionPlan:
+        c = space.boundary_levels
+        lvl_start = 0 if space.policy == "idle" else 1
+        boundary = tuple(self._indices(space, lvl)
+                         for lvl in range(lvl_start, c + 1))
+        return _ExtractionPlan(lvl_start=lvl_start, boundary=boundary,
+                               repeating=self._indices(space, c + 1))
+
+
+def _off_diag(M: np.ndarray) -> np.ndarray:
+    out = M.copy()
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def extract_effective_quantum(space: ClassStateSpace, process: QBDProcess,
+                              solution: QBDStationaryDistribution,
+                              vacation: PhaseType,
+                              *, truncation_mass: float = 1e-9,
+                              max_levels: int = 400,
+                              workspace: ExtractionWorkspace | None = None,
+                              ) -> PhaseType:
+    """Fast equivalent of :func:`repro.core.vacation.effective_quantum`.
+
+    Same construction, same truncation rule, same entry vector; see the
+    reference implementation for the semantics.  ``workspace`` carries
+    the per-space index plans across fixed-point iterations.
+    """
+    if workspace is None:
+        workspace = ExtractionWorkspace()
+    plan = workspace.plan(space)
+    c = space.boundary_levels
+    lvl_start = plan.lvl_start
+
+    # ---- truncation level: incremental tail walk ------------------------
+    R = solution.R
+    pib = solution.boundary_pi[solution.boundary_levels]
+    e = np.ones(R.shape[0])
+    w = np.linalg.solve(np.eye(R.shape[0]) - R, e)
+    K = c + 1
+    vec = pib @ R @ R          # tail(K) = pi_b R^{K-b+1} (I-R)^{-1} e, b = c
+    while K < max_levels and float(vec @ w) > truncation_mass:
+        K += 1
+        vec = vec @ R
+
+    def indices(lvl: int) -> _LevelIndices:
+        if lvl > c:
+            return plan.repeating
+        return plan.boundary[lvl - lvl_start]
+
+    offsets: dict[int, int] = {}
+    pos = 0
+    for lvl in range(lvl_start, K + 1):
+        offsets[lvl] = pos
+        pos += len(indices(lvl).svc)
+    order = pos
+    if order == 0:
+        raise ValidationError("no service states found; is m_quantum zero?")
+
+    T = np.zeros((order, order))
+    absorb = np.zeros(order)
+
+    # ---- boundary levels: per-level slices ------------------------------
+    rep = plan.repeating
+    rs = rep.svc
+    A0, A1, A2 = process.A0, process.A1, process.A2
+    for lvl in range(lvl_start, c + 1):
+        idx = indices(lvl)
+        rows = idx.svc
+        base = offsets[lvl]
+        local = process.block(lvl, lvl)
+        T[base:base + len(rows), base:base + len(rows)] += \
+            _off_diag(local[np.ix_(rows, rows)])
+        if idx.wait.size:
+            absorb[base:base + len(rows)] += \
+                local[np.ix_(rows, idx.wait)].sum(axis=1)
+        if lvl < K:
+            upb = process.block(lvl, lvl + 1)
+            up_rows = indices(lvl + 1).svc
+            T[base:base + len(rows),
+              offsets[lvl + 1]:offsets[lvl + 1] + len(up_rows)] += \
+                upb[np.ix_(rows, up_rows)]
+        if lvl > lvl_start:
+            dnb = process.block(lvl, lvl - 1)
+            dn = indices(lvl - 1)
+            T[base:base + len(rows),
+              offsets[lvl - 1]:offsets[lvl - 1] + len(dn.svc)] += \
+                dnb[np.ix_(rows, dn.svc)]
+            if dn.wait.size:
+                absorb[base:base + len(rows)] += \
+                    dnb[np.ix_(rows, dn.wait)].sum(axis=1)
+        elif lvl == 1 and lvl_start == 1:
+            # Switch policy: the whole down block from level 1 lands in
+            # level-0 waiting states — pure absorption.
+            dnb = process.block(1, 0)
+            absorb[base:base + len(rows)] += dnb[rows].sum(axis=1)
+
+    # ---- repeating levels: slice once, place K - c times ----------------
+    if K > c:
+        nrep = len(rs)
+        rep_local = _off_diag(A1[np.ix_(rs, rs)])
+        rep_local_abs = A1[np.ix_(rs, rep.wait)].sum(axis=1) \
+            if rep.wait.size else np.zeros(nrep)
+        rep_up = A0[np.ix_(rs, rs)]
+        rep_down = A2[np.ix_(rs, rs)]
+        rep_down_abs = A2[np.ix_(rs, rep.wait)].sum(axis=1) \
+            if rep.wait.size else np.zeros(nrep)
+        for lvl in range(c + 1, K + 1):
+            base = offsets[lvl]
+            sl = slice(base, base + nrep)
+            T[sl, sl] += rep_local
+            absorb[sl] += rep_local_abs
+            if lvl < K:
+                T[sl, offsets[lvl + 1]:offsets[lvl + 1] + nrep] += rep_up
+            # Down target: level c shares the repeating phase layout,
+            # so one slice serves every repeating level.
+            T[sl, offsets[lvl - 1]:offsets[lvl - 1] + nrep] += rep_down
+            absorb[sl] += rep_down_abs
+
+    np.fill_diagonal(T, 0.0)
+    T[np.diag_indices(order)] = -(T.sum(axis=1) + absorb)
+
+    # ---- initial vector xi ----------------------------------------------
+    xi = np.zeros(order)
+    for lvl in range(lvl_start, c + 1):
+        idx = indices(lvl)
+        if idx.wait.size == 0:
+            continue
+        pi = solution.level(lvl)
+        local = process.block(lvl, lvl)
+        flow = pi[idx.wait] @ local[np.ix_(idx.wait, idx.svc)]
+        xi[offsets[lvl]:offsets[lvl] + len(idx.svc)] += flow
+    if K > c and rep.wait.size:
+        W = A1[np.ix_(rep.wait, rs)]
+        pi = pib.copy()
+        for lvl in range(c + 1, K + 1):
+            pi = pi @ R
+            xi[offsets[lvl]:offsets[lvl] + len(rs)] += pi[rep.wait] @ W
+
+    # Skipped quanta: vacation completions while the system is empty.
+    atom_flow = 0.0
+    if lvl_start == 1:
+        pi0 = solution.level(0)
+        v0 = vacation.exit_rates
+        atom_flow = float((pi0.reshape(-1, space.m_vacation) @ v0).sum())
+
+    total = xi.sum() + atom_flow
+    if total <= 0:
+        raise ValidationError(
+            "no probability flow into quantum starts; the chain never serves"
+        )
+    # T is a sub-generator by construction (diagonal set from the
+    # row sums plus absorption); skip the O(n^3) validation.
+    return PhaseType.from_trusted(xi / total, T)

@@ -1,0 +1,160 @@
+"""The staged per-class solve: assemble -> stability -> R -> boundary -> extract.
+
+Each stage reads and writes the :class:`~repro.pipeline.context.SolveContext`;
+:func:`solve_all` strings them together with exactly the legacy
+``_solve_all`` semantics (same fault-injection sites, same saturation
+handling, same return shape) so the fixed-point driver stays a thin
+loop over iterations.
+
+The stages fold in the pipeline's three per-iteration wins:
+
+* Kronecker assembly with a reused workspace
+  (:func:`repro.pipeline.assembly.build_class_qbd_fast`);
+* warm-started ``R`` solves seeded with the class's previous iterate;
+* a content-keyed cache of full stationary solutions serving
+  bit-identical re-solves (bootstrap restarts, repeated grid points).
+
+``opts.reuse_artifacts=False`` routes assembly and extraction through
+the reference implementations, and ``opts.warm_start=False`` drops the
+seeding — together they reproduce the legacy solve path exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core.generator import build_class_qbd
+from repro.core.vacation import effective_quantum, reduce_order
+from repro.errors import UnstableSystemError
+from repro.phasetype import PhaseType
+from repro.pipeline.assembly import build_class_qbd_fast
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.context import SolveContext
+from repro.pipeline.extract import extract_effective_quantum
+from repro.qbd.boundary import solve_boundary
+from repro.qbd.rmatrix import solve_R
+from repro.qbd.stability import drift
+from repro.qbd.stationary import QBDStationaryDistribution
+from repro.resilience.fallback import resilient_solve_R
+from repro.resilience.faults import maybe_fault
+
+__all__ = ["assemble_class", "solve_class", "extract_class", "solve_all"]
+
+#: Tolerance of the per-class ``R`` solves (the ``solve_qbd`` default).
+_R_TOL = 1e-12
+
+
+def assemble_class(ctx: SolveContext, p: int, vacation: PhaseType) -> None:
+    """Build class ``p``'s QBD for the current vacation."""
+    cls = ctx.config.classes[p]
+    art = ctx.classes[p]
+    with ctx.timings.timed("assemble"):
+        if getattr(ctx.opts, "reuse_artifacts", True):
+            process, space, art.assembly = build_class_qbd_fast(
+                ctx.config.partitions(p), cls.arrival, cls.service,
+                cls.quantum, vacation, policy=ctx.config.empty_queue_policy,
+                workspace=art.assembly,
+            )
+        else:
+            process, space = build_class_qbd(
+                ctx.config.partitions(p), cls.arrival, cls.service,
+                cls.quantum, vacation, policy=ctx.config.empty_queue_policy,
+            )
+    art.process, art.space, art.vacation = process, space, vacation
+
+
+def solve_class(ctx: SolveContext, p: int) -> QBDStationaryDistribution:
+    """Stability test, ``R`` solve and boundary solve for class ``p``.
+
+    Semantically :func:`repro.qbd.stationary.solve_qbd` (same fault
+    site, same instability message, same resilience plumbing) with the
+    stages timed separately, the solve served from ``ctx.cache`` when
+    the blocks are bit-identical to an earlier one, and the ``R``
+    iteration seeded with the class's previous iterate.
+    """
+    opts = ctx.opts
+    art = ctx.classes[p]
+    process = art.process
+    maybe_fault("qbd.solve")
+    with ctx.timings.timed("stability"):
+        report = drift(process.A0, process.A1, process.A2)
+    if not report.stable:
+        raise UnstableSystemError(
+            f"QBD is not positive recurrent: mean up-rate {report.up:.6g} >= "
+            f"mean down-rate {report.down:.6g} "
+            f"(rho={report.traffic_intensity:.4g})",
+            drift=report.drift,
+        )
+    key = ArtifactCache.key(process, method=opts.rmatrix_method, tol=_R_TOL,
+                            policy=opts.resilience)
+    cached = ctx.cache.get(key)
+    if cached is not None:
+        art.solution, art.R = cached, cached.R
+        return cached
+    R0 = art.R if getattr(opts, "warm_start", True) else None
+    with ctx.timings.timed("rsolve"):
+        if opts.resilience is None:
+            R = solve_R(process.A0, process.A1, process.A2,
+                        method=opts.rmatrix_method, tol=_R_TOL, R0=R0)
+            solve_report = None
+        else:
+            R, solve_report = resilient_solve_R(
+                process.A0, process.A1, process.A2,
+                method=opts.rmatrix_method, tol=_R_TOL,
+                policy=opts.resilience, R0=R0)
+    with ctx.timings.timed("boundary"):
+        pi = solve_boundary(process, R)
+    sol = QBDStationaryDistribution(boundary_pi=tuple(pi), R=R,
+                                    drift_report=report,
+                                    solve_report=solve_report)
+    ctx.cache.put(key, sol)
+    art.solution, art.R = sol, R
+    return sol
+
+
+def extract_class(ctx: SolveContext, p: int) -> PhaseType:
+    """Effective quantum of (stable, solved) class ``p``, order-reduced."""
+    opts = ctx.opts
+    art = ctx.classes[p]
+    with ctx.timings.timed("extract"):
+        if getattr(opts, "reuse_artifacts", True):
+            raw = extract_effective_quantum(
+                art.space, art.process, art.solution, art.vacation,
+                truncation_mass=opts.truncation_mass,
+                max_levels=opts.max_truncation_levels,
+                workspace=art.extraction,
+            )
+        else:
+            raw = effective_quantum(
+                art.space, art.process, art.solution, art.vacation,
+                truncation_mass=opts.truncation_mass,
+                max_levels=opts.max_truncation_levels,
+            )
+    with ctx.timings.timed("reduce"):
+        return reduce_order(raw, opts.reduction)
+
+
+def solve_all(ctx: SolveContext, vacations: list[PhaseType]):
+    """Solve every class; saturated classes get ``None`` solutions.
+
+    Drop-in for the legacy ``fixed_point._solve_all`` — same return
+    shape, same ``fixed_point.class_solve`` fault site inside the
+    saturation guard.  A saturated class keeps its previous ``R`` as
+    the warm seed for whenever it turns stable again.
+    """
+    spaces, processes, solutions, saturated = [], [], [], []
+    for p in range(ctx.config.num_classes):
+        art = ctx.classes[p]
+        assemble_class(ctx, p, vacations[p])
+        try:
+            maybe_fault("fixed_point.class_solve", key=p)
+            sol = solve_class(ctx, p)
+            sat = False
+        except UnstableSystemError:
+            sol = None
+            sat = True
+            art.solution = None
+        art.saturated = sat
+        spaces.append(art.space)
+        processes.append(art.process)
+        solutions.append(sol)
+        saturated.append(sat)
+    return spaces, processes, solutions, saturated

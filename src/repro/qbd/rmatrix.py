@@ -33,6 +33,19 @@ rely on the iteration budget raising
 :class:`~repro.errors.ConvergenceError`.  For multi-method solving
 with automatic fallback, retries, and budgets, use
 :func:`repro.resilience.fallback.resilient_solve_R`.
+
+Warm starts
+-----------
+:func:`solve_R` accepts an optional initial iterate ``R0``.  For
+``"substitution"`` it replaces the cold ``R = A0 (-A1)^{-1}`` start;
+for every other method a few steps of Newton's method on the quadratic
+residual (each step solves the generalized Sylvester equation
+``H (A1 + R A2) + R H A2 = -F(R)`` via Kronecker linearization,
+:func:`refine_R`) are attempted first, falling back silently to the
+cold algorithm if the refinement does not converge.  Near a fixed
+point of Section 4.3 the vacation blocks change by a shrinking
+perturbation per iteration, so the previous ``R`` is an excellent
+seed and one or two Newton steps replace a full reduction.
 """
 
 from __future__ import annotations
@@ -43,14 +56,15 @@ from scipy import linalg as _sla
 from repro.errors import ConvergenceError, ValidationError
 from repro.resilience.faults import maybe_corrupt, maybe_fault
 
-__all__ = ["solve_R", "solve_G", "r_from_g", "METHODS"]
+__all__ = ["solve_R", "solve_G", "r_from_g", "refine_R", "METHODS"]
 
 METHODS = ("logreduction", "cr", "substitution", "spectral")
 
 
 def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
             method: str = "logreduction", tol: float = 1e-12,
-            max_iter: int = 100_000) -> np.ndarray:
+            max_iter: int = 100_000,
+            R0: np.ndarray | None = None) -> np.ndarray:
     """Minimal non-negative solution of ``R^2 A2 + R A1 + A0 = 0``.
 
     Parameters
@@ -67,6 +81,13 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
         :class:`~repro.errors.ConvergenceError` (the usual cause is an
         unstable QBD, for which the minimal solution has
         ``sp(R) >= 1`` and substitution creeps toward it forever).
+    R0:
+        Optional warm-start iterate (e.g. the previous fixed-point
+        iteration's ``R``).  ``"substitution"`` iterates from it
+        directly; the other methods first try a short Newton
+        refinement (:func:`refine_R`) and fall back to their cold
+        algorithm when it fails.  A shape mismatch (the vacation order
+        changed between iterations) silently discards ``R0``.
     """
     A0 = np.asarray(A0, dtype=np.float64)
     A1 = np.asarray(A1, dtype=np.float64)
@@ -75,22 +96,100 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
         raise ValidationError(
             f"unknown R-matrix method {method!r}; use one of {METHODS}")
     maybe_fault("rmatrix.solve", key=method)
+    if R0 is not None:
+        R0 = np.asarray(R0, dtype=np.float64)
+        if R0.shape != A1.shape or not np.all(np.isfinite(R0)):
+            R0 = None
     if method == "substitution":
-        R = _solve_r_substitution(A0, A1, A2, tol=tol, max_iter=max_iter)
-    else:
-        if method == "logreduction":
-            G = solve_G(A0, A1, A2, tol=tol, max_iter=max_iter)
-        elif method == "cr":
-            G = _solve_g_cr(A0, A1, A2, tol=tol, max_iter=max_iter)
-        else:  # spectral
-            G = _solve_g_spectral(A0, A1, A2, tol=tol)
-        R = r_from_g(A0, A1, G)
+        R = _solve_r_substitution(A0, A1, A2, tol=tol, max_iter=max_iter,
+                                  R0=R0)
+        return maybe_corrupt("rmatrix.result", R, key=method)
+    if R0 is not None:
+        R = refine_R(A0, A1, A2, R0, tol=tol)
+        if R is not None:
+            return maybe_corrupt("rmatrix.result", R, key=method)
+    if method == "logreduction":
+        G = solve_G(A0, A1, A2, tol=tol, max_iter=max_iter)
+    elif method == "cr":
+        G = _solve_g_cr(A0, A1, A2, tol=tol, max_iter=max_iter)
+    else:  # spectral
+        G = _solve_g_spectral(A0, A1, A2, tol=tol)
+    R = r_from_g(A0, A1, G)
     return maybe_corrupt("rmatrix.result", R, key=method)
 
 
-def _solve_r_substitution(A0, A1, A2, *, tol: float, max_iter: int) -> np.ndarray:
+def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
+             max_steps: int = 8) -> np.ndarray | None:
+    """Newton refinement of a warm-start iterate for ``R``.
+
+    Newton's method on ``F(R) = A0 + R A1 + R^2 A2``: the Fréchet
+    derivative at ``R`` maps ``H`` to ``H (A1 + R A2) + R H A2``, so
+    each step solves that generalized Sylvester equation for the
+    correction ``H`` via Kronecker linearization (the repeating phase
+    dimension of the gang chains is small, so the dense ``d^2 x d^2``
+    solve is cheap).  Quadratically convergent from a good seed.
+
+    Returns the refined ``R`` once the quadratic residual drops below
+    ``tol * max(1, max|A1|)`` and ``sp(R) < 1``, or ``None`` when the
+    refinement fails to converge (the caller falls back to a cold
+    solve) — this is an opportunistic accelerator, never an error
+    source.  It is intentionally *not* part of :data:`METHODS`: it
+    cannot solve from scratch.
+    """
+    A0 = np.asarray(A0, dtype=np.float64)
+    A1 = np.asarray(A1, dtype=np.float64)
+    A2 = np.asarray(A2, dtype=np.float64)
+    R = np.asarray(R0, dtype=np.float64).copy()
+    d = A1.shape[0]
+    if R.shape != A1.shape:
+        return None
+    scale = max(1.0, float(np.max(np.abs(A1))))
+    target = max(tol, 1e-14) * scale
+    I = np.eye(d)
+    prev_resid = np.inf
+    for _ in range(max_steps):
+        F = A0 + R @ A1 + R @ R @ A2
+        resid = float(np.max(np.abs(F)))
+        if not np.isfinite(resid):
+            return None
+        if resid <= target:
+            break
+        if resid >= prev_resid:  # diverging: the seed was too far off
+            return None
+        prev_resid = resid
+        # vec-row-major: vec(A H B) = (A kron B^T) vec(H).
+        M = np.kron(I, (A1 + R @ A2).T) + np.kron(R, A2.T)
+        try:
+            h = np.linalg.solve(M, -F.ravel())
+        except np.linalg.LinAlgError:
+            return None
+        R = R + h.reshape(d, d)
+    else:
+        F = A0 + R @ A1 + R @ R @ A2
+        resid = float(np.max(np.abs(F)))
+        if not (np.isfinite(resid) and resid <= target):
+            return None
+    if not np.all(np.isfinite(R)):
+        return None
+    # The minimal solution is the unique *nonnegative* solvent with
+    # sp(R) < 1; Newton from a far-off seed can land on a different
+    # solvent (one of its eigenvalues sits on the unit circle and it
+    # has negative entries), so both checks are required.
+    if float(R.min()) < -1e-8 * max(1.0, float(np.max(np.abs(R)))):
+        return None
+    sp = float(np.max(np.abs(np.linalg.eigvals(R))))
+    if sp >= 1.0:
+        return None
+    return R
+
+
+def _solve_r_substitution(A0, A1, A2, *, tol: float, max_iter: int,
+                          R0: np.ndarray | None = None) -> np.ndarray:
     neg_A1_inv = np.linalg.inv(-A1)
-    R = A0 @ neg_A1_inv  # first substitution step from R=0
+    if R0 is None:
+        R = A0 @ neg_A1_inv  # first substitution step from R=0
+    else:
+        R = R0
     for it in range(1, max_iter + 1):
         R_next = (A0 + R @ R @ A2) @ neg_A1_inv
         delta = float(np.max(np.abs(R_next - R)))

@@ -151,6 +151,7 @@ class QBDStationaryDistribution:
 def solve_qbd(process: QBDProcess, *, method: str = "logreduction",
               tol: float = 1e-12, require_stable: bool = True,
               resilience: ResiliencePolicy | None = DEFAULT_POLICY,
+              R0: np.ndarray | None = None,
               ) -> QBDStationaryDistribution:
     """Full matrix-geometric solution of a QBD.
 
@@ -174,6 +175,10 @@ def solve_qbd(process: QBDProcess, *, method: str = "logreduction",
         turn and the attempt history lands on the result's
         ``solve_report``.  Pass ``None`` to run the single configured
         method with no retries (legacy behaviour).
+    R0:
+        Optional warm-start iterate for the ``R`` solve (see
+        :func:`repro.qbd.rmatrix.solve_R`); used by the fixed-point
+        pipeline to seed each iteration with the previous one's ``R``.
 
     Raises
     ------
@@ -195,12 +200,13 @@ def solve_qbd(process: QBDProcess, *, method: str = "logreduction",
             drift=report.drift,
         )
     if resilience is None:
-        R = solve_R(process.A0, process.A1, process.A2, method=method, tol=tol)
+        R = solve_R(process.A0, process.A1, process.A2, method=method, tol=tol,
+                    R0=R0)
         solve_report = None
     else:
         R, solve_report = resilient_solve_R(
             process.A0, process.A1, process.A2, method=method, tol=tol,
-            policy=resilience)
+            policy=resilience, R0=R0)
     pi = solve_boundary(process, R)
     return QBDStationaryDistribution(boundary_pi=tuple(pi), R=R,
                                      drift_report=report,

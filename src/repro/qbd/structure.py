@@ -152,6 +152,28 @@ class QBDProcess:
 
     # ------------------------------------------------------------------
 
+    @classmethod
+    def from_trusted_blocks(cls, boundary, A0, A1, A2,
+                            level_labels=None) -> "QBDProcess":
+        """Construct without re-validating the generator structure.
+
+        For builders that derive diagonals as negative row sums — the
+        generator property then holds *by construction* and the row-sum
+        re-check in ``__post_init__`` is pure overhead (it dominated
+        the per-iteration assembly cost of the fixed point's small
+        chains).  Blocks must already be float64 ``ndarray``s of
+        consistent shapes; anything user-supplied should go through the
+        validating constructor instead.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "boundary",
+                           tuple(tuple(row) for row in boundary))
+        object.__setattr__(self, "A0", A0)
+        object.__setattr__(self, "A1", A1)
+        object.__setattr__(self, "A2", A2)
+        object.__setattr__(self, "level_labels", level_labels)
+        return self
+
     @property
     def boundary_levels(self) -> int:
         """Index ``b`` of the last boundary level."""

@@ -195,11 +195,16 @@ def _method_max_iter(method: str) -> int:
 def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
                       tol: float = 1e-12,
                       policy: ResiliencePolicy | None = None,
+                      R0: np.ndarray | None = None,
                       ) -> tuple[np.ndarray, SolveReport]:
     """Solve ``R^2 A2 + R A1 + A0 = 0`` with fallback, retries, budgets.
 
     Returns ``(R, report)`` on the first attempt that passes
-    validation.
+    validation.  ``R0`` is an optional warm-start iterate forwarded to
+    every :func:`~repro.qbd.rmatrix.solve_R` attempt (each method uses
+    or ignores it as described there); the attempt is still validated
+    against the acceptance residual, so a stale seed can only cost a
+    retry, never a wrong answer.
 
     Raises
     ------
@@ -264,7 +269,7 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
             t_attempt = time.monotonic()
             try:
                 R = solve_R(A0, A1_eff, A2, method=m, tol=attempt_tol,
-                            max_iter=max_iter)
+                            max_iter=max_iter, R0=R0)
             except (ConvergenceError, np.linalg.LinAlgError) as exc:
                 elapsed = time.monotonic() - t_attempt
                 iters = getattr(exc, "iterations", None)

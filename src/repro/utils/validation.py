@@ -209,13 +209,14 @@ def check_subgenerator(S, *, atol: float | None = None, require_invertible: bool
         )
     if np.any(np.diag(S) > tol):
         raise NotAPhaseTypeError(f"{name} has a positive diagonal entry")
-    if require_invertible:
+    if require_invertible and n > 0:
         # A singular sub-generator means some phase never reaches
         # absorption, i.e. the "distribution" places mass at infinity.
-        if n > 0 and not np.isfinite(np.linalg.cond(S)):
+        cond = np.linalg.cond(S)
+        if not np.isfinite(cond):
             raise NotAPhaseTypeError(f"{name} is singular: some phase is recurrent")
-        if n > 0 and np.linalg.cond(S) > 1e14:
+        if cond > 1e14:
             raise NotAPhaseTypeError(
-                f"{name} is numerically singular (cond={np.linalg.cond(S):.2e})"
+                f"{name} is numerically singular (cond={cond:.2e})"
             )
     return S

@@ -12,12 +12,24 @@ including *failed* points, which are recorded with their error class —
 is journaled durably as it finishes.  Re-running the same sweep with
 the same checkpoint resumes: journaled points are loaded instead of
 re-solved, so a killed-and-resumed sweep reproduces the uninterrupted
-run exactly.  See :mod:`repro.resilience.checkpoint`.
+run exactly.  Journaled points whose value is no longer on the grid
+are ignored and counted on ``SweepResult.stale`` (with a warning).
+See :mod:`repro.resilience.checkpoint`.
+
+Parallelism
+-----------
+Pass ``workers=N`` to solve grid points in ``N`` OS processes.  Each
+point is an independent model solve (its own artifact cache, its own
+warm starts), so a parallel sweep produces bit-identical points to a
+serial one; journaling stays in the parent, appending points as they
+complete (in any order — resume is keyed by value, not position), so
+parallel sweeps compose with checkpointing unchanged.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -50,6 +62,9 @@ class SweepResult:
     points: list[SweepPoint] = field(default_factory=list)
     #: Points loaded from a checkpoint journal instead of re-solved.
     resumed: int = 0
+    #: Journaled points whose value is no longer on the grid (the grid
+    #: changed between runs); they are ignored, not resumed.
+    stale: int = 0
 
     def values(self) -> list[float]:
         return [pt.value for pt in self.points]
@@ -101,6 +116,62 @@ def _point_from_record(rec: dict) -> SweepPoint:
     )
 
 
+def _solve_point(v: float, config: SystemConfig, heavy_traffic_only: bool,
+                 model_kwargs: dict | None, solve_kwargs: dict | None,
+                 raise_errors: bool = False) -> SweepPoint:
+    """Solve one grid point; errors become error-points by default.
+
+    Module-level (and closure-free) so it pickles into worker
+    processes, where errors must travel back as error-points; the
+    serial path passes ``raise_errors=True`` under ``skip_errors=False``
+    so the original exception object propagates.
+    """
+    try:
+        model = GangSchedulingModel(config, **(model_kwargs or {}))
+        solved = model.solve(heavy_traffic_only=heavy_traffic_only,
+                             **(solve_kwargs or {}))
+        return SweepPoint(
+            value=v,
+            mean_jobs=tuple(c.mean_jobs for c in solved.classes),
+            mean_response_time=tuple(c.mean_response_time
+                                     for c in solved.classes),
+            iterations=solved.iterations,
+            converged=solved.converged,
+        )
+    except Exception as exc:  # noqa: BLE001 - reported per point
+        if raise_errors:
+            raise
+        return _error_point(v, config.class_names, exc)
+
+
+def _error_point(v: float, names: Sequence[str],
+                 exc: Exception) -> SweepPoint:
+    return SweepPoint(
+        value=v,
+        mean_jobs=tuple(float("nan") for _ in names),
+        mean_response_time=tuple(float("nan") for _ in names),
+        iterations=0, converged=False,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def _reraise_point_error(err: str):
+    """Re-raise a worker-side error in the parent (``skip_errors=False``).
+
+    The original exception object stayed in the worker; rebuild it from
+    the journaled ``"TypeName: message"`` form — as the repro error
+    class when the name matches one, else a ``RuntimeError`` carrying
+    the full string.
+    """
+    import repro.errors as _errors
+
+    name, _, msg = err.partition(": ")
+    exc_type = getattr(_errors, name, None)
+    if isinstance(exc_type, type) and issubclass(exc_type, Exception):
+        raise exc_type(msg)
+    raise RuntimeError(err)
+
+
 def sweep(parameter: str, values: Sequence[float],
           config_factory: Callable[[float], SystemConfig],
           *, heavy_traffic_only: bool = False,
@@ -108,7 +179,8 @@ def sweep(parameter: str, values: Sequence[float],
           solve_kwargs: dict | None = None,
           skip_errors: bool = True,
           checkpoint: str | os.PathLike | None = None,
-          resume: bool = True) -> SweepResult:
+          resume: bool = True,
+          workers: int | None = None) -> SweepResult:
     """Solve the analytic model along a parameter grid.
 
     Parameters
@@ -129,11 +201,17 @@ def sweep(parameter: str, values: Sequence[float],
         message) instead of aborting the sweep.
     checkpoint:
         Path of a JSONL journal.  Every completed point is appended
-        durably, so a crash loses at most the point in flight.
+        durably, so a crash loses at most the points in flight.
     resume:
         With ``checkpoint``, load journaled points and skip their
         solves (default).  ``False`` ignores an existing journal and
         overwrites it.
+    workers:
+        Solve points in this many OS processes (``None``/``0``/``1``:
+        serially in-process).  Configs are built — and fault-injection
+        sites fired — in the parent, in grid order; results are
+        journaled as they complete.  Falls back to the serial path when
+        worker processes cannot be spawned.
 
     Raises
     ------
@@ -166,11 +244,17 @@ def sweep(parameter: str, values: Sequence[float],
         # Otherwise the header is written lazily, once the first config
         # names the classes.
 
-    for v in values:
-        v = float(v)
+    # Grid-order pass: resumed points land immediately; the rest get a
+    # slot plus a parent-built config (the factory is often a lambda,
+    # which would not survive pickling anyway).
+    grid = [float(v) for v in values]
+    points: list[SweepPoint | None] = []
+    pending: list[tuple[int, float, SystemConfig]] = []
+    resumed = 0
+    for v in grid:
         if v in done:
-            result.points.append(done[v])
-            result.resumed += 1
+            points.append(done[v])
+            resumed += 1
             continue
         config = config_factory(v)
         names = config.class_names
@@ -186,30 +270,98 @@ def sweep(parameter: str, values: Sequence[float],
             journal.write_header(parameter=parameter,
                                  class_names=list(result.class_names))
             header_written = True
-        try:
-            maybe_fault("sweeps.point", key=v)
-            model = GangSchedulingModel(config, **(model_kwargs or {}))
-            solved = model.solve(heavy_traffic_only=heavy_traffic_only,
-                                 **(solve_kwargs or {}))
-            point = SweepPoint(
-                value=v,
-                mean_jobs=tuple(c.mean_jobs for c in solved.classes),
-                mean_response_time=tuple(c.mean_response_time
-                                         for c in solved.classes),
-                iterations=solved.iterations,
-                converged=solved.converged,
-            )
-        except Exception as exc:  # noqa: BLE001 - reported per point
-            if not skip_errors:
-                raise
-            point = SweepPoint(
-                value=v,
-                mean_jobs=tuple(float("nan") for _ in names),
-                mean_response_time=tuple(float("nan") for _ in names),
-                iterations=0, converged=False,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-        result.points.append(point)
+        points.append(None)
+        pending.append((len(points) - 1, v, config))
+
+    result.resumed = resumed
+    if done:
+        gridset = set(grid)
+        stale = sum(1 for value in done if value not in gridset)
+        if stale:
+            result.stale = stale
+            warnings.warn(
+                f"checkpoint {journal.path} holds {stale} point(s) whose "
+                f"value is no longer on the grid; they were ignored",
+                stacklevel=2)
+
+    def finish(slot: int, point: SweepPoint) -> None:
+        if points[slot] is not None:
+            return
+        points[slot] = point
+        if point.error is not None and not skip_errors:
+            _reraise_point_error(point.error)
         if journal is not None:
             journal.append(_point_record(point))
+
+    parallel = workers is not None and int(workers) > 1 and len(pending) > 1
+    if parallel:
+        try:
+            _run_parallel(pending, int(workers), heavy_traffic_only,
+                          model_kwargs, solve_kwargs, skip_errors, finish)
+        except OSError:
+            # No process support here (restricted sandboxes); the
+            # points already journaled above stay journaled, and the
+            # serial loop below picks up the unfilled slots.
+            parallel = False
+    if not parallel:
+        for slot, v, config in pending:
+            if points[slot] is not None:
+                continue
+            try:
+                maybe_fault("sweeps.point", key=v)
+                point = _solve_point(v, config, heavy_traffic_only,
+                                     model_kwargs, solve_kwargs,
+                                     raise_errors=True)
+            except Exception as exc:  # noqa: BLE001 - reported per point
+                if not skip_errors:
+                    raise
+                point = _error_point(v, config.class_names, exc)
+            finish(slot, point)
+
+    result.points = points
     return result
+
+
+def _run_parallel(pending, workers: int, heavy_traffic_only: bool,
+                  model_kwargs: dict | None, solve_kwargs: dict | None,
+                  skip_errors: bool, finish) -> None:
+    """Fan the pending points over a process pool.
+
+    Fault-injection sites fire in the parent at submission, in grid
+    order; completed points are handed to ``finish`` (which journals
+    them) as they arrive, in completion order.  On any abort — a fault,
+    ``skip_errors=False``, a SIGINT — pending futures are cancelled and
+    the already-completed ones are journaled before re-raising, so a
+    killed parallel sweep resumes just like a killed serial one.
+    """
+    import concurrent.futures as cf
+
+    with cf.ProcessPoolExecutor(max_workers=workers) as pool:
+        futures: dict = {}
+        try:
+            for slot, v, config in pending:
+                try:
+                    maybe_fault("sweeps.point", key=v)
+                except Exception as exc:  # noqa: BLE001 - per point
+                    if not skip_errors:
+                        raise
+                    finish(slot, _error_point(v, config.class_names, exc))
+                    continue
+                futures[pool.submit(_solve_point, v, config,
+                                    heavy_traffic_only, model_kwargs,
+                                    solve_kwargs)] = slot
+            for fut in cf.as_completed(futures):
+                finish(futures[fut], fut.result())
+        except BaseException:
+            # Cancel what hasn't started; wait out (and journal) what
+            # has — losing at most the points in flight matches the
+            # serial crash guarantee.
+            for fut in futures:
+                fut.cancel()
+            for fut, slot in futures.items():
+                if not fut.cancelled():
+                    try:
+                        finish(slot, fut.result())
+                    except Exception:  # noqa: BLE001 - already aborting
+                        pass
+            raise

@@ -1,0 +1,59 @@
+"""Aitken acceleration: same fixed point, fewer iterations, safe guards."""
+
+import numpy as np
+import pytest
+
+from repro.core.fixed_point import (
+    FixedPointOptions,
+    _aitken_target,
+    run_fixed_point,
+)
+from repro.workloads.presets import fig23_config
+
+
+@pytest.mark.parametrize("lam", [0.4, 0.9])
+def test_aitken_reaches_same_fixed_point(lam):
+    """Figure 2 (lambda=0.4) / Figure 3 (lambda=0.9) configurations."""
+    cfg = fig23_config(lam, 2.0)
+    plain = run_fixed_point(cfg, FixedPointOptions(acceleration="none"))
+    aitken = run_fixed_point(cfg, FixedPointOptions(acceleration="aitken"))
+    assert plain.converged and aitken.converged
+    for a, b in zip(plain.history[-1].mean_jobs,
+                    aitken.history[-1].mean_jobs):
+        assert abs(a - b) / max(1.0, abs(b)) < 1e-3
+    # The point of accelerating: it must not be slower.
+    assert aitken.iterations <= plain.iterations
+
+
+class TestAitkenTarget:
+    def test_clean_linear_sequence_extrapolates(self):
+        # x_n = x* + rho^n with rho = 0.5: the Aitken target is x*.
+        x_star, rho = np.array([2.0, 3.0]), 0.5
+        x0, x1, x2 = (x_star + rho ** n for n in (1, 2, 3))
+        target, ok = _aitken_target(x0, x1, x2, tol=1e-5)
+        assert ok
+        np.testing.assert_allclose(target, x_star, atol=1e-12)
+
+    def test_oscillating_sequence_rejected(self):
+        # Alternating iterates (rho < 0): extrapolating would overshoot.
+        x_star = np.array([2.0])
+        x0, x1, x2 = x_star + 0.3, x_star - 0.2, x_star + 0.15
+        _, ok = _aitken_target(x0, x1, x2, tol=1e-5)
+        assert not ok
+
+    def test_converged_sequence_rejected(self):
+        # Deltas below the meaningful threshold: leave the iteration be.
+        x = np.array([2.0])
+        _, ok = _aitken_target(x + 3e-9, x + 2e-9, x + 1e-9, tol=1e-5)
+        assert not ok
+
+    def test_overshoot_guard_rejects_large_targets(self):
+        # Near-unit ratio inflates the extrapolation far beyond x2.
+        x0, x1, x2 = (np.array([v]) for v in (1.0, 2.0, 2.999))
+        target, ok = _aitken_target(x0, x1, x2, tol=1e-5)
+        assert not ok
+
+    def test_negative_target_rejected(self):
+        x0, x1, x2 = (np.array([v]) for v in (3.0, 1.0, 0.2))
+        _, ok = _aitken_target(x0, x1, x2, tol=1e-5)
+        assert not ok

@@ -1,0 +1,81 @@
+"""The Kronecker assembler must equal the reference builder exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import build_class_qbd
+from repro.errors import ValidationError
+from repro.phasetype import PhaseType, erlang, exponential
+from repro.pipeline.assembly import AssemblyWorkspace, build_class_qbd_fast
+
+ARRIVALS = {
+    "exp": exponential(0.4),
+    "ph2": PhaseType([0.6, 0.4], [[-1.0, 0.3], [0.1, -0.8]]),
+}
+SERVICES = {
+    "exp": exponential(1.0),
+    "ph2": PhaseType([0.5, 0.5], [[-2.0, 0.5], [0.0, -1.5]]),
+}
+QUANTA = {"erl2": erlang(2, 1.0), "erl3": erlang(3, 1.5)}
+VACATIONS = {"erl3": erlang(3, 2.0), "exp": exponential(0.7)}
+
+
+def _assert_processes_equal(fast, ref, atol=1e-12):
+    assert fast.boundary_levels == ref.boundary_levels
+    for name in ("A0", "A1", "A2"):
+        np.testing.assert_allclose(getattr(fast, name), getattr(ref, name),
+                                   atol=atol, err_msg=name)
+    for i, (frow, rrow) in enumerate(zip(fast.boundary, ref.boundary)):
+        for j, (fb, rb) in enumerate(zip(frow, rrow)):
+            assert (fb is None) == (rb is None), (i, j)
+            if fb is not None:
+                np.testing.assert_allclose(fb, rb, atol=atol,
+                                           err_msg=f"B[{i}][{j}]")
+
+
+@pytest.mark.parametrize("policy", ["switch", "idle"])
+@pytest.mark.parametrize("partitions", [1, 2, 4])
+@pytest.mark.parametrize("akey", sorted(ARRIVALS))
+@pytest.mark.parametrize("skey", sorted(SERVICES))
+@pytest.mark.parametrize("qkey,vkey", [("erl2", "erl3"), ("erl3", "exp")])
+def test_fast_assembly_matches_reference(policy, partitions, akey, skey,
+                                         qkey, vkey):
+    arrival, service = ARRIVALS[akey], SERVICES[skey]
+    quantum, vacation = QUANTA[qkey], VACATIONS[vkey]
+    ref_proc, ref_space = build_class_qbd(partitions, arrival, service,
+                                          quantum, vacation, policy=policy)
+    fast_proc, fast_space, ws = build_class_qbd_fast(
+        partitions, arrival, service, quantum, vacation, policy=policy)
+    assert fast_space == ref_space
+    assert isinstance(ws, AssemblyWorkspace)
+    _assert_processes_equal(fast_proc, ref_proc)
+
+
+def test_workspace_reused_across_vacations():
+    arrival, service, quantum = exponential(0.4), exponential(1.0), erlang(2, 1.0)
+    _, _, ws = build_class_qbd_fast(2, arrival, service, quantum,
+                                    erlang(3, 2.0))
+    for vac in (erlang(3, 0.5), exponential(1.1), erlang(2, 4.0)):
+        proc, _, ws2 = build_class_qbd_fast(2, arrival, service, quantum, vac,
+                                            workspace=ws)
+        assert ws2 is ws  # the vacation-independent factors survive
+        ref, _ = build_class_qbd(2, arrival, service, quantum, vac)
+        _assert_processes_equal(proc, ref)
+
+
+def test_stale_workspace_rebuilt():
+    arrival, service, quantum = exponential(0.4), exponential(1.0), erlang(2, 1.0)
+    vac = erlang(3, 2.0)
+    _, _, ws = build_class_qbd_fast(2, arrival, service, quantum, vac)
+    proc, _, ws2 = build_class_qbd_fast(2, exponential(0.7), service, quantum,
+                                        vac, workspace=ws)
+    assert ws2 is not ws  # different arrival: factors no longer apply
+    ref, _ = build_class_qbd(2, exponential(0.7), service, quantum, vac)
+    _assert_processes_equal(proc, ref)
+
+
+def test_atom_at_zero_rejected():
+    atom = PhaseType([0.5], [[-1.0]])  # alpha sums to 0.5: atom at zero
+    with pytest.raises(ValidationError, match="atom at zero"):
+        build_class_qbd_fast(1, exponential(0.4), exponential(1.0),
+                             erlang(2, 1.0), atom)

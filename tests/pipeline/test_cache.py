@@ -1,0 +1,74 @@
+"""Content-keyed artifact cache: keys, hit accounting, LRU bounds."""
+
+import numpy as np
+
+from repro.core.generator import build_class_qbd
+from repro.phasetype import erlang, exponential
+from repro.pipeline.cache import ArtifactCache
+from repro.qbd.stationary import solve_qbd
+
+
+def _process(arrival_rate=0.4):
+    proc, _ = build_class_qbd(2, exponential(arrival_rate), exponential(1.0),
+                              erlang(2, 1.0), erlang(3, 2.0))
+    return proc
+
+
+class TestKey:
+    def test_identical_blocks_same_key(self):
+        k1 = ArtifactCache.key(_process(), method="logreduction", tol=1e-12,
+                               policy=None)
+        k2 = ArtifactCache.key(_process(), method="logreduction", tol=1e-12,
+                               policy=None)
+        assert k1 == k2
+
+    def test_different_blocks_different_key(self):
+        k1 = ArtifactCache.key(_process(0.4), method="logreduction",
+                               tol=1e-12, policy=None)
+        k2 = ArtifactCache.key(_process(0.5), method="logreduction",
+                               tol=1e-12, policy=None)
+        assert k1 != k2
+
+    def test_solve_options_enter_the_key(self):
+        proc = _process()
+        base = ArtifactCache.key(proc, method="logreduction", tol=1e-12,
+                                 policy=None)
+        assert base != ArtifactCache.key(proc, method="cr", tol=1e-12,
+                                         policy=None)
+        assert base != ArtifactCache.key(proc, method="logreduction",
+                                         tol=1e-10, policy=None)
+
+    def test_tiny_perturbation_changes_key(self):
+        proc = _process()
+        k1 = ArtifactCache.key(proc, method="cr", tol=1e-12, policy=None)
+        A1 = proc.A1.copy()
+        A1[0, 0] = np.nextafter(A1[0, 0], np.inf)
+        from repro.qbd.structure import QBDProcess
+        bumped = QBDProcess.from_trusted_blocks(proc.boundary, proc.A0, A1,
+                                                proc.A2)
+        k2 = ArtifactCache.key(bumped, method="cr", tol=1e-12, policy=None)
+        assert k1 != k2
+
+
+class TestCacheBehaviour:
+    def test_hit_and_miss_accounting(self):
+        cache = ArtifactCache()
+        proc = _process()
+        key = ArtifactCache.key(proc, method="logreduction", tol=1e-12,
+                                policy=None)
+        assert cache.get(key) is None
+        sol = solve_qbd(proc)
+        cache.put(key, sol)
+        assert cache.get(key) is sol
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        assert cache.get("a") == "A"  # refresh "a": "b" is now LRU
+        cache.put("c", "C")
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.get("c") == "C"

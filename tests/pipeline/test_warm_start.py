@@ -1,0 +1,82 @@
+"""Warm-started R solves: seeding, Newton refinement, and its guards."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import build_class_qbd
+from repro.phasetype import erlang, exponential
+from repro.qbd.rmatrix import METHODS, refine_R, solve_R
+from repro.resilience.fallback import resilient_solve_R
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    proc, _ = build_class_qbd(2, exponential(0.4), exponential(1.0),
+                              erlang(2, 1.0), erlang(3, 2.0))
+    return proc.A0, proc.A1, proc.A2
+
+
+@pytest.fixture(scope="module")
+def R_exact(blocks):
+    return solve_R(*blocks)
+
+
+class TestSolveRWarmStart:
+    def test_warm_start_matches_cold(self, blocks, R_exact):
+        for method in METHODS:
+            warm = solve_R(*blocks, method=method, R0=R_exact)
+            np.testing.assert_allclose(warm, R_exact, atol=1e-9,
+                                       err_msg=method)
+
+    def test_perturbed_seed_converges(self, blocks, R_exact):
+        rng = np.random.default_rng(7)
+        R0 = R_exact * (1 + 1e-3 * rng.standard_normal(R_exact.shape))
+        warm = solve_R(*blocks, R0=R0)
+        np.testing.assert_allclose(warm, R_exact, atol=1e-9)
+
+    def test_mismatched_seed_ignored(self, blocks, R_exact):
+        bad = np.eye(R_exact.shape[0] + 1)
+        warm = solve_R(*blocks, R0=bad)
+        np.testing.assert_allclose(warm, R_exact, atol=1e-9)
+
+    def test_nonfinite_seed_ignored(self, blocks, R_exact):
+        bad = np.full_like(R_exact, np.nan)
+        warm = solve_R(*blocks, R0=bad)
+        np.testing.assert_allclose(warm, R_exact, atol=1e-9)
+
+
+class TestRefineR:
+    def test_refines_near_solution(self, blocks, R_exact):
+        A0, A1, A2 = blocks
+        R0 = R_exact * 1.001
+        refined = refine_R(A0, A1, A2, R0)
+        assert refined is not None
+        resid = A0 + refined @ A1 + refined @ refined @ A2
+        assert float(np.max(np.abs(resid))) < 1e-10
+        np.testing.assert_allclose(refined, R_exact, atol=1e-8)
+
+    def test_far_seed_rejected(self, blocks):
+        A0, A1, A2 = blocks
+        # Newton from a far-off seed can land on a *non-minimal*
+        # solvent (negative entries); the guards must refuse it so the
+        # caller falls back to a cold solve.
+        bad = np.full((A1.shape[0], A1.shape[0]), 5.0)
+        assert refine_R(A0, A1, A2, bad) is None
+
+    def test_solver_falls_back_to_cold_on_bad_seed(self, blocks, R_exact):
+        bad = np.full_like(R_exact, 5.0)
+        R = solve_R(*blocks, R0=bad)
+        np.testing.assert_allclose(R, R_exact, atol=1e-9)
+
+    def test_refine_is_not_a_method(self):
+        assert "newton" not in METHODS
+        assert "refine" not in METHODS
+
+
+class TestResilientWarmStart:
+    def test_happy_path_stays_single_attempt(self, blocks, R_exact):
+        R, report = resilient_solve_R(*blocks, R0=R_exact)
+        np.testing.assert_allclose(R, R_exact, atol=1e-9)
+        assert report.method == "logreduction"
+        assert report.fallbacks == 0
+        assert len(report.attempts) == 1

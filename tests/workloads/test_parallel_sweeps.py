@@ -1,0 +1,94 @@
+"""Parallel sweeps: bit-identical to serial, checkpoint-composable."""
+
+import warnings
+
+import pytest
+
+from repro.core import ClassConfig, SystemConfig
+from repro.errors import UnstableSystemError
+from repro.resilience import faults
+from repro.workloads import sweep
+
+
+def tiny_config(lam):
+    return SystemConfig(processors=2, classes=(
+        ClassConfig.markovian(1, arrival_rate=lam, service_rate=1.0,
+                              quantum_mean=2.0, overhead_mean=0.01,
+                              name="only"),
+    ))
+
+
+GRID = [0.2, 0.5, 0.8, 1.1]
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return sweep("lambda", GRID, tiny_config)
+
+
+class TestParallelEqualsSerial:
+    def test_points_bit_identical(self, serial):
+        par = sweep("lambda", GRID, tiny_config, workers=2)
+        assert par.class_names == serial.class_names
+        assert par.points == serial.points
+
+    def test_single_worker_is_serial_path(self, serial):
+        par = sweep("lambda", GRID, tiny_config, workers=1)
+        assert par.points == serial.points
+
+    def test_parallel_checkpoint_resume(self, serial, tmp_path):
+        path = tmp_path / "par.jsonl"
+        first = sweep("lambda", GRID, tiny_config, workers=2,
+                      checkpoint=path)
+        assert first.points == serial.points
+        resumed = sweep("lambda", GRID, tiny_config, workers=2,
+                        checkpoint=path)
+        assert resumed.resumed == len(GRID)
+        assert resumed.points == serial.points
+
+    def test_killed_parallel_sweep_resumes_to_serial(self, serial, tmp_path):
+        path = tmp_path / "crash.jsonl"
+        with faults.inject("sweeps.point", raises=KeyboardInterrupt,
+                           keys=(GRID[3],)):
+            with pytest.raises(KeyboardInterrupt):
+                sweep("lambda", GRID, tiny_config, workers=2,
+                      checkpoint=path)
+        resumed = sweep("lambda", GRID, tiny_config, workers=2,
+                        checkpoint=path)
+        assert resumed.points == serial.points
+
+    def test_error_points_recorded(self):
+        par = sweep("lambda", [0.2, 5.0], tiny_config, workers=2)
+        assert par.points[0].error is None
+        assert par.points[1].error is not None
+        assert "UnstableSystemError" in par.points[1].error
+
+    def test_skip_errors_false_raises_in_parent(self):
+        with pytest.raises(UnstableSystemError):
+            sweep("lambda", [0.2, 5.0], tiny_config, workers=2,
+                  skip_errors=False)
+
+
+class TestStalePoints:
+    def test_stale_counted_and_warned(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep("lambda", GRID, tiny_config, checkpoint=path)
+        with pytest.warns(UserWarning, match="no longer on the grid"):
+            narrowed = sweep("lambda", GRID[:2], tiny_config,
+                             checkpoint=path)
+        assert narrowed.stale == 2
+        assert narrowed.resumed == 2
+        assert narrowed.values() == GRID[:2]
+
+    def test_no_stale_on_exact_resume(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep("lambda", GRID, tiny_config, checkpoint=path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = sweep("lambda", GRID, tiny_config, checkpoint=path)
+        assert again.stale == 0
+        assert again.resumed == len(GRID)
+
+    def test_stale_zero_without_checkpoint(self):
+        res = sweep("lambda", GRID[:2], tiny_config)
+        assert res.stale == 0
