@@ -1,4 +1,4 @@
-"""Scaling bench: solver cost vs machine size.
+"""Scaling bench: solver cost vs machine size, dense vs sparse kernels.
 
 The paper's target platform (IBM SP2) had dozens to hundreds of nodes.
 This bench grows ``P`` with a fixed per-partition load and measures the
@@ -6,28 +6,62 @@ analytic solve time and state-space size — the capacity-planning
 question for the *model itself* ("can I tune a 64-node machine with
 it?").  The per-class boundary grows linearly in the partition count
 ``c_p = P / g(p)``, which dominates the cost.
+
+The backend bench extends the grid to P=128/256 and races the dense
+reference against the sparse kernel stack (``repro.kernels``).  Its
+gate: at P=256 the sparse backend must solve >= 5x faster than the
+dense path without ever materializing the full dense boundary system,
+while P <= 64 results agree with dense to <= 1e-8 on mean response
+time and queue-length moments.  Times, parity diffs and the series are
+persisted to ``benchmarks/results/BENCH_scaling.json`` for the CI
+smoke-bench artifact.
 """
 
+import contextlib
+import json
+import pathlib
 import time
 
 import pytest
 
 from repro.analysis import Table
 from repro.core import ClassConfig, GangSchedulingModel, SystemConfig
+from repro.phasetype import erlang, exponential
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 SIZES = [8, 16, 32, 64]
 
+#: Grid for the dense-vs-sparse race.  P=128/256 are the sizes the
+#: sparse kernels unlock; P<=64 double as the parity band.
+BACKEND_SIZES = [8, 16, 32, 64, 128, 256]
+PARITY_MAX = 64
+GATE_P = 256
+GATE_SPEEDUP = 5.0
+#: Erlang-3 quanta (SCV 1/3, closer to the deterministic quantum of a
+#: real gang scheduler) triple the phase dimension; at P=256 the dense
+#: boundary solve is then firmly cubic-bound, which is the regime the
+#: sparse backend exists for.
+QUANTUM_STAGES = 3
 
-def config_for(P: int) -> SystemConfig:
+
+def config_for(P: int, *, quantum_stages: int = 1) -> SystemConfig:
     """Two classes whose per-partition load is P-independent."""
+    quantum = (exponential(mean=2.0) if quantum_stages == 1
+               else erlang(quantum_stages, mean=2.0))
     return SystemConfig(processors=P, classes=(
-        ClassConfig.markovian(1, arrival_rate=0.15 * P, service_rate=0.5,
-                              quantum_mean=2.0, overhead_mean=0.01,
-                              name="small"),
-        ClassConfig.markovian(P, arrival_rate=1.2, service_rate=4.0,
-                              quantum_mean=2.0, overhead_mean=0.01,
-                              name="huge"),
+        ClassConfig(partition_size=1, arrival=exponential(0.15 * P),
+                    service=exponential(0.5), quantum=quantum,
+                    overhead=exponential(mean=0.01), name="small"),
+        ClassConfig(partition_size=P, arrival=exponential(1.2),
+                    service=exponential(4.0), quantum=quantum,
+                    overhead=exponential(mean=0.01), name="huge"),
     ))
+
+
+def boundary_states(solved) -> int:
+    space = solved.classes[0].space
+    return sum(space.level_dim(i) for i in range(space.boundary_levels + 1))
 
 
 def run_scaling():
@@ -37,10 +71,7 @@ def run_scaling():
         t0 = time.perf_counter()
         solved = GangSchedulingModel(cfg).solve()
         dt = time.perf_counter() - t0
-        boundary_states = sum(
-            solved.classes[0].space.level_dim(i)
-            for i in range(solved.classes[0].space.boundary_levels + 1))
-        rows.append((P, boundary_states, dt, solved.mean_jobs(),
+        rows.append((P, boundary_states(solved), dt, solved.mean_jobs(),
                      solved.iterations))
     return rows
 
@@ -65,3 +96,158 @@ def test_solver_scaling_with_machine_size(benchmark, emit):
     # Utilization is held constant, so per-partition congestion should
     # not blow up with size (economy of scale, if anything).
     assert rows[-1][3] / SIZES[-1] <= rows[0][3] / SIZES[0] * 1.5
+
+
+class _BlockSolveCounter:
+    """Call/error counts for the block-tridiagonal boundary kernel."""
+
+    def __init__(self):
+        self.calls = 0
+        self.errors = 0
+
+
+@contextlib.contextmanager
+def counted_block_solver():
+    """Wrap the block kernel as seen by ``solve_boundary``.
+
+    ``solve_boundary`` returns the block kernel's result *before* its
+    dense ``n x n`` assembly, so ``calls > 0 and errors == 0`` proves
+    the sparse run never materialized the full boundary system.
+    """
+    from repro.qbd import boundary as boundary_mod
+    real = boundary_mod.solve_boundary_blocktridiag
+    counter = _BlockSolveCounter()
+
+    def wrapper(process, R, **kwargs):
+        counter.calls += 1
+        try:
+            return real(process, R, **kwargs)
+        except Exception:
+            counter.errors += 1
+            raise
+
+    boundary_mod.solve_boundary_blocktridiag = wrapper
+    try:
+        yield counter
+    finally:
+        boundary_mod.solve_boundary_blocktridiag = real
+
+
+def solve_timed(P: int, backend: str, rounds: int = 1):
+    """Cold solve(s) of the size-``P`` system; best-of-``rounds`` time."""
+    solved, best = None, float("inf")
+    for _ in range(rounds):
+        cfg = config_for(P, quantum_stages=QUANTUM_STAGES)
+        t0 = time.perf_counter()
+        solved = GangSchedulingModel(cfg, backend=backend).solve()
+        best = min(best, time.perf_counter() - t0)
+    return solved, best
+
+
+def run_backend_race():
+    points = []
+    for P in BACKEND_SIZES:
+        # Best-of-2 at the gate point: the 5x assertion should measure
+        # the kernels, not scheduler jitter on a busy CI runner.
+        rounds = 2 if P == GATE_P else 1
+        dense, t_dense = solve_timed(P, "dense", rounds)
+        with counted_block_solver() as counter:
+            sparse, t_sparse = solve_timed(P, "sparse", rounds)
+        points.append({
+            "P": P, "dense": dense, "sparse": sparse,
+            "t_dense": t_dense, "t_sparse": t_sparse,
+            "block_calls": counter.calls, "block_errors": counter.errors,
+        })
+    return points
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_backend_scaling_dense_vs_sparse(benchmark, emit):
+    points = benchmark.pedantic(run_backend_race, rounds=1, iterations=1)
+
+    table = Table("processors", [
+        "boundary_states", "dense_seconds", "sparse_seconds", "speedup",
+        "response_time_diff", "mean_jobs_diff"])
+    records, worst_jobs, worst_parity = [], 0.0, 0.0
+    for pt in points:
+        P, dense, sparse = pt["P"], pt["dense"], pt["sparse"]
+        n_classes = len(dense.classes)
+        dt_resp = max(abs(sparse.mean_response_time(p)
+                          - dense.mean_response_time(p))
+                      for p in range(n_classes))
+        dt_jobs = max(abs(sparse.mean_jobs(p) - dense.mean_jobs(p))
+                      for p in range(n_classes))
+        dt_m2 = max(abs(sparse.classes[p].stationary.second_moment_level
+                        - dense.classes[p].stationary.second_moment_level)
+                    for p in range(n_classes))
+        speedup = pt["t_dense"] / pt["t_sparse"]
+        records.append({
+            "value": P,
+            "mean_jobs": [sparse.mean_jobs(p) for p in range(n_classes)],
+            "mean_response_time": [sparse.mean_response_time(p)
+                                   for p in range(n_classes)],
+            "iterations": sparse.iterations,
+            "converged": sparse.converged,
+            "error": None,
+            "boundary_states": boundary_states(sparse),
+            "dense_seconds": round(pt["t_dense"], 4),
+            "sparse_seconds": round(pt["t_sparse"], 4),
+            "speedup": round(speedup, 3),
+            "mean_response_time_diff": dt_resp,
+            "mean_jobs_diff": dt_jobs,
+            "second_moment_diff": dt_m2,
+            "block_solver_calls": pt["block_calls"],
+            "block_solver_errors": pt["block_errors"],
+        })
+        table.add_row(P, [boundary_states(sparse), pt["t_dense"],
+                          pt["t_sparse"], speedup, dt_resp, dt_jobs])
+
+        assert sparse.converged and dense.converged, P
+        # The sparse run must route every boundary solve through the
+        # block-tridiagonal kernel and never fall through to the dense
+        # n x n assembly.
+        assert pt["block_calls"] > 0, P
+        assert pt["block_errors"] == 0, P
+        if P <= PARITY_MAX:
+            # Parity band: dense and sparse agree to 1e-8 on mean
+            # response time and queue-length moments.
+            assert dt_resp <= 1e-8, (P, dt_resp)
+            assert dt_jobs <= 1e-8, (P, dt_jobs)
+            assert dt_m2 <= 1e-8, (P, dt_m2)
+            worst_jobs = max(worst_jobs, dt_jobs)
+            worst_parity = max(worst_parity, dt_resp, dt_jobs, dt_m2)
+
+    emit("scaling_backends", table, notes=(
+        "Dense vs sparse kernels over machine size, Erlang-%d quanta "
+        "(constant per-partition load).  P<=64 is the parity band; "
+        "P=128/256 are the sizes the block-tridiagonal boundary solver "
+        "and matrix-free Newton unlock." % QUANTUM_STAGES))
+
+    t_dense = sum(pt["t_dense"] for pt in points)
+    t_sparse = sum(pt["t_sparse"] for pt in points)
+    gate = next(r for r in records if r["value"] == GATE_P)
+    payload = {
+        "grid": BACKEND_SIZES,
+        "workers": 1,
+        "seed_seconds": round(t_dense, 4),
+        "pipeline_seconds": round(t_sparse, 4),
+        "speedup": round(t_dense / t_sparse, 3),
+        "worst_mean_jobs_diff": worst_jobs,
+        "quantum_stages": QUANTUM_STAGES,
+        "parity_max_P": PARITY_MAX,
+        "worst_parity_diff": worst_parity,
+        "gate_P": GATE_P,
+        "gate_speedup": gate["speedup"],
+        "points": records,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_scaling.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    print(f"\ndense total {t_dense:.2f}s  sparse total {t_sparse:.2f}s  "
+          f"P={GATE_P} speedup {gate['speedup']:.2f}x  "
+          f"worst parity diff {worst_parity:.2e}")
+
+    # The tentpole gate: >= 5x at P=256 on identical results.
+    assert gate["speedup"] >= GATE_SPEEDUP, (
+        f"sparse backend only {gate['speedup']:.2f}x faster than dense at "
+        f"P={GATE_P} ({gate['sparse_seconds']}s vs {gate['dense_seconds']}s)")

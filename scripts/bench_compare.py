@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Fail CI when a smoke bench regresses >20% in wall clock.
+
+Compares freshly generated ``BENCH_*.json`` files against the committed
+baselines.  Every bench payload carries two wall-clock fields: the
+optimized path (``pipeline_seconds``) and an unoptimized reference run
+(``seed_seconds``) measured in the same process on the same machine.
+The reference run doubles as a host-speed probe: a CI runner that is
+uniformly 2x slower than the laptop that committed the baseline slows
+both numbers equally, so by default the gate trips on the *calibrated*
+ratio
+
+    (current pipeline / baseline pipeline)
+        / (current seed / baseline seed)
+
+which cancels host speed and isolates real regressions of the
+optimized path.  Pass ``--absolute`` to gate on the raw wall-clock
+ratio instead (meaningful when baseline and current ran on identical
+hardware).
+
+Usage::
+
+    python scripts/bench_compare.py --baseline /tmp/bench-baseline \
+        --current benchmarks/results [--threshold 0.20] [--absolute]
+
+Exit status 1 on any regression beyond the threshold (or if no bench
+pairs were found at all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+WALL_CLOCK_FIELD = "pipeline_seconds"
+REFERENCE_FIELD = "seed_seconds"
+
+
+def load(path: pathlib.Path) -> dict:
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def compare_one(name: str, base: dict, cur: dict, *,
+                threshold: float, absolute: bool) -> bool:
+    """Print one comparison line; return True when within budget."""
+    base_wall = float(base[WALL_CLOCK_FIELD])
+    cur_wall = float(cur[WALL_CLOCK_FIELD])
+    if base_wall <= 0:
+        print(f"  {name}: baseline wall clock is {base_wall}; skipping")
+        return True
+    raw = cur_wall / base_wall
+
+    host = None
+    base_ref = float(base.get(REFERENCE_FIELD, 0.0) or 0.0)
+    cur_ref = float(cur.get(REFERENCE_FIELD, 0.0) or 0.0)
+    if base_ref > 0 and cur_ref > 0:
+        host = cur_ref / base_ref
+
+    if absolute or host is None:
+        ratio, mode = raw, "absolute"
+    else:
+        ratio, mode = raw / host, "calibrated"
+
+    ok = ratio <= 1.0 + threshold
+    verdict = "ok" if ok else f"REGRESSION (> {threshold:.0%})"
+    host_txt = f"host x{host:.2f}" if host is not None else "host n/a"
+    print(f"  {name}: {base_wall:.3f}s -> {cur_wall:.3f}s  "
+          f"raw x{raw:.2f}  {host_txt}  {mode} x{ratio:.2f}  {verdict}")
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", type=pathlib.Path, required=True,
+                    help="directory holding the committed BENCH_*.json")
+    ap.add_argument("--current", type=pathlib.Path,
+                    default=pathlib.Path("benchmarks/results"),
+                    help="directory holding the fresh BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional slowdown (default 0.20)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="gate on raw wall clock, no host-speed calibration")
+    args = ap.parse_args(argv)
+
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    print(f"bench regression gate: threshold {args.threshold:.0%}, "
+          f"{'absolute' if args.absolute else 'host-calibrated'} wall clock")
+    failed, compared = [], 0
+    for base_path in baselines:
+        cur_path = args.current / base_path.name
+        if not cur_path.exists():
+            print(f"  {base_path.name}: no current run found "
+                  f"({cur_path}); FAIL")
+            failed.append(base_path.name)
+            continue
+        compared += 1
+        if not compare_one(base_path.name, load(base_path), load(cur_path),
+                           threshold=args.threshold, absolute=args.absolute):
+            failed.append(base_path.name)
+
+    if compared == 0:
+        print("no bench pairs compared", file=sys.stderr)
+        return 1
+    if failed:
+        print(f"wall-clock regression in: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print(f"{compared} bench file(s) within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

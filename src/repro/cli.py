@@ -83,7 +83,8 @@ def _cmd_figure(args) -> int:
     if args.number in grids:
         name, grid, factory = grids[args.number]
         result = sweep(name, grid, factory, checkpoint=args.checkpoint,
-                       workers=args.workers)
+                       workers=args.workers,
+                       model_kwargs={"backend": args.backend})
         table = Table(name, [f"N[{n}]" for n in result.class_names])
         for pt in result.points:
             table.add_row(pt.value, pt.mean_jobs)
@@ -95,7 +96,8 @@ def _cmd_figure(args) -> int:
             row = []
             for p in range(4):
                 solved = GangSchedulingModel(
-                    fig5_config(focus_class=p, fraction=f)).solve()
+                    fig5_config(focus_class=p, fraction=f),
+                    backend=args.backend).solve()
                 row.append(solved.mean_jobs(p))
             table.add_row(f, row)
     print(table.render())
@@ -177,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--checkpoint", metavar="FILE", default=None,
                        help="journal completed sweep points to FILE "
                             "(JSONL) and resume from it if it exists")
+    p_fig.add_argument("--backend", choices=("auto", "dense", "sparse"),
+                       default="auto",
+                       help="kernel selection for assembly and the QBD "
+                            "solves (default: auto picks per block by "
+                            "size and density)")
     p_fig.set_defaults(func=_cmd_figure)
 
     p_opt = sub.add_parser("optimize",

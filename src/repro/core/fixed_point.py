@@ -126,6 +126,11 @@ class FixedPointOptions:
     #: every stage through the reference implementations in
     #: :mod:`repro.core`.
     reuse_artifacts: bool = True
+    #: Kernel backend for assembly and the QBD solves: ``"auto"``
+    #: switches each block/solve between the dense and sparse kernels
+    #: on a size-and-density threshold, ``"dense"``/``"sparse"`` force
+    #: one side (see :mod:`repro.kernels`).
+    backend: str = "auto"
     #: Optional shared artifact cache; ``None`` gives each run its own.
     cache: ArtifactCache | None = field(default=None, compare=False)
 

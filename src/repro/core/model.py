@@ -14,6 +14,7 @@ from repro.core.fixed_point import (
 )
 from repro.core.measures import ClassMeasures, compute_measures
 from repro.core.statespace import ClassStateSpace
+from repro.kernels import resolve_backend
 from repro.phasetype import PhaseType
 from repro.pipeline.cache import ArtifactCache
 from repro.qbd.stationary import QBDStationaryDistribution
@@ -114,8 +115,10 @@ class GangSchedulingModel:
     config:
         The system description.
     reduction, rmatrix_method, truncation_mass, max_truncation_levels, \
-resilience:
-        Passed through to :class:`~repro.core.fixed_point.FixedPointOptions`.
+resilience, backend:
+        Passed through to :class:`~repro.core.fixed_point.FixedPointOptions`
+        (``backend`` selects the dense/sparse kernels, see
+        :mod:`repro.kernels`).
 
     Examples
     --------
@@ -137,6 +140,7 @@ resilience:
                  max_truncation_levels: int = 400,
                  resilience: "ResiliencePolicy | None" = DEFAULT_POLICY,
                  warm_start: bool = True, reuse_artifacts: bool = True,
+                 backend: str = "auto",
                  cache: ArtifactCache | None = None):
         self.config = config
         self._reduction = reduction
@@ -146,6 +150,7 @@ resilience:
         self._resilience = resilience
         self._warm_start = warm_start
         self._reuse_artifacts = reuse_artifacts
+        self._backend = resolve_backend(backend)
         # One cache per model instance: solve() followed by
         # solve_heavy_traffic() (or repeated solves) revisit identical
         # heavy-traffic chains and get them for free.
@@ -164,6 +169,7 @@ resilience:
             resilience=self._resilience,
             warm_start=self._warm_start,
             reuse_artifacts=self._reuse_artifacts,
+            backend=self._backend,
             cache=self._cache,
         )
 

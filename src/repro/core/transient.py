@@ -55,7 +55,8 @@ class TransientResult:
 def transient_mean_jobs(solved: SolvedModel, p: int, times,
                         *, initial_level: int = 0,
                         truncation_mass: float = 1e-8,
-                        max_levels: int = 200) -> TransientResult:
+                        max_levels: int = 200,
+                        backend: str | None = None) -> TransientResult:
     """``E[N_p(t)]`` for class ``p`` starting from a fixed queue length.
 
     The chain is class ``p``'s converged decomposed model (vacations at
@@ -71,6 +72,11 @@ def transient_mean_jobs(solved: SolvedModel, p: int, times,
         Increasing evaluation times.
     initial_level:
         Jobs present at t = 0 (0 = empty start).
+    backend:
+        Kernel selection (see :mod:`repro.kernels`): when the truncated
+        generator is large enough for the sparse side, it is assembled
+        in CSR and the uniformization steps run sparse matvecs instead
+        of dense ones.
     """
     cr = solved.classes[p]
     if not cr.stable:
@@ -90,11 +96,17 @@ def transient_mean_jobs(solved: SolvedModel, p: int, times,
 
     # Rebuild the process (cheap) to get the truncated generator.
     from repro.core.generator import build_class_qbd
+    from repro.kernels import select_backend
     cls = solved.config.classes[p]
     process, _ = build_class_qbd(
         space.partitions, cls.arrival, cls.service, cls.quantum,
         cr.vacation, policy=space.policy)
-    Q, tags = process.truncated_generator(levels)
+    n_states = sum(process.boundary_dims()) \
+        + process.phase_dim * (levels - space.boundary_levels - 1)
+    if select_backend(backend, n_states) == "sparse":
+        Q, tags = process.truncated_generator_sparse(levels)
+    else:
+        Q, tags = process.truncated_generator(levels)
     level_of_state = np.asarray([lvl for (lvl, _) in tags], dtype=np.float64)
 
     # Start state: `initial_level` jobs, arrival phase from its initial

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.config import SystemConfig
 from repro.core.statespace import ClassStateSpace
 from repro.errors import ValidationError
+from repro.kernels import ph_moments, select_backend, sub_dense
 from repro.phasetype import PhaseType, convolve_many, match_three_moments, match_two_moments
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
@@ -155,6 +156,8 @@ def effective_quantum(space: ClassStateSpace, process: QBDProcess,
     absorb = np.zeros(order)
 
     def block(i: int, j: int) -> np.ndarray | None:
+        # Boundary blocks may be CSR under the sparse backend; every
+        # submatrix taken below is small, so extraction densifies.
         return process.block(i, j)
 
     for lvl in range(lvl_start, K + 1):
@@ -164,18 +167,19 @@ def effective_quantum(space: ClassStateSpace, process: QBDProcess,
         # states (vacation phases) are absorption (quantum expiry, or the
         # immediate switch after the last departure is in the down block).
         local = block(lvl, lvl)
-        sub = local[np.ix_(rows, rows)]
+        sub = sub_dense(local, rows, rows)
         T[base:base + len(rows), base:base + len(rows)] += _off_diagonal(sub)
         wait_cols = np.setdiff1d(np.arange(local.shape[1]), rows, assume_unique=False)
         if wait_cols.size:
-            absorb[base:base + len(rows)] += local[np.ix_(rows, wait_cols)].sum(axis=1)
+            absorb[base:base + len(rows)] += \
+                sub_dense(local, rows, wait_cols).sum(axis=1)
         # Up: retained unless at the truncation edge (reflected there).
         if lvl < K:
             upb = block(lvl, lvl + 1)
             up_rows = svc[lvl + 1]
             T[base:base + len(rows),
               offsets[lvl + 1]:offsets[lvl + 1] + len(up_rows)] += \
-                upb[np.ix_(rows, up_rows)]
+                sub_dense(upb, rows, up_rows)
             # Arrivals can only land in service states (the cycle phase is
             # unchanged), so there is no up-contribution to absorption.
         # Down: to service states of lvl-1 retained; to waiting states
@@ -185,15 +189,17 @@ def effective_quantum(space: ClassStateSpace, process: QBDProcess,
             dn_rows = svc[lvl - 1]
             T[base:base + len(rows),
               offsets[lvl - 1]:offsets[lvl - 1] + len(dn_rows)] += \
-                dnb[np.ix_(rows, dn_rows)]
+                sub_dense(dnb, rows, dn_rows)
             dn_wait = np.setdiff1d(np.arange(dnb.shape[1]), dn_rows)
             if dn_wait.size:
-                absorb[base:base + len(rows)] += dnb[np.ix_(rows, dn_wait)].sum(axis=1)
+                absorb[base:base + len(rows)] += \
+                    sub_dense(dnb, rows, dn_wait).sum(axis=1)
         elif lvl == 1 and not include_level0:
             # Down block from level 1 lands entirely in level-0 waiting
             # states: pure absorption.
             dnb = block(1, 0)
-            absorb[base:base + len(rows)] += dnb[rows].sum(axis=1)
+            absorb[base:base + len(rows)] += \
+                sub_dense(dnb, rows, np.arange(dnb.shape[1])).sum(axis=1)
 
     # Diagonal: rows sum to -(retained off-diagonal + absorption).
     np.fill_diagonal(T, 0.0)
@@ -209,7 +215,7 @@ def effective_quantum(space: ClassStateSpace, process: QBDProcess,
         rows_wait = np.setdiff1d(np.arange(local.shape[0]), svc[lvl])
         if rows_wait.size == 0:
             continue
-        flow = pi[rows_wait] @ local[np.ix_(rows_wait, svc[lvl])]
+        flow = pi[rows_wait] @ sub_dense(local, rows_wait, svc[lvl])
         xi[offsets[lvl]:offsets[lvl] + len(svc[lvl])] += flow
 
     # Skipped quanta: vacation completions while the system is empty
@@ -239,12 +245,22 @@ def _off_diagonal(M: np.ndarray) -> np.ndarray:
     return out
 
 
-def reduce_order(dist: PhaseType, reduction: str) -> PhaseType:
+def reduce_order(dist: PhaseType, reduction: str, *,
+                 backend: str | None = None) -> PhaseType:
     """Compress a PH distribution by moment matching.
 
     ``reduction`` is one of :data:`REDUCTIONS`.  The atom at zero is
     preserved exactly; the positive part is refit from its conditional
     moments.
+
+    ``backend`` selects how the raw moments are computed.  The dense
+    path inverts ``-S`` outright (and caches the inverse on the
+    distribution); past the selector threshold the moments come from
+    one sparse LU factorization and ``k`` back-substitutions instead
+    (:func:`repro.kernels.ph_moments`) — for the effective quanta of
+    large machines, whose sub-generator order grows with the truncated
+    chain, that drops the ``reduce`` stage from ``O(order^3)`` dense
+    to the cost of a banded solve.
     """
     if reduction not in REDUCTIONS:
         raise ValidationError(f"unknown reduction {reduction!r}; use one of {REDUCTIONS}")
@@ -255,13 +271,18 @@ def reduce_order(dist: PhaseType, reduction: str) -> PhaseType:
         # Essentially always skipped: a pure atom at zero.
         return PhaseType(np.zeros(1), [[-1.0]])
     cond = 1.0 - atom
-    m1 = dist.moment(1) / cond
-    m2 = dist.moment(2) / cond
+    kmax = 2 if reduction == "moments2" else 3
+    if select_backend(backend, dist.order) == "sparse":
+        moments = ph_moments(dist.alpha, dist.S, kmax, backend=backend)
+    else:
+        moments = [dist.moment(k) for k in range(1, kmax + 1)]
+    m1 = moments[0] / cond
+    m2 = moments[1] / cond
     if reduction == "moments2":
         scv = m2 / m1 ** 2 - 1.0
         fitted = match_two_moments(m1, max(scv, 1e-6))
     else:
-        m3 = dist.moment(3) / cond
+        m3 = moments[2] / cond
         fitted = match_three_moments(m1, m2, m3)
     if atom <= 1e-15:
         return fitted

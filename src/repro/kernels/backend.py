@@ -1,0 +1,109 @@
+"""Dense / sparse backend selection.
+
+Every analytic kernel in the repo has a dense reference implementation
+(small, cache-friendly, zero bookkeeping) and — since this module's
+introduction — a sparse or matrix-free counterpart that wins once the
+operand grows past a few hundred states.  The crossover is not subtle:
+the per-class boundary system of the gang chains grows linearly with
+the machine size ``P`` while its *density* falls like ``1/n`` (three
+small blocks per block-row), so dense costs cross from "free" to
+"dominant" somewhere around a couple hundred states and never come
+back.
+
+:func:`select_backend` centralizes that decision as a size × density
+rule so every kernel (boundary solve, uniformization, PH moments,
+Kronecker assembly) picks the same way.  Callers thread a user-facing
+``backend`` mode through (``"auto"``, ``"dense"``, ``"sparse"``):
+
+* ``"dense"`` — always the reference kernels (bit-compatible with the
+  pre-kernels code paths);
+* ``"sparse"`` — the sparse kernels wherever a sparse variant exists
+  *and* the operand is big enough for CSR overhead to be harmless
+  (tiny operands stay dense even here; forcing CSR on a 6x6 block
+  would only slow the solve without changing a single result);
+* ``"auto"`` — the size × density thresholds decide.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "BACKENDS",
+    "DENSE",
+    "SPARSE",
+    "AUTO",
+    "SPARSE_SIZE_THRESHOLD",
+    "SPARSE_MIN_SIZE",
+    "SPARSE_DENSITY_THRESHOLD",
+    "resolve_backend",
+    "select_backend",
+]
+
+#: Recognized backend modes, in CLI/display order.
+BACKENDS = ("auto", "dense", "sparse")
+AUTO, DENSE, SPARSE = BACKENDS
+
+#: ``auto`` switches to sparse kernels at this operand size (the
+#: matrix dimension ``n`` of the solve / matvec in question).  Below
+#: it, dense BLAS beats any sparse format on these chains.
+SPARSE_SIZE_THRESHOLD = 256
+
+#: Even under ``backend="sparse"``, operands smaller than this stay on
+#: the dense kernels: CSR indices would outweigh the data.
+SPARSE_MIN_SIZE = 48
+
+#: ``auto`` only goes sparse when the operand's fill fraction is below
+#: this; a half-full matrix gains nothing from compressed storage.
+SPARSE_DENSITY_THRESHOLD = 0.25
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate and normalize a backend mode (``None`` means ``auto``)."""
+    if backend is None:
+        return AUTO
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown backend {backend!r}; use one of {BACKENDS}")
+    return backend
+
+
+def select_backend(backend: str | None, size: int,
+                   density: float | None = None, *,
+                   size_threshold: int = SPARSE_SIZE_THRESHOLD,
+                   min_size: int = SPARSE_MIN_SIZE,
+                   density_threshold: float = SPARSE_DENSITY_THRESHOLD,
+                   ) -> str:
+    """Decide ``"dense"`` or ``"sparse"`` for one operand.
+
+    Parameters
+    ----------
+    backend:
+        User-facing mode (``auto`` / ``dense`` / ``sparse``; ``None``
+        is ``auto``).
+    size:
+        Linear dimension of the operand (states in the system being
+        solved, order of the PH distribution, block dimension...).
+    density:
+        Fill fraction ``nnz / size^2`` when the caller knows it;
+        ``None`` skips the density test (structural sparsity is
+        guaranteed by construction for the QBD systems, whose density
+        decays like ``1/levels``).
+
+    Returns
+    -------
+    str
+        ``"dense"`` or ``"sparse"`` — never ``"auto"``.
+    """
+    mode = resolve_backend(backend)
+    if mode == DENSE:
+        return DENSE
+    if size < min_size:
+        return DENSE
+    if mode == SPARSE:
+        return SPARSE
+    if size < size_threshold:
+        return DENSE
+    if density is not None and density > density_threshold:
+        return DENSE
+    return SPARSE

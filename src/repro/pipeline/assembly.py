@@ -23,15 +23,25 @@ factors as ``kron(arrival part, kron(composition part, cycle part))``:
 ``build_class_qbd`` (the equality is asserted block-for-block by
 ``tests/pipeline/test_assembly.py``), minus the ``with_labels`` escape
 hatch, which stays on the reference builder.
+
+With ``backend="sparse"`` (or ``"auto"`` past the size threshold),
+boundary blocks above :data:`repro.kernels.backend.SPARSE_MIN_SIZE`
+are assembled *directly in CSR* — ``scipy.sparse.kron`` over CSR
+factors — so no dense ``dim x dim`` intermediate ever exists for the
+large levels.  The repeating blocks ``A0/A1/A2`` stay dense
+regardless: every ``R``-matrix algorithm is dense ``d x d`` BLAS and
+the repeating phase dimension is small by construction.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse as _sp
 
 from repro.core.generator import _with_diagonal, class_state_space
 from repro.core.statespace import ClassStateSpace
 from repro.errors import ValidationError
+from repro.kernels import is_sparse, kron2, row_sums, select_backend
 from repro.phasetype import PhaseType
 from repro.qbd.structure import QBDProcess
 from repro.utils.combinatorics import composition_index_map, compositions
@@ -39,21 +49,28 @@ from repro.utils.combinatorics import composition_index_map, compositions
 __all__ = ["AssemblyWorkspace", "build_class_qbd_fast"]
 
 
+def _eye(n: int, sparse: bool):
+    return _sp.eye_array(n, format="csr") if sparse else np.eye(n)
+
+
+def _with_diagonal_any(local, other_blocks):
+    """:func:`repro.core.generator._with_diagonal` for either
+    representation of ``local`` (neighbours may be mixed too)."""
+    total = row_sums(local)
+    for blk in other_blocks:
+        if blk is not None:
+            total = total + row_sums(blk)
+    if is_sparse(local):
+        return _sp.csr_array(local - _sp.diags_array(total))
+    out = local.copy()
+    out[np.diag_indices_from(out)] -= total
+    return out
+
+
 def _off_diag(M: np.ndarray) -> np.ndarray:
     out = np.array(M, dtype=np.float64, copy=True)
     np.fill_diagonal(out, 0.0)
     return out
-
-
-def _kron2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """``np.kron`` with shortcuts for the degenerate factors that
-    dominate the gang chains (Markovian arrival/service makes most
-    factors 1x1)."""
-    if a.shape == (1, 1):
-        return a[0, 0] * b
-    if b.shape == (1, 1):
-        return b[0, 0] * a
-    return np.kron(a, b)
 
 
 class AssemblyWorkspace:
@@ -165,6 +182,7 @@ def build_class_qbd_fast(partitions: int, arrival: PhaseType,
                          service: PhaseType, quantum: PhaseType,
                          vacation: PhaseType, *, policy: str = "switch",
                          workspace: AssemblyWorkspace | None = None,
+                         backend: str | None = None,
                          ) -> tuple[QBDProcess, ClassStateSpace, AssemblyWorkspace]:
     """Assemble one class's QBD from its Kronecker factors.
 
@@ -172,7 +190,9 @@ def build_class_qbd_fast(partitions: int, arrival: PhaseType,
     :func:`repro.core.generator.build_class_qbd` (same state order,
     same rates) at a fraction of the cost.  Returns the workspace used
     so callers can pass it back on the next iteration; a stale or
-    ``None`` workspace is rebuilt transparently.
+    ``None`` workspace is rebuilt transparently.  ``backend`` selects
+    the representation of large *boundary* blocks (see module
+    docstring); the workspace itself is representation-independent.
     """
     for what, dist in (("arrival", arrival), ("service", service),
                        ("quantum", quantum), ("vacation", vacation)):
@@ -221,25 +241,40 @@ def build_class_qbd_fast(partitions: int, arrival: PhaseType,
     def nk_at(i: int) -> int:
         return N if (i == 0 and switch) else nk
 
+    def dim_at(i: int) -> int:
+        return mA * ws.nv[i] * nk_at(i)
+
+    # Representation per boundary level: CSR for levels past the
+    # selector's threshold, dense below it.  The repeating levels
+    # (c, c+1) are forced dense — A0/A1/A2 feed the dense R solvers.
+    csr_level = [select_backend(backend, dim_at(i)) == "sparse"
+                 for i in range(c + 2)]
+    csr_level[c] = csr_level[c + 1] = False
+
     I_mA = np.eye(mA)
     I_nk = np.eye(nk)
 
-    # Off-diagonal blocks, mirroring generator._BlockBuilder.
+    # Off-diagonal blocks, mirroring generator._BlockBuilder.  A block
+    # between two levels goes CSR only when both endpoints do (a mixed
+    # pair is small on one side anyway).
     ups: list[np.ndarray] = []
     for i in range(c + 1):
+        f = csr_level[i] and csr_level[i + 1]
         Vup = ws.Uent[i] if i < c else np.eye(ws.nv[i])
         Kup = E0up if (i == 0 and switch) else I_nk
-        ups.append(_kron2(ws.Aup, _kron2(Vup, Kup)))
+        ups.append(kron2(ws.Aup, kron2(Vup, Kup, sparse=f), sparse=f))
 
     downs: list[np.ndarray | None] = [None]
     for i in range(1, c + 2):
+        f = csr_level[i] and csr_level[i - 1]
         Dv = ws.Dref if i > c else ws.Dplain[i]
         Kd = Tq0 if (i == 1 and switch) else Eq
-        downs.append(_kron2(I_mA, _kron2(Dv, Kd)))
+        downs.append(kron2(I_mA, kron2(Dv, Kd, sparse=f), sparse=f))
 
     locals_: list[np.ndarray] = []
     sa_jumps = bool(ws.SA_off.any())
     for i in range(c + 2):
+        f = csr_level[i]
         nv = ws.nv[i]
         nki = nk_at(i)
         if i == 0 and switch:
@@ -248,11 +283,11 @@ def build_class_qbd_fast(partitions: int, arrival: PhaseType,
         else:
             Ki = Kfull
             svc_jumps = min(i, c) > 0 and bool(ws.Sjump[i].any())
-        L = _kron2(I_mA, _kron2(np.eye(nv), Ki))
+        L = kron2(I_mA, kron2(_eye(nv, f), Ki, sparse=f), sparse=f)
         if svc_jumps:
-            L += _kron2(I_mA, _kron2(ws.Sjump[i], Eq))
+            L = L + kron2(I_mA, kron2(ws.Sjump[i], Eq, sparse=f), sparse=f)
         if sa_jumps:
-            L += np.kron(ws.SA_off, np.eye(nv * nki))
+            L = L + kron2(ws.SA_off, _eye(nv * nki, f), sparse=f)
         locals_.append(L)
 
     # Boundary/diagonal assembly, identical to build_class_qbd.
@@ -273,7 +308,7 @@ def build_class_qbd_fast(partitions: int, arrival: PhaseType,
         out_blocks.append(up_blk)
         if i < c:
             boundary[i][i + 1] = ups[i]
-        boundary[i][i] = _with_diagonal(locals_[i], out_blocks)
+        boundary[i][i] = _with_diagonal_any(locals_[i], out_blocks)
 
     # Diagonals were derived as negative row sums above, so the
     # generator property holds by construction; skip the re-check.

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 
+from repro.kernels.sparse import block_bytes
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
 
@@ -50,24 +51,28 @@ class ArtifactCache:
 
     @staticmethod
     def key(process: QBDProcess, *, method: str, tol: float,
-            policy: object | None) -> str:
+            policy: object | None, backend: str | None = None) -> str:
         """Content key: exact bytes of every block + solve options.
 
         Two processes with the same key are bit-identical, so serving
         the cached solution is indistinguishable from re-solving.
+        Blocks may be dense or CSR (:func:`repro.kernels.block_bytes`
+        keys the two representations differently — the sparse and dense
+        solve paths are numerically close but not bit-identical), and
+        ``backend`` is part of the key for the same reason.
         """
         h = hashlib.sha256()
         for blk in (process.A0, process.A1, process.A2):
-            h.update(repr(blk.shape).encode())
-            h.update(blk.tobytes())
+            for part in block_bytes(blk):
+                h.update(part)
         for row in process.boundary:
             for blk in row:
                 if blk is None:
                     h.update(b"-")
                 else:
-                    h.update(repr(blk.shape).encode())
-                    h.update(blk.tobytes())
-        h.update(repr((method, tol, policy)).encode())
+                    for part in block_bytes(blk):
+                        h.update(part)
+        h.update(repr((method, tol, policy, backend)).encode())
         return h.hexdigest()
 
     def get(self, key: str) -> QBDStationaryDistribution | None:

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.statespace import ClassStateSpace
 from repro.errors import ValidationError
+from repro.kernels.sparse import row_sums, sub_dense
 from repro.phasetype import PhaseType
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
@@ -157,30 +158,30 @@ def extract_effective_quantum(space: ClassStateSpace, process: QBDProcess,
         base = offsets[lvl]
         local = process.block(lvl, lvl)
         T[base:base + len(rows), base:base + len(rows)] += \
-            _off_diag(local[np.ix_(rows, rows)])
+            _off_diag(sub_dense(local, rows, rows))
         if idx.wait.size:
             absorb[base:base + len(rows)] += \
-                local[np.ix_(rows, idx.wait)].sum(axis=1)
+                sub_dense(local, rows, idx.wait).sum(axis=1)
         if lvl < K:
             upb = process.block(lvl, lvl + 1)
             up_rows = indices(lvl + 1).svc
             T[base:base + len(rows),
               offsets[lvl + 1]:offsets[lvl + 1] + len(up_rows)] += \
-                upb[np.ix_(rows, up_rows)]
+                sub_dense(upb, rows, up_rows)
         if lvl > lvl_start:
             dnb = process.block(lvl, lvl - 1)
             dn = indices(lvl - 1)
             T[base:base + len(rows),
               offsets[lvl - 1]:offsets[lvl - 1] + len(dn.svc)] += \
-                dnb[np.ix_(rows, dn.svc)]
+                sub_dense(dnb, rows, dn.svc)
             if dn.wait.size:
                 absorb[base:base + len(rows)] += \
-                    dnb[np.ix_(rows, dn.wait)].sum(axis=1)
+                    sub_dense(dnb, rows, dn.wait).sum(axis=1)
         elif lvl == 1 and lvl_start == 1:
             # Switch policy: the whole down block from level 1 lands in
             # level-0 waiting states — pure absorption.
             dnb = process.block(1, 0)
-            absorb[base:base + len(rows)] += dnb[rows].sum(axis=1)
+            absorb[base:base + len(rows)] += row_sums(dnb)[rows]
 
     # ---- repeating levels: slice once, place K - c times ----------------
     if K > c:
@@ -215,7 +216,7 @@ def extract_effective_quantum(space: ClassStateSpace, process: QBDProcess,
             continue
         pi = solution.level(lvl)
         local = process.block(lvl, lvl)
-        flow = pi[idx.wait] @ local[np.ix_(idx.wait, idx.svc)]
+        flow = pi[idx.wait] @ sub_dense(local, idx.wait, idx.svc)
         xi[offsets[lvl]:offsets[lvl] + len(idx.svc)] += flow
     if K > c and rep.wait.size:
         W = A1[np.ix_(rep.wait, rs)]

@@ -52,6 +52,7 @@ def assemble_class(ctx: SolveContext, p: int, vacation: PhaseType) -> None:
                 ctx.config.partitions(p), cls.arrival, cls.service,
                 cls.quantum, vacation, policy=ctx.config.empty_queue_policy,
                 workspace=art.assembly,
+                backend=getattr(ctx.opts, "backend", None),
             )
         else:
             process, space = build_class_qbd(
@@ -83,8 +84,9 @@ def solve_class(ctx: SolveContext, p: int) -> QBDStationaryDistribution:
             f"(rho={report.traffic_intensity:.4g})",
             drift=report.drift,
         )
+    backend = getattr(opts, "backend", None)
     key = ArtifactCache.key(process, method=opts.rmatrix_method, tol=_R_TOL,
-                            policy=opts.resilience)
+                            policy=opts.resilience, backend=backend)
     cached = ctx.cache.get(key)
     if cached is not None:
         art.solution, art.R = cached, cached.R
@@ -93,15 +95,16 @@ def solve_class(ctx: SolveContext, p: int) -> QBDStationaryDistribution:
     with ctx.timings.timed("rsolve"):
         if opts.resilience is None:
             R = solve_R(process.A0, process.A1, process.A2,
-                        method=opts.rmatrix_method, tol=_R_TOL, R0=R0)
+                        method=opts.rmatrix_method, tol=_R_TOL, R0=R0,
+                        backend=backend)
             solve_report = None
         else:
             R, solve_report = resilient_solve_R(
                 process.A0, process.A1, process.A2,
                 method=opts.rmatrix_method, tol=_R_TOL,
-                policy=opts.resilience, R0=R0)
+                policy=opts.resilience, R0=R0, backend=backend)
     with ctx.timings.timed("boundary"):
-        pi = solve_boundary(process, R)
+        pi = solve_boundary(process, R, backend=backend)
     sol = QBDStationaryDistribution(boundary_pi=tuple(pi), R=R,
                                     drift_report=report,
                                     solve_report=solve_report)
@@ -129,7 +132,8 @@ def extract_class(ctx: SolveContext, p: int) -> PhaseType:
                 max_levels=opts.max_truncation_levels,
             )
     with ctx.timings.timed("reduce"):
-        return reduce_order(raw, opts.reduction)
+        return reduce_order(raw, opts.reduction,
+                            backend=getattr(opts, "backend", None))
 
 
 def solve_all(ctx: SolveContext, vacations: list[PhaseType]):

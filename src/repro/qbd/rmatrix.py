@@ -54,6 +54,8 @@ import numpy as np
 from scipy import linalg as _sla
 
 from repro.errors import ConvergenceError, ValidationError
+from repro.kernels import select_backend
+from repro.kernels.kron import solve_sylvester
 from repro.resilience.faults import maybe_corrupt, maybe_fault
 
 __all__ = ["solve_R", "solve_G", "r_from_g", "refine_R", "METHODS"]
@@ -64,7 +66,8 @@ METHODS = ("logreduction", "cr", "substitution", "spectral")
 def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
             method: str = "logreduction", tol: float = 1e-12,
             max_iter: int = 100_000,
-            R0: np.ndarray | None = None) -> np.ndarray:
+            R0: np.ndarray | None = None,
+            backend: str | None = None) -> np.ndarray:
     """Minimal non-negative solution of ``R^2 A2 + R A1 + A0 = 0``.
 
     Parameters
@@ -88,6 +91,12 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
         refinement (:func:`refine_R`) and fall back to their cold
         algorithm when it fails.  A shape mismatch (the vacation order
         changed between iterations) silently discards ``R0``.
+    backend:
+        ``"auto"`` / ``"dense"`` / ``"sparse"`` kernel selection,
+        forwarded to :func:`refine_R` (the only step with a sparse
+        variant: the matrix-free Newton correction for large phase
+        dimensions).  The cold algorithms are dense ``d x d`` BLAS
+        regardless.
     """
     A0 = np.asarray(A0, dtype=np.float64)
     A1 = np.asarray(A1, dtype=np.float64)
@@ -105,7 +114,7 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
                                   R0=R0)
         return maybe_corrupt("rmatrix.result", R, key=method)
     if R0 is not None:
-        R = refine_R(A0, A1, A2, R0, tol=tol)
+        R = refine_R(A0, A1, A2, R0, tol=tol, backend=backend)
         if R is not None:
             return maybe_corrupt("rmatrix.result", R, key=method)
     if method == "logreduction":
@@ -119,15 +128,20 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
 
 
 def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
-             max_steps: int = 8) -> np.ndarray | None:
+             max_steps: int = 8,
+             backend: str | None = None) -> np.ndarray | None:
     """Newton refinement of a warm-start iterate for ``R``.
 
     Newton's method on ``F(R) = A0 + R A1 + R^2 A2``: the Fréchet
     derivative at ``R`` maps ``H`` to ``H (A1 + R A2) + R H A2``, so
     each step solves that generalized Sylvester equation for the
-    correction ``H`` via Kronecker linearization (the repeating phase
-    dimension of the gang chains is small, so the dense ``d^2 x d^2``
-    solve is cheap).  Quadratically convergent from a good seed.
+    correction ``H``.  Small phase dimensions use the dense Kronecker
+    linearization (a ``d^2 x d^2`` solve); past the backend selector's
+    threshold on the linearized size ``d^2``, the correction comes
+    from the matrix-free GMRES solve of
+    :func:`repro.kernels.kron.solve_sylvester` instead — the
+    ``d^2 x d^2`` operand is never materialized.  Quadratically
+    convergent from a good seed.
 
     Returns the refined ``R`` once the quadratic residual drops below
     ``tol * max(1, max|A1|)`` and ``sp(R) < 1``, or ``None`` when the
@@ -143,6 +157,9 @@ def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
     d = A1.shape[0]
     if R.shape != A1.shape:
         return None
+    matrix_free = select_backend(backend, d * d) == "sparse"
+    if matrix_free:
+        maybe_fault("kernels.sparse", key="refine_R")
     scale = max(1.0, float(np.max(np.abs(A1))))
     target = max(tol, 1e-14) * scale
     I = np.eye(d)
@@ -157,6 +174,12 @@ def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
         if resid >= prev_resid:  # diverging: the seed was too far off
             return None
         prev_resid = resid
+        if matrix_free:
+            H = solve_sylvester(R, A1 + R @ A2, A2, F, tol=tol)
+            if H is None:
+                return None
+            R = R + H
+            continue
         # vec-row-major: vec(A H B) = (A kron B^T) vec(H).
         M = np.kron(I, (A1 + R @ A2).T) + np.kron(R, A2.T)
         try:

@@ -118,11 +118,16 @@ class AttemptRecord:
     iterations: int | None
     residual: float | None
     elapsed: float
+    #: Kernel backend the attempt ran with (``None``: pre-backend
+    #: record, equivalent to ``"auto"``).
+    backend: str | None = None
 
     def describe(self) -> str:
         detail = "" if self.error is None else f": {self.error}"
+        bk = f" backend={self.backend}" if self.backend else ""
         return (f"{self.method}[#{self.attempt} tol={self.tol:.3g}"
-                f"{f' reg={self.regularization:.1g}' if self.regularization else ''}]"
+                f"{f' reg={self.regularization:.1g}' if self.regularization else ''}"
+                f"{bk}]"
                 f" -> {self.outcome}{detail}")
 
 
@@ -196,6 +201,7 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
                       tol: float = 1e-12,
                       policy: ResiliencePolicy | None = None,
                       R0: np.ndarray | None = None,
+                      backend: str | None = None,
                       ) -> tuple[np.ndarray, SolveReport]:
     """Solve ``R^2 A2 + R A1 + A0 = 0`` with fallback, retries, budgets.
 
@@ -206,6 +212,15 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
     against the acceptance residual, so a stale seed can only cost a
     retry, never a wrong answer.
 
+    The chain is backend-aware: ``backend`` is forwarded to every
+    attempt, and the first failure of an attempt whose backend engages
+    the sparse kernels downgrades the remaining attempts of that
+    method (and the rest of the chain) to ``backend="dense"`` — a
+    sparse-path defect costs one extra attempt, never the solve.  The
+    downgrade attempt is granted on top of
+    ``max_attempts_per_method`` and skips the tolerance adjustments,
+    since the failure says nothing about the tolerance.
+
     Raises
     ------
     SolverBudgetExceededError
@@ -215,6 +230,7 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
         Every method and retry failed within budget (``exc.report``
         attached).
     """
+    from repro.kernels import select_backend
     from repro.qbd.rmatrix import solve_R
 
     policy = policy or DEFAULT_POLICY
@@ -223,6 +239,14 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
     A0 = np.asarray(A0, dtype=np.float64)
     A1 = np.asarray(A1, dtype=np.float64)
     A2 = np.asarray(A2, dtype=np.float64)
+    d = A1.shape[0]
+
+    def _sparse_active(bk: str | None) -> bool:
+        # Mirrors refine_R: the only sparse path in the R solve is the
+        # matrix-free Newton correction on the d^2-sized linearization.
+        return select_backend(bk, d * d) == "sparse"
+
+    cur_backend = backend
 
     report = SolveReport()
     t0 = time.monotonic()
@@ -256,7 +280,11 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
     for m in chain:
         attempt_tol = tol
         regularization = 0.0
-        for attempt in range(max(1, retry.max_attempts_per_method)):
+        budget_attempts = max(1, retry.max_attempts_per_method)
+        if _sparse_active(cur_backend):
+            budget_attempts += 1  # the dense downgrade is a bonus attempt
+        attempt = 0
+        while attempt < budget_attempts:
             _out_of_budget()
             max_iter = _method_max_iter(m)
             if retry.max_total_iterations is not None:
@@ -269,7 +297,7 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
             t_attempt = time.monotonic()
             try:
                 R = solve_R(A0, A1_eff, A2, method=m, tol=attempt_tol,
-                            max_iter=max_iter, R0=R0)
+                            max_iter=max_iter, R0=R0, backend=cur_backend)
             except (ConvergenceError, np.linalg.LinAlgError) as exc:
                 elapsed = time.monotonic() - t_attempt
                 iters = getattr(exc, "iterations", None)
@@ -282,7 +310,14 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
                     method=m, attempt=attempt, tol=attempt_tol,
                     regularization=regularization, outcome="error",
                     error=f"{type(exc).__name__}: {exc}",
-                    iterations=iters, residual=resid, elapsed=elapsed))
+                    iterations=iters, residual=resid, elapsed=elapsed,
+                    backend=cur_backend))
+                attempt += 1
+                if _sparse_active(cur_backend):
+                    # Sparse-path failure: fall back to the dense chain
+                    # without touching the tolerance schedule.
+                    cur_backend = "dense"
+                    continue
                 # Ran out of steam: relax the tolerance, add a tiny
                 # killing rate to break near-singularity.
                 attempt_tol *= retry.tol_relax
@@ -297,7 +332,8 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
                     method=m, attempt=attempt, tol=attempt_tol,
                     regularization=regularization, outcome="ok", error=None,
                     iterations=None, residual=float(np.max(np.abs(
-                        R @ R @ A2 + R @ A1 + A0))), elapsed=elapsed))
+                        R @ R @ A2 + R @ A1 + A0))), elapsed=elapsed,
+                    backend=cur_backend))
                 report.method = m
                 return np.clip(R, 0.0, None), report
             iterations_used += _method_max_iter(m) if m != "spectral" else 1
@@ -305,7 +341,13 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
                 method=m, attempt=attempt, tol=attempt_tol,
                 regularization=regularization, outcome="invalid",
                 error=reason, iterations=None, residual=None,
-                elapsed=elapsed))
+                elapsed=elapsed, backend=cur_backend))
+            attempt += 1
+            if _sparse_active(cur_backend):
+                # A sparse-path attempt produced a bad answer: retry
+                # dense before blaming the tolerance.
+                cur_backend = "dense"
+                continue
             # Converged to a bad answer: tighten, drop regularization.
             attempt_tol *= retry.tol_tighten
             regularization = 0.0

@@ -1,0 +1,54 @@
+"""Tests for the dense/sparse backend selector."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.kernels import (
+    SPARSE_MIN_SIZE,
+    SPARSE_SIZE_THRESHOLD,
+    resolve_backend,
+    select_backend,
+)
+
+
+class TestResolveBackend:
+    def test_none_is_auto(self):
+        assert resolve_backend(None) == "auto"
+
+    @pytest.mark.parametrize("mode", ["auto", "dense", "sparse"])
+    def test_passthrough(self, mode):
+        assert resolve_backend(mode) == mode
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_backend("gpu")
+
+
+class TestSelectBackend:
+    def test_dense_mode_always_dense(self):
+        assert select_backend("dense", 10_000) == "dense"
+        assert select_backend("dense", 10_000, 0.001) == "dense"
+
+    def test_sparse_mode_respects_min_size(self):
+        assert select_backend("sparse", SPARSE_MIN_SIZE - 1) == "dense"
+        assert select_backend("sparse", SPARSE_MIN_SIZE) == "sparse"
+
+    def test_auto_size_threshold(self):
+        assert select_backend("auto", SPARSE_SIZE_THRESHOLD - 1) == "dense"
+        assert select_backend("auto", SPARSE_SIZE_THRESHOLD) == "sparse"
+        assert select_backend(None, SPARSE_SIZE_THRESHOLD) == "sparse"
+
+    def test_auto_density_gate(self):
+        n = SPARSE_SIZE_THRESHOLD
+        assert select_backend("auto", n, 0.5) == "dense"
+        assert select_backend("auto", n, 0.01) == "sparse"
+        # Unknown density skips the gate.
+        assert select_backend("auto", n, None) == "sparse"
+
+    def test_forced_sparse_ignores_density(self):
+        assert select_backend("sparse", SPARSE_MIN_SIZE, 0.99) == "sparse"
+
+    def test_never_returns_auto(self):
+        for mode in (None, "auto", "dense", "sparse"):
+            for size in (1, 100, 1000):
+                assert select_backend(mode, size) in ("dense", "sparse")

@@ -1,0 +1,62 @@
+"""Tests for the dense boundary solve, including degenerate columns.
+
+Unreachable boundary phases (no flux in or out) produce all-zero
+columns in the balance system.  Before the zero-column guard they
+poisoned the column equilibration with 0/0 NaNs; the regression tests
+here pin such states to zero probability explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.qbd.boundary import solve_boundary
+from repro.qbd.structure import QBDProcess
+
+
+def process_with_dead_phase(lam=0.5, mu=1.0):
+    """M/M/1 whose level-0 block carries an extra unreachable phase.
+
+    The dead phase has no transitions in or out, so its balance column
+    is identically zero; the solution must match plain M/M/1 with zero
+    probability on the dead state.
+    """
+    B00 = np.array([[-lam, 0.0], [0.0, 0.0]])
+    B01 = np.array([[lam], [0.0]])
+    B10 = np.array([[mu, 0.0]])
+    B11 = np.array([[-(lam + mu)]])
+    return QBDProcess.from_trusted_blocks(
+        boundary=((B00, B01), (B10, B11)),
+        A0=np.array([[lam]]), A1=np.array([[-(lam + mu)]]),
+        A2=np.array([[mu]]))
+
+
+class TestDeadColumns:
+    def test_dead_phase_gets_zero_probability(self):
+        lam, mu = 0.5, 1.0
+        rho = lam / mu
+        proc = process_with_dead_phase(lam, mu)
+        R = np.array([[rho]])
+        pi = solve_boundary(proc, R, backend="dense")
+        assert np.all(np.isfinite(pi[0])) and np.all(np.isfinite(pi[1]))
+        assert pi[0][1] == pytest.approx(0.0, abs=1e-12)
+        # The live states reproduce the M/M/1 geometric solution.
+        assert pi[0][0] == pytest.approx(1 - rho, abs=1e-10)
+        assert pi[1][0] == pytest.approx((1 - rho) * rho, abs=1e-10)
+
+    def test_no_nans_under_equilibration(self):
+        # Regression: the 0/0 column scaling used to propagate NaNs
+        # into the primary solve before the lstsq fallback could mask
+        # the damage.
+        proc = process_with_dead_phase(0.3, 1.0)
+        pi = solve_boundary(proc, np.array([[0.3]]), backend="dense")
+        for v in pi:
+            assert np.all(np.isfinite(v))
+            assert np.all(v >= 0.0)
+
+    def test_identically_zero_system_rejected(self):
+        z = np.zeros((1, 1))
+        proc = QBDProcess.from_trusted_blocks(
+            boundary=((z, z), (z, z)), A0=z, A1=z, A2=z)
+        with pytest.raises(ValidationError):
+            solve_boundary(proc, np.zeros((1, 1)), backend="dense")
