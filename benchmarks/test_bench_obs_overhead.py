@@ -1,0 +1,113 @@
+"""Disabled-path observability overhead guard.
+
+The acceptance bar for ``repro.obs``: with both collectors off (the
+default), the instrumentation threaded through the solve pipeline must
+cost <= 2% of pipeline wall time.  Timing two full pipeline runs
+against each other at the 2% level is hopelessly noisy on shared CI
+hardware, so the guard is computed instead:
+
+* run one instrumented Figure-2-style sweep with tracing + metrics ON
+  and count how many instrumented sites actually fire (spans from the
+  trace, metric calls from the registry snapshot);
+* micro-benchmark the per-call cost of the disabled ``span()`` and
+  disabled ``metrics.inc()`` fast paths;
+* bound the total disabled overhead as ``sites x per-call cost`` and
+  require it under 2% of the measured sweep wall time.
+
+The measured numbers land in
+``benchmarks/results/BENCH_obs_overhead.json`` for the CI smoke-bench
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro import obs
+from repro.obs import metrics
+from repro.obs.trace import span
+from repro.workloads import fig23_config, sweep
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+GRID = [0.25, 1.0, 3.0]
+CALIBRATION_CALLS = 200_000
+
+
+def run_sweep():
+    return sweep("quantum_mean", GRID, lambda q: fig23_config(0.4, q))
+
+
+def per_call_cost(fn, calls=CALIBRATION_CALLS):
+    """Best-of-3 per-call seconds (min damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / calls
+
+
+def disabled_span():
+    with span("bench.overhead", klass=0):
+        pass
+
+
+def disabled_inc():
+    metrics.inc("bench.overhead", method="x")
+
+
+def test_disabled_obs_overhead_under_two_percent(tmp_path):
+    assert not obs.tracing_enabled() and not metrics.enabled()
+
+    # How many instrumented sites does one sweep actually exercise?
+    # (Timed too: the enabled/disabled pair feeds the CI regression
+    # gate, host-calibrated via the disabled run.)
+    trace_path = tmp_path / "calib.jsonl"
+    t0 = time.perf_counter()
+    with obs.session(trace_path=trace_path):
+        run_sweep()
+        snap = metrics.snapshot()
+    enabled_seconds = time.perf_counter() - t0
+    spans = sum(1 for line in trace_path.read_text().splitlines()
+                if '"kind":"B"' in line)
+    metric_calls = (sum(snap["counters"].values())
+                    + sum(h["count"] for h in snap["histograms"].values())
+                    + len(snap["gauges"]))
+
+    # Baseline wall time with the collectors off (the shipped default).
+    t0 = time.perf_counter()
+    run_sweep()
+    base_seconds = time.perf_counter() - t0
+
+    span_cost = per_call_cost(disabled_span)
+    inc_cost = per_call_cost(disabled_inc)
+    overhead = spans * span_cost + metric_calls * inc_cost
+    ratio = overhead / base_seconds
+
+    payload = {
+        "grid": GRID,
+        "spans_per_sweep": spans,
+        "metric_calls_per_sweep": metric_calls,
+        "disabled_span_ns": round(span_cost * 1e9, 1),
+        "disabled_inc_ns": round(inc_cost * 1e9, 1),
+        "bound_overhead_seconds": round(overhead, 6),
+        "bound_overhead_ratio": round(ratio, 6),
+        # bench_compare.py fields: gate the collectors-ON sweep,
+        # host-calibrated by the collectors-OFF sweep.
+        "pipeline_seconds": round(enabled_seconds, 4),
+        "seed_seconds": round(base_seconds, 4),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    print(f"\n{spans} spans + {metric_calls:.0f} metric calls/sweep, "
+          f"span {span_cost * 1e9:.0f}ns inc {inc_cost * 1e9:.0f}ns -> "
+          f"{100 * ratio:.3f}% of {base_seconds:.2f}s baseline")
+
+    assert ratio <= 0.02, (
+        f"disabled observability costs {100 * ratio:.2f}% of the sweep "
+        f"({overhead:.4f}s of {base_seconds:.2f}s)")

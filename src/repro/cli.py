@@ -10,6 +10,16 @@ Subcommands
 ``simulate``
     Run the discrete-event simulator on a configuration and print the
     statistics (optionally next to the analytic solution).
+``report``
+    Summarize a trace file produced with ``--trace``: the per-class /
+    per-stage timing table plus metric rollups.
+
+Observability
+-------------
+``solve``, ``figure``, ``optimize`` and ``simulate`` all accept
+``--trace FILE`` (record a span trace of the run as JSONL) and
+``--metrics`` (print the solver's metric snapshot to stderr on exit);
+see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -85,6 +95,12 @@ def _cmd_figure(args) -> int:
         result = sweep(name, grid, factory, checkpoint=args.checkpoint,
                        workers=args.workers,
                        model_kwargs={"backend": args.backend})
+        if result.resumed or result.stale:
+            line = (f"repro-gang: checkpoint {args.checkpoint}: "
+                    f"{result.resumed}/{len(result.points)} point(s) resumed")
+            if result.stale:
+                line += f", {result.stale} stale point(s) ignored"
+            print(line, file=sys.stderr)
         table = Table(name, [f"N[{n}]" for n in result.class_names])
         for pt in result.points:
             table.add_row(pt.value, pt.mean_jobs)
@@ -153,6 +169,27 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.obs import render_report, summarize_trace
+    try:
+        summary = summarize_trace(args.trace_file)
+    except FileNotFoundError:
+        print(f"repro-gang: no such trace file: {args.trace_file}",
+              file=sys.stderr)
+        return 2
+    print(render_report(summary))
+    return 0
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="record a span trace of the run as JSONL to FILE "
+                        "(summarize it with 'repro-gang report FILE')")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect solver metrics and print the snapshot to "
+                        "stderr on exit")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gang",
@@ -165,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_solve = sub.add_parser("solve", help="solve a configuration analytically")
     _add_system_args(p_solve)
+    _add_obs_args(p_solve)
     p_solve.add_argument("--heavy-traffic", action="store_true",
                          help="heavy-traffic model only (no fixed point)")
     p_solve.set_defaults(func=_cmd_solve)
@@ -184,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kernel selection for assembly and the QBD "
                             "solves (default: auto picks per block by "
                             "size and density)")
+    _add_obs_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_opt = sub.add_parser("optimize",
@@ -195,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="upper bound of the quantum search (default 8)")
     p_opt.add_argument("--tol", type=float, default=0.01,
                        help="relative interval tolerance (default 0.01)")
+    _add_obs_args(p_opt)
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_sim = sub.add_parser("simulate", help="simulate a configuration")
@@ -204,12 +244,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--compare", action="store_true",
                        help="also solve analytically and compare")
+    _add_obs_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_rep = sub.add_parser("report",
+                           help="summarize a --trace file: per-class/"
+                                "per-stage timings and metric rollups")
+    p_rep.add_argument("trace_file", metavar="TRACE",
+                       help="JSONL trace file written by --trace")
+    p_rep.set_defaults(func=_cmd_report)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    collecting = trace_path is not None or want_metrics
+    if collecting:
+        from repro import obs
+        obs.start(trace_path=trace_path)
     try:
         return args.func(args)
     except ReproError as exc:
@@ -220,6 +274,13 @@ def main(argv: list[str] | None = None) -> int:
             raise
         print(f"repro-gang: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if collecting:
+            from repro import obs
+            from repro.obs import render_snapshot
+            snap = obs.stop()
+            if want_metrics:
+                print(render_snapshot(snap), file=sys.stderr)
 
 
 if __name__ == "__main__":

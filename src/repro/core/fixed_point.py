@@ -55,6 +55,8 @@ from repro.core.vacation import (
     heavy_traffic_vacation,
 )
 from repro.errors import UnstableSystemError
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.phasetype import PhaseType
 from repro.pipeline import stages
 from repro.pipeline.cache import ArtifactCache
@@ -166,6 +168,9 @@ class FixedPointResult:
     used_bootstrap: bool = False
     #: Wall-clock seconds per pipeline stage, accumulated over the run.
     timings: dict[str, float] = field(default_factory=dict)
+    #: Hit/miss/eviction counters of the run's artifact cache
+    #: (:meth:`repro.pipeline.cache.ArtifactCache.stats`).
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def iterations(self) -> int:
@@ -218,6 +223,12 @@ def run_fixed_point(config: SystemConfig,
         for the pure Theorem 4.1 model).
     """
     opts = opts or FixedPointOptions()
+    with span("fixed_point", classes=config.num_classes):
+        return _run_fixed_point(config, opts)
+
+
+def _run_fixed_point(config: SystemConfig,
+                     opts: FixedPointOptions) -> FixedPointResult:
     L = config.num_classes
     ctx = SolveContext.create(config, opts)
     vacations = [heavy_traffic_vacation(config, p) for p in range(L)]
@@ -305,7 +316,7 @@ def run_fixed_point(config: SystemConfig,
                             np.asarray(eff[p].S) * (eff[p].mean / target[p]))
                 eff_means_history.clear()
 
-        with ctx.timings.timed("recombine"):
+        with span("stage.recombine", timings=ctx.timings, stage="recombine"):
             vacations = [fixed_point_vacation(config, p, eff)
                          for p in range(L)]
         state = stages.solve_all(ctx, vacations)
@@ -314,4 +325,8 @@ def run_fixed_point(config: SystemConfig,
                 "every class became saturated during the fixed-point "
                 "iteration: the system is over capacity")
     result.timings = ctx.timings.as_dict()
+    result.cache_stats = ctx.cache.stats()
+    metrics.inc("fixed_point.runs", converged=result.converged,
+                bootstrap=result.used_bootstrap)
+    metrics.observe("fixed_point.iterations", result.iterations)
     return result

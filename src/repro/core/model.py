@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.config import SystemConfig
@@ -15,6 +14,7 @@ from repro.core.fixed_point import (
 from repro.core.measures import ClassMeasures, compute_measures
 from repro.core.statespace import ClassStateSpace
 from repro.kernels import resolve_backend
+from repro.obs.trace import StageTimings, span
 from repro.phasetype import PhaseType
 from repro.pipeline.cache import ArtifactCache
 from repro.qbd.stationary import QBDStationaryDistribution
@@ -65,6 +65,10 @@ class SolvedModel:
     #: stability, rsolve, boundary, extract, reduce, recombine,
     #: measures), accumulated over the whole solve.
     timings: dict[str, float] = field(default_factory=dict, compare=False)
+    #: Artifact-cache counters of the solve
+    #: (:meth:`repro.pipeline.cache.ArtifactCache.stats`).  The cache
+    #: lives on the model, so repeated solves see cumulative numbers.
+    cache_stats: dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def iterations(self) -> int:
@@ -188,31 +192,33 @@ resilience, backend:
 
     def _package(self, raw: FixedPointResult) -> SolvedModel:
         classes = []
-        started = time.perf_counter()
-        for p, cls in enumerate(self.config.classes):
-            if raw.solutions[p] is None:
-                measures = ClassMeasures.saturated()
-            else:
-                measures = compute_measures(
-                    raw.spaces[p], raw.solutions[p],
-                    arrival_rate=cls.arrival_rate,
-                    service=cls.service,
+        acc = StageTimings()
+        with span("stage.measures", timings=acc, stage="measures"):
+            for p, cls in enumerate(self.config.classes):
+                if raw.solutions[p] is None:
+                    measures = ClassMeasures.saturated()
+                else:
+                    measures = compute_measures(
+                        raw.spaces[p], raw.solutions[p],
+                        arrival_rate=cls.arrival_rate,
+                        service=cls.service,
+                        vacation=raw.vacations[p],
+                    )
+                classes.append(ClassResult(
+                    name=self.config.class_names[p],
+                    space=raw.spaces[p],
+                    stationary=raw.solutions[p],
                     vacation=raw.vacations[p],
-                )
-            classes.append(ClassResult(
-                name=self.config.class_names[p],
-                space=raw.spaces[p],
-                stationary=raw.solutions[p],
-                vacation=raw.vacations[p],
-                measures=measures,
-            ))
+                    measures=measures,
+                ))
         timings = dict(raw.timings)
         timings["measures"] = (timings.get("measures", 0.0)
-                               + time.perf_counter() - started)
+                               + acc.as_dict().get("measures", 0.0))
         return SolvedModel(
             config=self.config,
             classes=tuple(classes),
             history=tuple(raw.history),
             converged=raw.converged,
             timings=timings,
+            cache_stats=self._cache.stats(),
         )

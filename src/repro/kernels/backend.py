@@ -27,6 +27,7 @@ Kronecker assembly) picks the same way.  Callers thread a user-facing
 from __future__ import annotations
 
 from repro.errors import ValidationError
+from repro.obs import metrics
 
 __all__ = [
     "BACKENDS",
@@ -73,6 +74,7 @@ def select_backend(backend: str | None, size: int,
                    size_threshold: int = SPARSE_SIZE_THRESHOLD,
                    min_size: int = SPARSE_MIN_SIZE,
                    density_threshold: float = SPARSE_DENSITY_THRESHOLD,
+                   site: str | None = None,
                    ) -> str:
     """Decide ``"dense"`` or ``"sparse"`` for one operand.
 
@@ -89,6 +91,11 @@ def select_backend(backend: str | None, size: int,
         ``None`` skips the density test (structural sparsity is
         guaranteed by construction for the QBD systems, whose density
         decays like ``1/levels``).
+    site:
+        Optional instrumentation label; decisions made with a site are
+        counted as ``backend.selected{choice, site}`` in the metrics
+        registry (purely-advisory probes pass no site and stay
+        uncounted).
 
     Returns
     -------
@@ -97,13 +104,17 @@ def select_backend(backend: str | None, size: int,
     """
     mode = resolve_backend(backend)
     if mode == DENSE:
-        return DENSE
-    if size < min_size:
-        return DENSE
-    if mode == SPARSE:
-        return SPARSE
-    if size < size_threshold:
-        return DENSE
-    if density is not None and density > density_threshold:
-        return DENSE
-    return SPARSE
+        choice = DENSE
+    elif size < min_size:
+        choice = DENSE
+    elif mode == SPARSE:
+        choice = SPARSE
+    elif size < size_threshold:
+        choice = DENSE
+    elif density is not None and density > density_threshold:
+        choice = DENSE
+    else:
+        choice = SPARSE
+    if site is not None:
+        metrics.inc("backend.selected", choice=choice, site=site)
+    return choice

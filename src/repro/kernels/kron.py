@@ -24,6 +24,8 @@ import numpy as np
 from scipy import sparse as _sp
 from scipy.sparse import linalg as _spla
 
+from repro.obs import metrics
+
 __all__ = ["kron2", "KronSumOperator", "solve_sylvester"]
 
 
@@ -116,9 +118,23 @@ def solve_sylvester(R: np.ndarray, M1: np.ndarray, A2: np.ndarray,
     if rhs_norm == 0.0:
         return np.zeros((d, d))
     rtol = max(min(tol, 1e-8), 1e-12)
+    callback = None
+    if metrics.enabled():
+        # Count matvecs (≈ inner GMRES iterations); the callback is
+        # only installed when the registry is armed, so the disabled
+        # path hands scipy a plain None.
+        iters = [0]
+
+        def callback(_):
+            iters[0] += 1
+
     h, info = _spla.gmres(op, rhs, rtol=rtol, atol=0.0,
                           maxiter=maxiter if maxiter is not None else 50,
-                          restart=min(d * d, 100))
+                          restart=min(d * d, 100),
+                          callback=callback, callback_type="pr_norm")
+    if callback is not None:
+        metrics.inc("gmres.solves", converged=info == 0)
+        metrics.observe("gmres.iterations", iters[0])
     if info != 0 or not np.all(np.isfinite(h)):
         return None
     return h.reshape(d, d)

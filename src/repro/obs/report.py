@@ -1,0 +1,226 @@
+"""Summarize a trace file into a human-readable run report.
+
+``repro report out.jsonl`` (and :func:`summarize_trace` behind it)
+reduces the raw event stream written by :mod:`repro.obs.trace` to:
+
+* a **per-class, per-stage table** of wall-clock seconds — every
+  ``stage.*`` span grouped by its ``klass`` attribute (spans with no
+  class, e.g. ``recombine``, land in the ``-`` column).  The stage
+  totals reproduce ``FixedPointResult.timings`` because both are fed
+  from the same clock window;
+* **span rollups** — count / total wall / total CPU per span name
+  (``sweep.point``, ``fixed_point``...);
+* a **metrics rollup** — every ``"metrics"`` record in the file
+  (the close-time snapshot plus one per parallel-sweep worker point)
+  merged with :func:`repro.obs.metrics.merge_snapshots`: cache
+  hits/misses/evictions, backend decisions, fallback attempts,
+  R-solve iterations, GMRES iterations, dense boundary fallbacks,
+  fault injections, checkpoint writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import merge_snapshots, render_snapshot
+
+__all__ = ["TraceSummary", "load_trace", "summarize_trace",
+           "render_report"]
+
+#: Prefix of the spans that form the per-class/per-stage table.
+STAGE_PREFIX = "stage."
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one trace file."""
+
+    path: str
+    events: int = 0
+    #: Distinct pids that wrote into the file (1 + worker count).
+    pids: set = field(default_factory=set)
+    #: ``(stage, klass)`` -> accumulated wall seconds; ``klass`` is the
+    #: span's ``klass`` attribute or ``None``.
+    stage_seconds: dict = field(default_factory=dict)
+    #: ``(stage, klass)`` -> span count.
+    stage_counts: dict = field(default_factory=dict)
+    #: span name -> ``{"count": n, "wall": s, "cpu": s}`` (all spans,
+    #: including the stage ones).
+    spans: dict = field(default_factory=dict)
+    #: Merged metrics rollup (see :func:`repro.obs.metrics.merge_snapshots`).
+    metrics: dict = field(default_factory=dict)
+    #: ``B`` events with no matching ``E`` (crash mid-span).
+    unclosed: int = 0
+
+    @property
+    def stages(self) -> list[str]:
+        """Stage names in first-seen order."""
+        seen: list[str] = []
+        for stage, _ in self.stage_seconds:
+            if stage not in seen:
+                seen.append(stage)
+        return seen
+
+    @property
+    def classes(self) -> list:
+        """Class labels in sorted order (``None`` last)."""
+        ks = {k for _, k in self.stage_seconds}
+        return sorted((k for k in ks if k is not None),
+                      key=lambda k: (not isinstance(k, int), k)) \
+            + ([None] if None in ks else [])
+
+    def stage_total(self, stage: str) -> float:
+        """Total wall seconds of one stage across every class."""
+        return sum(v for (s, _), v in self.stage_seconds.items()
+                   if s == stage)
+
+    def stage_totals(self) -> dict[str, float]:
+        """``stage -> total wall seconds`` — comparable to
+        ``FixedPointResult.timings``."""
+        return {stage: self.stage_total(stage) for stage in self.stages}
+
+
+def load_trace(path: str | os.PathLike) -> list[dict]:
+    """Parse a trace JSONL file into a list of event dicts.
+
+    A corrupt *trailing* line (crash mid-write) is dropped; corruption
+    anywhere else raises ``ValueError``.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    events: list[dict] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break
+            raise ValueError(
+                f"corrupt trace {path}: unparseable line {i + 1}") from None
+    return events
+
+
+def summarize_trace(path: str | os.PathLike) -> TraceSummary:
+    """Aggregate one trace file into a :class:`TraceSummary`."""
+    events = load_trace(path)
+    summary = TraceSummary(path=os.fspath(path), events=len(events))
+    snapshots: list[dict] = []
+    open_spans: dict[tuple, dict] = {}
+    for ev in events:
+        kind = ev.get("kind")
+        if "pid" in ev:
+            summary.pids.add(ev["pid"])
+        if kind == "B":
+            open_spans[(ev.get("pid"), ev.get("sid"))] = ev
+        elif kind == "E":
+            open_spans.pop((ev.get("pid"), ev.get("sid")), None)
+            name = ev.get("name", "?")
+            wall = float(ev.get("wall", 0.0))
+            cpu = float(ev.get("cpu", 0.0))
+            agg = summary.spans.setdefault(
+                name, {"count": 0, "wall": 0.0, "cpu": 0.0})
+            agg["count"] += 1
+            agg["wall"] += wall
+            agg["cpu"] += cpu
+            if name.startswith(STAGE_PREFIX):
+                stage = name[len(STAGE_PREFIX):]
+                klass = (ev.get("attrs") or {}).get("klass")
+                key = (stage, klass)
+                summary.stage_seconds[key] = (
+                    summary.stage_seconds.get(key, 0.0) + wall)
+                summary.stage_counts[key] = (
+                    summary.stage_counts.get(key, 0) + 1)
+        elif kind == "metrics":
+            snapshots.append(ev)
+    summary.unclosed = len(open_spans)
+    summary.metrics = merge_snapshots(snapshots)
+    return summary
+
+
+def _rollup_section(summary: TraceSummary, title: str,
+                    prefixes: tuple[str, ...]) -> list[str]:
+    """Render the metric series matching ``prefixes`` under a heading."""
+    snap = summary.metrics
+    sub = {
+        "counters": {k: v for k, v in (snap.get("counters") or {}).items()
+                     if k.startswith(prefixes)},
+        "gauges": {k: v for k, v in (snap.get("gauges") or {}).items()
+                   if k.startswith(prefixes)},
+        "histograms": {k: v
+                       for k, v in (snap.get("histograms") or {}).items()
+                       if k.startswith(prefixes)},
+    }
+    if not (sub["counters"] or sub["gauges"] or sub["histograms"]):
+        return []
+    return [f"{title}:", render_snapshot(sub, indent="  "), ""]
+
+
+def render_report(summary: TraceSummary) -> str:
+    """The full text report of ``repro report``."""
+    lines = [f"trace: {summary.path}",
+             f"  {summary.events} event(s) from {len(summary.pids)} "
+             f"process(es)"
+             + (f", {summary.unclosed} unclosed span(s)"
+                if summary.unclosed else ""),
+             ""]
+
+    classes = summary.classes
+    stages = summary.stages
+    if stages:
+        width = 12
+        headers = ["stage"] + [
+            ("-" if k is None else f"class{k}") for k in classes] + ["total"]
+        lines.append("per-class, per-stage wall seconds:")
+        lines.append("".join(f"{h:>{width}}" for h in headers))
+        lines.append("-" * (width * len(headers)))
+        for stage in stages:
+            row = [stage]
+            for k in classes:
+                v = summary.stage_seconds.get((stage, k))
+                row.append("" if v is None else f"{v:.4f}")
+            row.append(f"{summary.stage_total(stage):.4f}")
+            lines.append("".join(f"{c:>{width}}" for c in row))
+        total = sum(summary.stage_total(stage) for stage in stages)
+        lines.append("".join(
+            f"{c:>{width}}"
+            for c in ["total"] + [""] * len(classes) + [f"{total:.4f}"]))
+        lines.append("")
+
+    other = {n: agg for n, agg in summary.spans.items()
+             if not n.startswith(STAGE_PREFIX)}
+    if other:
+        lines.append("spans:")
+        for name in sorted(other):
+            agg = other[name]
+            lines.append(f"  {name}: count={agg['count']} "
+                         f"wall={agg['wall']:.4f}s cpu={agg['cpu']:.4f}s")
+        lines.append("")
+
+    lines += _rollup_section(summary, "cache", ("cache.",))
+    lines += _rollup_section(summary, "backend", ("backend.",))
+    lines += _rollup_section(
+        summary, "solver", ("rsolve.", "fallback.", "gmres.", "boundary.",
+                            "fixed_point."))
+    lines += _rollup_section(
+        summary, "resilience", ("faults.", "checkpoint.", "sweep."))
+    remaining_prefixes = ("cache.", "backend.", "rsolve.", "fallback.",
+                          "gmres.", "boundary.", "fixed_point.", "faults.",
+                          "checkpoint.", "sweep.")
+    snap = summary.metrics
+    leftovers = {
+        "counters": {k: v for k, v in (snap.get("counters") or {}).items()
+                     if not k.startswith(remaining_prefixes)},
+        "gauges": {k: v for k, v in (snap.get("gauges") or {}).items()
+                   if not k.startswith(remaining_prefixes)},
+        "histograms": {k: v for k, v in (snap.get("histograms") or {}).items()
+                       if not k.startswith(remaining_prefixes)},
+    }
+    if leftovers["counters"] or leftovers["gauges"] or leftovers["histograms"]:
+        lines.append("other metrics:")
+        lines.append(render_snapshot(leftovers, indent="  "))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

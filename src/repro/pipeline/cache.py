@@ -23,6 +23,7 @@ import hashlib
 from collections import OrderedDict
 
 from repro.kernels.sparse import block_bytes
+from repro.obs import metrics
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
 
@@ -45,6 +46,7 @@ class ArtifactCache:
         self._entries: OrderedDict[str, QBDStationaryDistribution] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,9 +81,11 @@ class ArtifactCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            metrics.inc("cache.misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        metrics.inc("cache.hits")
         return entry
 
     def put(self, key: str, value: QBDStationaryDistribution) -> None:
@@ -89,8 +93,15 @@ class ArtifactCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            metrics.inc("cache.evictions")
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters plus current size (for reports and tests)."""
+        """Hit/miss/eviction counters plus current size.
+
+        Surfaced as ``FixedPointResult.cache_stats`` /
+        ``SolvedModel.cache_stats`` after every solve.
+        """
         return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries)}

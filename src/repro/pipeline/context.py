@@ -11,14 +11,13 @@ bundled in a :class:`SolveContext` created once per fixed-point run.
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import SystemConfig
 from repro.core.statespace import ClassStateSpace
+from repro.obs.trace import StageTimings
 from repro.phasetype import PhaseType
 from repro.pipeline.assembly import AssemblyWorkspace
 from repro.pipeline.cache import ArtifactCache
@@ -26,29 +25,10 @@ from repro.pipeline.extract import ExtractionWorkspace
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
 
+# ``StageTimings`` moved to :mod:`repro.obs.trace` with the
+# observability layer (the pipeline stages now feed it through obs
+# spans); re-exported here for compatibility.
 __all__ = ["ClassArtifacts", "SolveContext", "StageTimings"]
-
-
-class StageTimings:
-    """Wall-clock seconds accumulated per pipeline stage."""
-
-    def __init__(self):
-        self._seconds: dict[str, float] = {}
-
-    @contextmanager
-    def timed(self, stage: str):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self._seconds[stage] = (self._seconds.get(stage, 0.0)
-                                    + time.perf_counter() - start)
-
-    def add(self, stage: str, seconds: float) -> None:
-        self._seconds[stage] = self._seconds.get(stage, 0.0) + seconds
-
-    def as_dict(self) -> dict[str, float]:
-        return dict(self._seconds)
 
 
 @dataclass

@@ -17,6 +17,14 @@ The stages fold in the pipeline's three per-iteration wins:
 ``opts.reuse_artifacts=False`` routes assembly and extraction through
 the reference implementations, and ``opts.warm_start=False`` drops the
 seeding — together they reproduce the legacy solve path exactly.
+
+Every stage runs under an observability span (``stage.assemble``,
+``stage.stability``, ``stage.rsolve``, ``stage.boundary``,
+``stage.extract``, ``stage.reduce``; see :mod:`repro.obs`) tagged with
+the class index.  The spans feed ``ctx.timings`` from the same clock
+window they trace, so ``FixedPointResult.timings`` is a view over the
+trace — and with tracing disabled they degrade to the bare wall-clock
+accumulation.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 from repro.core.generator import build_class_qbd
 from repro.core.vacation import effective_quantum, reduce_order
 from repro.errors import UnstableSystemError
+from repro.obs.trace import span
 from repro.phasetype import PhaseType
 from repro.pipeline.assembly import build_class_qbd_fast
 from repro.pipeline.cache import ArtifactCache
@@ -46,7 +55,8 @@ def assemble_class(ctx: SolveContext, p: int, vacation: PhaseType) -> None:
     """Build class ``p``'s QBD for the current vacation."""
     cls = ctx.config.classes[p]
     art = ctx.classes[p]
-    with ctx.timings.timed("assemble"):
+    with span("stage.assemble", timings=ctx.timings, stage="assemble",
+              klass=p):
         if getattr(ctx.opts, "reuse_artifacts", True):
             process, space, art.assembly = build_class_qbd_fast(
                 ctx.config.partitions(p), cls.arrival, cls.service,
@@ -75,7 +85,8 @@ def solve_class(ctx: SolveContext, p: int) -> QBDStationaryDistribution:
     art = ctx.classes[p]
     process = art.process
     maybe_fault("qbd.solve")
-    with ctx.timings.timed("stability"):
+    with span("stage.stability", timings=ctx.timings, stage="stability",
+              klass=p):
         report = drift(process.A0, process.A1, process.A2)
     if not report.stable:
         raise UnstableSystemError(
@@ -92,7 +103,8 @@ def solve_class(ctx: SolveContext, p: int) -> QBDStationaryDistribution:
         art.solution, art.R = cached, cached.R
         return cached
     R0 = art.R if getattr(opts, "warm_start", True) else None
-    with ctx.timings.timed("rsolve"):
+    with span("stage.rsolve", timings=ctx.timings, stage="rsolve",
+              klass=p):
         if opts.resilience is None:
             R = solve_R(process.A0, process.A1, process.A2,
                         method=opts.rmatrix_method, tol=_R_TOL, R0=R0,
@@ -103,7 +115,8 @@ def solve_class(ctx: SolveContext, p: int) -> QBDStationaryDistribution:
                 process.A0, process.A1, process.A2,
                 method=opts.rmatrix_method, tol=_R_TOL,
                 policy=opts.resilience, R0=R0, backend=backend)
-    with ctx.timings.timed("boundary"):
+    with span("stage.boundary", timings=ctx.timings, stage="boundary",
+              klass=p):
         pi = solve_boundary(process, R, backend=backend)
     sol = QBDStationaryDistribution(boundary_pi=tuple(pi), R=R,
                                     drift_report=report,
@@ -117,7 +130,8 @@ def extract_class(ctx: SolveContext, p: int) -> PhaseType:
     """Effective quantum of (stable, solved) class ``p``, order-reduced."""
     opts = ctx.opts
     art = ctx.classes[p]
-    with ctx.timings.timed("extract"):
+    with span("stage.extract", timings=ctx.timings, stage="extract",
+              klass=p):
         if getattr(opts, "reuse_artifacts", True):
             raw = extract_effective_quantum(
                 art.space, art.process, art.solution, art.vacation,
@@ -131,7 +145,8 @@ def extract_class(ctx: SolveContext, p: int) -> PhaseType:
                 truncation_mass=opts.truncation_mass,
                 max_levels=opts.max_truncation_levels,
             )
-    with ctx.timings.timed("reduce"):
+    with span("stage.reduce", timings=ctx.timings, stage="reduce",
+              klass=p):
         return reduce_order(raw, opts.reduction,
                             backend=getattr(opts, "backend", None))
 

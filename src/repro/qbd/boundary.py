@@ -35,6 +35,7 @@ from repro.kernels import (
     solve_boundary_blocktridiag,
     to_dense,
 )
+from repro.obs import metrics
 from repro.qbd.structure import QBDProcess
 
 __all__ = ["solve_boundary"]
@@ -72,11 +73,16 @@ def solve_boundary(process: QBDProcess, R: np.ndarray, *,
     if R.shape != (d, d):
         raise ValidationError(f"R must be {d}x{d}, got {R.shape}")
 
-    if b >= 1 and select_backend(backend, n) == "sparse":
+    if b >= 1 and select_backend(backend, n, site="boundary") == "sparse":
         try:
-            return solve_boundary_blocktridiag(process, R, backend=backend)
+            pi = solve_boundary_blocktridiag(process, R, backend=backend)
+            metrics.inc("boundary.solves", path="blocktridiag")
+            return pi
         except ConvergenceError:
-            pass  # degenerate elimination: the dense path handles it
+            # Degenerate elimination: the dense path handles it.
+            metrics.inc("boundary.dense_fallbacks")
+
+    metrics.inc("boundary.solves", path="dense")
 
     # Column-block assembly of x M = 0 where x = [pi_0 ... pi_b].
     M = np.zeros((n, n))

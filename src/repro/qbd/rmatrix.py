@@ -50,24 +50,65 @@ seed and one or two Newton steps replace a full reduction.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 from scipy import linalg as _sla
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.kernels import select_backend
 from repro.kernels.kron import solve_sylvester
+from repro.obs import metrics
 from repro.resilience.faults import maybe_corrupt, maybe_fault
 
-__all__ = ["solve_R", "solve_G", "r_from_g", "refine_R", "METHODS"]
+__all__ = ["solve_R", "solve_G", "r_from_g", "refine_R", "METHODS",
+           "RSolveDiagnostics"]
 
 METHODS = ("logreduction", "cr", "substitution", "spectral")
+
+
+@dataclass(frozen=True)
+class RSolveDiagnostics:
+    """Diagnostics of one *successful* ``R`` solve.
+
+    Historically only :class:`~repro.errors.ConvergenceError` carried
+    iteration counts and residuals — a solve that worked discarded
+    them.  ``solve_R(..., return_info=True)`` now returns them on the
+    success path too (and every solve feeds them to the
+    :mod:`repro.obs.metrics` registry when collection is on).
+
+    Attributes
+    ----------
+    method:
+        The algorithm that produced ``R``.
+    iterations:
+        Iterations the winning path used: substitution steps, doubling
+        steps for the reduction methods, Newton steps when a warm
+        start was refined, ``0`` for the non-iterative spectral solve.
+    residual:
+        Quadratic residual ``max|R^2 A2 + R A1 + A0|`` of the returned
+        ``R``.
+    refined:
+        ``True`` when the result came from the warm-start Newton
+        refinement (:func:`refine_R`) rather than the cold algorithm.
+    """
+
+    method: str
+    iterations: int
+    residual: float
+    refined: bool = False
+
+
+def _quad_residual(R, A0, A1, A2) -> float:
+    return float(np.max(np.abs(R @ R @ A2 + R @ A1 + A0)))
 
 
 def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
             method: str = "logreduction", tol: float = 1e-12,
             max_iter: int = 100_000,
             R0: np.ndarray | None = None,
-            backend: str | None = None) -> np.ndarray:
+            backend: str | None = None,
+            return_info: bool = False):
     """Minimal non-negative solution of ``R^2 A2 + R A1 + A0 = 0``.
 
     Parameters
@@ -97,6 +138,10 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
         variant: the matrix-free Newton correction for large phase
         dimensions).  The cold algorithms are dense ``d x d`` BLAS
         regardless.
+    return_info:
+        When ``True``, return ``(R, RSolveDiagnostics)`` instead of
+        ``R`` alone — iteration count and final residual survive the
+        success path.
     """
     A0 = np.asarray(A0, dtype=np.float64)
     A1 = np.asarray(A1, dtype=np.float64)
@@ -109,27 +154,48 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
         R0 = np.asarray(R0, dtype=np.float64)
         if R0.shape != A1.shape or not np.all(np.isfinite(R0)):
             R0 = None
+    R = None
+    iterations = 0
+    refined = False
     if method == "substitution":
-        R = _solve_r_substitution(A0, A1, A2, tol=tol, max_iter=max_iter,
-                                  R0=R0)
-        return maybe_corrupt("rmatrix.result", R, key=method)
-    if R0 is not None:
-        R = refine_R(A0, A1, A2, R0, tol=tol, backend=backend)
-        if R is not None:
-            return maybe_corrupt("rmatrix.result", R, key=method)
-    if method == "logreduction":
-        G = solve_G(A0, A1, A2, tol=tol, max_iter=max_iter)
-    elif method == "cr":
-        G = _solve_g_cr(A0, A1, A2, tol=tol, max_iter=max_iter)
-    else:  # spectral
-        G = _solve_g_spectral(A0, A1, A2, tol=tol)
-    R = r_from_g(A0, A1, G)
-    return maybe_corrupt("rmatrix.result", R, key=method)
+        R, iterations = _solve_r_substitution(A0, A1, A2, tol=tol,
+                                              max_iter=max_iter, R0=R0)
+    else:
+        if R0 is not None:
+            warm = refine_R(A0, A1, A2, R0, tol=tol, backend=backend,
+                            return_info=True)
+            if warm is not None:
+                R, iterations = warm
+                refined = True
+        if R is None:
+            if method == "logreduction":
+                G, iterations = solve_G(A0, A1, A2, tol=tol,
+                                        max_iter=max_iter, return_info=True)
+            elif method == "cr":
+                G, iterations = _solve_g_cr(A0, A1, A2, tol=tol,
+                                            max_iter=max_iter)
+            else:  # spectral: non-iterative
+                G = _solve_g_spectral(A0, A1, A2, tol=tol)
+                iterations = 0
+            R = r_from_g(A0, A1, G)
+    info = None
+    if return_info or metrics.enabled():
+        residual = _quad_residual(R, A0, A1, A2)
+        info = RSolveDiagnostics(method=method, iterations=int(iterations),
+                                 residual=residual, refined=refined)
+        metrics.inc("rsolve.solves", method=method, refined=refined)
+        metrics.observe("rsolve.iterations", iterations, method=method)
+        metrics.observe("rsolve.residual", residual, method=method)
+    R = maybe_corrupt("rmatrix.result", R, key=method)
+    if return_info:
+        return R, info
+    return R
 
 
 def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
              max_steps: int = 8,
-             backend: str | None = None) -> np.ndarray | None:
+             backend: str | None = None,
+             return_info: bool = False):
     """Newton refinement of a warm-start iterate for ``R``.
 
     Newton's method on ``F(R) = A0 + R A1 + R^2 A2``: the Fréchet
@@ -148,7 +214,9 @@ def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
     refinement fails to converge (the caller falls back to a cold
     solve) — this is an opportunistic accelerator, never an error
     source.  It is intentionally *not* part of :data:`METHODS`: it
-    cannot solve from scratch.
+    cannot solve from scratch.  With ``return_info=True`` a successful
+    refinement returns ``(R, newton_steps)`` instead (failures are
+    still ``None``).
     """
     A0 = np.asarray(A0, dtype=np.float64)
     A1 = np.asarray(A1, dtype=np.float64)
@@ -164,6 +232,7 @@ def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
     target = max(tol, 1e-14) * scale
     I = np.eye(d)
     prev_resid = np.inf
+    steps = 0
     for _ in range(max_steps):
         F = A0 + R @ A1 + R @ R @ A2
         resid = float(np.max(np.abs(F)))
@@ -174,6 +243,7 @@ def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
         if resid >= prev_resid:  # diverging: the seed was too far off
             return None
         prev_resid = resid
+        steps += 1
         if matrix_free:
             H = solve_sylvester(R, A1 + R @ A2, A2, F, tol=tol)
             if H is None:
@@ -203,11 +273,14 @@ def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
     sp = float(np.max(np.abs(np.linalg.eigvals(R))))
     if sp >= 1.0:
         return None
+    if return_info:
+        return R, steps
     return R
 
 
 def _solve_r_substitution(A0, A1, A2, *, tol: float, max_iter: int,
-                          R0: np.ndarray | None = None) -> np.ndarray:
+                          R0: np.ndarray | None = None,
+                          ) -> tuple[np.ndarray, int]:
     neg_A1_inv = np.linalg.inv(-A1)
     if R0 is None:
         R = A0 @ neg_A1_inv  # first substitution step from R=0
@@ -218,7 +291,7 @@ def _solve_r_substitution(A0, A1, A2, *, tol: float, max_iter: int,
         delta = float(np.max(np.abs(R_next - R)))
         R = R_next
         if delta < tol:
-            return R
+            return R, it
     raise ConvergenceError(
         "successive substitution for R did not converge "
         "(the QBD may be unstable)", iterations=max_iter, residual=delta,
@@ -226,13 +299,15 @@ def _solve_r_substitution(A0, A1, A2, *, tol: float, max_iter: int,
 
 
 def solve_G(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
-            tol: float = 1e-12, max_iter: int = 64) -> np.ndarray:
+            tol: float = 1e-12, max_iter: int = 64,
+            return_info: bool = False):
     """Minimal non-negative solution of ``A0 G^2 + A1 G + A2 = 0``.
 
     Uses logarithmic reduction on the uniformized QBD.  For a positive
     recurrent process ``G`` is stochastic; convergence is quadratic, so
     ``max_iter`` counts *doubling* steps (64 covers any practical
     case — the residual after ``k`` steps is order ``xi^(2^k)``).
+    With ``return_info=True`` returns ``(G, doubling_steps)``.
     """
     D0, D1, D2 = _uniformized_blocks(A0, A1, A2)
     d = D1.shape[0]
@@ -261,7 +336,10 @@ def solve_G(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
             "logarithmic reduction did not converge (unstable QBD?)",
             iterations=max_iter, residual=max(defect, correction),
         )
-    return np.clip(G, 0.0, None)
+    G = np.clip(G, 0.0, None)
+    if return_info:
+        return G, it
+    return G
 
 
 def _uniformized_blocks(A0, A1, A2) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -276,7 +354,8 @@ def _uniformized_blocks(A0, A1, A2) -> tuple[np.ndarray, np.ndarray, np.ndarray]
     return A0 / rate, A1 / rate + np.eye(A1.shape[0]), A2 / rate
 
 
-def _solve_g_cr(A0, A1, A2, *, tol: float, max_iter: int = 64) -> np.ndarray:
+def _solve_g_cr(A0, A1, A2, *, tol: float,
+                max_iter: int = 64) -> tuple[np.ndarray, int]:
     """Bini–Meini cyclic reduction for ``G`` on the uniformized QBD.
 
     With discrete blocks ``(up, local, down) = (D0, D1, D2)`` the
@@ -309,7 +388,7 @@ def _solve_g_cr(A0, A1, A2, *, tol: float, max_iter: int = 64) -> np.ndarray:
             iterations=max_iter, residual=correction,
         )
     G = np.linalg.solve(I - local_hat, D2)
-    return np.clip(G, 0.0, None)
+    return np.clip(G, 0.0, None), it
 
 
 def _solve_g_spectral(A0, A1, A2, *, tol: float) -> np.ndarray:

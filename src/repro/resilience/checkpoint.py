@@ -25,6 +25,7 @@ import os
 from pathlib import Path
 
 from repro.errors import CheckpointError
+from repro.obs import metrics
 
 __all__ = ["SweepJournal"]
 
@@ -118,6 +119,7 @@ class SweepJournal:
     def append(self, record: dict) -> None:
         """Durably append one completed-point record."""
         self._append_line(record)
+        metrics.inc("checkpoint.appends")
 
     def _append_line(self, obj: dict) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -37,7 +37,7 @@ attempt history attached as ``exc.report``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.errors import (
     SolverBudgetExceededError,
     ValidationError,
 )
+from repro.obs import metrics
 
 __all__ = ["RetryPolicy", "ResiliencePolicy", "AttemptRecord", "SolveReport",
            "DEFAULT_POLICY", "default_chain", "resilient_solve_R"]
@@ -130,6 +131,15 @@ class AttemptRecord:
                 f"{bk}]"
                 f" -> {self.outcome}{detail}")
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttemptRecord":
+        # Tolerate records written before ``backend`` existed.
+        return cls(**{f: data.get(f, None) for f in cls.__dataclass_fields__})
+
 
 @dataclass
 class SolveReport:
@@ -165,6 +175,17 @@ class SolveReport:
                 f"({len(self.attempts)} attempt(s), "
                 f"{self.total_elapsed:.3g}s)")
         return "\n".join([head] + ["  " + a.describe() for a in self.attempts])
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips via :meth:`from_dict`)."""
+        return {"method": self.method,
+                "attempts": [a.to_dict() for a in self.attempts]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolveReport":
+        return cls(method=data.get("method"),
+                   attempts=[AttemptRecord.from_dict(a)
+                             for a in data.get("attempts", [])])
 
 
 def default_chain(method: str = "logreduction") -> tuple[str, ...]:
@@ -296,8 +317,9 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
                 A1_eff = A1 - regularization * scale * np.eye(A1.shape[0])
             t_attempt = time.monotonic()
             try:
-                R = solve_R(A0, A1_eff, A2, method=m, tol=attempt_tol,
-                            max_iter=max_iter, R0=R0, backend=cur_backend)
+                R, info = solve_R(A0, A1_eff, A2, method=m, tol=attempt_tol,
+                                  max_iter=max_iter, R0=R0,
+                                  backend=cur_backend, return_info=True)
             except (ConvergenceError, np.linalg.LinAlgError) as exc:
                 elapsed = time.monotonic() - t_attempt
                 iters = getattr(exc, "iterations", None)
@@ -312,11 +334,13 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
                     error=f"{type(exc).__name__}: {exc}",
                     iterations=iters, residual=resid, elapsed=elapsed,
                     backend=cur_backend))
+                metrics.inc("fallback.attempts", method=m, outcome="error")
                 attempt += 1
                 if _sparse_active(cur_backend):
                     # Sparse-path failure: fall back to the dense chain
                     # without touching the tolerance schedule.
                     cur_backend = "dense"
+                    metrics.inc("fallback.backend_downgrades", method=m)
                     continue
                 # Ran out of steam: relax the tolerance, add a tiny
                 # killing rate to break near-singularity.
@@ -328,30 +352,39 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
             reason = _validate_R(R, A0, A1, A2,
                                  threshold=policy.acceptance_residual)
             if reason is None:
+                # Validate against the *unregularized* blocks; the
+                # solver's own diagnostics supply the iteration count
+                # that used to be discarded on success.
                 report.attempts.append(AttemptRecord(
                     method=m, attempt=attempt, tol=attempt_tol,
                     regularization=regularization, outcome="ok", error=None,
-                    iterations=None, residual=float(np.max(np.abs(
+                    iterations=info.iterations, residual=float(np.max(np.abs(
                         R @ R @ A2 + R @ A1 + A0))), elapsed=elapsed,
                     backend=cur_backend))
+                metrics.inc("fallback.attempts", method=m, outcome="ok")
+                metrics.inc("fallback.solves", status="ok",
+                            fallback=attempt > 0 or m != chain[0])
                 report.method = m
                 return np.clip(R, 0.0, None), report
             iterations_used += _method_max_iter(m) if m != "spectral" else 1
             report.attempts.append(AttemptRecord(
                 method=m, attempt=attempt, tol=attempt_tol,
                 regularization=regularization, outcome="invalid",
-                error=reason, iterations=None, residual=None,
-                elapsed=elapsed, backend=cur_backend))
+                error=reason, iterations=info.iterations,
+                residual=info.residual, elapsed=elapsed, backend=cur_backend))
+            metrics.inc("fallback.attempts", method=m, outcome="invalid")
             attempt += 1
             if _sparse_active(cur_backend):
                 # A sparse-path attempt produced a bad answer: retry
                 # dense before blaming the tolerance.
                 cur_backend = "dense"
+                metrics.inc("fallback.backend_downgrades", method=m)
                 continue
             # Converged to a bad answer: tighten, drop regularization.
             attempt_tol *= retry.tol_tighten
             regularization = 0.0
 
+    metrics.inc("fallback.solves", status="failed")
     exc = ConvergenceError(
         f"every R-matrix method failed ({len(report.attempts)} attempts "
         f"over chain {chain}); last: {report.attempts[-1].describe()}",

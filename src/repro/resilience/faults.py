@@ -59,6 +59,8 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from repro.obs import metrics
+
 __all__ = ["FaultSpec", "arm", "disarm", "inject", "active",
            "maybe_fault", "maybe_corrupt", "spec_for"]
 
@@ -191,6 +193,7 @@ def maybe_fault(site: str, key: Any = None) -> None:
     spec.seen += 1
     if spec._should_fire():
         spec.fired += 1
+        metrics.inc("faults.fired", site=site, kind="raise")
         raise spec._exception()
 
 
@@ -204,5 +207,6 @@ def maybe_corrupt(site: str, value: Any, key: Any = None) -> Any:
     spec.seen += 1
     if spec._should_fire():
         spec.fired += 1
+        metrics.inc("faults.fired", site=site, kind="corrupt")
         return spec._corrupted(value)
     return value

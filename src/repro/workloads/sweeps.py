@@ -35,6 +35,9 @@ from dataclasses import dataclass, field
 
 from repro.core.config import SystemConfig
 from repro.core.model import GangSchedulingModel
+from repro.obs import metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import span
 from repro.resilience.checkpoint import SweepJournal
 from repro.resilience.faults import maybe_fault
 
@@ -116,32 +119,71 @@ def _point_from_record(rec: dict) -> SweepPoint:
     )
 
 
+def _worker_obs_begin(obs_cfg: tuple | None):
+    """Arm per-worker collectors inside a pool process.
+
+    ``obs_cfg`` is ``(parent_trace_path | None, collect_metrics)``.
+    The worker writes spans to its own ``<base>.w<pid>`` sibling file
+    (merged into the parent trace after the pool joins) and starts
+    every point from a clean metrics registry so the per-point
+    snapshots it embeds in the trace stay disjoint.
+    """
+    if obs_cfg is None:
+        return None
+    base, collect = obs_cfg
+    tracer = obs_trace.ensure_worker_tracer(base) if base is not None else None
+    if collect:
+        metrics.reset()
+        metrics.enable()
+    return tracer
+
+
+def _worker_obs_end(obs_cfg: tuple | None, tracer, value: float) -> None:
+    """Flush one point's metrics snapshot into the worker trace file."""
+    if obs_cfg is None or not obs_cfg[1]:
+        return
+    snap = metrics.snapshot()
+    metrics.reset()
+    if tracer is not None and (snap.get("counters") or snap.get("gauges")
+                               or snap.get("histograms")):
+        tracer.emit({"kind": "metrics", "pid": os.getpid(), "scope": "point",
+                     "value": value, **snap})
+
+
 def _solve_point(v: float, config: SystemConfig, heavy_traffic_only: bool,
                  model_kwargs: dict | None, solve_kwargs: dict | None,
-                 raise_errors: bool = False) -> SweepPoint:
+                 raise_errors: bool = False,
+                 obs_cfg: tuple | None = None) -> SweepPoint:
     """Solve one grid point; errors become error-points by default.
 
     Module-level (and closure-free) so it pickles into worker
     processes, where errors must travel back as error-points; the
     serial path passes ``raise_errors=True`` under ``skip_errors=False``
-    so the original exception object propagates.
+    so the original exception object propagates.  ``obs_cfg`` carries
+    the parent's observability state into worker processes (the serial
+    path leaves it ``None`` — the parent's collectors are already
+    armed).
     """
+    tracer = _worker_obs_begin(obs_cfg)
     try:
-        model = GangSchedulingModel(config, **(model_kwargs or {}))
-        solved = model.solve(heavy_traffic_only=heavy_traffic_only,
-                             **(solve_kwargs or {}))
-        return SweepPoint(
-            value=v,
-            mean_jobs=tuple(c.mean_jobs for c in solved.classes),
-            mean_response_time=tuple(c.mean_response_time
-                                     for c in solved.classes),
-            iterations=solved.iterations,
-            converged=solved.converged,
-        )
+        with span("sweep.point", value=v):
+            model = GangSchedulingModel(config, **(model_kwargs or {}))
+            solved = model.solve(heavy_traffic_only=heavy_traffic_only,
+                                 **(solve_kwargs or {}))
+            return SweepPoint(
+                value=v,
+                mean_jobs=tuple(c.mean_jobs for c in solved.classes),
+                mean_response_time=tuple(c.mean_response_time
+                                         for c in solved.classes),
+                iterations=solved.iterations,
+                converged=solved.converged,
+            )
     except Exception as exc:  # noqa: BLE001 - reported per point
         if raise_errors:
             raise
         return _error_point(v, config.class_names, exc)
+    finally:
+        _worker_obs_end(obs_cfg, tracer, v)
 
 
 def _error_point(v: float, names: Sequence[str],
@@ -284,10 +326,17 @@ def sweep(parameter: str, values: Sequence[float],
                 f"value is no longer on the grid; they were ignored",
                 stacklevel=2)
 
+    if resumed:
+        metrics.inc("sweep.points", resumed, status="resumed")
+    if result.stale:
+        metrics.inc("sweep.points", result.stale, status="stale")
+
     def finish(slot: int, point: SweepPoint) -> None:
         if points[slot] is not None:
             return
         points[slot] = point
+        metrics.inc("sweep.points",
+                    status="ok" if point.error is None else "error")
         if point.error is not None and not skip_errors:
             _reraise_point_error(point.error)
         if journal is not None:
@@ -295,14 +344,25 @@ def sweep(parameter: str, values: Sequence[float],
 
     parallel = workers is not None and int(workers) > 1 and len(pending) > 1
     if parallel:
+        # Ship the parent's observability state to the workers: spans
+        # land in per-worker sibling trace files, merged below.
+        tracer = obs_trace.current_tracer()
+        obs_cfg = None
+        if tracer is not None or metrics.enabled():
+            obs_cfg = (os.fspath(tracer.path) if tracer is not None else None,
+                       metrics.enabled())
         try:
             _run_parallel(pending, int(workers), heavy_traffic_only,
-                          model_kwargs, solve_kwargs, skip_errors, finish)
+                          model_kwargs, solve_kwargs, skip_errors, finish,
+                          obs_cfg)
         except OSError:
             # No process support here (restricted sandboxes); the
             # points already journaled above stay journaled, and the
             # serial loop below picks up the unfilled slots.
             parallel = False
+        finally:
+            if tracer is not None:
+                obs_trace.merge_worker_traces(tracer)
     if not parallel:
         for slot, v, config in pending:
             if points[slot] is not None:
@@ -324,7 +384,8 @@ def sweep(parameter: str, values: Sequence[float],
 
 def _run_parallel(pending, workers: int, heavy_traffic_only: bool,
                   model_kwargs: dict | None, solve_kwargs: dict | None,
-                  skip_errors: bool, finish) -> None:
+                  skip_errors: bool, finish,
+                  obs_cfg: tuple | None = None) -> None:
     """Fan the pending points over a process pool.
 
     Fault-injection sites fire in the parent at submission, in grid
@@ -349,7 +410,7 @@ def _run_parallel(pending, workers: int, heavy_traffic_only: bool,
                     continue
                 futures[pool.submit(_solve_point, v, config,
                                     heavy_traffic_only, model_kwargs,
-                                    solve_kwargs)] = slot
+                                    solve_kwargs, False, obs_cfg)] = slot
             for fut in cf.as_completed(futures):
                 finish(futures[fut], fut.result())
         except BaseException:

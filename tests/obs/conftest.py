@@ -1,0 +1,15 @@
+"""Keep the process-global observability state clean between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    yield
+    trace.stop_tracing()
+    metrics.disable()
+    metrics.reset()

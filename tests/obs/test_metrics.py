@@ -1,0 +1,145 @@
+"""Metrics registry: keys, instruments, gating, merging, rendering."""
+
+from __future__ import annotations
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    metric_key,
+    render_snapshot,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("cache.hits", None) == "cache.hits"
+        assert metric_key("cache.hits", {}) == "cache.hits"
+
+    def test_labels_sorted(self):
+        assert metric_key("x", {"b": 2, "a": 1}) == "x{a=1,b=2}"
+
+    def test_non_string_values(self):
+        assert metric_key("x", {"ok": True, "k": 3}) == "x{k=3,ok=True}"
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.inc("c", 2.5)
+        assert reg.snapshot()["counters"] == {"c": 3.5}
+
+    def test_gauge_keeps_last(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", -4.0)
+        assert reg.snapshot()["gauges"] == {"g": -4.0}
+
+    def test_histogram_tracks_count_sum_min_max(self):
+        reg = MetricsRegistry()
+        for v in (3.0, 1.0, 2.0):
+            reg.observe("h", v)
+        assert reg.snapshot()["histograms"]["h"] == {
+            "count": 3.0, "sum": 6.0, "min": 1.0, "max": 3.0}
+
+    def test_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.inc("c", method="a")
+        reg.inc("c", method="b")
+        assert reg.snapshot()["counters"] == {
+            "c{method=a}": 1.0, "c{method=b}": 1.0}
+
+    def test_reset_and_len(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1)
+        assert len(reg) == 3
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        snap = reg.snapshot()
+        snap["counters"]["c"] = 99.0
+        assert reg.snapshot()["counters"]["c"] == 1.0
+
+
+class TestGlobalGating:
+    def test_disabled_helpers_record_nothing(self):
+        metrics.reset()
+        assert not metrics.enabled()
+        metrics.inc("c")
+        assert metrics.snapshot()["counters"] == {}
+
+    def test_enable_records_and_disable_keeps_data(self):
+        metrics.reset()
+        metrics.enable()
+        metrics.inc("c")
+        metrics.disable()
+        metrics.inc("c")  # ignored
+        assert metrics.snapshot()["counters"] == {"c": 1.0}
+
+
+class TestMergeSnapshots:
+    def test_counters_add_gauges_last_histograms_merge(self):
+        a = {"counters": {"c": 1.0}, "gauges": {"g": 1.0},
+             "histograms": {"h": {"count": 1.0, "sum": 2.0,
+                                  "min": 2.0, "max": 2.0}}}
+        b = {"counters": {"c": 2.0, "d": 5.0}, "gauges": {"g": 7.0},
+             "histograms": {"h": {"count": 2.0, "sum": 2.0,
+                                  "min": 0.5, "max": 1.5}}}
+        out = merge_snapshots([a, b])
+        assert out["counters"] == {"c": 3.0, "d": 5.0}
+        assert out["gauges"] == {"g": 7.0}
+        assert out["histograms"]["h"] == {
+            "count": 3.0, "sum": 4.0, "min": 0.5, "max": 2.0}
+
+    def test_tolerates_missing_sections(self):
+        out = merge_snapshots([{}, {"counters": {"c": 1.0}}])
+        assert out["counters"] == {"c": 1.0}
+
+    def test_empty_input(self):
+        out = merge_snapshots([])
+        assert out == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestRender:
+    def test_sections_and_values(self):
+        snap = {"counters": {"c": 2.0}, "gauges": {"g": 1.5},
+                "histograms": {"h": {"count": 2.0, "sum": 3.0,
+                                     "min": 1.0, "max": 2.0}}}
+        text = render_snapshot(snap)
+        assert "c = 2" in text
+        assert "g = 1.5" in text
+        assert "mean=1.5" in text
+
+    def test_empty_snapshot(self):
+        assert "no metrics" in render_snapshot({})
+
+    def test_indent(self):
+        text = render_snapshot({"counters": {"c": 1.0}}, indent="  ")
+        assert text.startswith("  counters:")
+
+
+class TestRsolveMetricsIntegration:
+    def test_successful_solves_feed_registry(self):
+        """The satellite bugfix: success-path diagnostics reach metrics."""
+        import numpy as np
+
+        from repro.qbd.rmatrix import solve_R
+        A0 = np.array([[0.2, 0.0], [0.1, 0.1]])
+        A2 = np.array([[0.5, 0.1], [0.2, 0.6]])
+        A1 = -(np.diag(A0.sum(1) + A2.sum(1) + 0.3)) + 0.15 * np.ones((2, 2))
+        metrics.reset()
+        metrics.enable()
+        solve_R(A0, A1, A2, method="logreduction")
+        snap = metrics.snapshot()
+        assert snap["counters"][
+            "rsolve.solves{method=logreduction,refined=False}"] == 1.0
+        hist = snap["histograms"][
+            "rsolve.iterations{method=logreduction}"]
+        assert hist["count"] == 1.0 and hist["max"] >= 1.0
+        assert "rsolve.residual{method=logreduction}" in snap["histograms"]

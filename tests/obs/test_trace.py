@@ -1,0 +1,207 @@
+"""Tracer and span behaviour: events, nesting, timings view, workers."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.trace import (
+    StageTimings,
+    Tracer,
+    ensure_worker_tracer,
+    merge_worker_traces,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing_enabled,
+)
+
+
+def read_events(path):
+    return [json.loads(line) for line in
+            path.read_text().splitlines() if line.strip()]
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop(self):
+        assert not tracing_enabled()
+        s1 = span("anything")
+        s2 = span("anything-else", klass=3)
+        assert s1 is s2  # the shared _NULL singleton: zero allocation
+        with s1:
+            pass
+
+    def test_span_with_timings_still_accumulates(self):
+        acc = StageTimings()
+        with span("stage.x", timings=acc, stage="x"):
+            pass
+        assert "x" in acc.as_dict()
+        assert acc.as_dict()["x"] >= 0.0
+
+    def test_metrics_helpers_are_noops_when_disabled(self):
+        from repro.obs import metrics
+        metrics.inc("c")
+        metrics.observe("h", 1.0)
+        metrics.set_gauge("g", 2.0)
+        snap = metrics.snapshot()
+        assert not snap["counters"] and not snap["histograms"] \
+            and not snap["gauges"]
+
+
+class TestTracer:
+    def test_header_is_first_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        start_tracing(path)
+        stop_tracing()
+        events = read_events(path)
+        assert events[0]["kind"] == "trace-header"
+        assert events[0]["version"] == trace.TRACE_VERSION
+        assert "epoch" in events[0] and "mono" in events[0]
+
+    def test_span_emits_balanced_pair(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        start_tracing(path)
+        with span("work", klass=2):
+            pass
+        stop_tracing()
+        header, b, e = read_events(path)
+        assert (b["kind"], e["kind"]) == ("B", "E")
+        assert b["name"] == e["name"] == "work"
+        assert b["sid"] == e["sid"]
+        assert b["attrs"] == {"klass": 2}
+        assert e["wall"] >= 0.0 and e["cpu"] >= 0.0
+        assert e["ts"] >= b["ts"]
+
+    def test_nesting_records_parent_and_depth(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        start_tracing(path)
+        with span("outer"):
+            with span("inner"):
+                pass
+        stop_tracing()
+        events = read_events(path)
+        begins = {ev["name"]: ev for ev in events if ev["kind"] == "B"}
+        assert begins["outer"]["parent"] is None
+        assert begins["outer"]["depth"] == 0
+        assert begins["inner"]["parent"] == begins["outer"]["sid"]
+        assert begins["inner"]["depth"] == 1
+
+    def test_sibling_spans_share_parent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        start_tracing(path)
+        with span("outer"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        stop_tracing()
+        begins = {ev["name"]: ev
+                  for ev in read_events(path) if ev["kind"] == "B"}
+        assert begins["a"]["parent"] == begins["b"]["parent"] \
+            == begins["outer"]["sid"]
+        assert begins["a"]["depth"] == begins["b"]["depth"] == 1
+
+    def test_span_survives_exceptions(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        start_tracing(path)
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        stop_tracing()
+        kinds = [ev["kind"] for ev in read_events(path)]
+        assert kinds == ["trace-header", "B", "E"]
+
+    def test_threads_nest_independently(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        start_tracing(path)
+
+        def worker():
+            with span("thread-span"):
+                pass
+
+        with span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        stop_tracing()
+        begins = {ev["name"]: ev
+                  for ev in read_events(path) if ev["kind"] == "B"}
+        # The other thread's span is a root, not a child of main-span.
+        assert begins["thread-span"]["parent"] is None
+        assert begins["thread-span"]["tid"] != begins["main-span"]["tid"]
+
+    def test_timings_view_matches_trace_wall(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        acc = StageTimings()
+        start_tracing(path)
+        with span("stage.solve", timings=acc, stage="solve"):
+            sum(range(10_000))
+        stop_tracing()
+        e = [ev for ev in read_events(path) if ev["kind"] == "E"][0]
+        # Fed from the same perf_counter window: identical by construction.
+        assert acc.as_dict()["solve"] == pytest.approx(e["wall"], abs=0.0)
+
+    def test_raw_emit_and_event_count(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = start_tracing(path)
+        tracer.emit({"kind": "custom", "x": 1})
+        assert tracer.events == 2  # header + custom
+        stop_tracing()
+
+
+class TestWorkerTraces:
+    def test_worker_file_and_merge(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        parent = start_tracing(path)
+        # Simulate a worker: a sibling tracer with a fake pid suffix.
+        wpath = tmp_path / "t.jsonl.w99999"
+        worker = Tracer(wpath, mode="a")
+        worker.emit({"kind": "custom", "from": "worker"})
+        worker.close()
+        absorbed = merge_worker_traces(parent)
+        stop_tracing()
+        assert absorbed == 2  # worker header + record
+        assert not wpath.exists()
+        kinds = [ev["kind"] for ev in read_events(path)]
+        assert kinds.count("trace-header") == 2
+        assert "custom" in kinds
+
+    def test_ensure_worker_tracer_discards_foreign_tracer(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        parent = start_tracing(path)
+        parent.pid = parent.pid + 1  # masquerade as a fork-inherited copy
+        worker = ensure_worker_tracer(path)
+        try:
+            assert worker is not parent
+            assert worker.path.name.startswith("t.jsonl.w")
+            # The parent's handle must not have been closed.
+            assert not parent._fh.closed
+        finally:
+            stop_tracing()
+            worker.path.unlink(missing_ok=True)
+
+    def test_ensure_worker_tracer_is_idempotent(self, tmp_path):
+        base = tmp_path / "t.jsonl"
+        first = ensure_worker_tracer(base)
+        try:
+            assert ensure_worker_tracer(base) is first
+        finally:
+            stop_tracing()
+
+
+class TestSession:
+    def test_session_embeds_metrics_snapshot(self, tmp_path):
+        from repro.obs import metrics
+        path = tmp_path / "t.jsonl"
+        with obs.session(trace_path=path):
+            metrics.inc("test.counter", method="x")
+        events = read_events(path)
+        snaps = [ev for ev in events if ev["kind"] == "metrics"]
+        assert len(snaps) == 1
+        assert snaps[0]["counters"] == {"test.counter{method=x}": 1.0}
+        assert not tracing_enabled()
+        assert not metrics.enabled()

@@ -1,0 +1,80 @@
+"""Property-based invariants of the trace event stream.
+
+Any program of nested ``span()`` calls must serialize to JSONL whose
+begin/end events are balanced (well-bracketed per thread), whose
+``ts`` values are monotonically non-decreasing, and whose parent/depth
+links reconstruct the nesting that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.trace import span, start_tracing, stop_tracing
+
+# A span program is a tree: each node is a list of child trees.  The
+# root list holds the top-level spans.
+trees = st.recursive(st.just([]),
+                     lambda children: st.lists(children, max_size=3),
+                     max_leaves=12)
+
+
+def run_program(children, name="s"):
+    for i, grandchildren in enumerate(children):
+        with span(f"{name}.{i}"):
+            run_program(grandchildren, name=f"{name}.{i}")
+
+
+def count_spans(children):
+    return sum(1 + count_spans(g) for g in children)
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=trees)
+def test_span_programs_emit_balanced_monotone_events(tmp_path_factory,
+                                                     program):
+    path = tmp_path_factory.mktemp("trace") / "t.jsonl"
+    start_tracing(path)
+    try:
+        run_program(program)
+    finally:
+        stop_tracing()
+
+    events = [json.loads(line)
+              for line in path.read_text().splitlines() if line.strip()]
+    assert events[0]["kind"] == "trace-header"
+    body = events[1:]
+
+    n = count_spans(program)
+    assert sum(1 for ev in body if ev["kind"] == "B") == n
+    assert sum(1 for ev in body if ev["kind"] == "E") == n
+
+    # Timestamps never run backwards.
+    ts = [ev["ts"] for ev in body]
+    assert all(a <= b for a, b in zip(ts, ts[1:]))
+
+    # Well-bracketed: replaying the stream with a stack matches every E
+    # to the innermost open B, and ends with an empty stack.
+    stack = []
+    begins = {}
+    for ev in body:
+        if ev["kind"] == "B":
+            # parent/depth reflect the stack at begin time.
+            assert ev["depth"] == len(stack)
+            assert ev["parent"] == (stack[-1] if stack else None)
+            stack.append(ev["sid"])
+            begins[ev["sid"]] = ev
+        else:
+            assert stack and stack[-1] == ev["sid"]
+            stack.pop()
+            b = begins[ev["sid"]]
+            assert b["name"] == ev["name"]
+            assert ev["wall"] >= 0.0
+            assert ev["ts"] >= b["ts"]
+    assert stack == []
+
+    # sids are unique across the program.
+    assert len(begins) == n

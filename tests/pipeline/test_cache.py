@@ -60,7 +60,8 @@ class TestCacheBehaviour:
         sol = solve_qbd(proc)
         cache.put(key, sol)
         assert cache.get(key) is sol
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                                 "entries": 1}
 
     def test_lru_eviction(self):
         cache = ArtifactCache(max_entries=2)

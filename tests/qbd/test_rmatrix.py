@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.errors import ValidationError
-from repro.qbd.rmatrix import METHODS, r_from_g, solve_G, solve_R
+from repro.qbd.rmatrix import (
+    METHODS,
+    RSolveDiagnostics,
+    r_from_g,
+    solve_G,
+    solve_R,
+)
 from repro.utils.linalg import spectral_radius
 
 
@@ -109,3 +115,43 @@ class TestFailureModes:
     def test_no_diagonal_rejected(self):
         with pytest.raises(ValidationError):
             solve_G(np.array([[0.0]]), np.array([[0.0]]), np.array([[0.0]]))
+
+
+class TestReturnInfo:
+    """The success path keeps its diagnostics (iterations/residual)."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_info_populated_for_all_methods(self, method):
+        A0, A1, A2 = phase_blocks()
+        R, info = solve_R(A0, A1, A2, method=method, return_info=True)
+        assert isinstance(info, RSolveDiagnostics)
+        assert info.method == method
+        assert info.iterations >= (0 if method == "spectral" else 1)
+        assert 0.0 <= info.residual < 1e-8
+        assert info.refined is False
+
+    def test_default_call_shape_unchanged(self):
+        A0, A1, A2 = phase_blocks()
+        R = solve_R(A0, A1, A2)
+        assert isinstance(R, np.ndarray) and R.shape == (2, 2)
+
+    def test_residual_matches_quadratic_defect(self):
+        A0, A1, A2 = phase_blocks()
+        R, info = solve_R(A0, A1, A2, return_info=True)
+        defect = np.max(np.abs(R @ R @ A2 + R @ A1 + A0))
+        assert info.residual == pytest.approx(defect, rel=1e-6, abs=1e-15)
+
+    def test_warm_start_reports_refined(self):
+        A0, A1, A2 = phase_blocks()
+        R0 = solve_R(A0, A1, A2)
+        R, info = solve_R(A0, A1, A2, R0=R0, return_info=True)
+        assert info.refined is True
+        # Newton steps from an already-converged iterate: possibly zero.
+        assert info.iterations >= 0
+        assert np.allclose(R, R0, atol=1e-8)
+
+    def test_solve_g_return_info(self):
+        A0, A1, A2 = phase_blocks()
+        G, iterations = solve_G(A0, A1, A2, return_info=True)
+        assert iterations >= 1
+        assert np.allclose(G.sum(axis=1), 1.0, atol=1e-8)

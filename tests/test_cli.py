@@ -108,3 +108,47 @@ class TestFigureCheckpoint:
         assert path.exists()
         assert main(["figure", "4", "--checkpoint", str(path)]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_writes_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["solve", "--heavy-traffic",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        lines = trace.read_text().splitlines()
+        assert '"trace-header"' in lines[0]
+        assert any('"kind":"E"' in ln for ln in lines)
+        assert any('"kind":"metrics"' in ln for ln in lines)
+
+    def test_metrics_flag_prints_snapshot_to_stderr(self, capsys):
+        assert main(["solve", "--heavy-traffic", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "class0" in captured.out          # report untouched
+        assert "counters:" in captured.err
+        assert "rsolve.solves" in captured.err
+
+    def test_report_subcommand_renders_table(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["figure", "2", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-class, per-stage wall seconds:" in out
+        assert "rsolve" in out
+        assert "solver:" in out
+
+    def test_report_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_checkpoint_resume_summary_line(self, tmp_path, capsys):
+        path = tmp_path / "fig4.jsonl"
+        assert main(["figure", "4", "--checkpoint", str(path)]) == 0
+        first = capsys.readouterr()
+        assert "resumed" not in first.err
+        assert main(["figure", "4", "--checkpoint", str(path)]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "point(s) resumed" in second.err
+        assert second.err.startswith("repro-gang: checkpoint")
