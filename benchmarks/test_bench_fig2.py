@@ -5,26 +5,26 @@ mu = (0.5, 1, 2, 4), overhead 0.01, lambda_p = 0.4.  The paper reports
 a steep drop as quanta grow away from zero (overhead amortization), a
 knee, then a monotone rise (exhaustive-service effect).  We assert the
 same shape and print the series.
+
+The swept grid lives in one place — the ``fig2`` preset scenario
+(:mod:`repro.scenario.presets`), shared with the CLI's ``figure 2``.
 """
 
 import pytest
 
 from repro.analysis import Table, is_u_shaped
-from repro.workloads import fig23_config, sweep
-
-QUICK_GRID = [0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.5, 6.0]
-FULL_GRID = [0.02, 0.05, 0.1, 0.18, 0.25, 0.4, 0.6, 0.8, 1.0, 1.5,
-             2.0, 2.5, 3.0, 4.0, 5.0, 6.0]
+from repro.scenario import get_scenario
+from repro.scenario import run as run_scenario
 
 
-def run_fig2(grid):
-    return sweep("quantum_mean", grid, lambda q: fig23_config(0.4, q))
+def run_fig2(tier):
+    return run_scenario(get_scenario("fig2", grid=tier))
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig2_quantum_sweep_light_load(benchmark, emit, full_grids):
-    grid = FULL_GRID if full_grids else QUICK_GRID
-    result = benchmark.pedantic(run_fig2, args=(grid,),
+    tier = "full" if full_grids else "quick"
+    result = benchmark.pedantic(run_fig2, args=(tier,),
                                 rounds=1, iterations=1)
 
     table = Table("quantum_mean", [f"N[class{p}]" for p in range(4)])

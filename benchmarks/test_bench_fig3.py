@@ -6,28 +6,29 @@ drawn close together.  (Below quantum ~0.1 the system is genuinely
 unstable — the overhead eats enough of the cycle that capacity falls
 under the offered load — which is the extreme form of the paper's
 "context switch overhead dominates" regime.)
+
+The swept grid lives in one place — the ``fig3`` preset scenario
+(:mod:`repro.scenario.presets`), shared with the CLI's ``figure 3``.
 """
 
 import numpy as np
 import pytest
 
 from repro.analysis import Table, is_u_shaped, knee_index
-from repro.workloads import fig23_config, sweep
-
-QUICK_GRID = [0.1, 0.15, 0.25, 0.4, 0.6, 1.0, 2.0, 4.0, 6.0]
-FULL_GRID = [0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0,
-             1.5, 2.0, 3.0, 4.0, 5.0, 6.0]
+from repro.scenario import get_scenario
+from repro.scenario import run as run_scenario
 
 
-def run_fig3(grid):
-    return sweep("quantum_mean", grid, lambda q: fig23_config(0.9, q))
+def run_fig3(tier):
+    return run_scenario(get_scenario("fig3", grid=tier))
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig3_quantum_sweep_heavy_load(benchmark, emit, full_grids):
-    grid = FULL_GRID if full_grids else QUICK_GRID
-    result = benchmark.pedantic(run_fig3, args=(grid,),
+    tier = "full" if full_grids else "quick"
+    result = benchmark.pedantic(run_fig3, args=(tier,),
                                 rounds=1, iterations=1)
+    grid = result.values()
 
     table = Table("quantum_mean", [f"N[class{p}]" for p in range(4)])
     for pt in result.points:

@@ -4,26 +4,26 @@ Paper: 1/gamma_p = 5, lambda_p = 0.6, mu_p = mu for every class, mu
 swept over [2, 20].  Claim: N drops dramatically as mu grows, then the
 rate of decrease becomes very low — no significant benefit from
 further service-rate increases.
+
+The swept grid lives in one place — the ``fig4`` preset scenario
+(:mod:`repro.scenario.presets`), shared with the CLI's ``figure 4``.
 """
 
 import pytest
 
 from repro.analysis import Table, is_monotone_decreasing
-from repro.workloads import fig4_config, sweep
-
-QUICK_GRID = [2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0]
-FULL_GRID = [2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0,
-             14.0, 16.0, 18.0, 20.0]
+from repro.scenario import get_scenario
+from repro.scenario import run as run_scenario
 
 
-def run_fig4(grid):
-    return sweep("service_rate", grid, fig4_config)
+def run_fig4(tier):
+    return run_scenario(get_scenario("fig4", grid=tier))
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig4_service_rate_sweep(benchmark, emit, full_grids):
-    grid = FULL_GRID if full_grids else QUICK_GRID
-    result = benchmark.pedantic(run_fig4, args=(grid,),
+    tier = "full" if full_grids else "quick"
+    result = benchmark.pedantic(run_fig4, args=(tier,),
                                 rounds=1, iterations=1)
 
     table = Table("service_rate", [f"N[class{p}]" for p in range(4)])

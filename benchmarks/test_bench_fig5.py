@@ -6,43 +6,40 @@ jobs decreases monotonically as that class's share of the cycle grows.
 Implementation (documented in DESIGN.md): a fixed quantum budget per
 cycle; the focus class receives fraction f of it, the other three
 split the rest evenly.
+
+The swept grid lives in one place — the ``fig5-class*`` preset
+scenarios (:mod:`repro.scenario.presets`), one per focus class, shared
+with the CLI's ``figure 5``.
 """
 
 import pytest
 
-from repro.analysis import Series, Table, is_monotone_decreasing
-from repro.workloads import fig5_config
-
-QUICK_GRID = [0.15, 0.3, 0.45, 0.6, 0.75, 0.9]
-FULL_GRID = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+from repro.analysis import Table, is_monotone_decreasing
+from repro.scenario import figure_scenarios
+from repro.scenario import run as run_scenario
 
 
-def run_fig5(grid):
-    """For each class p, N_p as a function of its own cycle fraction."""
-    from repro.core import GangSchedulingModel
-    curves = {p: Series(f"class{p}") for p in range(4)}
-    for f in grid:
-        for p in range(4):
-            solved = GangSchedulingModel(
-                fig5_config(focus_class=p, fraction=f)).solve()
-            curves[p].append(f, solved.mean_jobs(p))
-    return curves
+def run_fig5(tier):
+    """For each class p, the fig5-classp sweep of its own cycle fraction."""
+    return [run_scenario(s) for s in figure_scenarios(5, grid=tier)]
 
 
 @pytest.mark.benchmark(group="figures")
 def test_fig5_cycle_fraction_sweep(benchmark, emit, full_grids):
-    grid = QUICK_GRID if not full_grids else FULL_GRID
-    curves = benchmark.pedantic(run_fig5, args=(grid,),
-                                rounds=1, iterations=1)
+    tier = "full" if full_grids else "quick"
+    results = benchmark.pedantic(run_fig5, args=(tier,),
+                                 rounds=1, iterations=1)
+    grid = results[0].values()
 
     table = Table("fraction", [f"N[class{p}]" for p in range(4)])
     for i, f in enumerate(grid):
-        table.add_row(f, [curves[p].y[i] for p in range(4)])
+        table.add_row(f, [results[p].points[i].mean_jobs[p]
+                          for p in range(4)])
     emit("fig5", table, notes=(
         "Figure 5 reproduction: N_p vs the fraction of the timeplexing "
         "cycle devoted to class p (lambda_p = 0.6, rho = 0.6).\n"
         "Paper shape: monotone decrease for every class."))
 
     for p in range(4):
-        assert is_monotone_decreasing(curves[p].y, rel_tol=0.01), (
-            f"class{p}: {curves[p].y}")
+        ys = results[p].series(p)
+        assert is_monotone_decreasing(ys, rel_tol=0.01), f"class{p}: {ys}"

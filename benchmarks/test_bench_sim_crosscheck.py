@@ -1,9 +1,10 @@
 """Cross-validation bench: analytic model vs discrete-event simulation.
 
-Runs a Figure 2/3 configuration through both engines and reports
-per-class mean jobs with simulation confidence intervals and relative
-errors.  Expected outcome (documented in EXPERIMENTS.md): close
-agreement at heavy load, where the paper's decomposition is near
+Runs the ``crosscheck-moderate`` / ``crosscheck-heavy`` preset
+scenarios (``engine="both"``) through the unified scenario runner and
+reports per-class mean jobs with simulation confidence intervals and
+relative errors.  Expected outcome (documented in EXPERIMENTS.md):
+close agreement at heavy load, where the paper's decomposition is near
 exact; a systematic underestimate of order 10-20% at moderate load,
 where the paper's footnote-2 independence assumption bites.
 """
@@ -11,48 +12,49 @@ where the paper's footnote-2 independence assumption bites.
 import pytest
 
 from repro.analysis import Table, compare_analytic_simulation
-from repro.core import GangSchedulingModel
-from repro.sim import GangSimulation, run_replications
-from repro.workloads import fig23_config
+from repro.scenario import get_scenario
+from repro.scenario import run as run_scenario
 
 SCENARIOS = [
-    ("moderate", 0.4, 2.0, 0.30),   # rho, quantum, error budget
-    ("heavy", 0.9, 1.0, 0.15),
+    ("moderate", "crosscheck-moderate", 0.30),   # error budget
+    ("heavy", "crosscheck-heavy", 0.15),
 ]
 
 
-def run_crosscheck(lam, quantum, horizon, replications):
-    cfg = fig23_config(lam, quantum)
-    solved = GangSchedulingModel(cfg).solve()
-    summary = run_replications(
-        lambda seed, warmup: GangSimulation(cfg, seed=seed, warmup=warmup),
-        replications=replications, horizon=horizon,
-        warmup=horizon * 0.1)["mean_jobs"]
-    return compare_analytic_simulation(solved, summary)
+def run_crosscheck(preset, horizon, replications):
+    scenario = get_scenario(preset).with_engine(horizon=horizon,
+                                                replications=replications)
+    return run_scenario(scenario)
 
 
 @pytest.mark.benchmark(group="crosscheck")
-@pytest.mark.parametrize("name,lam,quantum,budget",
+@pytest.mark.parametrize("name,preset,budget",
                          SCENARIOS, ids=[s[0] for s in SCENARIOS])
-def test_model_vs_simulation(benchmark, emit, full_grids, name, lam,
-                             quantum, budget):
+def test_model_vs_simulation(benchmark, emit, full_grids, name, preset,
+                             budget):
     horizon = 60_000.0 if full_grids else 25_000.0
     reps = 6 if full_grids else 4
-    rows = benchmark.pedantic(run_crosscheck,
-                              args=(lam, quantum, horizon, reps),
-                              rounds=1, iterations=1)
+    result = benchmark.pedantic(run_crosscheck,
+                                args=(preset, horizon, reps),
+                                rounds=1, iterations=1)
+    args = result.scenario.system.args
+    rows = compare_analytic_simulation(result.solved,
+                                       result.sim.summaries["mean_jobs"])
 
     table = Table("class", ["analytic_N", "sim_N", "sim_ci", "rel_err"])
     for p, r in enumerate(rows):
         table.add_row(p, [r.analytic, r.simulated, r.ci_half_width,
                           r.rel_error])
     emit(f"crosscheck_{name}", table, notes=(
-        f"Analytic vs simulation, fig2/3 config: lambda={lam}, "
-        f"quantum={quantum}, {reps} replications x {horizon:g} time "
-        "units.  Positive rel_err = model differs from simulation; the "
-        "moderate-load bias is the paper's independence approximation."))
+        f"Analytic vs simulation, fig2/3 config: "
+        f"lambda={args['arrival_rate']}, quantum={args['quantum_mean']}, "
+        f"{reps} replications x {horizon:g} time units.  Positive "
+        "rel_err = model differs from simulation; the moderate-load "
+        "bias is the paper's independence approximation."))
 
     for r in rows:
         assert r.rel_error < budget, (
             f"{r.class_name}: analytic {r.analytic:.3f} vs "
             f"sim {r.simulated:.3f} ({r.rel_error:.1%} > {budget:.0%})")
+    # The unified result's cross-engine deltas tell the same story.
+    assert result.max_abs_delta() < budget

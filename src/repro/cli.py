@@ -2,11 +2,19 @@
 
 Subcommands
 -----------
+``run``
+    Evaluate a scenario — a JSON file (see :mod:`repro.serialize`) or
+    a preset name — through the unified :mod:`repro.scenario` runner.
+``scenarios``
+    List the preset scenarios (the paper's figures as data); with a
+    name, print that preset's canonical JSON.
 ``solve``
     Solve one gang-scheduled configuration analytically and print the
     per-class report.
 ``figure``
     Regenerate one of the paper's figures (2-5) as a text table.
+``optimize``
+    Find the quantum length minimizing total mean jobs.
 ``simulate``
     Run the discrete-event simulator on a configuration and print the
     statistics (optionally next to the analytic solution).
@@ -14,23 +22,93 @@ Subcommands
     Summarize a trace file produced with ``--trace``: the per-class /
     per-stage timing table plus metric rollups.
 
+Every evaluating subcommand is a thin adapter that builds a
+:class:`~repro.scenario.spec.Scenario`; the engine flags (``--backend``,
+``--workers``, ``--checkpoint``, ``--fp-tol``, ``--max-iterations``,
+``--heavy-traffic``, ``--horizon``, ``--seed``, ``--replications``,
+``--budget``) are derived from the one shared
+:class:`~repro.scenario.spec.EngineSpec` schema (:data:`ENGINE_FLAGS`),
+so every knob is reachable from every subcommand by construction.
+
 Observability
 -------------
-``solve``, ``figure``, ``optimize`` and ``simulate`` all accept
-``--trace FILE`` (record a span trace of the run as JSONL) and
-``--metrics`` (print the solver's metric snapshot to stderr on exit);
-see :mod:`repro.obs`.
+The evaluating subcommands all accept ``--trace FILE`` (record a span
+trace of the run as JSONL) and ``--metrics`` (print the solver's
+metric snapshot to stderr on exit); see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.core import ClassConfig, GangSchedulingModel, SystemConfig
 from repro.errors import ReproError
+from repro.scenario import EngineSpec, Scenario, SystemSpec, engine_field_names
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "ENGINE_FLAGS"]
+
+
+#: The shared engine-flag schema: one row per
+#: :class:`~repro.scenario.spec.EngineSpec` knob, attached verbatim to
+#: every evaluating subcommand.  ``(field, flag, argparse kwargs)``.
+ENGINE_FLAGS: tuple[tuple[str, str, dict], ...] = (
+    ("backend", "--backend",
+     {"choices": ("auto", "dense", "sparse"),
+      "help": "kernel selection for assembly and the QBD solves "
+              "(default: auto picks per block by size and density)"}),
+    ("workers", "--workers",
+     {"type": int, "metavar": "N",
+      "help": "solve sweep grid points in N parallel processes"}),
+    ("checkpoint", "--checkpoint",
+     {"metavar": "FILE",
+      "help": "journal completed sweep points to FILE (JSONL) and "
+              "resume from it if it exists"}),
+    ("max_iterations", "--max-iterations",
+     {"type": int, "metavar": "N",
+      "help": "fixed-point iteration budget (default 200)"}),
+    ("tol", "--fp-tol",
+     {"type": float, "metavar": "X",
+      "help": "fixed-point convergence tolerance (default 1e-5)"}),
+    ("heavy_traffic_only", "--heavy-traffic",
+     {"action": "store_true",
+      "help": "heavy-traffic model only (no fixed point)"}),
+    ("horizon", "--horizon",
+     {"type": float, "metavar": "T",
+      "help": "simulated time per run (default 20000)"}),
+    ("seed", "--seed",
+     {"type": int, "metavar": "N",
+      "help": "simulation base seed (default 0)"}),
+    ("replications", "--replications",
+     {"type": int, "metavar": "R",
+      "help": "independent simulation replications per point (default 1; "
+              ">= 2 adds confidence intervals)"}),
+    ("max_evaluations", "--budget",
+     {"type": int, "metavar": "N",
+      "help": "optimizer model-solve budget (default 60)"}),
+)
+
+_unknown = {f for f, _, _ in ENGINE_FLAGS} - set(engine_field_names())
+assert not _unknown, f"ENGINE_FLAGS names unknown EngineSpec fields: {_unknown}"
+
+
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("engine options (shared scenario schema)")
+    for field, flag, kwargs in ENGINE_FLAGS:
+        g.add_argument(flag, dest=field, default=None, **kwargs)
+
+
+def _engine_overrides(args) -> dict:
+    """Engine fields the user set explicitly (``None`` = keep scenario's)."""
+    return {field: getattr(args, field)
+            for field, _, _ in ENGINE_FLAGS
+            if getattr(args, field, None) is not None}
+
+
+def _engine_spec(args, base: EngineSpec | None = None) -> EngineSpec:
+    return dataclasses.replace(base if base is not None else EngineSpec(),
+                               **_engine_overrides(args))
 
 
 def _add_system_args(p: argparse.ArgumentParser) -> None:
@@ -71,51 +149,61 @@ def _parse_system(args) -> SystemConfig:
     return fig23_config(0.4, 2.0, policy=args.policy)
 
 
+def _checkpoint_summary(path, result) -> None:
+    if not (result.resumed or result.stale):
+        return
+    line = (f"repro-gang: checkpoint {path}: "
+            f"{result.resumed}/{len(result.points)} point(s) resumed")
+    if result.stale:
+        line += f", {result.stale} stale point(s) ignored"
+    print(line, file=sys.stderr)
+
+
+def _print_comparison(result) -> None:
+    pt = result.points[0]
+    print("\nanalytic comparison:")
+    for p, name in enumerate(result.class_names):
+        print(f"  {name}: model N={pt.mean_jobs[p]:.4f} "
+              f"sim N={pt.sim_mean_jobs[p]:.4f} ({pt.delta[p]:+.1%})")
+
+
 def _cmd_solve(args) -> int:
-    config = _parse_system(args)
-    solved = GangSchedulingModel(config).solve(
-        heavy_traffic_only=args.heavy_traffic)
-    print(solved.describe())
+    from repro.scenario import run as run_scenario
+    scenario = Scenario(name="solve",
+                        system=SystemSpec(config=_parse_system(args)),
+                        engine=_engine_spec(args))
+    result = run_scenario(scenario)
+    print(result.solved.describe())
     return 0
 
 
 def _cmd_figure(args) -> int:
     from repro.analysis import Table
-    from repro.workloads import fig23_config, fig4_config, fig5_config, sweep
-    grids = {
-        "2": ("quantum_mean", [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.5, 6.0],
-              lambda q: fig23_config(0.4, q)),
-        "3": ("quantum_mean", [0.15, 0.25, 0.4, 0.6, 1.0, 2.0, 4.0, 6.0],
-              lambda q: fig23_config(0.9, q)),
-        "4": ("service_rate", [2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0],
-              fig4_config),
-    }
-    if args.number in grids:
-        name, grid, factory = grids[args.number]
-        result = sweep(name, grid, factory, checkpoint=args.checkpoint,
-                       workers=args.workers,
-                       model_kwargs={"backend": args.backend})
-        if result.resumed or result.stale:
-            line = (f"repro-gang: checkpoint {args.checkpoint}: "
-                    f"{result.resumed}/{len(result.points)} point(s) resumed")
-            if result.stale:
-                line += f", {result.stale} stale point(s) ignored"
-            print(line, file=sys.stderr)
-        table = Table(name, [f"N[{n}]" for n in result.class_names])
+    from repro.scenario import figure_scenarios
+    from repro.scenario import run as run_scenario
+    scenarios = [s.with_engine(**_engine_overrides(args))
+                 for s in figure_scenarios(args.number)]
+    if len(scenarios) == 1:
+        result = run_scenario(scenarios[0])
+        _checkpoint_summary(args.checkpoint, result)
+        table = Table(result.parameter,
+                      [f"N[{n}]" for n in result.class_names])
         for pt in result.points:
             table.add_row(pt.value, pt.mean_jobs)
     else:
-        # Figure 5: one curve per focus class.
-        grid = [0.15, 0.3, 0.45, 0.6, 0.75, 0.9]
+        # Figure 5: one scenario per focus class; column p is N_p of the
+        # scenario that grants class p the swept cycle fraction.  A
+        # shared --checkpoint journals each curve to its own sibling.
+        if args.checkpoint:
+            scenarios = [s.with_engine(checkpoint=f"{args.checkpoint}.{s.name}")
+                         for s in scenarios]
+        results = [run_scenario(s) for s in scenarios]
+        for s, r in zip(scenarios, results):
+            _checkpoint_summary(s.engine.checkpoint, r)
         table = Table("fraction", [f"N[class{p}]" for p in range(4)])
-        for f in grid:
-            row = []
-            for p in range(4):
-                solved = GangSchedulingModel(
-                    fig5_config(focus_class=p, fraction=f),
-                    backend=args.backend).solve()
-                row.append(solved.mean_jobs(p))
-            table.add_row(f, row)
+        for i, f in enumerate(results[0].values()):
+            table.add_row(f, [results[p].points[i].mean_jobs[p]
+                              for p in range(4)])
     print(table.render())
     if args.plot:
         from repro.analysis import ascii_plot
@@ -128,6 +216,7 @@ def _cmd_figure(args) -> int:
 def _cmd_optimize(args) -> int:
     from repro.core import optimize_quantum
     base = _parse_system(args)
+    eng = _engine_spec(args)
 
     def with_quantum(q: float) -> SystemConfig:
         return SystemConfig(
@@ -142,30 +231,94 @@ def _cmd_optimize(args) -> int:
         )
 
     best = optimize_quantum(with_quantum, bounds=(args.min, args.max),
-                            tol=args.tol)
+                            tol=args.search_tol,
+                            max_evaluations=eng.max_evaluations,
+                            model_kwargs=eng.model_kwargs())
     print(f"optimal quantum mean: {best.quantum:.4f}")
     print(f"objective (total mean jobs): {best.objective_value:.4f}")
     print(f"model solves: {best.evaluations}")
-    solved = GangSchedulingModel(with_quantum(best.quantum)).solve()
+    solved = GangSchedulingModel(
+        with_quantum(best.quantum),
+        **eng.model_kwargs()).solve(**eng.solve_kwargs())
     print()
     print(solved.describe())
     return 0
 
 
 def _cmd_simulate(args) -> int:
-    from repro.sim import GangSimulation
-    config = _parse_system(args)
-    report = GangSimulation(config, seed=args.seed,
-                            warmup=args.horizon * 0.1).run(args.horizon)
-    print(report.describe(config.class_names))
+    from repro.scenario import run as run_scenario
+    base = EngineSpec(engine="both" if args.compare else "sim")
+    scenario = Scenario(name="simulate",
+                        system=SystemSpec(config=_parse_system(args)),
+                        engine=_engine_spec(args, base))
+    result = run_scenario(scenario)
+    print(result.sim.describe(result.class_names))
     if args.compare:
-        solved = GangSchedulingModel(config).solve()
-        print("\nanalytic comparison:")
-        for p, cr in enumerate(solved.classes):
-            sim_n = report.mean_jobs[p]
-            rel = (cr.mean_jobs - sim_n) / sim_n if sim_n else float("nan")
-            print(f"  {cr.name}: model N={cr.mean_jobs:.4f} "
-                  f"sim N={sim_n:.4f} ({rel:+.1%})")
+        _print_comparison(result)
+    return 0
+
+
+def _print_run_result(result, *, plot: bool = False) -> None:
+    if result.parameter is None:
+        if result.solved is not None:
+            print(result.solved.describe())
+        if result.sim is not None:
+            if result.solved is not None:
+                print()
+            print(result.sim.describe(result.class_names))
+        if result.engine == "both":
+            _print_comparison(result)
+        return
+    measures = result.scenario.output.measures or ("mean_jobs",)
+    tables = [(m, result.to_table(m)) for m in measures]
+    for i, (measure, table) in enumerate(tables):
+        if i:
+            print()
+        if len(tables) > 1:
+            print(f"# {measure}")
+        print(table.render())
+    if plot:
+        from repro.analysis import ascii_plot
+        table = tables[0][1]
+        print()
+        print(ascii_plot([table.column(c) for c in table.column_names],
+                         title=result.scenario.name or "scenario"))
+
+
+def _cmd_run(args) -> int:
+    import pathlib
+
+    from repro.scenario import get_scenario
+    from repro.scenario import run as run_scenario
+    if pathlib.Path(args.scenario).exists():
+        from repro.serialize import load_scenario
+        scenario = load_scenario(args.scenario)
+    else:
+        scenario = get_scenario(args.scenario, grid=args.grid)
+    overrides = _engine_overrides(args)
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    scenario = scenario.with_engine(**overrides)
+    result = run_scenario(scenario)
+    _checkpoint_summary(scenario.engine.checkpoint, result)
+    _print_run_result(result, plot=args.plot)
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenario import get_scenario, list_scenarios
+    if args.name:
+        import json
+
+        from repro.serialize import scenario_to_dict
+        scenario = get_scenario(args.name, grid=args.grid)
+        print(json.dumps(scenario_to_dict(scenario), indent=2))
+        return 0
+    print(f"{'name':<22} {'engine':<9} {'sweep':<18} description")
+    for s in list_scenarios(grid=args.grid):
+        axis = (f"{s.parameter} x{len(s.grid())}" if s.axis is not None
+                else "single point")
+        print(f"{s.name:<22} {s.engine.engine:<9} {axis:<18} {s.description}")
     return 0
 
 
@@ -200,11 +353,39 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of a one-line message")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p_run = sub.add_parser("run",
+                           help="evaluate a scenario (JSON file or preset "
+                                "name) through the unified runner")
+    p_run.add_argument("scenario", metavar="SCENARIO",
+                       help="path of a scenario JSON file, or a preset "
+                            "name from 'repro-gang scenarios'")
+    p_run.add_argument("--grid", choices=("default", "quick", "full"),
+                       default="default",
+                       help="grid tier for preset scenarios (default: "
+                            "default)")
+    p_run.add_argument("--engine", choices=("analytic", "sim", "both"),
+                       default=None,
+                       help="override the scenario's engine")
+    p_run.add_argument("--plot", action="store_true",
+                       help="also render swept curves as a text plot")
+    _add_engine_args(p_run)
+    _add_obs_args(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sc = sub.add_parser("scenarios",
+                          help="list preset scenarios, or print one as JSON")
+    p_sc.add_argument("name", nargs="?", default=None,
+                      help="print this preset's canonical JSON instead of "
+                           "the listing")
+    p_sc.add_argument("--grid", choices=("default", "quick", "full"),
+                      default="default",
+                      help="grid tier for the listing/export")
+    p_sc.set_defaults(func=_cmd_scenarios)
+
     p_solve = sub.add_parser("solve", help="solve a configuration analytically")
     _add_system_args(p_solve)
+    _add_engine_args(p_solve)
     _add_obs_args(p_solve)
-    p_solve.add_argument("--heavy-traffic", action="store_true",
-                         help="heavy-traffic model only (no fixed point)")
     p_solve.set_defaults(func=_cmd_solve)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -212,16 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="figure number")
     p_fig.add_argument("--plot", action="store_true",
                        help="also render the curves as a text plot")
-    p_fig.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="solve grid points in N parallel processes")
-    p_fig.add_argument("--checkpoint", metavar="FILE", default=None,
-                       help="journal completed sweep points to FILE "
-                            "(JSONL) and resume from it if it exists")
-    p_fig.add_argument("--backend", choices=("auto", "dense", "sparse"),
-                       default="auto",
-                       help="kernel selection for assembly and the QBD "
-                            "solves (default: auto picks per block by "
-                            "size and density)")
+    _add_engine_args(p_fig)
     _add_obs_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
@@ -232,18 +404,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="lower bound of the quantum search (default 0.1)")
     p_opt.add_argument("--max", type=float, default=8.0,
                        help="upper bound of the quantum search (default 8)")
-    p_opt.add_argument("--tol", type=float, default=0.01,
-                       help="relative interval tolerance (default 0.01)")
+    p_opt.add_argument("--tol", dest="search_tol", type=float, default=0.01,
+                       help="relative interval tolerance of the quantum "
+                            "search (default 0.01)")
+    _add_engine_args(p_opt)
     _add_obs_args(p_opt)
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_sim = sub.add_parser("simulate", help="simulate a configuration")
     _add_system_args(p_sim)
-    p_sim.add_argument("--horizon", type=float, default=20_000.0,
-                       help="simulated time (default 20000)")
-    p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--compare", action="store_true",
                        help="also solve analytically and compare")
+    _add_engine_args(p_sim)
     _add_obs_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 

@@ -97,7 +97,9 @@ def optimize_quantum(config_factory: Callable[[float], SystemConfig],
     config_factory:
         ``quantum_mean -> SystemConfig``.
     bounds:
-        Search interval ``(lo, hi)``, ``0 < lo < hi``.
+        Search interval ``(lo, hi)``, ``0 < lo <= hi``.  A degenerate
+        bracket ``lo == hi`` evaluates that single quantum and returns
+        it (so sweep scripts can pin the quantum without special-casing).
     objective:
         Scalar objective over the solved model (default: total mean
         jobs).  The Figure 2/3 curves are unimodal in the quantum, so
@@ -107,8 +109,9 @@ def optimize_quantum(config_factory: Callable[[float], SystemConfig],
         Relative interval width at which to stop.
     """
     lo, hi = bounds
-    if not 0 < lo < hi:
-        raise ValidationError(f"bounds must satisfy 0 < lo < hi, got {bounds}")
+    if not 0 < lo <= hi:
+        raise ValidationError(
+            f"bounds must satisfy 0 < lo <= hi, got {bounds}")
     invphi = (math.sqrt(5.0) - 1.0) / 2.0
     evals = 0
 
@@ -120,6 +123,10 @@ def optimize_quantum(config_factory: Callable[[float], SystemConfig],
             cache[q] = _evaluate(config_factory(q), objective, model_kwargs)
             evals += 1
         return cache[q]
+
+    if lo == hi:
+        return QuantumOptimum(quantum=lo, objective_value=f(lo),
+                              evaluations=evals)
 
     a, b = lo, hi
     c = b - invphi * (b - a)

@@ -1,0 +1,58 @@
+"""Declarative scenarios: one spec drives solver, simulator, sweeps, CLI.
+
+A :class:`~repro.scenario.spec.Scenario` is a frozen,
+JSON-round-trippable description of one experiment — system x engine x
+output — and :func:`~repro.scenario.run.run` evaluates it through the
+existing pipeline/sweep/simulation machinery:
+
+>>> from repro.scenario import get_scenario, run
+>>> result = run(get_scenario("fig4"))
+>>> len(result.points) == len(result.values())
+True
+
+Presets (:mod:`~repro.scenario.presets`) expose the paper's figures as
+named scenarios; :mod:`repro.serialize` round-trips any scenario
+through versioned JSON, which is what ``repro-gang run FILE`` consumes.
+"""
+
+from repro.scenario.presets import (
+    FIGURE_GRIDS,
+    GRID_TIERS,
+    figure_scenarios,
+    get_scenario,
+    list_scenarios,
+    scenario_names,
+)
+from repro.scenario.run import RunPoint, RunResult, run
+from repro.scenario.spec import (
+    ENGINES,
+    MEASURES,
+    SYSTEM_FACTORIES,
+    EngineSpec,
+    OutputSpec,
+    Scenario,
+    SweepAxis,
+    SystemSpec,
+    engine_field_names,
+)
+
+__all__ = [
+    "Scenario",
+    "SystemSpec",
+    "EngineSpec",
+    "OutputSpec",
+    "SweepAxis",
+    "ENGINES",
+    "MEASURES",
+    "SYSTEM_FACTORIES",
+    "engine_field_names",
+    "run",
+    "RunResult",
+    "RunPoint",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "figure_scenarios",
+    "FIGURE_GRIDS",
+    "GRID_TIERS",
+]

@@ -1,0 +1,185 @@
+"""Named preset scenarios: the paper's figures as data.
+
+One registry maps scenario names to builders; the CLI (``repro-gang
+figure`` / ``run`` / ``scenarios``), the figure benches and the
+checked-in ``scenarios/*.json`` files all draw from it, so a grid or
+parameter fix lands in exactly one place.
+
+Every figure carries three grid tiers:
+
+``default``
+    The CLI's grid (what ``repro-gang figure N`` prints).
+``quick``
+    The benchmark harness's trimmed grid (minutes-range full runs).
+``full``
+    Paper-resolution grids (``pytest benchmarks/ --full-grids``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.scenario.spec import (
+    EngineSpec,
+    OutputSpec,
+    Scenario,
+    SweepAxis,
+    SystemSpec,
+)
+
+__all__ = [
+    "GRID_TIERS",
+    "FIGURE_GRIDS",
+    "scenario_names",
+    "get_scenario",
+    "list_scenarios",
+    "figure_scenarios",
+]
+
+#: Grid tiers every swept preset understands.
+GRID_TIERS = ("default", "quick", "full")
+
+#: The swept grids of Figures 2-5, per tier.  Single source of truth:
+#: the CLI and ``benchmarks/test_bench_fig*.py`` both read these.
+FIGURE_GRIDS = {
+    "fig2": {
+        "default": (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.5, 6.0),
+        "quick": (0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.5, 6.0),
+        "full": (0.02, 0.05, 0.1, 0.18, 0.25, 0.4, 0.6, 0.8, 1.0, 1.5,
+                 2.0, 2.5, 3.0, 4.0, 5.0, 6.0),
+    },
+    "fig3": {
+        "default": (0.15, 0.25, 0.4, 0.6, 1.0, 2.0, 4.0, 6.0),
+        "quick": (0.1, 0.15, 0.25, 0.4, 0.6, 1.0, 2.0, 4.0, 6.0),
+        "full": (0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0,
+                 1.5, 2.0, 3.0, 4.0, 5.0, 6.0),
+    },
+    "fig4": {
+        "default": (2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0),
+        "quick": (2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0),
+        "full": (2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0,
+                 14.0, 16.0, 18.0, 20.0),
+    },
+    "fig5": {
+        "default": (0.15, 0.3, 0.45, 0.6, 0.75, 0.9),
+        "quick": (0.15, 0.3, 0.45, 0.6, 0.75, 0.9),
+        "full": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    },
+}
+
+
+def _swept(name: str, figure: str, preset: str, args: dict, parameter: str,
+           grid: str, description: str) -> Scenario:
+    if grid not in GRID_TIERS:
+        raise ValidationError(
+            f"unknown grid tier {grid!r}; known: {list(GRID_TIERS)}")
+    return Scenario(
+        name=name,
+        system=SystemSpec(
+            preset=preset, args=args,
+            axis=SweepAxis(parameter, FIGURE_GRIDS[figure][grid])),
+        # The paper's figures plot mean jobs only.
+        output=OutputSpec(measures=("mean_jobs",)),
+        description=description,
+    )
+
+
+def _fig2(grid: str) -> Scenario:
+    return _swept("fig2", "fig2", "fig23", {"arrival_rate": 0.4},
+                  "quantum_mean", grid,
+                  "Figure 2: N_p vs mean quantum length at rho = 0.4")
+
+
+def _fig3(grid: str) -> Scenario:
+    return _swept("fig3", "fig3", "fig23", {"arrival_rate": 0.9},
+                  "quantum_mean", grid,
+                  "Figure 3: N_p vs mean quantum length at rho = 0.9")
+
+
+def _fig4(grid: str) -> Scenario:
+    return _swept("fig4", "fig4", "fig4", {}, "service_rate", grid,
+                  "Figure 4: N_p vs common service rate mu "
+                  "(quantum 5, lambda_p = 0.6)")
+
+
+def _fig5(focus_class: int):
+    def build(grid: str) -> Scenario:
+        return _swept(f"fig5-class{focus_class}", "fig5", "fig5",
+                      {"focus_class": focus_class}, "fraction", grid,
+                      f"Figure 5: N_{focus_class} vs the cycle fraction "
+                      f"devoted to class {focus_class} (lambda_p = 0.6)")
+    return build
+
+
+def _crosscheck(name: str, arrival_rate: float, quantum_mean: float,
+                description: str):
+    def build(grid: str) -> Scenario:
+        return Scenario(
+            name=name,
+            system=SystemSpec(preset="fig23",
+                              args={"arrival_rate": arrival_rate,
+                                    "quantum_mean": quantum_mean}),
+            engine=EngineSpec(engine="both", horizon=25_000.0,
+                              replications=4),
+            description=description,
+        )
+    return build
+
+
+#: name -> ``grid-tier -> Scenario`` builder.
+_REGISTRY = {
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5-class0": _fig5(0),
+    "fig5-class1": _fig5(1),
+    "fig5-class2": _fig5(2),
+    "fig5-class3": _fig5(3),
+    "crosscheck-moderate": _crosscheck(
+        "crosscheck-moderate", 0.4, 2.0,
+        "Analytic vs simulation at moderate load (rho = 0.4, quantum 2)"),
+    "crosscheck-heavy": _crosscheck(
+        "crosscheck-heavy", 0.9, 1.0,
+        "Analytic vs simulation at heavy load (rho = 0.9, quantum 1)"),
+}
+
+#: Figure number -> the preset scenario names behind ``repro-gang
+#: figure N`` (Figure 5 is one scenario per focus class).
+_FIGURE_SCENARIOS = {
+    "2": ("fig2",),
+    "3": ("fig3",),
+    "4": ("fig4",),
+    "5": ("fig5-class0", "fig5-class1", "fig5-class2", "fig5-class3"),
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All preset scenario names, in registry order."""
+    return tuple(_REGISTRY)
+
+
+def get_scenario(name: str, *, grid: str = "default") -> Scenario:
+    """Build the preset scenario ``name`` at the requested grid tier."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scenario {name!r}; known: {list(_REGISTRY)} "
+            "(repro-gang scenarios lists them)") from None
+    return builder(grid)
+
+
+def list_scenarios(*, grid: str = "default") -> list[Scenario]:
+    """Every preset scenario (what ``repro-gang scenarios`` prints)."""
+    return [get_scenario(name, grid=grid) for name in _REGISTRY]
+
+
+def figure_scenarios(number: str | int, *, grid: str = "default",
+                     ) -> tuple[Scenario, ...]:
+    """The preset scenarios behind paper figure ``number`` (2-5)."""
+    try:
+        names = _FIGURE_SCENARIOS[str(number)]
+    except KeyError:
+        raise ValidationError(
+            f"no preset scenarios for figure {number!r}; "
+            f"known figures: {sorted(_FIGURE_SCENARIOS)}") from None
+    return tuple(get_scenario(name, grid=grid) for name in names)

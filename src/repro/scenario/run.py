@@ -1,0 +1,241 @@
+"""Run a :class:`~repro.scenario.spec.Scenario`: one entry point, one
+unified result.
+
+:func:`run` dispatches the scenario onto the existing machinery — the
+checkpointed/parallel sweep driver for the analytic engine
+(:func:`repro.workloads.sweeps.sweep_scenario`), the replication
+front-end for the simulator
+(:func:`repro.sim.runner.simulate_scenario_point`) — and folds the
+outputs into one :class:`RunResult`: per-point measures for whichever
+engines ran, cross-engine relative deltas when both did, and the
+sweep's resume/stale counters.
+
+The scenario's name rides along as a span attribute and metric label
+(``scenario.run`` / ``scenario.runs``), so traces and metric snapshots
+of multi-scenario services stay attributable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.core.model import GangSchedulingModel, SolvedModel
+from repro.obs import metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import span
+from repro.scenario.spec import Scenario
+from repro.sim.runner import SimPointEstimate, simulate_scenario_point
+from repro.workloads.sweeps import SweepPoint, sweep_scenario
+
+__all__ = ["RunPoint", "RunResult", "run"]
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """Measures at one grid value (or the single unswept point).
+
+    ``mean_jobs``/``mean_response_time`` hold the analytic solution,
+    ``sim_*`` the simulation estimate; either side is ``None`` when its
+    engine did not run.  ``delta`` is the per-class relative gap
+    ``(analytic - sim) / sim`` on mean jobs when both ran.
+    """
+
+    value: float | None
+    mean_jobs: tuple[float, ...] | None = None
+    mean_response_time: tuple[float, ...] | None = None
+    iterations: int = 0
+    converged: bool = True
+    error: str | None = None
+    sim_mean_jobs: tuple[float, ...] | None = None
+    sim_mean_response_time: tuple[float, ...] | None = None
+    sim_half_width: tuple[float, ...] | None = None
+    delta: tuple[float, ...] | None = None
+
+
+@dataclass
+class RunResult:
+    """Everything :func:`run` produced for one scenario."""
+
+    scenario: Scenario
+    engine: str
+    parameter: str | None
+    class_names: tuple[str, ...]
+    points: list[RunPoint] = field(default_factory=list)
+    #: Sweep points loaded from the checkpoint journal (analytic sweeps).
+    resumed: int = 0
+    #: Journaled points no longer on the grid (ignored, warned about).
+    stale: int = 0
+    #: Full solution detail for an unswept analytic run.
+    solved: SolvedModel | None = None
+    #: Full simulation detail for an unswept sim run (a
+    #: :class:`~repro.sim.runner.SimPointEstimate`).
+    sim: SimPointEstimate | None = None
+
+    def values(self) -> list[float]:
+        return [pt.value for pt in self.points]
+
+    def series(self, p: int) -> list[float]:
+        """Analytic ``N_p`` along the grid (``nan`` for failed points)."""
+        return [pt.mean_jobs[p] if pt.error is None and pt.mean_jobs is not None
+                else float("nan") for pt in self.points]
+
+    def sim_series(self, p: int) -> list[float]:
+        """Simulated ``N_p`` along the grid."""
+        return [pt.sim_mean_jobs[p] if pt.sim_mean_jobs is not None
+                else float("nan") for pt in self.points]
+
+    def delta_series(self, p: int) -> list[float]:
+        """Cross-engine relative gap along the grid (``both`` runs)."""
+        return [pt.delta[p] if pt.delta is not None else float("nan")
+                for pt in self.points]
+
+    def max_abs_delta(self) -> float:
+        """Largest per-class |relative gap| over the run (``both`` only)."""
+        worst = 0.0
+        for pt in self.points:
+            if pt.delta is None:
+                continue
+            for d in pt.delta:
+                if not math.isnan(d):
+                    worst = max(worst, abs(d))
+        return worst
+
+    def to_table(self, measure: str = "mean_jobs"):
+        """Render the run as an :class:`~repro.analysis.series.Table`.
+
+        Analytic columns come first (``N[...]``/``T[...]``), then the
+        simulation's (``sim*``), then ``delta[...]`` for ``both`` runs.
+        """
+        from repro.analysis import Table
+
+        short = {"mean_jobs": "N", "mean_response_time": "T"}[measure]
+        analytic = self.engine in ("analytic", "both")
+        simulated = self.engine in ("sim", "both")
+        columns = []
+        if analytic:
+            columns += [f"{short}[{n}]" for n in self.class_names]
+        if simulated:
+            columns += [f"sim{short}[{n}]" for n in self.class_names]
+        if analytic and simulated and measure == "mean_jobs":
+            columns += [f"delta[{n}]" for n in self.class_names]
+        table = Table(self.parameter or "point", columns)
+        nan = (float("nan"),) * len(self.class_names)
+        for i, pt in enumerate(self.points):
+            row: list[float] = []
+            if analytic:
+                row += list(getattr(pt, measure) or nan)
+            if simulated:
+                row += list(getattr(pt, f"sim_{measure}") or nan)
+            if analytic and simulated and measure == "mean_jobs":
+                row += list(pt.delta or nan)
+            table.add_row(pt.value if pt.value is not None else float(i), row)
+        return table
+
+
+def _combine(value: float | None, apt: SweepPoint | None,
+             spt: SimPointEstimate | None) -> RunPoint:
+    """Fold one grid point's analytic and/or sim output into a RunPoint."""
+    delta = None
+    if apt is not None and spt is not None and apt.error is None:
+        delta = tuple(
+            (a - s) / s if s > 0 else float("nan")
+            for a, s in zip(apt.mean_jobs, spt.mean_jobs))
+    return RunPoint(
+        value=value,
+        mean_jobs=apt.mean_jobs if apt is not None else None,
+        mean_response_time=(apt.mean_response_time
+                            if apt is not None else None),
+        iterations=apt.iterations if apt is not None else 0,
+        converged=apt.converged if apt is not None else True,
+        error=apt.error if apt is not None else None,
+        sim_mean_jobs=spt.mean_jobs if spt is not None else None,
+        sim_mean_response_time=(spt.mean_response_time
+                                if spt is not None else None),
+        sim_half_width=spt.half_width if spt is not None else None,
+        delta=delta,
+    )
+
+
+def _solved_point(solved: SolvedModel) -> SweepPoint:
+    return SweepPoint(
+        value=0.0,
+        mean_jobs=tuple(c.mean_jobs for c in solved.classes),
+        mean_response_time=tuple(c.mean_response_time
+                                 for c in solved.classes),
+        iterations=solved.iterations,
+        converged=solved.converged,
+    )
+
+
+def _run_sweep(scenario: Scenario) -> RunResult:
+    eng = scenario.engine
+    axis = scenario.system.axis
+    sweep_res = sweep_scenario(scenario) if eng.analytic else None
+    sims: list[SimPointEstimate] | None = None
+    if eng.simulated:
+        sims = [simulate_scenario_point(scenario,
+                                        scenario.system.config_for(v))
+                for v in axis.values]
+    names = (sweep_res.class_names if sweep_res is not None
+             else scenario.system.config_for(axis.values[0]).class_names)
+    points = [
+        _combine(v,
+                 sweep_res.points[i] if sweep_res is not None else None,
+                 sims[i] if sims is not None else None)
+        for i, v in enumerate(axis.values)
+    ]
+    return RunResult(
+        scenario=scenario, engine=eng.engine, parameter=axis.parameter,
+        class_names=names, points=points,
+        resumed=sweep_res.resumed if sweep_res is not None else 0,
+        stale=sweep_res.stale if sweep_res is not None else 0,
+    )
+
+
+def _run_point(scenario: Scenario) -> RunResult:
+    eng = scenario.engine
+    config = scenario.system.config_for()
+    solved = None
+    apt = None
+    if eng.analytic:
+        solved = GangSchedulingModel(
+            config, **eng.model_kwargs()).solve(**eng.solve_kwargs())
+        apt = _solved_point(solved)
+    sim_est = (simulate_scenario_point(scenario, config)
+               if eng.simulated else None)
+    return RunResult(
+        scenario=scenario, engine=eng.engine, parameter=None,
+        class_names=config.class_names,
+        points=[_combine(None, apt, sim_est)],
+        solved=solved, sim=sim_est,
+    )
+
+
+def run(scenario: Scenario) -> RunResult:
+    """Evaluate one scenario end to end.
+
+    Dispatches on the spec: swept systems go through the sweep driver
+    (inheriting checkpointing and worker pools), unswept ones are
+    solved/simulated directly; ``both`` runs both engines and reports
+    per-class deltas.  When the scenario's output spec names a trace
+    file or asks for metrics and no collector is armed yet, the run is
+    wrapped in its own observability session.
+    """
+    out = scenario.output
+    arm = ((out.trace is not None or out.metrics)
+           and obs_trace.current_tracer() is None and not metrics.enabled())
+    if arm:
+        obs.start(trace_path=out.trace, collect_metrics=out.metrics)
+    try:
+        with span("scenario.run", scenario=scenario.name,
+                  engine=scenario.engine.engine):
+            metrics.inc("scenario.runs", scenario=scenario.name,
+                        engine=scenario.engine.engine)
+            if scenario.system.axis is not None:
+                return _run_sweep(scenario)
+            return _run_point(scenario)
+    finally:
+        if arm:
+            obs.stop()

@@ -54,7 +54,18 @@ __all__ = [
     "system_from_dict",
     "save_system",
     "load_system",
+    "SCENARIO_SCHEMA_VERSION",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
 ]
+
+#: Version stamped into every serialized scenario.  The loader accepts
+#: any version up to the current one and tolerates unknown fields, so
+#: old readers reject genuinely newer files while new readers keep
+#: consuming old ones.
+SCENARIO_SCHEMA_VERSION = 1
 
 
 def phase_type_to_dict(dist: PhaseType) -> dict:
@@ -133,6 +144,183 @@ def system_from_dict(data: dict) -> SystemConfig:
         classes=classes,
         empty_queue_policy=str(data.get("empty_queue_policy", "switch")),
     )
+
+
+# --------------------------------------------------------------------------
+# Scenarios (versioned, forward-tolerant)
+# --------------------------------------------------------------------------
+
+def scenario_to_dict(scenario) -> dict:
+    """Serialize a :class:`~repro.scenario.spec.Scenario`.
+
+    The output is canonical: every field is emitted (including
+    defaults), so ``dict -> Scenario -> dict`` is byte-stable for any
+    dict this function produced.
+    """
+    from repro.scenario.spec import Scenario
+
+    if not isinstance(scenario, Scenario):
+        raise ValidationError(
+            f"expected a Scenario, got {type(scenario).__name__}")
+    sys_spec = scenario.system
+    system: dict = {}
+    if sys_spec.preset is not None:
+        system["preset"] = sys_spec.preset
+        system["args"] = dict(sys_spec.args)
+    else:
+        system["config"] = system_to_dict(sys_spec.config)
+    if sys_spec.axis is not None:
+        system["axis"] = {
+            "parameter": sys_spec.axis.parameter,
+            "values": [float(v) for v in sys_spec.axis.values],
+        }
+    eng = scenario.engine
+    out = scenario.output
+    return {
+        "schema": "repro-scenario",
+        "version": SCENARIO_SCHEMA_VERSION,
+        "name": scenario.name,
+        "description": scenario.description,
+        "system": system,
+        "engine": {
+            "engine": eng.engine,
+            "backend": eng.backend,
+            "reduction": eng.reduction,
+            "rmatrix_method": eng.rmatrix_method,
+            "max_iterations": eng.max_iterations,
+            "tol": eng.tol,
+            "heavy_traffic_only": eng.heavy_traffic_only,
+            "workers": eng.workers,
+            "checkpoint": eng.checkpoint,
+            "horizon": eng.horizon,
+            "seed": eng.seed,
+            "replications": eng.replications,
+            "warmup_fraction": eng.warmup_fraction,
+            "max_evaluations": eng.max_evaluations,
+        },
+        "output": {
+            "measures": list(out.measures),
+            "trace": out.trace,
+            "metrics": out.metrics,
+        },
+    }
+
+
+#: ``EngineSpec`` field -> JSON coercion, for the tolerant loader.
+_ENGINE_FIELD_TYPES = {
+    "engine": str, "backend": str, "reduction": str, "rmatrix_method": str,
+    "max_iterations": int, "tol": float, "heavy_traffic_only": bool,
+    "horizon": float, "seed": int, "replications": int,
+    "warmup_fraction": float, "max_evaluations": int,
+    # Optional (None-able) fields.
+    "workers": int, "checkpoint": str,
+}
+_ENGINE_OPTIONAL = ("workers", "checkpoint")
+
+
+def _engine_from_dict(data: dict):
+    from repro.scenario.spec import EngineSpec
+
+    if not isinstance(data, dict):
+        raise ValidationError(f"engine spec must be a mapping: {data!r}")
+    kwargs = {}
+    for name, coerce in _ENGINE_FIELD_TYPES.items():
+        if name not in data:
+            continue                    # absent -> default (tolerant)
+        value = data[name]
+        if value is None:
+            if name not in _ENGINE_OPTIONAL:
+                raise ValidationError(f"engine field {name!r} cannot be null")
+            continue
+        kwargs[name] = coerce(value)
+    return EngineSpec(**kwargs)         # unknown fields ignored
+
+
+def _system_from_dict(data: dict):
+    from repro.scenario.spec import SweepAxis, SystemSpec
+
+    if not isinstance(data, dict):
+        raise ValidationError(f"system spec must be a mapping: {data!r}")
+    axis = None
+    if data.get("axis") is not None:
+        spec = data["axis"]
+        try:
+            axis = SweepAxis(str(spec["parameter"]),
+                             tuple(float(v) for v in spec["values"]))
+        except KeyError as exc:
+            raise ValidationError(
+                f"missing field in sweep axis: {exc}") from exc
+    if "config" in data:
+        return SystemSpec(config=system_from_dict(data["config"]), axis=axis)
+    if "preset" in data:
+        return SystemSpec(preset=str(data["preset"]),
+                          args=dict(data.get("args", {})), axis=axis)
+    raise ValidationError(
+        "system spec needs either a 'preset' or a 'config'")
+
+
+def _output_from_dict(data: dict):
+    from repro.scenario.spec import OutputSpec
+
+    if not isinstance(data, dict):
+        raise ValidationError(f"output spec must be a mapping: {data!r}")
+    kwargs = {}
+    if "measures" in data:
+        kwargs["measures"] = tuple(str(m) for m in data["measures"])
+    if data.get("trace") is not None:
+        kwargs["trace"] = str(data["trace"])
+    if "metrics" in data:
+        kwargs["metrics"] = bool(data["metrics"])
+    return OutputSpec(**kwargs)
+
+
+def scenario_from_dict(data: dict):
+    """Build a :class:`~repro.scenario.spec.Scenario` from its dict form.
+
+    Tolerant by design: unknown fields anywhere in the tree are
+    ignored (forward compatibility), absent fields fall back to the
+    spec defaults, and only a ``version`` *newer* than this reader is
+    rejected.
+    """
+    from repro.scenario.spec import EngineSpec, OutputSpec, Scenario
+
+    if not isinstance(data, dict):
+        raise ValidationError("scenario spec must be a mapping")
+    schema = data.get("schema", "repro-scenario")
+    if schema != "repro-scenario":
+        raise ValidationError(
+            f"not a scenario file (schema {schema!r})")
+    version = int(data.get("version", 1))
+    if version > SCENARIO_SCHEMA_VERSION:
+        raise ValidationError(
+            f"scenario schema version {version} is newer than this "
+            f"reader (max {SCENARIO_SCHEMA_VERSION}); upgrade repro")
+    if "system" not in data:
+        raise ValidationError("scenario spec needs a 'system' entry")
+    return Scenario(
+        name=str(data.get("name", "")),
+        description=str(data.get("description", "")),
+        system=_system_from_dict(data["system"]),
+        engine=(_engine_from_dict(data["engine"])
+                if "engine" in data else EngineSpec()),
+        output=(_output_from_dict(data["output"])
+                if "output" in data else OutputSpec()),
+    )
+
+
+def save_scenario(scenario, path: str | pathlib.Path) -> None:
+    """Write a scenario to a JSON file (canonical form)."""
+    pathlib.Path(path).write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2) + "\n")
+
+
+def load_scenario(path: str | pathlib.Path):
+    """Read a scenario from a JSON file."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path} is not valid JSON: {exc}") from exc
+    return scenario_from_dict(data)
 
 
 def save_system(config: SystemConfig, path: str | pathlib.Path) -> None:

@@ -25,8 +25,10 @@ from repro.sim.engine import Simulator
 from repro.sim.gang import GangSimulation
 from repro.sim.runner import (
     ReplicationSummary,
+    SimPointEstimate,
     run_replications,
     run_until_precise,
+    simulate_scenario_point,
 )
 from repro.sim.stats import ClassStats, SimulationReport
 from repro.sim.trace import ScheduleTrace, TracingGangSimulation
@@ -44,6 +46,8 @@ __all__ = [
     "run_replications",
     "run_until_precise",
     "ReplicationSummary",
+    "SimPointEstimate",
+    "simulate_scenario_point",
     "BatchArrivalGangSimulation",
     "TracingGangSimulation",
     "ScheduleTrace",

@@ -15,7 +15,10 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as spstats
 
-__all__ = ["ReplicationSummary", "run_replications", "run_until_precise"]
+from repro.obs.trace import span
+
+__all__ = ["ReplicationSummary", "run_replications", "run_until_precise",
+           "SimPointEstimate", "simulate_scenario_point"]
 
 
 @dataclass(frozen=True)
@@ -104,6 +107,69 @@ def _summarize(samples: dict[str, list[tuple[float, ...]]],
             confidence=confidence,
         )
     return out
+
+
+@dataclass(frozen=True)
+class SimPointEstimate:
+    """Simulation estimate at one scenario grid point.
+
+    ``half_width`` is the across-replication CI half-width on mean
+    jobs (zeros for a single run, where no interval exists).  The raw
+    detail survives on ``report`` (single run) or ``summaries``
+    (replicated, the :func:`run_replications` dict).
+    """
+
+    mean_jobs: tuple[float, ...]
+    mean_response_time: tuple[float, ...]
+    half_width: tuple[float, ...]
+    replications: int
+    report: object | None = None
+    summaries: dict | None = None
+
+    def describe(self, class_names) -> str:
+        if self.summaries is not None:
+            return "\n".join(s.describe() for s in self.summaries.values())
+        return self.report.describe(class_names)
+
+
+def simulate_scenario_point(scenario, config) -> SimPointEstimate:
+    """Simulate one concrete config under a scenario's engine spec.
+
+    ``scenario`` is a :class:`repro.scenario.spec.Scenario` (duck-typed
+    — this layer does not import :mod:`repro.scenario`, which sits
+    above it); its engine spec supplies horizon, warmup fraction, base
+    seed and replication count.  With ``replications >= 2`` the point
+    is estimated across independent replications (Student-t CI);
+    otherwise it is one seeded run.
+    """
+    from repro.sim.gang import GangSimulation
+
+    eng = scenario.engine
+    with span("scenario.sim_point", scenario=scenario.name,
+              replications=eng.replications):
+        if eng.replications >= 2:
+            summaries = run_replications(
+                lambda seed, warmup: GangSimulation(config, seed=seed,
+                                                    warmup=warmup),
+                replications=eng.replications, horizon=eng.horizon,
+                warmup=eng.warmup, base_seed=eng.seed)
+            jobs = summaries["mean_jobs"]
+            return SimPointEstimate(
+                mean_jobs=jobs.mean,
+                mean_response_time=summaries["mean_response_time"].mean,
+                half_width=jobs.half_width,
+                replications=eng.replications,
+                summaries=summaries,
+            )
+        report = GangSimulation(config, seed=eng.seed,
+                                warmup=eng.warmup).run(eng.horizon)
+        return SimPointEstimate(
+            mean_jobs=tuple(report.mean_jobs),
+            mean_response_time=tuple(report.mean_response_time),
+            half_width=(0.0,) * config.num_classes,
+            replications=1,
+            report=report,
+        )
 
 
 def run_until_precise(factory, *, horizon: float, warmup: float = 0.0,

@@ -20,7 +20,12 @@ from repro.workloads.presets import (
     fig5_config,
     sp2_like_config,
 )
-from repro.workloads.sweeps import SweepPoint, SweepResult, sweep
+from repro.workloads.sweeps import (
+    SweepPoint,
+    SweepResult,
+    sweep,
+    sweep_scenario,
+)
 
 __all__ = [
     "PAPER_SERVICE_RATES",
@@ -30,6 +35,7 @@ __all__ = [
     "fig5_config",
     "sp2_like_config",
     "sweep",
+    "sweep_scenario",
     "SweepPoint",
     "SweepResult",
     "ClassTrace",

@@ -41,7 +41,7 @@ from repro.obs.trace import span
 from repro.resilience.checkpoint import SweepJournal
 from repro.resilience.faults import maybe_fault
 
-__all__ = ["SweepPoint", "SweepResult", "sweep"]
+__all__ = ["SweepPoint", "SweepResult", "sweep", "sweep_scenario"]
 
 
 @dataclass(frozen=True)
@@ -380,6 +380,33 @@ def sweep(parameter: str, values: Sequence[float],
 
     result.points = points
     return result
+
+
+def sweep_scenario(scenario) -> SweepResult:
+    """Run a swept scenario's analytic side through :func:`sweep`.
+
+    ``scenario`` is a :class:`repro.scenario.spec.Scenario` with a
+    sweep axis; its engine spec supplies the model/solve kwargs, the
+    checkpoint journal and the worker count, so a scenario-driven sweep
+    inherits crash safety and parallelism unchanged.  (Duck-typed to
+    keep this layer import-free of :mod:`repro.scenario`, which sits
+    above it.)
+    """
+    axis = scenario.system.axis
+    if axis is None:
+        from repro.errors import ValidationError
+        raise ValidationError(
+            f"scenario {scenario.name!r} has no sweep axis; "
+            "solve it directly with repro.scenario.run")
+    eng = scenario.engine
+    solve_kwargs = eng.solve_kwargs()
+    heavy_traffic_only = solve_kwargs.pop("heavy_traffic_only")
+    return sweep(axis.parameter, axis.values, scenario.system.config_for,
+                 heavy_traffic_only=heavy_traffic_only,
+                 model_kwargs=eng.model_kwargs(),
+                 solve_kwargs=solve_kwargs,
+                 checkpoint=eng.checkpoint,
+                 workers=eng.workers)
 
 
 def _run_parallel(pending, workers: int, heavy_traffic_only: bool,

@@ -52,6 +52,68 @@ class TestOptimizeQuantum:
         with pytest.raises(ValidationError):
             optimize_quantum(lambda q: fig23_config(0.4, q),
                              bounds=(2.0, 1.0))
+        with pytest.raises(ValidationError):
+            optimize_quantum(lambda q: fig23_config(0.4, q),
+                             bounds=(0.0, 1.0))
+
+    def test_degenerate_bracket_evaluates_once(self):
+        """min == max pins the quantum: one solve, no search."""
+        opt = optimize_quantum(lambda q: fig23_config(0.4, q),
+                               bounds=(2.0, 2.0))
+        assert opt.quantum == 2.0
+        assert opt.evaluations == 1
+        direct = GangSchedulingModel(fig23_config(0.4, 2.0)).solve()
+        assert opt.objective_value == pytest.approx(direct.mean_jobs())
+
+    def test_degenerate_bracket_in_unstable_region(self):
+        """A pinned quantum inside the unstable zone reports inf."""
+        opt = optimize_quantum(lambda q: fig23_config(0.9, q),
+                               bounds=(0.02, 0.02))
+        assert opt.objective_value == float("inf")
+        assert opt.evaluations == 1
+
+    def test_saturated_endpoint_steers_inward(self):
+        """An endpoint whose class is saturated scores inf, and the
+        optimum lands strictly inside the stable region."""
+        opt = optimize_quantum(lambda q: fig23_config(0.9, q),
+                               bounds=(0.05, 2.0), tol=0.05)
+        assert opt.objective_value < float("inf")
+        endpoint = optimize_quantum(lambda q: fig23_config(0.9, q),
+                                    bounds=(0.05, 0.05))
+        assert endpoint.objective_value == float("inf")
+        assert opt.quantum > 0.05
+
+    def test_honors_scenario_backend_and_budget(self, monkeypatch):
+        """The model_kwargs/budget of an EngineSpec reach the search."""
+        from repro.core import model as model_module
+        from repro.scenario import EngineSpec
+        eng = EngineSpec(backend="dense", max_evaluations=5)
+        seen = []
+        real_init = model_module.GangSchedulingModel.__init__
+
+        def spy(self, config, **kwargs):
+            seen.append(kwargs)
+            return real_init(self, config, **kwargs)
+
+        monkeypatch.setattr(model_module.GangSchedulingModel,
+                            "__init__", spy)
+        opt = optimize_quantum(lambda q: fig23_config(0.4, q),
+                               bounds=(0.5, 4.0),
+                               max_evaluations=eng.max_evaluations,
+                               model_kwargs=eng.model_kwargs())
+        assert opt.evaluations <= 5
+        assert seen and all(k.get("backend") == "dense" for k in seen)
+
+    def test_cli_budget_flag_bounds_the_solves(self, capsys):
+        from repro.cli import main
+        rc = main(["optimize", "--processors", "2",
+                   "--class", "1,0.5,1,2,0.1",
+                   "--min", "0.5", "--max", "4.0", "--budget", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        solves = int(next(ln for ln in out.splitlines()
+                          if ln.startswith("model solves:")).split(":")[1])
+        assert solves <= 4
 
     def test_unstable_region_scored_inf(self):
         # Bounds reaching into the overhead-dominated unstable zone at

@@ -1,0 +1,104 @@
+"""Tests for the preset scenario registry (and its serialization drift)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenario import (
+    FIGURE_GRIDS,
+    GRID_TIERS,
+    figure_scenarios,
+    get_scenario,
+    list_scenarios,
+    scenario_names,
+)
+from repro.serialize import scenario_from_dict, scenario_to_dict
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_names_cover_figures_and_crosschecks(self):
+        names = scenario_names()
+        for expected in ("fig2", "fig3", "fig4", "fig5-class0",
+                         "fig5-class3", "crosscheck-moderate",
+                         "crosscheck-heavy"):
+            assert expected in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            get_scenario("fig99")
+
+    def test_unknown_grid_tier_rejected(self):
+        with pytest.raises(ValidationError, match="grid tier"):
+            get_scenario("fig2", grid="huge")
+
+    def test_list_matches_names(self):
+        assert [s.name for s in list_scenarios()] == list(scenario_names())
+
+    def test_figure_scenarios(self):
+        assert [s.name for s in figure_scenarios(2)] == ["fig2"]
+        assert [s.name for s in figure_scenarios("5")] == [
+            f"fig5-class{p}" for p in range(4)]
+        with pytest.raises(ValidationError, match="figure"):
+            figure_scenarios(7)
+
+    @pytest.mark.parametrize("tier", GRID_TIERS)
+    def test_grid_tiers_select_the_registered_grids(self, tier):
+        assert get_scenario("fig2", grid=tier).grid() \
+            == FIGURE_GRIDS["fig2"][tier]
+        assert get_scenario("fig5-class1", grid=tier).grid() \
+            == FIGURE_GRIDS["fig5"][tier]
+
+    def test_default_grids_match_the_cli_figures(self):
+        # The CLI's `figure N` output is defined by the default tier.
+        assert get_scenario("fig2").grid() == (
+            0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.5, 6.0)
+        assert get_scenario("fig4").grid() == (
+            2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0)
+
+    def test_crosscheck_presets_run_both_engines(self):
+        for name in ("crosscheck-moderate", "crosscheck-heavy"):
+            s = get_scenario(name)
+            assert s.engine.engine == "both"
+            assert s.engine.replications >= 2
+            assert s.axis is None
+
+
+class TestPresetSerializationDrift:
+    """Every preset must survive the scenario schema unchanged."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    @pytest.mark.parametrize("tier", GRID_TIERS)
+    def test_round_trip_is_identity(self, name, tier):
+        scenario = get_scenario(name, grid=tier)
+        assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_dict_form_is_byte_stable(self, name):
+        first = scenario_to_dict(get_scenario(name))
+        again = scenario_to_dict(scenario_from_dict(first))
+        assert json.dumps(first, sort_keys=True) \
+            == json.dumps(again, sort_keys=True)
+
+
+class TestCheckedInScenarioFiles:
+    """scenarios/*.json must match the registry's canonical form."""
+
+    @pytest.mark.parametrize("stem", ["fig2", "crosscheck-moderate"])
+    def test_file_matches_preset(self, stem):
+        path = REPO / "scenarios" / f"{stem}.json"
+        on_disk = json.loads(path.read_text())
+        assert on_disk == scenario_to_dict(get_scenario(stem)), (
+            f"{path} drifted from the preset registry; regenerate it with "
+            f"PYTHONPATH=src python -c \"from repro.scenario import "
+            f"get_scenario; from repro.serialize import save_scenario; "
+            f"save_scenario(get_scenario('{stem}'), '{path.name}')\"")
+
+    @pytest.mark.parametrize("stem", ["fig2", "crosscheck-moderate"])
+    def test_file_loads_to_the_preset(self, stem):
+        from repro.serialize import load_scenario
+        path = REPO / "scenarios" / f"{stem}.json"
+        assert load_scenario(path) == get_scenario(stem)

@@ -1,8 +1,24 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import ENGINE_FLAGS, build_parser, main
+
+#: Every subcommand that evaluates a scenario shares the engine schema.
+EVALUATING_SUBCOMMANDS = ("run", "solve", "figure", "optimize", "simulate")
+
+
+def _subcommand_argv(command):
+    """A minimal valid argv prefix for each evaluating subcommand."""
+    return {
+        "run": ["run", "fig4"],
+        "solve": ["solve"],
+        "figure": ["figure", "4"],
+        "optimize": ["optimize"],
+        "simulate": ["simulate"],
+    }[command]
 
 
 class TestParser:
@@ -76,6 +92,112 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "simulation:" in out
         assert "analytic comparison:" in out
+
+
+class TestEngineFlagParity:
+    """Every engine knob must be reachable from every subcommand.
+
+    This is the regression guard for the historical drift where solve
+    and optimize could not select --backend and simulate could not set
+    --workers or the fixed-point tolerances: the flags now come from
+    one shared schema (repro.cli.ENGINE_FLAGS), and this test walks
+    the full flag x subcommand matrix.
+    """
+
+    SAMPLE = {
+        "--backend": "dense", "--workers": "2", "--checkpoint": "cp.jsonl",
+        "--max-iterations": "50", "--fp-tol": "1e-7",
+        "--heavy-traffic": None, "--horizon": "500", "--seed": "7",
+        "--replications": "3", "--budget": "9",
+    }
+
+    def test_schema_covers_engine_spec(self):
+        from repro.scenario import engine_field_names
+        assert {f for f, _, _ in ENGINE_FLAGS} <= set(engine_field_names())
+
+    @pytest.mark.parametrize("command", EVALUATING_SUBCOMMANDS)
+    @pytest.mark.parametrize("field,flag", [(f, fl) for f, fl, _ in
+                                            ENGINE_FLAGS])
+    def test_every_flag_parses_everywhere(self, command, field, flag):
+        argv = _subcommand_argv(command) + [flag]
+        if self.SAMPLE[flag] is not None:
+            argv.append(self.SAMPLE[flag])
+        args = build_parser().parse_args(argv)
+        assert getattr(args, field) is not None
+
+    @pytest.mark.parametrize("command", EVALUATING_SUBCOMMANDS)
+    def test_flags_default_to_none(self, command):
+        """Unset flags must stay None so scenario defaults win."""
+        args = build_parser().parse_args(_subcommand_argv(command))
+        for field, _, _ in ENGINE_FLAGS:
+            assert getattr(args, field) is None
+
+    def test_optimize_keeps_its_interval_tol(self):
+        args = build_parser().parse_args(
+            ["optimize", "--tol", "0.1", "--fp-tol", "1e-8"])
+        assert args.search_tol == pytest.approx(0.1)
+        assert args.tol == pytest.approx(1e-8)
+
+    def test_simulate_reaches_solver_knobs(self, capsys):
+        rc = main(["simulate", "--processors", "4",
+                   "--class", "2,0.4,1,2,0.02", "--horizon", "1000",
+                   "--fp-tol", "1e-6", "--backend", "dense", "--compare"])
+        assert rc == 0
+        assert "analytic comparison:" in capsys.readouterr().out
+
+
+class TestRunSubcommand:
+    def test_run_preset_matches_figure_output(self, capsys):
+        assert main(["figure", "4"]) == 0
+        figure_out = capsys.readouterr().out
+        assert main(["run", "fig4"]) == 0
+        run_out = capsys.readouterr().out
+        assert run_out == figure_out
+
+    def test_run_fig2_file_matches_figure_2_exactly(self, tmp_path, capsys):
+        """The acceptance criterion: file-driven run == figure 2."""
+        from repro.scenario import get_scenario
+        from repro.serialize import save_scenario
+        path = tmp_path / "fig2.json"
+        save_scenario(get_scenario("fig2"), path)
+        assert main(["figure", "2"]) == 0
+        figure_out = capsys.readouterr().out
+        assert main(["run", str(path)]) == 0
+        assert capsys.readouterr().out == figure_out
+
+    def test_run_unknown_scenario_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_engine_override(self, capsys):
+        rc = main(["run", "crosscheck-moderate", "--engine", "analytic"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total N=" in out
+        assert "simulation" not in out
+
+    def test_run_flag_overrides_apply(self, tmp_path, capsys):
+        path = str(tmp_path / "cp.jsonl")
+        assert main(["run", "fig4", "--checkpoint", path]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig4", "--checkpoint", path]) == 0
+        assert "point(s) resumed" in capsys.readouterr().err
+
+
+class TestScenariosSubcommand:
+    def test_listing_names_every_preset(self, capsys):
+        from repro.scenario import scenario_names
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_named_export_is_loadable_json(self, capsys):
+        from repro.scenario import get_scenario
+        from repro.serialize import scenario_from_dict
+        assert main(["scenarios", "fig3"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert scenario_from_dict(data) == get_scenario("fig3")
 
 
 class TestErrorHandling:

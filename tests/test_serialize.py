@@ -112,6 +112,153 @@ class TestPropertyRoundTrip:
         assert again.moment(3) == pytest.approx(d.moment(3), rel=1e-12)
 
 
+class TestPropertyRoundTripNonMarkovian:
+    """Non-Markovian PH classes survive serialization bit-for-bit."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    rates = st.floats(0.05, 10.0, allow_nan=False, allow_infinity=False)
+    probs = st.floats(0.05, 0.95, allow_nan=False, allow_infinity=False)
+
+    @given(data=st.data(), n=st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_coxian_roundtrip(self, data, n):
+        rs = data.draw(self.st.lists(self.rates, min_size=n, max_size=n))
+        ps = data.draw(self.st.lists(self.probs, min_size=n - 1,
+                                     max_size=n - 1))
+        d = coxian(rs, ps + [1.0])
+        again = phase_type_from_dict(phase_type_to_dict(d))
+        assert np.array_equal(again.alpha, d.alpha)
+        assert np.array_equal(again.S, d.S)
+
+    @given(data=st.data(), n=st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_hyperexponential_roundtrip(self, data, n):
+        ws = data.draw(self.st.lists(self.probs, min_size=n, max_size=n))
+        rs = data.draw(self.st.lists(self.rates, min_size=n, max_size=n))
+        total = sum(ws)
+        d = hyperexponential([w / total for w in ws], rs)
+        again = phase_type_from_dict(phase_type_to_dict(d))
+        assert np.array_equal(again.alpha, d.alpha)
+        assert np.array_equal(again.S, d.S)
+
+    @given(rate=rates, k=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_raw_ph_roundtrip_through_json_text(self, rate, k):
+        d = erlang(k, rate=rate)
+        text = json.dumps(phase_type_to_dict(d))
+        again = phase_type_from_dict(json.loads(text))
+        assert np.array_equal(again.alpha, d.alpha)
+        assert np.array_equal(again.S, d.S)
+
+
+class TestScenarioSchema:
+    """Versioned scenario serialization: round trips and tolerance."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    engines = st.sampled_from(["analytic", "sim", "both"])
+    grids = st.lists(st.floats(0.05, 8.0, allow_nan=False,
+                               allow_infinity=False),
+                     min_size=1, max_size=6, unique=True)
+
+    @staticmethod
+    def _scenario(engine, grid, replications, tol):
+        from repro.scenario import (
+            EngineSpec,
+            OutputSpec,
+            Scenario,
+            SweepAxis,
+            SystemSpec,
+        )
+        return Scenario(
+            name="prop", description="property-generated",
+            system=SystemSpec(preset="fig23", args={"arrival_rate": 0.4},
+                              axis=SweepAxis("quantum_mean", tuple(grid))),
+            engine=EngineSpec(engine=engine, replications=replications,
+                              tol=tol),
+            output=OutputSpec(measures=("mean_jobs",)))
+
+    @given(engine=engines, grid=grids,
+           replications=st.integers(1, 8),
+           tol=st.floats(1e-10, 1e-2, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_dict_object_dict_is_byte_stable(self, engine, grid,
+                                             replications, tol):
+        from repro.serialize import scenario_from_dict, scenario_to_dict
+        scenario = self._scenario(engine, grid, replications, tol)
+        first = scenario_to_dict(scenario)
+        assert scenario_from_dict(first) == scenario
+        again = scenario_to_dict(scenario_from_dict(first))
+        assert json.dumps(first, sort_keys=True) \
+            == json.dumps(again, sort_keys=True)
+
+    def test_inline_config_roundtrip(self, two_class_config):
+        from repro.scenario import Scenario, SystemSpec
+        from repro.serialize import scenario_from_dict, scenario_to_dict
+        scenario = Scenario(name="inline",
+                            system=SystemSpec(config=two_class_config))
+        again = scenario_from_dict(scenario_to_dict(scenario))
+        assert again.system.config.class_names \
+            == two_class_config.class_names
+        assert again.system.config.utilization() == pytest.approx(
+            two_class_config.utilization())
+
+    def test_unknown_fields_tolerated_everywhere(self):
+        from repro.scenario import get_scenario
+        from repro.serialize import scenario_from_dict, scenario_to_dict
+        data = scenario_to_dict(get_scenario("fig2"))
+        data["future_top_level"] = {"nested": True}
+        data["engine"]["future_knob"] = 42
+        data["output"]["future_sink"] = "s3://bucket"
+        data["system"]["future_hint"] = "x"
+        assert scenario_from_dict(data) == get_scenario("fig2")
+
+    def test_absent_sections_get_defaults(self):
+        from repro.scenario import EngineSpec, OutputSpec
+        from repro.serialize import scenario_from_dict
+        scenario = scenario_from_dict({
+            "schema": "repro-scenario", "version": 1, "name": "bare",
+            "system": {"preset": "fig23",
+                       "args": {"arrival_rate": 0.4, "quantum_mean": 2.0}},
+        })
+        assert scenario.engine == EngineSpec()
+        assert scenario.output == OutputSpec()
+
+    def test_newer_version_rejected(self):
+        from repro.serialize import (
+            SCENARIO_SCHEMA_VERSION,
+            scenario_from_dict,
+        )
+        with pytest.raises(ValidationError, match="newer"):
+            scenario_from_dict({
+                "schema": "repro-scenario",
+                "version": SCENARIO_SCHEMA_VERSION + 1,
+                "system": {"preset": "fig23"}})
+
+    def test_wrong_schema_rejected(self):
+        from repro.serialize import scenario_from_dict
+        with pytest.raises(ValidationError, match="not a scenario"):
+            scenario_from_dict({"schema": "something-else", "system": {}})
+
+    def test_null_required_engine_field_rejected(self):
+        from repro.scenario import get_scenario
+        from repro.serialize import scenario_from_dict, scenario_to_dict
+        data = scenario_to_dict(get_scenario("fig2"))
+        data["engine"]["tol"] = None
+        with pytest.raises(ValidationError, match="cannot be null"):
+            scenario_from_dict(data)
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.scenario import get_scenario
+        from repro.serialize import load_scenario, save_scenario
+        path = tmp_path / "scenario.json"
+        save_scenario(get_scenario("crosscheck-heavy"), path)
+        assert load_scenario(path) == get_scenario("crosscheck-heavy")
+
+
 class TestCLIIntegration:
     def test_solve_from_config_file(self, two_class_config, tmp_path, capsys):
         from repro.cli import main
