@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""CI smoke for the scenario service daemon.
+
+Starts a real ``repro-gang serve`` subprocess and drives it through the
+service's whole robustness contract:
+
+1. replay every checked-in ``scenarios/*.json`` through the daemon
+   (cold pass: everything solves);
+2. SIGKILL the daemon (and its worker group) mid-sweep;
+3. restart it on the same store and assert the interrupted sweep
+   completes;
+4. replay the scenario files again — the warm pass must be served
+   entirely from the store: the ``service.shards{source=solve}``
+   counter must not move (zero cold solves);
+5. shut the daemon down cleanly so its trace file (uploaded as a CI
+   artifact) closes with the final metrics snapshot.
+
+Exits nonzero on the first violation.
+"""
+
+import argparse
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+
+
+class Daemon:
+    """A scenario-service daemon subprocess driven over stdio JSONL."""
+
+    def __init__(self, store, *, workers=2, trace=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--store", str(store), "--workers", str(workers)]
+        if trace:
+            argv += ["--trace", str(trace)]
+        self.proc = subprocess.Popen(
+            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            text=True, env=env, start_new_session=True)
+        self._lines = queue.Queue()
+        threading.Thread(target=self._pump, daemon=True).start()
+        banner = self.read(timeout=120)
+        assert banner["status"] == "ready", banner
+
+    def _pump(self):
+        for line in self.proc.stdout:
+            self._lines.put(line)
+
+    def send(self, obj):
+        self.proc.stdin.write(json.dumps(obj) + "\n")
+        self.proc.stdin.flush()
+
+    def read(self, timeout=900):
+        return json.loads(self._lines.get(timeout=timeout))
+
+    def request(self, obj, timeout=900):
+        self.send(obj)
+        return self.read(timeout=timeout)
+
+    def solve_counter(self):
+        stats = self.request({"id": "m", "op": "stats"}, timeout=60)
+        return stats["metrics"]["counters"].get(
+            "service.shards{source=solve}", 0.0)
+
+    def kill_group(self):
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        self.proc.wait(timeout=10)
+
+    def shutdown(self):
+        try:
+            reply = self.request({"id": "bye", "op": "shutdown"},
+                                 timeout=60)
+            assert reply["op"] == "shutdown", reply
+            self.proc.wait(timeout=60)
+        finally:
+            self.kill_group()
+
+
+def point_records(store):
+    """Count durable per-point records across the store's segments."""
+    count = 0
+    for segment in Path(store).glob("seg-*.jsonl"):
+        for line in segment.read_text().splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue            # torn tail; not durable
+            if record.get("kind") == "point":
+                count += 1
+    return count
+
+
+def check(condition, what, reply=None):
+    if not condition:
+        print(f"FAIL: {what}", file=sys.stderr)
+        if reply is not None:
+            print(json.dumps(reply, indent=2)[:2000], file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {what}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default=None,
+                        help="store directory (default: a temp dir)")
+    parser.add_argument("--trace", default=None,
+                        help="trace file for the restarted daemon")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+    store = args.store or tempfile.mkdtemp(prefix="repro-store-")
+
+    files = sorted((ROOT / "scenarios").glob("*.json"))
+    check(files, f"found {len(files)} checked-in scenario files")
+    requests = [{"id": path.stem,
+                 "scenario": json.loads(path.read_text()),
+                 "timeout": 900}
+                for path in files]
+    # A sweep whose grid points the scenario files have *not* already
+    # stored, so the SIGKILL lands mid-solve rather than mid-cache-hit.
+    interrupted = {"id": "interrupted", "preset": "fig3",
+                   "grid": "quick", "timeout": 900}
+
+    # -- cold pass, then SIGKILL mid-sweep ----------------------------
+    daemon = Daemon(store, workers=args.workers)
+    try:
+        for request in requests:
+            reply = daemon.request(request)
+            check(reply["status"] == "ok" and reply["error_points"] == 0,
+                  f"cold solve of {request['id']}", reply)
+            check(not reply["cached"],
+                  f"{request['id']} was a cold solve", reply)
+        # Kill only after at least one shard of the new sweep has been
+        # durably persisted — a deterministic "mid-sweep", not a race.
+        base = point_records(store)
+        daemon.send(interrupted)
+        give_up = time.time() + 120
+        while point_records(store) <= base and time.time() < give_up:
+            time.sleep(0.1)
+        check(point_records(store) > base,
+              "a shard persisted while the sweep was still running")
+    finally:
+        daemon.kill_group()
+    print("ok: daemon SIGKILLed mid-sweep")
+
+    # -- restart on the same store ------------------------------------
+    daemon = Daemon(store, workers=args.workers, trace=args.trace)
+    try:
+        reply = daemon.request(interrupted)
+        check(reply["status"] == "ok" and reply["error_points"] == 0,
+              "interrupted sweep completed after restart", reply)
+        check(reply["cached"] or reply["store_points"] > 0,
+              "replay resumed from the persisted shard prefix", reply)
+
+        # -- warm pass: zero cold solves ------------------------------
+        before = daemon.solve_counter()
+        for request in requests:
+            reply = daemon.request(request)
+            check(reply["status"] == "ok" and reply["cached"],
+                  f"warm replay of {request['id']} store-served", reply)
+        after = daemon.solve_counter()
+        check(after == before,
+              f"zero cold solves on the warm pass "
+              f"(solve counter {before} -> {after})")
+        daemon.shutdown()
+    finally:
+        daemon.kill_group()
+    print("service smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,12 @@ Subcommands
 ``report``
     Summarize a trace file produced with ``--trace``: the per-class /
     per-stage timing table plus metric rollups.
+``serve``
+    Run the scenario service daemon (:mod:`repro.service`): JSONL over
+    stdin/stdout by default, or an HTTP front end with ``--http``.
+``request``
+    Submit one request to a running daemon (``--url``) or serve it
+    one-shot against a store directory in-process (``--store``).
 
 Every evaluating subcommand is a thin adapter that builds a
 :class:`~repro.scenario.spec.Scenario`; the engine flags (``--backend``,
@@ -74,6 +80,10 @@ ENGINE_FLAGS: tuple[tuple[str, str, dict], ...] = (
     ("heavy_traffic_only", "--heavy-traffic",
      {"action": "store_true",
       "help": "heavy-traffic model only (no fixed point)"}),
+    ("solve_budget", "--solve-budget",
+     {"type": float, "metavar": "S",
+      "help": "wall-clock budget in seconds for each R-matrix solve "
+              "(enforced mid-attempt; default: none)"}),
     ("horizon", "--horizon",
      {"type": float, "metavar": "T",
       "help": "simulated time per run (default 20000)"}),
@@ -285,16 +295,29 @@ def _print_run_result(result, *, plot: bool = False) -> None:
                          title=result.scenario.name or "scenario"))
 
 
-def _cmd_run(args) -> int:
+def _load_scenario_arg(ref: str, grid: str = "default"):
+    """Resolve a SCENARIO argument: a JSON file path or a preset name.
+
+    Anything that exists on disk — or merely *looks* like a path
+    (a ``.json`` suffix or a path separator) — is treated as a file,
+    so a missing or corrupt scenario file fails with the standard
+    one-line :class:`~repro.errors.ReproError` message (exit 2)
+    instead of a confusing unknown-preset listing or a raw traceback.
+    """
+    import os
     import pathlib
 
     from repro.scenario import get_scenario
-    from repro.scenario import run as run_scenario
-    if pathlib.Path(args.scenario).exists():
+    path = pathlib.Path(ref)
+    if path.exists() or path.suffix == ".json" or os.sep in ref:
         from repro.serialize import load_scenario
-        scenario = load_scenario(args.scenario)
-    else:
-        scenario = get_scenario(args.scenario, grid=args.grid)
+        return load_scenario(path)
+    return get_scenario(ref, grid=grid)
+
+
+def _cmd_run(args) -> int:
+    from repro.scenario import run as run_scenario
+    scenario = _load_scenario_arg(args.scenario, grid=args.grid)
     overrides = _engine_overrides(args)
     if args.engine is not None:
         overrides["engine"] = args.engine
@@ -320,6 +343,91 @@ def _cmd_scenarios(args) -> int:
                 else "single point")
         print(f"{s.name:<22} {s.engine.engine:<9} {axis:<18} {s.description}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import ScenarioService, ServiceConfig
+    config = ServiceConfig(
+        store_dir=args.store, workers=args.workers,
+        max_pending=args.max_pending, default_timeout=args.timeout,
+        trace=getattr(args, "trace", None))
+    with ScenarioService(config) as service:
+        if args.http is not None:
+            httpd = service.serve_http(args.host, args.http)
+            host, port = httpd.server_address[:2]
+            print(f"repro-gang: serving HTTP on {host}:{port} "
+                  f"(store {args.store}, {args.workers} worker(s))",
+                  file=sys.stderr)
+            try:
+                httpd.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                httpd.server_close()
+        else:
+            service.serve_stdio()
+    return 0
+
+
+def _request_payload(args) -> dict:
+    """Build the request object a ``request`` invocation sends."""
+    import os
+    import pathlib
+
+    request: dict = {"id": args.id, "op": args.op}
+    if args.op == "run":
+        if args.scenario is None:
+            raise SystemExit("repro-gang request: a run request needs a "
+                             "SCENARIO (file or preset name)")
+        path = pathlib.Path(args.scenario)
+        if path.exists() or path.suffix == ".json" or os.sep in args.scenario:
+            from repro.serialize import load_scenario, scenario_to_dict
+            request["scenario"] = scenario_to_dict(load_scenario(path))
+        else:
+            request["preset"] = args.scenario
+            request["grid"] = args.grid
+        overrides = _engine_overrides(args)
+        if overrides:
+            request["engine"] = overrides
+    if args.timeout is not None:
+        request["timeout"] = args.timeout
+    return request
+
+
+def _cmd_request(args) -> int:
+    import json
+    if (args.url is None) == (args.store is None):
+        raise SystemExit("repro-gang request: pass exactly one of --url "
+                         "(a running daemon) or --store (one-shot, "
+                         "in-process)")
+    request = _request_payload(args)
+    if args.url is not None:
+        import urllib.error
+        import urllib.request
+        try:
+            with urllib.request.urlopen(urllib.request.Request(
+                    args.url, data=json.dumps(request).encode("utf-8"),
+                    headers={"Content-Type": "application/json"}),
+                    timeout=args.timeout or 600.0) as http_response:
+                response = json.loads(http_response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            response = json.loads(exc.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError) as exc:
+            raise ReproError(
+                f"cannot reach scenario service at {args.url}: {exc}"
+            ) from exc
+    else:
+        from repro.service import ScenarioService, ServiceConfig
+        config = ServiceConfig(store_dir=args.store,
+                               workers=args.workers or 0,
+                               default_timeout=args.timeout)
+        with ScenarioService(config) as service:
+            response = service.handle(request)
+    print(json.dumps(response, indent=2))
+    status = response.get("status")
+    if status in ("ok", "degraded"):
+        return 0
+    return 2 if status == "error" else 1
 
 
 def _cmd_report(args) -> int:
@@ -418,6 +526,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p_sim)
     _add_obs_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_srv = sub.add_parser("serve",
+                           help="run the scenario service daemon (JSONL "
+                                "stdio, or HTTP with --http)")
+    p_srv.add_argument("--store", required=True, metavar="DIR",
+                       help="result store directory (created if missing)")
+    p_srv.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="supervised worker processes (default 0: "
+                            "solve inline)")
+    p_srv.add_argument("--max-pending", type=int, default=8, metavar="N",
+                       help="bounded request queue; overflow gets a busy "
+                            "reply (default 8)")
+    p_srv.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="default per-request deadline in seconds "
+                            "(default: none)")
+    p_srv.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="serve HTTP on PORT instead of stdio "
+                            "(0 picks a free port)")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default 127.0.0.1)")
+    p_srv.add_argument("--trace", metavar="FILE", default=None,
+                       help="record the daemon's span trace to FILE")
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_req = sub.add_parser("request",
+                           help="submit one request to the scenario "
+                                "service")
+    p_req.add_argument("scenario", metavar="SCENARIO", nargs="?",
+                       default=None,
+                       help="scenario JSON file or preset name (for "
+                            "--op run)")
+    p_req.add_argument("--grid", choices=("default", "quick", "full"),
+                       default="default",
+                       help="grid tier for preset scenarios")
+    p_req.add_argument("--op", choices=("run", "ping", "stats", "shutdown"),
+                       default="run", help="operation (default run)")
+    p_req.add_argument("--url", default=None, metavar="URL",
+                       help="POST to a daemon started with serve --http")
+    p_req.add_argument("--store", default=None, metavar="DIR",
+                       help="serve the request one-shot, in-process, "
+                            "against this store directory")
+    p_req.add_argument("--id", default="cli", metavar="ID",
+                       help="request id echoed in the reply (default cli)")
+    p_req.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-request deadline in seconds")
+    _add_engine_args(p_req)
+    p_req.set_defaults(func=_cmd_request)
 
     p_rep = sub.add_parser("report",
                            help="summarize a --trace file: per-class/"

@@ -50,6 +50,7 @@ seed and one or two Newton steps replace a full reduction.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -103,12 +104,28 @@ def _quad_residual(R, A0, A1, A2) -> float:
     return float(np.max(np.abs(R @ R @ A2 + R @ A1 + A0)))
 
 
+def _check_deadline(deadline: float | None, what: str, it: int,
+                    residual: float) -> None:
+    """Abort an iteration that overran its wall-clock deadline.
+
+    The check runs once per iteration, so a single runaway attempt —
+    large blocks, linear convergence toward an unstable fixed point —
+    can overshoot the budget by at most one iteration, not unboundedly.
+    """
+    if deadline is not None and time.monotonic() >= deadline:
+        raise ConvergenceError(
+            f"{what} hit its wall-clock deadline mid-solve "
+            f"(after {it} iteration(s))", iterations=it, residual=residual,
+        )
+
+
 def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
             method: str = "logreduction", tol: float = 1e-12,
             max_iter: int = 100_000,
             R0: np.ndarray | None = None,
             backend: str | None = None,
-            return_info: bool = False):
+            return_info: bool = False,
+            deadline: float | None = None):
     """Minimal non-negative solution of ``R^2 A2 + R A1 + A0 = 0``.
 
     Parameters
@@ -142,6 +159,14 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
         When ``True``, return ``(R, RSolveDiagnostics)`` instead of
         ``R`` alone — iteration count and final residual survive the
         success path.
+    deadline:
+        Optional :func:`time.monotonic` timestamp; the iterative
+        methods check it once per iteration and raise
+        :class:`~repro.errors.ConvergenceError` when it passes, so a
+        wall-clock budget binds *inside* an attempt, not just between
+        attempts (:func:`repro.resilience.fallback.resilient_solve_R`
+        threads its :class:`~repro.resilience.fallback.RetryPolicy`
+        budget through here).
     """
     A0 = np.asarray(A0, dtype=np.float64)
     A1 = np.asarray(A1, dtype=np.float64)
@@ -159,7 +184,8 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
     refined = False
     if method == "substitution":
         R, iterations = _solve_r_substitution(A0, A1, A2, tol=tol,
-                                              max_iter=max_iter, R0=R0)
+                                              max_iter=max_iter, R0=R0,
+                                              deadline=deadline)
     else:
         if R0 is not None:
             warm = refine_R(A0, A1, A2, R0, tol=tol, backend=backend,
@@ -170,10 +196,12 @@ def solve_R(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
         if R is None:
             if method == "logreduction":
                 G, iterations = solve_G(A0, A1, A2, tol=tol,
-                                        max_iter=max_iter, return_info=True)
+                                        max_iter=max_iter, return_info=True,
+                                        deadline=deadline)
             elif method == "cr":
                 G, iterations = _solve_g_cr(A0, A1, A2, tol=tol,
-                                            max_iter=max_iter)
+                                            max_iter=max_iter,
+                                            deadline=deadline)
             else:  # spectral: non-iterative
                 G = _solve_g_spectral(A0, A1, A2, tol=tol)
                 iterations = 0
@@ -280,13 +308,16 @@ def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
 
 def _solve_r_substitution(A0, A1, A2, *, tol: float, max_iter: int,
                           R0: np.ndarray | None = None,
+                          deadline: float | None = None,
                           ) -> tuple[np.ndarray, int]:
     neg_A1_inv = np.linalg.inv(-A1)
     if R0 is None:
         R = A0 @ neg_A1_inv  # first substitution step from R=0
     else:
         R = R0
+    delta = float("inf")
     for it in range(1, max_iter + 1):
+        _check_deadline(deadline, "successive substitution", it - 1, delta)
         R_next = (A0 + R @ R @ A2) @ neg_A1_inv
         delta = float(np.max(np.abs(R_next - R)))
         R = R_next
@@ -300,14 +331,17 @@ def _solve_r_substitution(A0, A1, A2, *, tol: float, max_iter: int,
 
 def solve_G(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
             tol: float = 1e-12, max_iter: int = 64,
-            return_info: bool = False):
+            return_info: bool = False,
+            deadline: float | None = None):
     """Minimal non-negative solution of ``A0 G^2 + A1 G + A2 = 0``.
 
     Uses logarithmic reduction on the uniformized QBD.  For a positive
     recurrent process ``G`` is stochastic; convergence is quadratic, so
     ``max_iter`` counts *doubling* steps (64 covers any practical
     case — the residual after ``k`` steps is order ``xi^(2^k)``).
-    With ``return_info=True`` returns ``(G, doubling_steps)``.
+    With ``return_info=True`` returns ``(G, doubling_steps)``; a
+    passed ``deadline`` (:func:`time.monotonic`) aborts mid-iteration
+    with :class:`~repro.errors.ConvergenceError`.
     """
     D0, D1, D2 = _uniformized_blocks(A0, A1, A2)
     d = D1.shape[0]
@@ -317,7 +351,10 @@ def solve_G(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, *,
     L = inv @ D2   # down-step kernel
     G = L.copy()
     T = H.copy()
+    defect = correction = float("inf")
     for it in range(1, max_iter + 1):
+        _check_deadline(deadline, "logarithmic reduction", it - 1,
+                        max(defect, correction))
         U = H @ L + L @ H
         M = H @ H
         H = np.linalg.solve(I - U, M)
@@ -354,8 +391,8 @@ def _uniformized_blocks(A0, A1, A2) -> tuple[np.ndarray, np.ndarray, np.ndarray]
     return A0 / rate, A1 / rate + np.eye(A1.shape[0]), A2 / rate
 
 
-def _solve_g_cr(A0, A1, A2, *, tol: float,
-                max_iter: int = 64) -> tuple[np.ndarray, int]:
+def _solve_g_cr(A0, A1, A2, *, tol: float, max_iter: int = 64,
+                deadline: float | None = None) -> tuple[np.ndarray, int]:
     """Bini–Meini cyclic reduction for ``G`` on the uniformized QBD.
 
     With discrete blocks ``(up, local, down) = (D0, D1, D2)`` the
@@ -369,7 +406,9 @@ def _solve_g_cr(A0, A1, A2, *, tol: float,
     I = np.eye(d)
     down, local, up = D2.copy(), D1.copy(), D0.copy()
     local_hat = D1.copy()
+    correction = float("inf")
     for it in range(1, max_iter + 1):
+        _check_deadline(deadline, "cyclic reduction", it - 1, correction)
         S = np.linalg.inv(I - local)
         downS = down @ S
         upS = up @ S

@@ -31,7 +31,12 @@ Budgets
 :class:`RetryPolicy` carries a per-solve iteration budget (summed over
 all attempts) and an optional wall-clock budget.  Exhausting either
 raises :class:`~repro.errors.SolverBudgetExceededError` with the
-attempt history attached as ``exc.report``.
+attempt history attached as ``exc.report``.  The wall-clock budget is
+enforced both between attempts and *inside* each attempt: the
+per-attempt deadline is threaded into the solver's iteration loops,
+so a single runaway attempt (large blocks creeping toward an unstable
+fixed point) is cut off mid-iteration instead of running to its full
+iteration cap first.
 """
 
 from __future__ import annotations
@@ -70,8 +75,11 @@ class RetryPolicy:
     #: Iteration budget summed across every attempt of the solve;
     #: ``None`` disables the check.
     max_total_iterations: int | None = 400_000
-    #: Wall-clock budget in seconds for the whole solve (checked
-    #: between attempts); ``None`` disables the check.
+    #: Wall-clock budget in seconds for the whole solve.  Checked
+    #: between attempts *and* threaded into every attempt's iteration
+    #: loop as a deadline (see ``solve_R(..., deadline=)``), so one
+    #: runaway attempt cannot exceed the budget by more than a single
+    #: iteration.  ``None`` disables the check.
     wall_clock_budget: float | None = None
 
 
@@ -271,6 +279,8 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
 
     report = SolveReport()
     t0 = time.monotonic()
+    deadline = (t0 + retry.wall_clock_budget
+                if retry.wall_clock_budget is not None else None)
     iterations_used = 0
     best_residual: float | None = None
 
@@ -319,7 +329,8 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
             try:
                 R, info = solve_R(A0, A1_eff, A2, method=m, tol=attempt_tol,
                                   max_iter=max_iter, R0=R0,
-                                  backend=cur_backend, return_info=True)
+                                  backend=cur_backend, return_info=True,
+                                  deadline=deadline)
             except (ConvergenceError, np.linalg.LinAlgError) as exc:
                 elapsed = time.monotonic() - t_attempt
                 iters = getattr(exc, "iterations", None)
@@ -384,6 +395,9 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
             attempt_tol *= retry.tol_tighten
             regularization = 0.0
 
+    # A deadline that fired inside the last attempt must still surface
+    # as a budget error, not a generic every-method-failed one.
+    _out_of_budget()
     metrics.inc("fallback.solves", status="failed")
     exc = ConvergenceError(
         f"every R-matrix method failed ({len(report.attempts)} attempts "

@@ -23,7 +23,21 @@ from repro.scenario.presets import (
     list_scenarios,
     scenario_names,
 )
-from repro.scenario.run import RunPoint, RunResult, run
+from repro.scenario.hashing import (
+    canonical_bytes,
+    point_key,
+    scenario_key,
+    semantic_scenario_dict,
+)
+from repro.scenario.run import (
+    RunPoint,
+    RunResult,
+    run,
+    run_point_from_dict,
+    run_point_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+)
 from repro.scenario.spec import (
     ENGINES,
     MEASURES,
@@ -49,6 +63,14 @@ __all__ = [
     "run",
     "RunResult",
     "RunPoint",
+    "run_point_to_dict",
+    "run_point_from_dict",
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "scenario_key",
+    "point_key",
+    "semantic_scenario_dict",
+    "canonical_bytes",
     "get_scenario",
     "list_scenarios",
     "scenario_names",

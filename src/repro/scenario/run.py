@@ -29,7 +29,9 @@ from repro.scenario.spec import Scenario
 from repro.sim.runner import SimPointEstimate, simulate_scenario_point
 from repro.workloads.sweeps import SweepPoint, sweep_scenario
 
-__all__ = ["RunPoint", "RunResult", "run"]
+__all__ = ["RunPoint", "RunResult", "run",
+           "run_point_to_dict", "run_point_from_dict",
+           "run_result_to_dict", "run_result_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -132,6 +134,87 @@ class RunResult:
                 row += list(pt.delta or nan)
             table.add_row(pt.value if pt.value is not None else float(i), row)
         return table
+
+
+def run_point_to_dict(pt: RunPoint) -> dict:
+    """JSON form of one :class:`RunPoint` (round-trips exactly).
+
+    Python's ``json`` encodes floats shortest-repr and accepts the
+    non-strict ``NaN``/``Infinity`` tokens failed/saturated points
+    produce, so a stored point replays byte-identically.
+    """
+    def seq(t):
+        return None if t is None else [float(x) for x in t]
+
+    return {
+        "value": None if pt.value is None else float(pt.value),
+        "mean_jobs": seq(pt.mean_jobs),
+        "mean_response_time": seq(pt.mean_response_time),
+        "iterations": int(pt.iterations),
+        "converged": bool(pt.converged),
+        "error": pt.error,
+        "sim_mean_jobs": seq(pt.sim_mean_jobs),
+        "sim_mean_response_time": seq(pt.sim_mean_response_time),
+        "sim_half_width": seq(pt.sim_half_width),
+        "delta": seq(pt.delta),
+    }
+
+
+def run_point_from_dict(data: dict) -> RunPoint:
+    """Rebuild a :class:`RunPoint` from :func:`run_point_to_dict`."""
+    def seq(v):
+        return None if v is None else tuple(float(x) for x in v)
+
+    return RunPoint(
+        value=None if data.get("value") is None else float(data["value"]),
+        mean_jobs=seq(data.get("mean_jobs")),
+        mean_response_time=seq(data.get("mean_response_time")),
+        iterations=int(data.get("iterations", 0)),
+        converged=bool(data.get("converged", True)),
+        error=data.get("error"),
+        sim_mean_jobs=seq(data.get("sim_mean_jobs")),
+        sim_mean_response_time=seq(data.get("sim_mean_response_time")),
+        sim_half_width=seq(data.get("sim_half_width")),
+        delta=seq(data.get("delta")),
+    )
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """The *deterministic* JSON form of a run result.
+
+    This is the payload the scenario service stores and replays, so it
+    carries only fields that depend on the scenario's result identity:
+    the engine, grid metadata, and every point's measures.  Execution
+    artifacts — resume/stale counters, the full :class:`SolvedModel` /
+    simulator detail — are deliberately excluded: two runs of the same
+    scenario must serialize to identical bytes whether they were
+    solved cold, resumed from a checkpoint, or assembled shard by
+    shard by the service.
+    """
+    return {
+        "engine": result.engine,
+        "parameter": result.parameter,
+        "class_names": list(result.class_names),
+        "points": [run_point_to_dict(pt) for pt in result.points],
+    }
+
+
+def run_result_from_dict(data: dict, scenario: Scenario | None = None,
+                         ) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`run_result_to_dict`.
+
+    ``scenario`` re-attaches the spec the payload was computed from
+    (the service client passes the one it submitted); the solver-side
+    extras (``solved``/``sim``/resume counters) are gone for good —
+    they never travel.
+    """
+    return RunResult(
+        scenario=scenario,
+        engine=str(data["engine"]),
+        parameter=data.get("parameter"),
+        class_names=tuple(str(n) for n in data["class_names"]),
+        points=[run_point_from_dict(p) for p in data.get("points", [])],
+    )
 
 
 def _combine(value: float | None, apt: SweepPoint | None,

@@ -152,6 +152,11 @@ class EngineSpec:
     max_iterations: int = 200
     tol: float = 1e-5
     heavy_traffic_only: bool = False
+    #: Wall-clock budget in seconds for each R-matrix solve (threaded
+    #: into the :class:`~repro.resilience.fallback.RetryPolicy` of the
+    #: resilience chain; the check fires mid-attempt).  ``None``
+    #: disables the clock.
+    solve_budget: float | None = None
     # Sweep execution knobs.
     workers: int | None = None
     checkpoint: str | None = None
@@ -178,6 +183,9 @@ class EngineSpec:
         if self.max_evaluations < 1:
             raise ValidationError(
                 f"max_evaluations must be >= 1, got {self.max_evaluations}")
+        if self.solve_budget is not None and self.solve_budget <= 0:
+            raise ValidationError(
+                f"solve_budget must be > 0 seconds, got {self.solve_budget}")
 
     @property
     def analytic(self) -> bool:
@@ -189,8 +197,15 @@ class EngineSpec:
 
     def model_kwargs(self) -> dict:
         """Keyword arguments for :class:`~repro.core.model.GangSchedulingModel`."""
-        return {"backend": self.backend, "reduction": self.reduction,
-                "rmatrix_method": self.rmatrix_method}
+        kwargs = {"backend": self.backend, "reduction": self.reduction,
+                  "rmatrix_method": self.rmatrix_method}
+        if self.solve_budget is not None:
+            from repro.resilience.fallback import DEFAULT_POLICY
+            retry = dataclasses.replace(DEFAULT_POLICY.retry,
+                                        wall_clock_budget=self.solve_budget)
+            kwargs["resilience"] = dataclasses.replace(DEFAULT_POLICY,
+                                                       retry=retry)
+        return kwargs
 
     def solve_kwargs(self) -> dict:
         """Keyword arguments for ``GangSchedulingModel.solve``."""

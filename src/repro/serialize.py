@@ -190,6 +190,7 @@ def scenario_to_dict(scenario) -> dict:
             "max_iterations": eng.max_iterations,
             "tol": eng.tol,
             "heavy_traffic_only": eng.heavy_traffic_only,
+            "solve_budget": eng.solve_budget,
             "workers": eng.workers,
             "checkpoint": eng.checkpoint,
             "horizon": eng.horizon,
@@ -213,9 +214,9 @@ _ENGINE_FIELD_TYPES = {
     "horizon": float, "seed": int, "replications": int,
     "warmup_fraction": float, "max_evaluations": int,
     # Optional (None-able) fields.
-    "workers": int, "checkpoint": str,
+    "workers": int, "checkpoint": str, "solve_budget": float,
 }
-_ENGINE_OPTIONAL = ("workers", "checkpoint")
+_ENGINE_OPTIONAL = ("workers", "checkpoint", "solve_budget")
 
 
 def _engine_from_dict(data: dict):
@@ -315,11 +316,20 @@ def save_scenario(scenario, path: str | pathlib.Path) -> None:
 
 
 def load_scenario(path: str | pathlib.Path):
-    """Read a scenario from a JSON file."""
+    """Read a scenario from a JSON file.
+
+    Unreadable paths (missing file, directory, permissions) and
+    malformed JSON both raise :class:`~repro.errors.ValidationError`,
+    so operational mistakes surface as the CLI's standard one-line
+    error instead of a traceback.
+    """
     try:
         data = json.loads(pathlib.Path(path).read_text())
     except json.JSONDecodeError as exc:
         raise ValidationError(f"{path} is not valid JSON: {exc}") from exc
+    except OSError as exc:
+        raise ValidationError(
+            f"cannot read scenario file {path}: {exc}") from exc
     return scenario_from_dict(data)
 
 
@@ -330,9 +340,16 @@ def save_system(config: SystemConfig, path: str | pathlib.Path) -> None:
 
 
 def load_system(path: str | pathlib.Path) -> SystemConfig:
-    """Read a configuration from a JSON file."""
+    """Read a configuration from a JSON file.
+
+    Unreadable paths and malformed JSON raise
+    :class:`~repro.errors.ValidationError` (see :func:`load_scenario`).
+    """
     try:
         data = json.loads(pathlib.Path(path).read_text())
     except json.JSONDecodeError as exc:
         raise ValidationError(f"{path} is not valid JSON: {exc}") from exc
+    except OSError as exc:
+        raise ValidationError(
+            f"cannot read config file {path}: {exc}") from exc
     return system_from_dict(data)

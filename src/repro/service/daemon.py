@@ -1,0 +1,432 @@
+"""The scenario service daemon: dedupe, shard, solve, degrade, persist.
+
+:class:`ScenarioService` is the transport-independent core — one
+:meth:`~ScenarioService.handle` call per request — wrapped by two thin
+front ends: :meth:`~ScenarioService.serve_stdio` (JSONL over
+stdin/stdout, the daemon mode behind ``repro-gang serve``) and
+:meth:`~ScenarioService.serve_http` (a stdlib ``ThreadingHTTPServer``).
+
+A run request flows::
+
+    request -> Scenario -> scenario_key -> full-result store hit?  yes: reply
+        no: shard the grid -> point_key per value -> store hits fill in
+            misses solved on the SupervisedPool under the request deadline
+        -> clean points persisted as each shard completes
+        -> result assembled in grid order
+        -> full result persisted iff every point is clean -> reply
+
+Robustness semantics:
+
+* **Graceful degradation** — when the per-request deadline expires
+  mid-sweep, the completed prefix is returned as a partial result with
+  ``status: "degraded"``; the missing grid values appear as explicit
+  ``DeadlineExceeded`` error points.  Failed or degraded points are
+  *never* persisted, so a later replay re-solves them cleanly.
+* **Overload shedding** — both front ends bound their request queues at
+  ``max_pending`` and answer overflow with a structured busy reply
+  instead of queueing unboundedly.
+* **Store discipline** — results are only ever appended through
+  :class:`~repro.service.store.ResultStore`, so a SIGKILLed daemon
+  loses at most a torn tail line, repaired on the next open; replaying
+  the same requests reproduces byte-identical results (each sweep point
+  is an independent solve, so a shard equals the corresponding point of
+  a full-grid run bit for bit).
+
+Every stage is observable: ``service.requests{status=...}``,
+``service.shards{source=store|solve|error|timeout}``,
+``service.request.elapsed``, plus the store/pool/worker metrics of the
+sibling modules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import queue as queue_mod
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError, ValidationError
+from repro.obs import metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import span
+from repro.scenario import (
+    OutputSpec,
+    RunPoint,
+    get_scenario,
+    point_key,
+    run_point_to_dict,
+    scenario_key,
+)
+from repro.serialize import scenario_from_dict, scenario_to_dict
+from repro.service import protocol
+from repro.service.protocol import Request
+from repro.service.store import ResultStore
+from repro.service.supervisor import SupervisedPool
+
+__all__ = ["ServiceConfig", "ScenarioService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`ScenarioService` needs to run."""
+
+    store_dir: str
+    workers: int = 0
+    max_pending: int = 8
+    default_timeout: float | None = None
+    segment_max_bytes: int = 4 << 20
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    breaker_limit: int = 5
+    breaker_window: float = 30.0
+    task_kill_limit: int = 2
+    trace: str | None = None
+
+    def __post_init__(self):
+        if self.max_pending < 1:
+            raise ValidationError(
+                f"max_pending must be >= 1, got {self.max_pending}")
+        if (self.default_timeout is not None
+                and self.default_timeout <= 0):
+            raise ValidationError(
+                f"default_timeout must be > 0, got {self.default_timeout}")
+
+
+class ScenarioService:
+    """The transport-independent scenario service core."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.store: ResultStore | None = None
+        self.pool: SupervisedPool | None = None
+        self._armed_obs = False
+        self._lock = threading.Lock()
+        self.shutting_down = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> "ScenarioService":
+        cfg = self.config
+        # Arm observability unless the embedding process already did:
+        # cache-hit accounting (the chaos suite's "zero cold solves"
+        # check) needs the metrics registry live.
+        if obs_trace.current_tracer() is None and not metrics.enabled():
+            from repro import obs
+            obs.start(trace_path=cfg.trace, collect_metrics=True)
+            self._armed_obs = True
+        self.store = ResultStore(cfg.store_dir,
+                                 segment_max_bytes=cfg.segment_max_bytes)
+        self.pool = SupervisedPool(
+            cfg.workers, backoff_base=cfg.backoff_base,
+            backoff_cap=cfg.backoff_cap, breaker_limit=cfg.breaker_limit,
+            breaker_window=cfg.breaker_window,
+            task_kill_limit=cfg.task_kill_limit)
+        return self
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+        if self._armed_obs:
+            from repro import obs
+            obs.stop()
+            self._armed_obs = False
+
+    def __enter__(self) -> "ScenarioService":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request handling --------------------------------------------------
+
+    def handle_line(self, line: str) -> dict:
+        """Decode and handle one JSONL request line; never raises."""
+        try:
+            request = protocol.decode_request(line)
+        except ReproError as exc:
+            metrics.inc("service.requests", status="error")
+            return protocol.error_response(self._peek_id(line), exc)
+        return self.handle(request)
+
+    def handle(self, request: Request | dict) -> dict:
+        """Serve one request; every failure becomes an error reply."""
+        try:
+            if isinstance(request, dict):
+                request = protocol.parse_request(request)
+            if request.op == "ping":
+                return protocol.pong_response(request.id)
+            if request.op == "stats":
+                return protocol.stats_response(request.id, self._stats())
+            if request.op == "shutdown":
+                self.shutting_down = True
+                return protocol.shutdown_response(request.id)
+            with self._lock:
+                return self._handle_run(request)
+        except ReproError as exc:
+            metrics.inc("service.requests", status="error")
+            rid = request.id if isinstance(request, Request) else None
+            return protocol.error_response(rid, exc)
+        except Exception as exc:        # noqa: BLE001 — daemon must not die
+            metrics.inc("service.requests", status="error")
+            rid = request.id if isinstance(request, Request) else None
+            return protocol.error_response(rid, exc)
+
+    @staticmethod
+    def _peek_id(line: str) -> str | None:
+        """Best-effort request id from an undecodable line."""
+        try:
+            data = json.loads(line)
+            rid = data.get("id") if isinstance(data, dict) else None
+            return rid if isinstance(rid, str) else None
+        except (ValueError, AttributeError):
+            return None
+
+    def _stats(self) -> dict:
+        return {
+            "store": self.store.stats(),
+            "pool": self.pool.stats(),
+            "metrics": metrics.snapshot() if metrics.enabled() else {},
+        }
+
+    # -- the run path ------------------------------------------------------
+
+    def _build_scenario(self, request: Request):
+        if request.preset is not None:
+            scenario = get_scenario(request.preset, grid=request.grid)
+        else:
+            scenario = scenario_from_dict(request.scenario)
+        if request.engine:
+            scenario = scenario.with_engine(**request.engine)
+        # Execution is the service's business: drop the caller's
+        # worker/checkpoint knobs and any trace/metrics output request
+        # (both are excluded from the content hash anyway).
+        return dataclasses.replace(
+            scenario,
+            engine=dataclasses.replace(scenario.engine,
+                                       workers=None, checkpoint=None),
+            output=OutputSpec(measures=scenario.output.measures))
+
+    def _handle_run(self, request: Request) -> dict:
+        t0 = time.monotonic()
+        scenario = self._build_scenario(request)
+        key = scenario_key(scenario)
+        timeout = (request.timeout if request.timeout is not None
+                   else self.config.default_timeout)
+        deadline = None if timeout is None else t0 + timeout
+        with span("service.request", key=key[:12],
+                  scenario=scenario.name or "(inline)"):
+            cached = self.store.get_result(key)
+            if cached is not None:
+                metrics.inc("service.requests", status="cached")
+                metrics.observe("service.request.elapsed",
+                                time.monotonic() - t0)
+                return protocol.result_response(
+                    request.id, key=key, result=cached, cached=True,
+                    degraded=False, store_points=len(cached["points"]),
+                    solved_points=0, error_points=0,
+                    elapsed=time.monotonic() - t0)
+            response = self._solve_request(request, scenario, key, t0,
+                                           deadline)
+        metrics.inc("service.requests", status=response["status"])
+        metrics.observe("service.request.elapsed", time.monotonic() - t0)
+        return response
+
+    def _solve_request(self, request: Request, scenario, key: str,
+                       t0: float, deadline: float | None) -> dict:
+        values = (list(scenario.grid()) if scenario.axis is not None
+                  else [None])
+        shards: dict[int, tuple[str, object]] = {}
+        tasks = []                      # (index, shard dict, value, pk)
+        for i, v in enumerate(values):
+            pk = point_key(scenario, v)
+            hit = self.store.get_point(pk)
+            if hit is not None:
+                shards[i] = ("store", hit)
+                metrics.inc("service.shards", source="store")
+            else:
+                shard = (scenario.with_grid([v]) if v is not None
+                         else scenario)
+                tasks.append((i, scenario_to_dict(shard), v, pk))
+        if tasks:
+            keys_by_task = {i: pk for i, _, _, pk in tasks}
+
+            def persist(task_id, status, payload):
+                # Clean shards hit the store the moment they complete,
+                # not after the whole sweep: a daemon SIGKILLed
+                # mid-sweep loses only its in-flight shards, and the
+                # replay resumes from the persisted prefix.
+                if (status == "ok"
+                        and payload["points"][0].get("error") is None):
+                    self.store.put_point(keys_by_task[task_id], payload)
+
+            outcomes = self.pool.run_tasks(
+                [(i, d, v) for i, d, v, _ in tasks], deadline=deadline,
+                on_result=persist)
+            for i, _, v, pk in tasks:
+                status, payload = outcomes.get(
+                    i, ("timeout", "request deadline exceeded"))
+                shards[i] = (status if status != "ok" else "solve",
+                             payload)
+                metrics.inc("service.shards",
+                            source=shards[i][0])
+        return self._assemble(request, scenario, key, values, shards, t0)
+
+    def _assemble(self, request: Request, scenario, key: str, values,
+                  shards, t0: float) -> dict:
+        meta = next((payload for kind, payload in shards.values()
+                     if kind in ("store", "solve")), None)
+        points = []
+        degraded = False
+        store_points = solved_points = 0
+        for i, v in enumerate(values):
+            kind, payload = shards[i]
+            if kind in ("store", "solve"):
+                points.append(payload["points"][0])
+                if kind == "store":
+                    store_points += 1
+                else:
+                    solved_points += 1
+                continue
+            if kind == "timeout":
+                degraded = True
+                error = f"DeadlineExceeded: {payload}"
+            else:
+                error = str(payload)
+            points.append(run_point_to_dict(
+                RunPoint(value=v, error=error, converged=False)))
+        result = {
+            "engine": (meta["engine"] if meta is not None
+                       else scenario.engine.engine),
+            "parameter": scenario.parameter,
+            "class_names": (list(meta["class_names"]) if meta is not None
+                            else list(self._class_names(scenario, values))),
+            "points": points,
+        }
+        error_points = sum(1 for pt in points if pt.get("error"))
+        if not degraded and error_points == 0:
+            self.store.put_result(key, result)
+        return protocol.result_response(
+            request.id, key=key, result=result, cached=False,
+            degraded=degraded, store_points=store_points,
+            solved_points=solved_points, error_points=error_points,
+            elapsed=time.monotonic() - t0)
+
+    @staticmethod
+    def _class_names(scenario, values):
+        return scenario.system.config_for(values[0]).class_names
+
+    # -- front ends --------------------------------------------------------
+
+    def serve_stdio(self, stdin=None, stdout=None) -> None:
+        """JSONL daemon loop: requests on stdin, replies on stdout.
+
+        Emits a ready banner first (clients block on it), then one
+        reply line per request, in order.  A reader thread keeps
+        draining stdin so overload is *shed* — lines beyond
+        ``max_pending`` queued requests get an immediate busy reply —
+        rather than backpressured into the peer's pipe buffer.
+        """
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        out_lock = threading.Lock()
+
+        def emit(obj: dict) -> None:
+            with out_lock:
+                stdout.write(protocol.encode(obj))
+                stdout.flush()
+
+        emit(protocol.ready_banner(workers=self.config.workers,
+                                   store_dir=str(self.config.store_dir)))
+        pending: queue_mod.Queue = queue_mod.Queue()
+
+        def reader() -> None:
+            for line in stdin:
+                if not line.strip():
+                    continue
+                if pending.qsize() >= self.config.max_pending:
+                    metrics.inc("service.requests", status="busy")
+                    emit(protocol.busy_response(
+                        self._peek_id(line), pending=pending.qsize(),
+                        limit=self.config.max_pending))
+                    continue
+                pending.put((time.monotonic(), line))
+            pending.put(None)
+
+        threading.Thread(target=reader, daemon=True,
+                         name="repro-service-reader").start()
+        while True:
+            item = pending.get()
+            if item is None:
+                break
+            enqueued, line = item
+            metrics.observe("service.queue.wait",
+                            time.monotonic() - enqueued)
+            response = self.handle_line(line)
+            emit(response)
+            if self.shutting_down:
+                break
+
+    def serve_http(self, host: str = "127.0.0.1", port: int = 0):
+        """An HTTP front end over the same protocol (stdlib only).
+
+        ``POST /`` takes one request object per body and returns the
+        reply; ``GET /stats`` returns the stats reply unauthenticated.
+        Concurrency beyond ``max_pending`` in-flight requests is shed
+        with a 503 busy reply.  Returns the (already bound, not yet
+        serving) ``ThreadingHTTPServer``; run it with
+        ``serve_forever()`` and stop it with ``shutdown()``.
+        """
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        service = self
+        gate = threading.BoundedSemaphore(self.config.max_pending)
+
+        class Handler(BaseHTTPRequestHandler):
+            def _reply(self, code: int, payload: dict) -> None:
+                body = protocol.encode(payload).encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_POST(self):          # noqa: N802 — http.server API
+                if not gate.acquire(blocking=False):
+                    metrics.inc("service.requests", status="busy")
+                    self._reply(503, protocol.busy_response(
+                        None, pending=service.config.max_pending,
+                        limit=service.config.max_pending))
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                    line = self.rfile.read(length).decode("utf-8")
+                    response = service.handle_line(line)
+                finally:
+                    gate.release()
+                code = (200 if response["status"] in ("ok", "degraded")
+                        else 400)
+                self._reply(code, response)
+                if service.shutting_down:
+                    threading.Thread(target=self.server.shutdown,
+                                     daemon=True).start()
+
+            def do_GET(self):           # noqa: N802 — http.server API
+                if self.path.rstrip("/") in ("", "/stats"):
+                    self._reply(200, protocol.stats_response(
+                        "stats", service._stats()))
+                else:
+                    self._reply(404, {"status": "error",
+                                      "error": "NotFound",
+                                      "message": self.path})
+
+            def log_message(self, *args):
+                pass                    # stay quiet; obs covers it
+
+        return ThreadingHTTPServer((host, port), Handler)

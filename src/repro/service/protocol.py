@@ -1,0 +1,200 @@
+"""Wire protocol of the scenario service: JSONL requests and replies.
+
+One request or reply per line, each a single JSON object.  The same
+shapes travel over the daemon's stdin/stdout and the HTTP front end
+(one request per ``POST /`` body), so a client written against either
+transport speaks to both.
+
+Requests
+--------
+``{"id": "r1", "op": "run", "preset": "fig2", "grid": "quick"}``
+    Solve a preset scenario (optionally at a grid tier).
+``{"id": "r2", "op": "run", "scenario": {...}}``
+    Solve an inline scenario (the :func:`repro.serialize.scenario_to_dict`
+    form).  ``engine`` may carry :class:`~repro.scenario.spec.EngineSpec`
+    field overrides; ``timeout`` is a per-request wall-clock deadline in
+    seconds.
+``{"id": "r3", "op": "ping" | "stats" | "shutdown"}``
+    Control operations: liveness, a metrics/store/pool snapshot, and a
+    clean stop.
+
+Replies
+-------
+Every reply echoes the request ``id`` and carries a ``status``:
+
+``ok``
+    The full result; ``cached`` tells whether it was served from the
+    store without solving, and ``store_points``/``solved_points`` count
+    the per-shard split.
+``degraded``
+    The request's deadline expired mid-sweep: ``result`` holds the
+    completed prefix, with the missing grid points recorded as error
+    points — the service *degrades*, it does not discard.
+``error``
+    The request could not be served at all; ``error`` names the
+    exception type, ``message`` is the one-liner.
+``busy``
+    Overload shedding: the bounded request queue is full.  Retry later;
+    nothing was enqueued.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "Request",
+    "parse_request",
+    "decode_request",
+    "encode",
+    "result_response",
+    "error_response",
+    "busy_response",
+    "pong_response",
+    "stats_response",
+    "shutdown_response",
+    "ready_banner",
+]
+
+#: Stamped into the daemon's ready banner; a client that needs a newer
+#: protocol can bail out before sending anything.
+PROTOCOL_VERSION = 1
+
+#: Operations a request can carry.
+OPS = ("run", "ping", "stats", "shutdown")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated service request."""
+
+    id: str
+    op: str = "run"
+    scenario: dict | None = None
+    preset: str | None = None
+    grid: str = "default"
+    engine: dict = field(default_factory=dict)
+    timeout: float | None = None
+
+    def __post_init__(self):
+        if not self.id or not isinstance(self.id, str):
+            raise ValidationError("request needs a non-empty string 'id'")
+        if self.op not in OPS:
+            raise ValidationError(
+                f"unknown op {self.op!r}; known: {list(OPS)}")
+        if self.op == "run":
+            if (self.scenario is None) == (self.preset is None):
+                raise ValidationError(
+                    "a run request needs exactly one of 'scenario' "
+                    "(inline dict) or 'preset' (name)")
+            if self.scenario is not None and not isinstance(self.scenario,
+                                                           dict):
+                raise ValidationError("'scenario' must be a mapping")
+        if self.timeout is not None and float(self.timeout) <= 0:
+            raise ValidationError(
+                f"timeout must be > 0 seconds, got {self.timeout}")
+        object.__setattr__(self, "engine", dict(self.engine or {}))
+
+
+def parse_request(data: dict) -> Request:
+    """Validate a decoded request object into a :class:`Request`."""
+    if not isinstance(data, dict):
+        raise ValidationError(f"request must be a JSON object: {data!r}")
+    unknown = set(data) - {"id", "op", "scenario", "preset", "grid",
+                           "engine", "timeout"}
+    if unknown:
+        raise ValidationError(
+            f"unknown request field(s) {sorted(unknown)}")
+    return Request(
+        id=data.get("id", ""),
+        op=str(data.get("op", "run")),
+        scenario=data.get("scenario"),
+        preset=(None if data.get("preset") is None
+                else str(data["preset"])),
+        grid=str(data.get("grid", "default")),
+        engine=data.get("engine") or {},
+        timeout=(None if data.get("timeout") is None
+                 else float(data["timeout"])),
+    )
+
+
+def decode_request(line: str) -> Request:
+    """Parse one JSONL request line (malformed -> ValidationError)."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"request is not valid JSON: {exc}") from exc
+    return parse_request(data)
+
+
+def encode(obj: dict) -> str:
+    """Canonical one-line JSON encoding (with trailing newline).
+
+    Compact separators and non-strict float tokens (``NaN`` is legal in
+    stored points), matching what :func:`json.loads` on the other side
+    accepts.
+    """
+    return json.dumps(obj, separators=(",", ":")) + "\n"
+
+
+def result_response(request_id: str, *, key: str, result: dict,
+                    cached: bool, degraded: bool,
+                    store_points: int, solved_points: int,
+                    error_points: int, elapsed: float) -> dict:
+    """A served run: the full (or degraded-prefix) result payload."""
+    return {
+        "id": request_id,
+        "status": "degraded" if degraded else "ok",
+        "key": key,
+        "cached": cached,
+        "store_points": store_points,
+        "solved_points": solved_points,
+        "error_points": error_points,
+        "elapsed": round(elapsed, 6),
+        "result": result,
+    }
+
+
+def error_response(request_id: str | None, exc: BaseException) -> dict:
+    """A request that could not be served at all."""
+    return {
+        "id": request_id,
+        "status": "error",
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+
+
+def busy_response(request_id: str | None, *, pending: int,
+                  limit: int) -> dict:
+    """Overload shedding: the bounded queue is full, nothing enqueued."""
+    return {
+        "id": request_id,
+        "status": "busy",
+        "pending": pending,
+        "limit": limit,
+    }
+
+
+def pong_response(request_id: str) -> dict:
+    return {"id": request_id, "status": "ok", "op": "ping",
+            "protocol": PROTOCOL_VERSION}
+
+
+def stats_response(request_id: str, stats: dict) -> dict:
+    return {"id": request_id, "status": "ok", "op": "stats", **stats}
+
+
+def shutdown_response(request_id: str) -> dict:
+    return {"id": request_id, "status": "ok", "op": "shutdown"}
+
+
+def ready_banner(*, workers: int, store_dir: str) -> dict:
+    """The daemon's first stdout line: clients block on it to sync."""
+    return {"status": "ready", "protocol": PROTOCOL_VERSION,
+            "workers": workers, "store": store_dir}

@@ -150,6 +150,41 @@ class TestBudgets:
         # Callers catching ConvergenceError keep working.
         assert issubclass(SolverBudgetExceededError, ConvergenceError)
 
+    def test_wall_clock_budget_binds_mid_attempt(self):
+        """Regression: a single runaway attempt must not exceed the budget.
+
+        The budget used to be checked only *between* attempts, so one
+        substitution attempt on a critically-drifted QBD (delta shrinks
+        like 1/n, never reaching tol) would burn through its full
+        100k-iteration cap — tens of seconds at this block size —
+        before the clock was consulted.  The deadline is now threaded
+        into the iteration loop itself.
+        """
+        import time
+
+        # Zero-drift diagonal blocks: substitution approaches the
+        # double root r=1 sublinearly and never meets tol=1e-12.
+        d = 128
+        A0 = np.eye(d)
+        A2 = np.eye(d)
+        A1 = -2.0 * np.eye(d)
+        policy = ResiliencePolicy(
+            chain=("substitution",),
+            retry=RetryPolicy(max_attempts_per_method=1,
+                              max_total_iterations=None,
+                              wall_clock_budget=0.2))
+        t0 = time.monotonic()
+        with pytest.raises(SolverBudgetExceededError) as info:
+            resilient_solve_R(A0, A1, A2, policy=policy)
+        elapsed = time.monotonic() - t0
+        # Generous CI slack; the pre-fix behavior is 20s+.
+        assert elapsed < 3.0
+        assert info.value.budget == 0.2
+        [attempt] = info.value.report.attempts
+        assert attempt.method == "substitution"
+        assert attempt.outcome == "error"
+        assert "deadline" in attempt.error
+
 
 class TestSolveQBDIntegration:
     def test_faulted_primary_still_solves_correctly(self):

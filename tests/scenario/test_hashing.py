@@ -1,0 +1,145 @@
+"""Property suite for scenario content hashing (the service's cache key).
+
+The service's correctness rests on two hash properties:
+
+* **stability** — a key survives every representation change that does
+  not change the computation: JSON key reordering, serialization
+  round-trips, execution-only engine knobs;
+* **separation** — scenarios that compute different numbers (different
+  presets, grid tiers, solver knobs, grid values) never share a key.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.scenario import (
+    GRID_TIERS,
+    canonical_bytes,
+    get_scenario,
+    point_key,
+    scenario_key,
+    scenario_names,
+    semantic_scenario_dict,
+)
+from repro.serialize import scenario_from_dict, scenario_to_dict
+
+NAMES = scenario_names()
+
+
+def reorder(value, rng):
+    """Recursively shuffle every dict's key order (JSON-visible only)."""
+    if isinstance(value, dict):
+        keys = list(value)
+        rng.shuffle(keys)
+        return {k: reorder(value[k], rng) for k in keys}
+    if isinstance(value, list):
+        return [reorder(v, rng) for v in value]
+    return value
+
+
+@st.composite
+def preset_scenarios(draw):
+    name = draw(st.sampled_from(NAMES))
+    grid = draw(st.sampled_from(GRID_TIERS))
+    return get_scenario(name, grid=grid)
+
+
+class TestStability:
+    @given(preset_scenarios(), st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_key_invariant_under_key_reordering(self, scenario, rng):
+        shuffled = reorder(scenario_to_dict(scenario), rng)
+        assert scenario_key(scenario_from_dict(shuffled)) \
+            == scenario_key(scenario)
+
+    @given(preset_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_key_survives_json_round_trip(self, scenario):
+        data = json.loads(json.dumps(scenario_to_dict(scenario)))
+        back = scenario_from_dict(data)
+        assert scenario_key(back) == scenario_key(scenario)
+        # And the canonical bytes themselves are reproducible.
+        assert canonical_bytes(semantic_scenario_dict(back)) \
+            == canonical_bytes(semantic_scenario_dict(scenario))
+
+    @given(preset_scenarios(),
+           st.integers(min_value=1, max_value=8),
+           st.sampled_from(["journal.jsonl", "x/y.jsonl", None]))
+    @settings(max_examples=40, deadline=None)
+    def test_execution_knobs_do_not_change_key(self, scenario, workers,
+                                               checkpoint):
+        tweaked = scenario.with_engine(workers=workers,
+                                       checkpoint=checkpoint)
+        assert scenario_key(tweaked) == scenario_key(scenario)
+
+    @given(preset_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_display_fields_do_not_change_key(self, scenario):
+        renamed = dataclasses.replace(scenario, name="other",
+                                      description="different words")
+        assert scenario_key(renamed) == scenario_key(scenario)
+
+
+class TestSeparation:
+    def test_presets_and_grid_tiers_never_collide(self):
+        keys = {}
+        for name in NAMES:
+            for grid in GRID_TIERS:
+                scenario = get_scenario(name, grid=grid)
+                key = scenario_key(scenario)
+                semantic = canonical_bytes(
+                    semantic_scenario_dict(scenario))
+                if key in keys and keys[key] != semantic:
+                    pytest.fail(
+                        f"hash collision: {name}/{grid} collides with a "
+                        f"semantically different scenario")
+                keys[key] = semantic
+        # Sanity: the sweep covered a real population of distinct keys.
+        assert len(set(keys)) > len(NAMES)
+
+    @given(preset_scenarios(), st.floats(min_value=1e-7, max_value=1e-3))
+    @settings(max_examples=20, deadline=None)
+    def test_solver_knobs_change_key(self, scenario, tol):
+        tweaked = scenario.with_engine(tol=tol)
+        if tweaked.engine.tol == scenario.engine.tol:
+            return
+        assert scenario_key(tweaked) != scenario_key(scenario)
+
+
+class TestPointKeys:
+    def test_point_keys_shared_across_grids(self):
+        # The same grid value reached through different tiers hashes
+        # identically — that is what makes shards reusable.
+        quick = get_scenario("fig2", grid="quick")
+        full = get_scenario("fig2", grid="full")
+        shared = set(quick.grid()) & set(full.grid())
+        assert shared
+        for v in shared:
+            assert point_key(quick, v) == point_key(full, v)
+
+    def test_point_keys_distinct_per_value(self):
+        scenario = get_scenario("fig2", grid="quick")
+        keys = {point_key(scenario, v) for v in scenario.grid()}
+        assert len(keys) == len(scenario.grid())
+
+    def test_point_key_differs_from_scenario_key(self):
+        scenario = get_scenario("fig2", grid="quick")
+        assert point_key(scenario, scenario.grid()[0]) \
+            != scenario_key(scenario)
+
+    def test_unswept_point_key(self):
+        scenario = get_scenario("crosscheck-moderate")
+        assert scenario.axis is None
+        assert point_key(scenario, None)  # valid, stable
+        with pytest.raises(ValidationError, match="no sweep axis"):
+            point_key(scenario, 1.0)
+
+    def test_swept_requires_value(self):
+        scenario = get_scenario("fig2")
+        with pytest.raises(ValidationError, match="unswept"):
+            point_key(scenario, None)

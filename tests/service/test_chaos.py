@@ -1,0 +1,210 @@
+"""End-to-end chaos suite for the scenario service daemon.
+
+Drives a real ``repro-gang serve`` subprocess over the stdio JSONL
+protocol while injecting solver faults (``resilience.faults`` armed
+through ``REPRO_SERVICE_CHAOS``), SIGKILLing a worker mid-shard, and
+finally SIGKILLing the daemon itself mid-sweep — then restarts clean
+and asserts the replay completes with results byte-identical to a
+fresh single-process :func:`repro.scenario.run`.
+
+This is the PR's acceptance harness; it is the slowest test in the
+suite (two daemon subprocesses, spawned workers, two reference solves).
+"""
+
+import dataclasses
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.scenario import (
+    OutputSpec,
+    canonical_bytes,
+    get_scenario,
+    run,
+    run_result_to_dict,
+)
+from repro.service.supervisor import CHAOS_ENV
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: fig3 quick grid values the chaos run targets.
+V_ERR = 0.6     # draws an injected ConvergenceError inside the sweep
+V_KILL = 2.0    # the worker holding this shard SIGKILLs itself once
+
+FIG3 = {"id": "fig3", "preset": "fig3", "grid": "quick", "timeout": 240}
+FIG2 = {"id": "fig2", "preset": "fig2", "grid": "quick", "timeout": 240}
+
+
+class Daemon:
+    """A scenario-service daemon subprocess driven over stdio JSONL."""
+
+    def __init__(self, store_dir, *, workers=2, chaos=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        env.pop(CHAOS_ENV, None)
+        if chaos is not None:
+            env[CHAOS_ENV] = json.dumps(chaos)
+        # Its own session => its own process group: killing the group
+        # takes the spawned workers down with the daemon, the way an
+        # OOM killer or a node reboot would.
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--store", str(store_dir), "--workers", str(workers)],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True, env=env,
+            start_new_session=True)
+        self._lines = queue.Queue()
+        threading.Thread(target=self._pump, daemon=True).start()
+        banner = self.read(timeout=120)
+        assert banner["status"] == "ready"
+
+    def _pump(self):
+        for line in self.proc.stdout:
+            self._lines.put(line)
+
+    def send(self, obj):
+        self.proc.stdin.write(json.dumps(obj) + "\n")
+        self.proc.stdin.flush()
+
+    def read(self, timeout=300):
+        return json.loads(self._lines.get(timeout=timeout))
+
+    def request(self, obj, timeout=300):
+        self.send(obj)
+        return self.read(timeout=timeout)
+
+    def solve_counter(self):
+        stats = self.request({"id": "m", "op": "stats"}, timeout=60)
+        return stats["metrics"]["counters"].get(
+            "service.shards{source=solve}", 0.0)
+
+    def kill_group(self):
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        self.proc.wait(timeout=10)
+
+    def shutdown(self):
+        try:
+            reply = self.request({"id": "bye", "op": "shutdown"},
+                                 timeout=60)
+            assert reply["op"] == "shutdown"
+            self.proc.wait(timeout=60)
+        finally:
+            self.kill_group()
+
+
+def point_records(store):
+    """Count durable per-point records across the store's segments."""
+    count = 0
+    for segment in Path(store).glob("seg-*.jsonl"):
+        for line in segment.read_text().splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue            # torn tail; not durable
+            if record.get("kind") == "point":
+                count += 1
+    return count
+
+
+def normalized(preset, grid):
+    """The scenario exactly as the service normalizes it."""
+    scenario = get_scenario(preset, grid=grid)
+    return dataclasses.replace(
+        scenario,
+        engine=dataclasses.replace(scenario.engine,
+                                   workers=None, checkpoint=None),
+        output=OutputSpec(measures=scenario.output.measures))
+
+
+def test_chaos_kill_restart_replay_byte_identical(tmp_path):
+    store = tmp_path / "store"
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    grid3 = get_scenario("fig3", grid="quick").grid()
+    assert V_ERR in grid3 and V_KILL in grid3
+
+    chaos = {
+        "faults": [{"site": "sweeps.point",
+                    "raises": "ConvergenceError", "keys": [V_ERR]}],
+        "kill": {"value": V_KILL, "marker_dir": str(markers)},
+    }
+
+    # --- Phase 1: the hostile daemon ---------------------------------
+    daemon = Daemon(store, workers=2, chaos=chaos)
+    try:
+        r1 = daemon.request(FIG3)
+        assert r1["status"] == "ok"
+        # The injected fault is an explicit error point, nothing more.
+        assert r1["error_points"] == 1
+        bad = [pt for pt in r1["result"]["points"] if pt.get("error")]
+        assert bad[0]["value"] == V_ERR
+        assert "ConvergenceError" in bad[0]["error"]
+        # The SIGKILLed worker's shard was requeued and solved clean.
+        killed = next(pt for pt in r1["result"]["points"]
+                      if pt["value"] == V_KILL)
+        assert killed.get("error") is None
+        assert (markers / f"killed-{V_KILL}").exists()
+
+        stats = daemon.request({"id": "s", "op": "stats"}, timeout=60)
+        assert stats["pool"]["restarts"] == 1   # exactly the chaos kill
+        assert stats["pool"]["broken"] == 0
+
+        # SIGKILL the daemon (and its workers) mid-sweep — after at
+        # least one fig2 shard has durably reached the store, so the
+        # kill is deterministically "mid-sweep", not a race.
+        base = point_records(store)
+        daemon.send(FIG2)
+        give_up = time.time() + 120
+        while point_records(store) <= base and time.time() < give_up:
+            time.sleep(0.05)
+        assert point_records(store) > base
+    finally:
+        daemon.kill_group()
+
+    # --- Phase 2: clean restart, same store --------------------------
+    daemon = Daemon(store, workers=2, chaos=None)
+    try:
+        # fig3 replay: the clean points come back from the store, only
+        # the injected-fault point needs a fresh solve — and the
+        # result is now complete.
+        r3 = daemon.request(FIG3)
+        assert r3["status"] == "ok" and not r3["cached"]
+        assert r3["error_points"] == 0
+        assert r3["store_points"] == len(grid3) - 1
+        assert r3["solved_points"] == 1
+
+        # fig2, interrupted mid-sweep by the SIGKILL, completes too —
+        # resuming from the shards persisted before the kill (clean
+        # points hit the store as they complete, not at sweep end).
+        r4 = daemon.request(FIG2)
+        assert r4["status"] == "ok"
+        assert r4["error_points"] == 0
+        assert r4["cached"] or r4["store_points"] > 0
+
+        # Warm pass: both replays are fully store-served — the solve
+        # counter does not move (the chaos suite's "zero cold solves").
+        before = daemon.solve_counter()
+        r5 = daemon.request(dict(FIG2, id="fig2-warm"))
+        r6 = daemon.request(dict(FIG3, id="fig3-warm"))
+        assert r5["cached"] and r6["cached"]
+        assert r5["result"] == r4["result"]
+        assert r6["result"] == r3["result"]
+        assert daemon.solve_counter() == before
+        daemon.shutdown()
+    finally:
+        daemon.kill_group()
+
+    # --- Byte-identity against fresh single-process runs -------------
+    for request, preset in ((r3, "fig3"), (r4, "fig2")):
+        fresh = run_result_to_dict(run(normalized(preset, "quick")))
+        assert canonical_bytes(request["result"]) \
+            == canonical_bytes(fresh)

@@ -1,0 +1,164 @@
+"""In-process tests for the scenario service core (workers=0).
+
+The subprocess/chaos behavior lives in ``test_chaos.py``; here the
+service runs inline so the request semantics — dedupe, shard reuse,
+degradation, store discipline — are cheap to exercise.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.scenario import (
+    OutputSpec,
+    canonical_bytes,
+    get_scenario,
+    point_key,
+    run,
+    run_result_to_dict,
+)
+from repro.serialize import scenario_to_dict
+from repro.service import ScenarioService, ServiceConfig
+
+
+@pytest.fixture
+def service(tmp_path):
+    config = ServiceConfig(store_dir=str(tmp_path / "store"))
+    with ScenarioService(config) as svc:
+        yield svc
+
+
+def normalized(preset, grid="default"):
+    """The scenario exactly as the service normalizes it."""
+    scenario = get_scenario(preset, grid=grid)
+    return dataclasses.replace(
+        scenario,
+        engine=dataclasses.replace(scenario.engine,
+                                   workers=None, checkpoint=None),
+        output=OutputSpec(measures=scenario.output.measures))
+
+
+class TestRunPath:
+    def test_solve_cache_and_cross_grid_reuse(self, service):
+        quick = get_scenario("fig2", grid="quick")
+        r1 = service.handle({"id": "a", "preset": "fig2",
+                             "grid": "quick"})
+        assert r1["status"] == "ok" and not r1["cached"]
+        assert r1["solved_points"] == len(quick.grid())
+        assert r1["error_points"] == 0
+
+        # Identical request: served whole from the result store.
+        r2 = service.handle({"id": "b", "preset": "fig2",
+                             "grid": "quick"})
+        assert r2["cached"] and r2["result"] == r1["result"]
+
+        # The inline form of the same scenario hashes to the same key.
+        r3 = service.handle({"id": "c",
+                             "scenario": scenario_to_dict(quick)})
+        assert r3["cached"] and r3["key"] == r1["key"]
+
+        # The default tier's grid is a subset of quick's: the sweep is
+        # assembled entirely from stored per-point shards, zero solves.
+        r4 = service.handle({"id": "d", "preset": "fig2"})
+        assert r4["status"] == "ok" and not r4["cached"]
+        assert r4["solved_points"] == 0
+        assert r4["store_points"] == len(get_scenario("fig2").grid())
+
+        # Byte-identity: the assembled result equals a fresh
+        # single-process run of the normalized scenario.
+        fresh = run_result_to_dict(run(normalized("fig2", "quick")))
+        assert canonical_bytes(r1["result"]) == canonical_bytes(fresh)
+
+    def test_engine_override_changes_cache_key(self, service):
+        shard = scenario_to_dict(get_scenario("fig2").with_grid([0.5]))
+        r1 = service.handle({"id": "a", "scenario": shard})
+        r2 = service.handle({"id": "b", "scenario": shard,
+                             "engine": {"tol": 1e-7}})
+        assert r1["status"] == "ok" and r2["status"] == "ok"
+        assert not r2["cached"]
+        assert r1["key"] != r2["key"]
+
+
+class TestDegradation:
+    def test_deadline_degrades_and_is_never_stored(self, service):
+        quick = get_scenario("fig2", grid="quick")
+        full = get_scenario("fig2", grid="full")
+        shared = sorted(set(quick.grid()) & set(full.grid()))
+        assert shared                   # the tiers are built to overlap
+
+        # A deadline that has already passed: every point degrades.
+        r1 = service.handle({"id": "a", "preset": "fig2",
+                             "grid": "quick", "timeout": 1e-9})
+        assert r1["status"] == "degraded"
+        assert r1["error_points"] == len(quick.grid())
+        for pt in r1["result"]["points"]:
+            assert pt["error"].startswith("DeadlineExceeded")
+        # Degraded results are never persisted.
+        assert service.store.get_result(r1["key"]) is None
+
+        # The same request without the deadline is a cold, clean solve.
+        r2 = service.handle({"id": "b", "preset": "fig2",
+                             "grid": "quick"})
+        assert r2["status"] == "ok" and not r2["cached"]
+        assert r2["error_points"] == 0
+
+        # Partial degradation: the full tier shares points with quick —
+        # those are served from the store, the rest come back as
+        # explicit deadline errors (the completed prefix is kept).
+        r3 = service.handle({"id": "c", "preset": "fig2",
+                             "grid": "full", "timeout": 1e-9})
+        assert r3["status"] == "degraded"
+        assert r3["store_points"] == len(shared)
+        assert r3["error_points"] == len(full.grid()) - len(shared)
+        clean = [pt for pt in r3["result"]["points"]
+                 if pt.get("error") is None]
+        assert len(clean) == len(shared)
+        # Neither the partial result nor the missing points leaked
+        # into the store.
+        assert service.store.get_result(r3["key"]) is None
+        missing = sorted(set(full.grid()) - set(shared))
+        scenario = normalized("fig2", "full")
+        assert service.store.get_point(
+            point_key(scenario, missing[0])) is None
+
+
+class TestProtocolSurface:
+    def test_unknown_preset_is_an_error_reply(self, service):
+        resp = service.handle({"id": "x", "preset": "nope"})
+        assert resp["status"] == "error"
+        assert resp["error"] == "ValidationError"
+        assert resp["id"] == "x"
+
+    def test_malformed_line_yields_error_reply(self, service):
+        resp = service.handle_line("{not json")
+        assert resp["status"] == "error" and resp["id"] is None
+        # A decodable line with a bad op still echoes its id back.
+        resp = service.handle_line('{"id": "m", "op": "explode"}')
+        assert resp["status"] == "error" and resp["id"] == "m"
+
+    def test_control_ops(self, service):
+        pong = service.handle({"id": "p", "op": "ping"})
+        assert pong["status"] == "ok" and pong["op"] == "ping"
+        stats = service.handle({"id": "s", "op": "stats"})
+        assert "store" in stats and "pool" in stats
+        assert stats["pool"]["workers"] == 0
+        bye = service.handle({"id": "q", "op": "shutdown"})
+        assert bye["op"] == "shutdown"
+        assert service.shutting_down
+
+
+class TestStoreResilience:
+    def test_torn_store_repaired_and_still_served(self, tmp_path):
+        config = ServiceConfig(store_dir=str(tmp_path / "store"))
+        shard = scenario_to_dict(get_scenario("fig2").with_grid([0.5]))
+        with ScenarioService(config) as svc:
+            r1 = svc.handle({"id": "a", "scenario": shard})
+            assert r1["status"] == "ok"
+        # A daemon SIGKILLed mid-write leaves a torn tail line.
+        segment = sorted((tmp_path / "store").glob("seg-*.jsonl"))[-1]
+        with open(segment, "ab") as fh:
+            fh.write(b'{"kind": "result", "key": "torn')
+        with ScenarioService(config) as svc:
+            assert svc.store.repaired_tails == 1
+            r2 = svc.handle({"id": "b", "scenario": shard})
+        assert r2["cached"] and r2["result"] == r1["result"]

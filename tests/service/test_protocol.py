@@ -1,0 +1,105 @@
+"""Tests for the service wire protocol."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service import protocol
+from repro.service.protocol import Request
+
+
+class TestRequestValidation:
+    def test_minimal_preset_run(self):
+        req = protocol.parse_request({"id": "r1", "preset": "fig2"})
+        assert req.op == "run" and req.preset == "fig2"
+        assert req.grid == "default" and req.timeout is None
+
+    def test_inline_scenario_run(self):
+        req = protocol.parse_request(
+            {"id": "r1", "scenario": {"system": {"preset": "fig23"}}})
+        assert req.scenario == {"system": {"preset": "fig23"}}
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ValidationError, match="id"):
+            protocol.parse_request({"preset": "fig2"})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValidationError, match="unknown op"):
+            protocol.parse_request({"id": "r", "op": "explode"})
+
+    def test_run_needs_exactly_one_source(self):
+        with pytest.raises(ValidationError, match="exactly one"):
+            protocol.parse_request({"id": "r"})
+        with pytest.raises(ValidationError, match="exactly one"):
+            protocol.parse_request({"id": "r", "preset": "fig2",
+                                    "scenario": {}})
+
+    def test_control_ops_need_no_scenario(self):
+        for op in ("ping", "stats", "shutdown"):
+            assert protocol.parse_request({"id": "r", "op": op}).op == op
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValidationError, match="unknown request field"):
+            protocol.parse_request({"id": "r", "preset": "fig2",
+                                    "retries": 3})
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValidationError, match="timeout"):
+            protocol.parse_request({"id": "r", "preset": "fig2",
+                                    "timeout": 0})
+
+    def test_decode_malformed_line(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            protocol.decode_request("{nope")
+
+
+class TestEncoding:
+    def test_encode_is_one_line(self):
+        line = protocol.encode({"a": [1, 2], "b": {"c": "multi\nline"}})
+        assert line.endswith("\n")
+        assert line.count("\n") == 1
+        assert json.loads(line) == {"a": [1, 2], "b": {"c": "multi\nline"}}
+
+    def test_encode_round_trips_nan(self):
+        # Failed sweep points carry NaN measures; the wire must too.
+        decoded = json.loads(protocol.encode({"x": float("nan")}))
+        assert decoded["x"] != decoded["x"]
+
+
+class TestResponses:
+    def test_result_response_statuses(self):
+        ok = protocol.result_response(
+            "r", key="k", result={}, cached=False, degraded=False,
+            store_points=1, solved_points=2, error_points=0, elapsed=0.5)
+        assert ok["status"] == "ok" and ok["id"] == "r"
+        deg = protocol.result_response(
+            "r", key="k", result={}, cached=False, degraded=True,
+            store_points=0, solved_points=1, error_points=2, elapsed=0.5)
+        assert deg["status"] == "degraded"
+
+    def test_error_response_names_the_type(self):
+        resp = protocol.error_response("r", ValidationError("bad input"))
+        assert resp == {"id": "r", "status": "error",
+                        "error": "ValidationError", "message": "bad input"}
+
+    def test_busy_response(self):
+        resp = protocol.busy_response(None, pending=8, limit=8)
+        assert resp["status"] == "busy" and resp["limit"] == 8
+
+    def test_control_responses_echo_id(self):
+        assert protocol.pong_response("p")["id"] == "p"
+        assert protocol.stats_response("s", {"store": {}})["store"] == {}
+        assert protocol.shutdown_response("x")["op"] == "shutdown"
+
+    def test_ready_banner_carries_protocol_version(self):
+        banner = protocol.ready_banner(workers=2, store_dir="/tmp/s")
+        assert banner["protocol"] == protocol.PROTOCOL_VERSION
+
+
+class TestRequestDefaultsAreFrozen:
+    def test_engine_overrides_copied(self):
+        overrides = {"tol": 1e-7}
+        req = Request(id="r", preset="fig2", engine=overrides)
+        overrides["tol"] = 1.0
+        assert req.engine == {"tol": 1e-7}

@@ -107,7 +107,8 @@ class TestEngineFlagParity:
     SAMPLE = {
         "--backend": "dense", "--workers": "2", "--checkpoint": "cp.jsonl",
         "--max-iterations": "50", "--fp-tol": "1e-7",
-        "--heavy-traffic": None, "--horizon": "500", "--seed": "7",
+        "--heavy-traffic": None, "--solve-budget": "2.5",
+        "--horizon": "500", "--seed": "7",
         "--replications": "3", "--budget": "9",
     }
 
@@ -220,6 +221,73 @@ class TestErrorHandling:
         path.write_text('{"kind": "sweep-header", "parameter": "other"}\n')
         assert main(["figure", "2", "--checkpoint", str(path)]) == 2
         assert "CheckpointError" in capsys.readouterr().err
+
+    def test_run_missing_scenario_file_exits_2(self, tmp_path, capsys):
+        # Satellite regression: a bad path used to leak a raw
+        # FileNotFoundError traceback (or worse, a misleading
+        # unknown-preset listing).
+        missing = tmp_path / "nope" / "scenario.json"
+        assert main(["run", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-gang: ValidationError:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_run_missing_json_name_treated_as_file(self, capsys):
+        # No path separator, but the .json suffix marks it as a file —
+        # not a preset lookup.
+        assert main(["run", "no-such-scenario.json"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read scenario file" in err
+
+    def test_run_directory_exits_2(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path)]) == 2
+        assert capsys.readouterr().err.startswith(
+            "repro-gang: ValidationError:")
+
+    def test_run_corrupt_scenario_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "repro-scenario", "version":')
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-gang: ValidationError:")
+        assert "not valid JSON" in err
+
+    def test_run_bad_file_traceback_flag_reraises(self, tmp_path):
+        from repro.errors import ValidationError
+        with pytest.raises(ValidationError):
+            main(["--traceback", "run", str(tmp_path / "missing.json")])
+
+
+class TestServiceCLI:
+    def test_request_store_one_shot_then_cached(self, tmp_path, capsys):
+        from repro.scenario import get_scenario
+        from repro.serialize import save_scenario
+        path = tmp_path / "point.json"
+        save_scenario(get_scenario("fig2").with_grid([0.5]), path)
+        store = str(tmp_path / "store")
+        assert main(["request", str(path), "--store", store]) == 0
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["status"] == "ok"
+        assert reply["solved_points"] == 1
+        # The store persists across one-shot invocations.
+        assert main(["request", str(path), "--store", store]) == 0
+        assert json.loads(capsys.readouterr().out)["cached"] is True
+
+    def test_request_requires_exactly_one_target(self):
+        with pytest.raises(SystemExit):
+            main(["request", "fig2"])
+
+    def test_request_ping_needs_no_scenario(self, tmp_path, capsys):
+        rc = main(["request", "--op", "ping",
+                   "--store", str(tmp_path / "store")])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["op"] == "ping"
+
+    def test_request_error_reply_exits_2(self, tmp_path, capsys):
+        rc = main(["request", "no-such-preset",
+                   "--store", str(tmp_path / "store")])
+        assert rc == 2
+        assert json.loads(capsys.readouterr().out)["status"] == "error"
 
 
 class TestFigureCheckpoint:
