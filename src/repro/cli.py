@@ -129,7 +129,8 @@ def _add_system_args(p: argparse.ArgumentParser) -> None:
                    help="add a job class: partition size, arrival rate, "
                         "service rate, mean quantum, mean overhead "
                         "(repeatable; default: the paper's fig-2 classes)")
-    p.add_argument("--policy", choices=("switch", "idle"), default="switch",
+    p.add_argument("--empty-queue", dest="empty_queue",
+                   choices=("switch", "idle"), default="switch",
                    help="behaviour when a queue empties mid-quantum")
     p.add_argument("--config", metavar="FILE", default=None,
                    help="load the system from a JSON file (see "
@@ -154,9 +155,27 @@ def _parse_system(args) -> SystemConfig:
                 quantum_mean=q, overhead_mean=oh))
         return SystemConfig(processors=args.processors,
                             classes=tuple(classes),
-                            empty_queue_policy=args.policy)
+                            empty_queue_policy=args.empty_queue)
     from repro.workloads import fig23_config
-    return fig23_config(0.4, 2.0, policy=args.policy)
+    return fig23_config(0.4, 2.0, policy=args.empty_queue)
+
+
+def _add_policy_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--policy", metavar="SPEC", default=None,
+                   help="scheduling policy: KIND[:ARGS], e.g. "
+                        "'weighted:2/1/1/1', "
+                        "'priority:order=3/2/1/0,decay=0.5', "
+                        "'malleable:procs=2/2/4/8,sigma=0.7' "
+                        "(default: the paper's round-robin)")
+
+
+def _parse_policy_arg(args):
+    """The scheduling policy named by ``--policy`` (``None`` if unset)."""
+    spec = getattr(args, "policy", None)
+    if spec is None:
+        return None
+    from repro.policy import parse_policy
+    return parse_policy(spec)
 
 
 def _checkpoint_summary(path, result) -> None:
@@ -180,7 +199,8 @@ def _print_comparison(result) -> None:
 def _cmd_solve(args) -> int:
     from repro.scenario import run as run_scenario
     scenario = Scenario(name="solve",
-                        system=SystemSpec(config=_parse_system(args)),
+                        system=SystemSpec(config=_parse_system(args),
+                                          policy=_parse_policy_arg(args)),
                         engine=_engine_spec(args))
     result = run_scenario(scenario)
     print(result.solved.describe())
@@ -191,7 +211,8 @@ def _cmd_figure(args) -> int:
     from repro.analysis import Table
     from repro.scenario import figure_scenarios
     from repro.scenario import run as run_scenario
-    scenarios = [s.with_engine(**_engine_overrides(args))
+    policy = _parse_policy_arg(args)
+    scenarios = [s.with_engine(**_engine_overrides(args)).with_policy(policy)
                  for s in figure_scenarios(args.number)]
     if len(scenarios) == 1:
         result = run_scenario(scenarios[0])
@@ -224,9 +245,44 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_optimize(args) -> int:
-    from repro.core import optimize_quantum
+    from repro.core import (
+        optimize_priority_order,
+        optimize_quantum,
+        optimize_weights,
+    )
     base = _parse_system(args)
     eng = _engine_spec(args)
+    policy = _parse_policy_arg(args)
+    model_kwargs = eng.model_kwargs()
+
+    if args.search == "weights":
+        best = optimize_weights(base, max_evaluations=eng.max_evaluations,
+                                model_kwargs=model_kwargs)
+        print(f"optimal policy: {best.policy.describe()}")
+        print(f"objective (total mean jobs): {best.objective_value:.4f}")
+        print(f"model solves: {best.evaluations}")
+        solved = GangSchedulingModel(
+            base, policy=best.policy,
+            **model_kwargs).solve(**eng.solve_kwargs())
+        print()
+        print(solved.describe())
+        return 0
+    if args.search == "priority":
+        best = optimize_priority_order(base, model_kwargs=model_kwargs)
+        print(f"optimal policy: {best.policy.describe()}")
+        print(f"objective (total mean jobs): {best.objective_value:.4f}")
+        print(f"model solves: {best.evaluations}")
+        solved = GangSchedulingModel(
+            base, policy=best.policy,
+            **model_kwargs).solve(**eng.solve_kwargs())
+        print()
+        print(solved.describe())
+        return 0
+
+    # Quantum-length search (the default), under whatever scheduling
+    # policy --policy named.
+    if policy is not None:
+        model_kwargs["policy"] = policy
 
     def with_quantum(q: float) -> SystemConfig:
         return SystemConfig(
@@ -243,13 +299,13 @@ def _cmd_optimize(args) -> int:
     best = optimize_quantum(with_quantum, bounds=(args.min, args.max),
                             tol=args.search_tol,
                             max_evaluations=eng.max_evaluations,
-                            model_kwargs=eng.model_kwargs())
+                            model_kwargs=model_kwargs)
     print(f"optimal quantum mean: {best.quantum:.4f}")
     print(f"objective (total mean jobs): {best.objective_value:.4f}")
     print(f"model solves: {best.evaluations}")
     solved = GangSchedulingModel(
         with_quantum(best.quantum),
-        **eng.model_kwargs()).solve(**eng.solve_kwargs())
+        **model_kwargs).solve(**eng.solve_kwargs())
     print()
     print(solved.describe())
     return 0
@@ -259,7 +315,8 @@ def _cmd_simulate(args) -> int:
     from repro.scenario import run as run_scenario
     base = EngineSpec(engine="both" if args.compare else "sim")
     scenario = Scenario(name="simulate",
-                        system=SystemSpec(config=_parse_system(args)),
+                        system=SystemSpec(config=_parse_system(args),
+                                          policy=_parse_policy_arg(args)),
                         engine=_engine_spec(args, base))
     result = run_scenario(scenario)
     print(result.sim.describe(result.class_names))
@@ -321,7 +378,8 @@ def _cmd_run(args) -> int:
     overrides = _engine_overrides(args)
     if args.engine is not None:
         overrides["engine"] = args.engine
-    scenario = scenario.with_engine(**overrides)
+    scenario = scenario.with_engine(**overrides) \
+                       .with_policy(_parse_policy_arg(args))
     result = run_scenario(scenario)
     _checkpoint_summary(scenario.engine.checkpoint, result)
     _print_run_result(result, plot=args.plot)
@@ -350,7 +408,8 @@ def _cmd_serve(args) -> int:
     config = ServiceConfig(
         store_dir=args.store, workers=args.workers,
         max_pending=args.max_pending, default_timeout=args.timeout,
-        trace=getattr(args, "trace", None))
+        trace=getattr(args, "trace", None),
+        compact_on_start=bool(getattr(args, "compact_on_start", False)))
     with ScenarioService(config) as service:
         if args.http is not None:
             httpd = service.serve_http(args.host, args.http)
@@ -476,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the scenario's engine")
     p_run.add_argument("--plot", action="store_true",
                        help="also render swept curves as a text plot")
+    _add_policy_arg(p_run)
     _add_engine_args(p_run)
     _add_obs_args(p_run)
     p_run.set_defaults(func=_cmd_run)
@@ -492,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_solve = sub.add_parser("solve", help="solve a configuration analytically")
     _add_system_args(p_solve)
+    _add_policy_arg(p_solve)
     _add_engine_args(p_solve)
     _add_obs_args(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
@@ -501,13 +562,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="figure number")
     p_fig.add_argument("--plot", action="store_true",
                        help="also render the curves as a text plot")
+    _add_policy_arg(p_fig)
     _add_engine_args(p_fig)
     _add_obs_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_opt = sub.add_parser("optimize",
-                           help="find the quantum minimizing total mean jobs")
+                           help="find the quantum, policy weights, or "
+                                "priority order minimizing total mean jobs")
     _add_system_args(p_opt)
+    _add_policy_arg(p_opt)
+    p_opt.add_argument("--search", choices=("quantum", "weights", "priority"),
+                       default="quantum",
+                       help="which knob to optimize: quantum length "
+                            "(default), WeightedQuantum weights, or "
+                            "PriorityCycle ordering")
     p_opt.add_argument("--min", type=float, default=0.1,
                        help="lower bound of the quantum search (default 0.1)")
     p_opt.add_argument("--max", type=float, default=8.0,
@@ -521,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="simulate a configuration")
     _add_system_args(p_sim)
+    _add_policy_arg(p_sim)
     p_sim.add_argument("--compare", action="store_true",
                        help="also solve analytically and compare")
     _add_engine_args(p_sim)
@@ -548,6 +618,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="HTTP bind address (default 127.0.0.1)")
     p_srv.add_argument("--trace", metavar="FILE", default=None,
                        help="record the daemon's span trace to FILE")
+    p_srv.add_argument("--compact-on-start", action="store_true",
+                       help="compact the result store before serving "
+                            "(rewrite live records, drop superseded and "
+                            "quarantined ones)")
     p_srv.set_defaults(func=_cmd_serve)
 
     p_req = sub.add_parser("request",

@@ -23,7 +23,9 @@ from repro.core.config import ClassConfig, SystemConfig
 from repro.core.model import GangSchedulingModel, SolvedModel
 from repro.core.optimize import (
     optimize_cycle_split,
+    optimize_priority_order,
     optimize_quantum,
+    optimize_weights,
     total_jobs_objective,
     weighted_response_objective,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "TransientResult",
     "optimize_quantum",
     "optimize_cycle_split",
+    "optimize_weights",
+    "optimize_priority_order",
     "total_jobs_objective",
     "weighted_response_objective",
 ]

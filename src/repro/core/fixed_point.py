@@ -61,6 +61,7 @@ from repro.phasetype import PhaseType
 from repro.pipeline import stages
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.context import SolveContext
+from repro.policy import SchedulingPolicy, resolve_policy
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
 from repro.resilience.fallback import DEFAULT_POLICY, ResiliencePolicy
@@ -110,6 +111,11 @@ class FixedPointOptions:
     max_truncation_levels: int = 400
     heavy_traffic_only: bool = False
     allow_optimistic_bootstrap: bool = True
+    #: Scheduling policy shaping the cycle (``None`` = the paper's
+    #: round-robin).  The policy's per-class views feed every stage:
+    #: capacity ``c_p``, effective service, quantum mass, and the
+    #: vacation cycle order (see :mod:`repro.policy`).
+    policy: SchedulingPolicy | None = None
     #: Aitken delta-squared extrapolation of the effective-quantum
     #: means.  The plain iteration converges linearly (ratio ~0.8 on
     #: the paper's configurations), so extrapolating the per-class mean
@@ -177,11 +183,14 @@ class FixedPointResult:
         return len(self.history)
 
 
-def _optimistic_quanta(config: SystemConfig) -> dict[int, PhaseType]:
-    """Near-zero effective quanta: the shortest plausible vacations."""
-    return {p: config.classes[p].quantum.rescaled(
-        max(1e-6, 1e-3 * config.classes[p].quantum.mean))
-        for p in range(config.num_classes)}
+def _optimistic_quanta(views) -> dict[int, PhaseType]:
+    """Near-zero effective quanta: the shortest plausible vacations.
+
+    Scaled from the *policy's* quanta so the bootstrap respects
+    whatever mass the policy granted each class.
+    """
+    return {v.index: v.quantum.rescaled(max(1e-6, 1e-3 * v.quantum.mean))
+            for v in views}
 
 
 def _aitken_target(x0: np.ndarray, x1: np.ndarray, x2: np.ndarray,
@@ -223,15 +232,18 @@ def run_fixed_point(config: SystemConfig,
         for the pure Theorem 4.1 model).
     """
     opts = opts or FixedPointOptions()
-    with span("fixed_point", classes=config.num_classes):
+    pol = resolve_policy(opts.policy)
+    with span("fixed_point", classes=config.num_classes, policy=pol.kind):
         return _run_fixed_point(config, opts)
 
 
 def _run_fixed_point(config: SystemConfig,
                      opts: FixedPointOptions) -> FixedPointResult:
     L = config.num_classes
+    pol = resolve_policy(opts.policy)
     ctx = SolveContext.create(config, opts)
-    vacations = [heavy_traffic_vacation(config, p) for p in range(L)]
+    vacations = [heavy_traffic_vacation(config, p, policy=pol)
+                 for p in range(L)]
 
     result = FixedPointResult(spaces=[], processes=[], solutions=[],
                               vacations=vacations)
@@ -246,8 +258,8 @@ def _run_fixed_point(config: SystemConfig,
             and not opts.heavy_traffic_only:
         # Heavy-traffic init failed for someone: approach from below.
         result.used_bootstrap = True
-        eff0 = _optimistic_quanta(config)
-        vacations = [fixed_point_vacation(config, p, eff0)
+        eff0 = _optimistic_quanta(ctx.views)
+        vacations = [fixed_point_vacation(config, p, eff0, policy=pol)
                      for p in range(L)]
         state = stages.solve_all(ctx, vacations)
     if all(state[3]):
@@ -297,7 +309,7 @@ def _run_fixed_point(config: SystemConfig,
         eff: dict[int, PhaseType] = {}
         for p in range(L):
             if saturated[p]:
-                eff[p] = config.classes[p].quantum
+                eff[p] = ctx.views[p].quantum
             else:
                 eff[p] = stages.extract_class(ctx, p)
 
@@ -317,7 +329,7 @@ def _run_fixed_point(config: SystemConfig,
                 eff_means_history.clear()
 
         with span("stage.recombine", timings=ctx.timings, stage="recombine"):
-            vacations = [fixed_point_vacation(config, p, eff)
+            vacations = [fixed_point_vacation(config, p, eff, policy=pol)
                          for p in range(L)]
         state = stages.solve_all(ctx, vacations)
         if all(state[3]):
@@ -327,6 +339,6 @@ def _run_fixed_point(config: SystemConfig,
     result.timings = ctx.timings.as_dict()
     result.cache_stats = ctx.cache.stats()
     metrics.inc("fixed_point.runs", converged=result.converged,
-                bootstrap=result.used_bootstrap)
+                bootstrap=result.used_bootstrap, policy=pol.kind)
     metrics.observe("fixed_point.iterations", result.iterations)
     return result

@@ -17,6 +17,7 @@ from repro.kernels import resolve_backend
 from repro.obs.trace import StageTimings, span
 from repro.phasetype import PhaseType
 from repro.pipeline.cache import ArtifactCache
+from repro.policy import SchedulingPolicy, resolve_policy
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.resilience.fallback import DEFAULT_POLICY, ResiliencePolicy
 
@@ -145,8 +146,10 @@ resilience, backend:
                  resilience: "ResiliencePolicy | None" = DEFAULT_POLICY,
                  warm_start: bool = True, reuse_artifacts: bool = True,
                  backend: str = "auto",
+                 policy: "SchedulingPolicy | None" = None,
                  cache: ArtifactCache | None = None):
         self.config = config
+        self.policy = resolve_policy(policy) if policy is not None else None
         self._reduction = reduction
         self._rmatrix_method = rmatrix_method
         self._truncation_mass = truncation_mass
@@ -174,6 +177,7 @@ resilience, backend:
             warm_start=self._warm_start,
             reuse_artifacts=self._reuse_artifacts,
             backend=self._backend,
+            policy=self.policy,
             cache=self._cache,
         )
 
@@ -192,6 +196,7 @@ resilience, backend:
 
     def _package(self, raw: FixedPointResult) -> SolvedModel:
         classes = []
+        views = resolve_policy(self.policy).views(self.config)
         acc = StageTimings()
         with span("stage.measures", timings=acc, stage="measures"):
             for p, cls in enumerate(self.config.classes):
@@ -201,7 +206,7 @@ resilience, backend:
                     measures = compute_measures(
                         raw.spaces[p], raw.solutions[p],
                         arrival_rate=cls.arrival_rate,
-                        service=cls.service,
+                        service=views[p].service,
                         vacation=raw.vacations[p],
                     )
                 classes.append(ClassResult(

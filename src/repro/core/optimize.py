@@ -10,7 +10,14 @@ tuning loop:
   search on the empirically unimodal curve;
 * :func:`optimize_cycle_split` — divide the timeplexing cycle among
   classes (the Figure 5 trade-off) to minimize a weighted objective,
-  by Nelder-Mead on a softmax parameterization of the simplex.
+  by Nelder-Mead on a softmax parameterization of the simplex;
+* :func:`optimize_weights` — search the *policy* space: the best
+  :class:`~repro.policy.WeightedQuantum` weight vector for a fixed
+  system, same softmax/Nelder-Mead machinery but turning a policy knob
+  instead of rebuilding the system;
+* :func:`optimize_priority_order` — exhaustive search over
+  :class:`~repro.policy.PriorityCycle` orderings (``L!`` solves, so
+  guarded to small ``L`` — the paper's systems have 4 classes).
 
 Objectives receive the :class:`~repro.core.model.SolvedModel` and
 return a scalar; saturated classes contribute ``inf``, which steers
@@ -19,6 +26,7 @@ the search away from infeasible allocations automatically.
 
 from __future__ import annotations
 
+import itertools
 import math
 from collections.abc import Callable, Sequence
 
@@ -28,14 +36,18 @@ from scipy import optimize as sciopt
 from repro.core.config import SystemConfig
 from repro.core.model import GangSchedulingModel, SolvedModel
 from repro.errors import UnstableSystemError, ValidationError
+from repro.policy import PriorityCycle, SchedulingPolicy, WeightedQuantum
 
 __all__ = [
     "total_jobs_objective",
     "weighted_response_objective",
     "optimize_quantum",
     "optimize_cycle_split",
+    "optimize_weights",
+    "optimize_priority_order",
     "QuantumOptimum",
     "CycleSplitOptimum",
+    "PolicyOptimum",
 ]
 
 
@@ -59,9 +71,13 @@ def weighted_response_objective(weights: Sequence[float]
     return objective
 
 
-def _evaluate(config: SystemConfig, objective, model_kwargs) -> float:
+def _evaluate(config: SystemConfig, objective, model_kwargs,
+              policy: SchedulingPolicy | None = None) -> float:
+    kwargs = dict(model_kwargs or {})
+    if policy is not None:
+        kwargs["policy"] = policy
     try:
-        solved = GangSchedulingModel(config, **(model_kwargs or {})).solve()
+        solved = GangSchedulingModel(config, **kwargs).solve()
     except UnstableSystemError:
         return math.inf
     return float(objective(solved))
@@ -202,3 +218,91 @@ def optimize_cycle_split(config_factory: Callable[[tuple[float, ...]], SystemCon
     return CycleSplitOptimum(fractions=fractions,
                              objective_value=float(res.fun),
                              evaluations=evals)
+
+
+class PolicyOptimum:
+    """Result of a policy-knob search (:func:`optimize_weights` /
+    :func:`optimize_priority_order`)."""
+
+    def __init__(self, policy: SchedulingPolicy, objective_value: float,
+                 evaluations: int):
+        #: The best policy found.
+        self.policy = policy
+        self.objective_value = objective_value
+        self.evaluations = evaluations
+
+    def __repr__(self) -> str:
+        return (f"PolicyOptimum(policy={self.policy.describe()}, "
+                f"objective={self.objective_value:.6g}, "
+                f"evaluations={self.evaluations})")
+
+
+def optimize_weights(config: SystemConfig, *,
+                     objective: Callable[[SolvedModel], float] = total_jobs_objective,
+                     initial: Sequence[float] | None = None,
+                     max_evaluations: int = 200,
+                     model_kwargs: dict | None = None) -> PolicyOptimum:
+    """Find the best :class:`~repro.policy.WeightedQuantum` weights.
+
+    The system is fixed; only the policy's weight vector moves.
+    Nelder-Mead runs on log-weights (softmax keeps them positive and
+    scale-free — ``WeightedQuantum`` itself normalizes to the cycle).
+    """
+    L = config.num_classes
+    if L < 2:
+        raise ValidationError("weight optimization needs >= 2 classes")
+    if initial is not None and len(initial) != L:
+        raise ValidationError(
+            f"{len(initial)} initial weights for {L} classes")
+    x0 = np.log(np.asarray(initial if initial is not None else [1.0] * L,
+                           dtype=float))
+    evals = 0
+
+    def unpack(z: np.ndarray) -> tuple[float, ...]:
+        w = np.exp(z - z.max())
+        return tuple(float(v) for v in w / w.sum())
+
+    def f(z: np.ndarray) -> float:
+        nonlocal evals
+        evals += 1
+        policy = WeightedQuantum(weights=unpack(z))
+        return _evaluate(config, objective, model_kwargs, policy=policy)
+
+    res = sciopt.minimize(f, x0, method="Nelder-Mead",
+                          options={"maxfev": max_evaluations,
+                                   "xatol": 1e-3, "fatol": 1e-4})
+    best = WeightedQuantum(weights=unpack(res.x))
+    return PolicyOptimum(policy=best, objective_value=float(res.fun),
+                         evaluations=evals)
+
+
+def optimize_priority_order(config: SystemConfig, *,
+                            decay: float = 0.5, floor: float = 0.05,
+                            objective: Callable[[SolvedModel], float] = total_jobs_objective,
+                            model_kwargs: dict | None = None,
+                            max_classes: int = 6) -> PolicyOptimum:
+    """Find the best :class:`~repro.policy.PriorityCycle` ordering.
+
+    Exhaustive over all ``L!`` permutations with fixed ``decay`` and
+    ``floor`` — exact, and cheap for the paper's class counts; refuses
+    systems beyond ``max_classes`` rather than silently exploding.
+    """
+    L = config.num_classes
+    if L > max_classes:
+        raise ValidationError(
+            f"priority-order search is exhaustive (L! solves); "
+            f"{L} classes exceeds the limit of {max_classes}")
+    best_policy = None
+    best_value = math.inf
+    evals = 0
+    for order in itertools.permutations(range(L)):
+        policy = PriorityCycle(order=order, decay=decay, floor=floor)
+        value = _evaluate(config, objective, model_kwargs, policy=policy)
+        evals += 1
+        if value < best_value:
+            best_policy, best_value = policy, value
+    if best_policy is None or math.isinf(best_value):
+        raise UnstableSystemError(
+            "no priority ordering keeps every class stable")
+    return PolicyOptimum(policy=best_policy, objective_value=best_value,
+                         evaluations=evals)

@@ -31,6 +31,7 @@ from repro.core.statespace import ClassStateSpace
 from repro.errors import ValidationError
 from repro.kernels import ph_moments, select_backend, sub_dense
 from repro.phasetype import PhaseType, convolve_many, match_three_moments, match_two_moments
+from repro.policy import resolve_policy
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
 
@@ -46,35 +47,35 @@ __all__ = [
 REDUCTIONS = ("exact", "moments2", "moments3")
 
 
-def heavy_traffic_vacation(config: SystemConfig, p: int) -> PhaseType:
+def heavy_traffic_vacation(config: SystemConfig, p: int,
+                           *, policy=None) -> PhaseType:
     """Theorem 4.1: the vacation of class ``p`` under heavy traffic.
 
     The convolution ``C_p * G_{p+1} * C_{p+1} * ... * G_{p-1} *
-    C_{p-1}`` of raw quanta and overheads, of order
+    C_{p-1}`` of quanta and overheads, of order
     ``N_p = sum_{n != p} M_n + sum_n m_{C_n}``.
+
+    The cycle structure — which quanta, in which order — comes from the
+    scheduling policy (:meth:`repro.policy.SchedulingPolicy.cycle_parts`);
+    this builder only convolves what the policy hands it.  ``policy=None``
+    is the paper's round-robin.
     """
-    L = config.num_classes
-    parts = [config.classes[p].overhead]
-    for off in range(1, L):
-        n = (p + off) % L
-        parts.append(config.classes[n].quantum)
-        parts.append(config.classes[n].overhead)
-    return convolve_many(parts)
+    pol = resolve_policy(policy)
+    return convolve_many(pol.cycle_parts(config, p))
 
 
 def fixed_point_vacation(config: SystemConfig, p: int,
-                         effective_quanta: dict[int, PhaseType]) -> PhaseType:
+                         effective_quanta: dict[int, PhaseType],
+                         *, policy=None) -> PhaseType:
     """Theorem 4.3: the vacation of class ``p`` from effective quanta.
 
     ``effective_quanta[n]`` must be present for every class ``n != p``.
+    The cycle order again comes from the policy; the effective quanta
+    replace the policy's full quanta class-for-class.
     """
-    L = config.num_classes
-    parts = [config.classes[p].overhead]
-    for off in range(1, L):
-        n = (p + off) % L
-        parts.append(effective_quanta[n])
-        parts.append(config.classes[n].overhead)
-    return convolve_many(parts)
+    pol = resolve_policy(policy)
+    return convolve_many(
+        pol.cycle_parts(config, p, effective_quanta=effective_quanta))
 
 
 def effective_quantum(space: ClassStateSpace, process: QBDProcess,

@@ -22,6 +22,7 @@ from repro.phasetype import PhaseType
 from repro.pipeline.assembly import AssemblyWorkspace
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.extract import ExtractionWorkspace
+from repro.policy import ClassCycleView, resolve_policy
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
 
@@ -60,6 +61,10 @@ class SolveContext:
     opts: "FixedPointOptions"  # noqa: F821 - import cycle; typing only
     classes: list[ClassArtifacts]
     cache: ArtifactCache
+    #: Per-class cycle views granted by the scheduling policy; every
+    #: stage consumes these instead of the raw config (for the default
+    #: round-robin they alias the config's own distributions).
+    views: tuple[ClassCycleView, ...] = ()
     timings: StageTimings = field(default_factory=StageTimings)
 
     @classmethod
@@ -75,7 +80,9 @@ class SolveContext:
             cache = getattr(opts, "cache", None)
         if cache is None:  # NB: an empty ArtifactCache is falsy
             cache = ArtifactCache()
+        policy = resolve_policy(getattr(opts, "policy", None))
         return cls(config=config, opts=opts,
                    classes=[ClassArtifacts(index=p)
                             for p in range(config.num_classes)],
-                   cache=cache)
+                   cache=cache,
+                   views=policy.views(config))

@@ -52,22 +52,27 @@ _R_TOL = 1e-12
 
 
 def assemble_class(ctx: SolveContext, p: int, vacation: PhaseType) -> None:
-    """Build class ``p``'s QBD for the current vacation."""
-    cls = ctx.config.classes[p]
+    """Build class ``p``'s QBD for the current vacation.
+
+    Capacity ``c_p`` and the arrival/service/quantum distributions come
+    from the scheduling policy's cycle view, not the raw config — the
+    generator builds whatever cycle the policy granted.
+    """
+    view = ctx.views[p]
     art = ctx.classes[p]
     with span("stage.assemble", timings=ctx.timings, stage="assemble",
               klass=p):
         if getattr(ctx.opts, "reuse_artifacts", True):
             process, space, art.assembly = build_class_qbd_fast(
-                ctx.config.partitions(p), cls.arrival, cls.service,
-                cls.quantum, vacation, policy=ctx.config.empty_queue_policy,
+                view.partitions, view.arrival, view.service,
+                view.quantum, vacation, policy=ctx.config.empty_queue_policy,
                 workspace=art.assembly,
                 backend=getattr(ctx.opts, "backend", None),
             )
         else:
             process, space = build_class_qbd(
-                ctx.config.partitions(p), cls.arrival, cls.service,
-                cls.quantum, vacation, policy=ctx.config.empty_queue_policy,
+                view.partitions, view.arrival, view.service,
+                view.quantum, vacation, policy=ctx.config.empty_queue_policy,
             )
     art.process, art.space, art.vacation = process, space, vacation
 

@@ -1,0 +1,41 @@
+"""First-class scheduling policies for the gang-scheduling model.
+
+See :mod:`repro.policy.base` for the protocol and
+:mod:`repro.policy.variants` for the shipped policies.
+"""
+
+from repro.policy.base import (
+    ClassCycleView,
+    SchedulingPolicy,
+    parse_policy,
+    policy_from_dict,
+    policy_kinds,
+    policy_to_dict,
+    register_policy,
+    registered_policies,
+    resolve_policy,
+)
+from repro.policy.variants import (
+    ROUND_ROBIN,
+    MalleableSpeedup,
+    PriorityCycle,
+    RoundRobin,
+    WeightedQuantum,
+)
+
+__all__ = [
+    "ClassCycleView",
+    "SchedulingPolicy",
+    "RoundRobin",
+    "WeightedQuantum",
+    "PriorityCycle",
+    "MalleableSpeedup",
+    "ROUND_ROBIN",
+    "register_policy",
+    "registered_policies",
+    "policy_kinds",
+    "policy_to_dict",
+    "policy_from_dict",
+    "parse_policy",
+    "resolve_policy",
+]

@@ -1,0 +1,280 @@
+"""The scheduling-policy protocol: who gets the machine, and for how long.
+
+The paper fixes one cycle structure — round-robin timeplexing where
+class ``p`` holds all ``P`` processors for a PH quantum ``G_p``, pays a
+context-switch overhead ``C_p``, and hands the machine to class
+``(p + 1) mod L``.  That structure used to be hard-wired through the
+model core (vacation builders, QBD assembly, the simulator).  This
+package extracts it behind one protocol:
+
+:class:`SchedulingPolicy`
+    Given a :class:`~repro.core.config.SystemConfig`, a policy yields
+    each class's *cycle view* (:class:`ClassCycleView`): the quantum
+    distribution the class actually receives, its effective service
+    distribution, its per-class capacity ``c_p``, and the turn order of
+    the cycle.  The vacation builders
+    (:func:`repro.core.vacation.heavy_traffic_vacation` /
+    :func:`~repro.core.vacation.fixed_point_vacation`) convolve what
+    :meth:`SchedulingPolicy.cycle_parts` hands them instead of walking
+    the raw config themselves, and the simulator samples from the same
+    views — so a new policy automatically gets both an analytic model
+    and a simulator, crosscheckable against each other.
+
+The paper's round-robin is the default instance
+(:class:`~repro.policy.variants.RoundRobin`); its views return the
+config's own distribution objects unchanged, so running "round-robin
+as a policy" is byte-identical to the pre-policy code path.
+
+Registry and serialization
+--------------------------
+Policies register by ``kind`` (:func:`register_policy`); a policy
+round-trips through :func:`policy_to_dict` / :func:`policy_from_dict`
+(the scenario schema embeds this form), and :func:`parse_policy` turns
+CLI spec strings like ``weighted:2/1/1/1`` or
+``priority:order=3/2/1/0,decay=0.5`` into instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.phasetype import PhaseType
+
+__all__ = [
+    "ClassCycleView",
+    "SchedulingPolicy",
+    "register_policy",
+    "policy_kinds",
+    "policy_to_dict",
+    "policy_from_dict",
+    "parse_policy",
+    "resolve_policy",
+]
+
+
+@dataclass(frozen=True)
+class ClassCycleView:
+    """One class's slice of the timeplexing cycle, as a policy grants it.
+
+    This is the *only* shape the model core and the simulator consume:
+    QBD assembly uses ``partitions``/``arrival``/``service``/
+    ``quantum``, the vacation convolution uses ``quantum``/
+    ``overhead``, and the simulator samples all four.  For the default
+    round-robin policy every field aliases the corresponding
+    :class:`~repro.core.config.ClassConfig` object unchanged.
+    """
+
+    #: Class index ``p``.
+    index: int
+    #: Display name (the config's class name).
+    name: str
+    #: Effective capacity ``c_p``: jobs of this class served in
+    #: parallel during its turn.
+    partitions: int
+    #: Processors granted to one job of this class during its turn
+    #: (``g(p)`` for rigid policies, ``k_p`` for malleable ones).
+    job_processors: int
+    #: Interarrival distribution ``A_p`` (policies never reshape it).
+    arrival: PhaseType
+    #: Effective service distribution (rescaled by malleable speedups).
+    service: PhaseType
+    #: Effective quantum distribution (rescaled by weights/priorities).
+    quantum: PhaseType
+    #: Context-switch overhead ``C_p`` paid after this class's turn.
+    overhead: PhaseType
+
+
+class SchedulingPolicy:
+    """Base of every scheduling policy.
+
+    Subclasses are frozen dataclasses (hashable, picklable — they ride
+    inside :class:`~repro.core.fixed_point.FixedPointOptions` and
+    travel to sweep worker processes) and override :meth:`views`
+    and/or :meth:`turn_order`; everything else derives from those.
+    """
+
+    #: Registry key; subclasses must override.
+    kind: str = ""
+
+    # -- the protocol ---------------------------------------------------
+
+    def views(self, config) -> tuple[ClassCycleView, ...]:
+        """Every class's cycle view under this policy."""
+        raise NotImplementedError
+
+    def turn_order(self, config) -> tuple[int, ...]:
+        """Class indices in the order the cycle visits them."""
+        return tuple(range(config.num_classes))
+
+    def params(self) -> dict:
+        """JSON-able parameters (the ``kind`` is added separately)."""
+        return {}
+
+    def validate(self, config) -> None:
+        """Raise :class:`~repro.errors.ValidationError` on a mismatch.
+
+        Called from :meth:`views`; policies with per-class parameters
+        check their arity against ``config.num_classes`` here.
+        """
+
+    @classmethod
+    def _coerce_params(cls, params: dict) -> dict:
+        """Normalize JSON/CLI parameter values before ``cls(**...)``.
+
+        Subclasses coerce lists to tuples and strings like ``2/1/1/1``
+        to numeric tuples so the same path serves both
+        :func:`policy_from_dict` and :func:`parse_policy`.
+        """
+        return dict(params)
+
+    # -- derived helpers ------------------------------------------------
+
+    @property
+    def is_default(self) -> bool:
+        """True only for parameterless round-robin (the paper's cycle)."""
+        return False
+
+    def view(self, config, p: int) -> ClassCycleView:
+        return self.views(config)[p]
+
+    def successor(self, config, p: int) -> int:
+        """The class whose turn follows class ``p``'s."""
+        order = self.turn_order(config)
+        return order[(order.index(p) + 1) % len(order)]
+
+    def cycle_parts(self, config, p: int, *,
+                    effective_quanta: dict[int, PhaseType] | None = None,
+                    ) -> list[PhaseType]:
+        """The PH pieces of class ``p``'s vacation, in cycle order.
+
+        ``C_p`` followed by ``(Q_n, C_n)`` for every other class ``n``
+        in turn order — Theorem 4.1's convolution when
+        ``effective_quanta`` is ``None`` (each ``Q_n`` is the view's
+        full quantum), Theorem 4.3's when it maps each class to its
+        effective quantum.  The vacation builders convolve this list
+        verbatim; they no longer construct the cycle themselves.
+        """
+        views = self.views(config)
+        order = self.turn_order(config)
+        start = order.index(p)
+        parts = [views[p].overhead]
+        for off in range(1, len(order)):
+            n = order[(start + off) % len(order)]
+            if effective_quanta is not None:
+                parts.append(effective_quanta[n])
+            else:
+                parts.append(views[n].quantum)
+            parts.append(views[n].overhead)
+        return parts
+
+    def describe(self) -> str:
+        params = self.params()
+        if not params:
+            return self.kind
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+        return f"{self.kind}({inner})"
+
+
+# --------------------------------------------------------------------------
+# Registry, serialization, CLI parsing
+# --------------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[SchedulingPolicy]] = {}
+
+
+def register_policy(cls: type[SchedulingPolicy]) -> type[SchedulingPolicy]:
+    """Class decorator: register a policy under its ``kind``."""
+    if not cls.kind:
+        raise ValidationError(f"{cls.__name__} must set a non-empty kind")
+    if _REGISTRY.get(cls.kind, cls) is not cls:
+        raise ValidationError(f"policy kind {cls.kind!r} already registered")
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+def policy_kinds() -> tuple[str, ...]:
+    """Registered policy kinds, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def registered_policies() -> dict[str, type[SchedulingPolicy]]:
+    """A copy of the ``kind -> class`` registry (for test sweeps)."""
+    return dict(_REGISTRY)
+
+
+def resolve_policy(policy: SchedulingPolicy | None) -> SchedulingPolicy:
+    """``None`` means the paper's round-robin (the default instance)."""
+    if policy is None:
+        from repro.policy.variants import ROUND_ROBIN
+        return ROUND_ROBIN
+    if not isinstance(policy, SchedulingPolicy):
+        raise ValidationError(
+            f"expected a SchedulingPolicy, got {type(policy).__name__}")
+    return policy
+
+
+def policy_to_dict(policy: SchedulingPolicy) -> dict:
+    """JSON form: ``{"kind": ..., **params}``."""
+    return {"kind": policy.kind, **policy.params()}
+
+
+def policy_from_dict(data: dict) -> SchedulingPolicy:
+    """Rebuild a policy from :func:`policy_to_dict` output.
+
+    Unknown *kinds* are rejected (an old reader must not silently run
+    the wrong cycle); unknown *parameters* of a known kind are rejected
+    too, for the same reason.
+    """
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ValidationError(f"policy spec must have a 'kind': {data!r}")
+    kind = str(data["kind"])
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise ValidationError(
+            f"unknown scheduling policy kind {kind!r}; "
+            f"known: {list(_REGISTRY)}")
+    params = {k: v for k, v in data.items() if k != "kind"}
+    try:
+        return cls(**cls._coerce_params(params))
+    except TypeError as exc:
+        raise ValidationError(
+            f"bad parameters for policy {kind!r}: {exc}") from exc
+
+
+def parse_policy(spec: str) -> SchedulingPolicy:
+    """Parse a CLI policy spec string.
+
+    ``KIND[:ARGS]`` where ``ARGS`` is either a bare value for the
+    policy's primary parameter or ``key=value`` pairs separated by
+    commas; list values use ``/``::
+
+        round-robin
+        weighted:2/1/1/1
+        priority:order=3/2/1/0,decay=0.5,floor=0.05
+        malleable:procs=2/2/4/8,sigma=0.7
+    """
+    spec = spec.strip()
+    kind, _, argstr = spec.partition(":")
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise ValidationError(
+            f"unknown scheduling policy {kind!r}; known: {list(_REGISTRY)}")
+    params: dict = {}
+    if argstr:
+        for item in argstr.split(","):
+            if "=" in item:
+                key, _, value = item.partition("=")
+                params[key.strip()] = value.strip()
+            else:
+                primary = getattr(cls, "primary_param", None)
+                if primary is None:
+                    raise ValidationError(
+                        f"policy {kind!r} takes key=value arguments only, "
+                        f"got {item!r}")
+                params.setdefault(primary, item.strip())
+    try:
+        return cls(**cls._coerce_params(params))
+    except TypeError as exc:
+        raise ValidationError(
+            f"bad arguments for policy {kind!r}: {exc}") from exc

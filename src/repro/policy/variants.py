@@ -1,0 +1,295 @@
+"""Concrete scheduling policies: the paper's cycle and three departures.
+
+:class:`RoundRobin`
+    The paper's policy, unchanged — the default everywhere a policy is
+    optional.  Its views alias the config's own distribution objects,
+    which keeps "round-robin as a policy" byte-identical to the
+    pre-policy code path (same PH objects → same convolutions
+    analytically, same sampler cache keys in the simulator).
+
+:class:`WeightedQuantum`
+    Per-class weights scale quantum mass: class ``p`` receives a
+    quantum with mean ``E[G_p] * w_p * L / sum(w)``.  Uniform weights
+    reduce exactly to round-robin.
+
+:class:`PriorityCycle`
+    Strict-priority ordering with a starvation bound.  PH convolution
+    is commutative, so *reordering alone cannot change the analytic
+    vacation* — priority must bite through quantum mass.  Rank ``r``
+    in the priority order earns a raw share ``max(decay**r, floor)``
+    (the floor is the starvation bound: even the lowest class keeps a
+    guaranteed slice), normalized so total quantum mass in the cycle
+    is conserved.  The turn order itself follows the priority order,
+    which the simulator honors when walking the cycle.
+
+:class:`MalleableSpeedup`
+    Class ``p``'s jobs run on ``k_p`` processors at rate
+    ``s(k) = k**sigma`` (Berg et al.'s power-law speedup).  This moves
+    both levers the rigid policies cannot: capacity becomes
+    ``c_p = P // k_p`` and effective service is rescaled by
+    ``s(g_p) / s(k_p)`` relative to the config's baseline partition
+    size ``g_p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.policy.base import (
+    ClassCycleView,
+    SchedulingPolicy,
+    register_policy,
+)
+
+__all__ = [
+    "RoundRobin",
+    "WeightedQuantum",
+    "PriorityCycle",
+    "MalleableSpeedup",
+    "ROUND_ROBIN",
+]
+
+
+def _floats(value, name: str) -> tuple[float, ...]:
+    if isinstance(value, str):
+        value = value.split("/")
+    try:
+        return tuple(float(v) for v in value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a list of numbers: {value!r}") from exc
+
+
+def _ints(value, name: str) -> tuple[int, ...]:
+    if isinstance(value, str):
+        value = value.split("/")
+    try:
+        out = tuple(int(v) for v in value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a list of integers: {value!r}") from exc
+    return out
+
+
+def _scaled(dist, factor: float):
+    """Rescale a PH distribution's mean by ``factor`` (1.0 → same object)."""
+    if factor == 1.0:
+        return dist
+    return dist.rescaled(dist.mean * factor)
+
+
+@register_policy
+@dataclass(frozen=True)
+class RoundRobin(SchedulingPolicy):
+    """The paper's round-robin timeplexing cycle (the default policy)."""
+
+    kind = "round-robin"
+
+    @property
+    def is_default(self) -> bool:
+        return True
+
+    def views(self, config) -> tuple[ClassCycleView, ...]:
+        return tuple(
+            ClassCycleView(
+                index=p,
+                name=cls.name,
+                partitions=config.partitions(p),
+                job_processors=cls.partition_size,
+                arrival=cls.arrival,
+                service=cls.service,
+                quantum=cls.quantum,
+                overhead=cls.overhead,
+            )
+            for p, cls in enumerate(config.classes)
+        )
+
+
+@register_policy
+@dataclass(frozen=True)
+class WeightedQuantum(SchedulingPolicy):
+    """Per-class weights scale quantum mass within the cycle."""
+
+    weights: tuple[float, ...]
+
+    kind = "weighted"
+    primary_param = "weights"
+
+    def params(self) -> dict:
+        return {"weights": list(self.weights)}
+
+    @classmethod
+    def _coerce_params(cls, params: dict) -> dict:
+        params = dict(params)
+        if "weights" in params:
+            params["weights"] = _floats(params["weights"], "weights")
+        return params
+
+    def validate(self, config) -> None:
+        if len(self.weights) != config.num_classes:
+            raise ValidationError(
+                f"weighted policy has {len(self.weights)} weights for "
+                f"{config.num_classes} classes")
+        if any(w <= 0 for w in self.weights):
+            raise ValidationError(f"weights must be positive: {self.weights}")
+
+    def _scales(self, config) -> tuple[float, ...]:
+        total = sum(self.weights)
+        length = len(self.weights)
+        return tuple(w * length / total for w in self.weights)
+
+    def views(self, config) -> tuple[ClassCycleView, ...]:
+        self.validate(config)
+        scales = self._scales(config)
+        return tuple(
+            ClassCycleView(
+                index=p,
+                name=cls.name,
+                partitions=config.partitions(p),
+                job_processors=cls.partition_size,
+                arrival=cls.arrival,
+                service=cls.service,
+                quantum=_scaled(cls.quantum, scales[p]),
+                overhead=cls.overhead,
+            )
+            for p, cls in enumerate(config.classes)
+        )
+
+
+@register_policy
+@dataclass(frozen=True)
+class PriorityCycle(SchedulingPolicy):
+    """Strict-priority cycle with a starvation floor.
+
+    ``order[0]`` is the highest-priority class; rank ``r`` earns raw
+    quantum share ``max(decay**r, floor)``, normalized to conserve
+    total quantum mass.  ``floor`` is the starvation bound — with
+    ``floor > 0`` every class keeps a guaranteed slice of the cycle.
+    """
+
+    order: tuple[int, ...]
+    decay: float = 0.5
+    floor: float = 0.05
+
+    kind = "priority"
+    primary_param = "order"
+
+    def params(self) -> dict:
+        return {"order": list(self.order),
+                "decay": self.decay,
+                "floor": self.floor}
+
+    @classmethod
+    def _coerce_params(cls, params: dict) -> dict:
+        params = dict(params)
+        if "order" in params:
+            params["order"] = _ints(params["order"], "order")
+        for key in ("decay", "floor"):
+            if key in params:
+                params[key] = float(params[key])
+        return params
+
+    def validate(self, config) -> None:
+        if sorted(self.order) != list(range(config.num_classes)):
+            raise ValidationError(
+                f"priority order {self.order} is not a permutation of "
+                f"0..{config.num_classes - 1}")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValidationError(f"decay must be in (0, 1]: {self.decay}")
+        if not 0.0 <= self.floor <= 1.0:
+            raise ValidationError(f"floor must be in [0, 1]: {self.floor}")
+
+    def turn_order(self, config) -> tuple[int, ...]:
+        return self.order
+
+    def _scales(self, config) -> dict[int, float]:
+        raw = {p: max(self.decay ** rank, self.floor)
+               for rank, p in enumerate(self.order)}
+        total = sum(raw.values())
+        length = len(self.order)
+        return {p: r * length / total for p, r in raw.items()}
+
+    def views(self, config) -> tuple[ClassCycleView, ...]:
+        self.validate(config)
+        scales = self._scales(config)
+        return tuple(
+            ClassCycleView(
+                index=p,
+                name=cls.name,
+                partitions=config.partitions(p),
+                job_processors=cls.partition_size,
+                arrival=cls.arrival,
+                service=cls.service,
+                quantum=_scaled(cls.quantum, scales[p]),
+                overhead=cls.overhead,
+            )
+            for p, cls in enumerate(config.classes)
+        )
+
+
+@register_policy
+@dataclass(frozen=True)
+class MalleableSpeedup(SchedulingPolicy):
+    """Malleable classes: ``k_p`` processors per job at rate ``k**sigma``."""
+
+    processors: tuple[int, ...]
+    sigma: float = 0.7
+
+    kind = "malleable"
+    primary_param = "processors"
+
+    def params(self) -> dict:
+        return {"processors": list(self.processors), "sigma": self.sigma}
+
+    @classmethod
+    def _coerce_params(cls, params: dict) -> dict:
+        params = dict(params)
+        if "procs" in params:
+            params["processors"] = params.pop("procs")
+        if "processors" in params:
+            params["processors"] = _ints(params["processors"], "processors")
+        if "sigma" in params:
+            params["sigma"] = float(params["sigma"])
+        return params
+
+    def speedup(self, k: int) -> float:
+        return float(k) ** self.sigma
+
+    def validate(self, config) -> None:
+        if len(self.processors) != config.num_classes:
+            raise ValidationError(
+                f"malleable policy sizes {len(self.processors)} classes, "
+                f"config has {config.num_classes}")
+        if not 0.0 < self.sigma <= 1.0:
+            raise ValidationError(f"sigma must be in (0, 1]: {self.sigma}")
+        for p, k in enumerate(self.processors):
+            if k < 1:
+                raise ValidationError(f"class {p}: k must be >= 1, got {k}")
+            if config.processors % k != 0:
+                raise ValidationError(
+                    f"class {p}: k={k} does not divide "
+                    f"P={config.processors} processors")
+
+    def views(self, config) -> tuple[ClassCycleView, ...]:
+        self.validate(config)
+        out = []
+        for p, cls in enumerate(config.classes):
+            k = self.processors[p]
+            # Service in the config is calibrated for the rigid partition
+            # size g_p; running on k processors instead rescales it by
+            # s(g_p) / s(k).
+            factor = self.speedup(cls.partition_size) / self.speedup(k)
+            out.append(ClassCycleView(
+                index=p,
+                name=cls.name,
+                partitions=config.processors // k,
+                job_processors=k,
+                arrival=cls.arrival,
+                service=_scaled(cls.service, factor),
+                quantum=cls.quantum,
+                overhead=cls.overhead,
+            ))
+        return tuple(out)
+
+
+#: Shared default instance — what ``policy=None`` resolves to.
+ROUND_ROBIN = RoundRobin()

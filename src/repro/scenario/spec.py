@@ -35,6 +35,7 @@ from dataclasses import dataclass, field, fields
 
 from repro.core.config import SystemConfig
 from repro.errors import ValidationError
+from repro.policy import SchedulingPolicy, resolve_policy
 from repro.workloads.presets import (
     fig1_example_config,
     fig23_config,
@@ -97,12 +98,19 @@ class SystemSpec:
     Exactly one of ``preset``/``config`` must be given; a sweep
     ``axis`` requires ``preset`` (a fixed inline config has nothing to
     re-parameterize).
+
+    ``policy`` is the scheduling policy shaping the timeplexing cycle.
+    ``None`` — and an explicitly-passed default round-robin, which is
+    normalized to ``None`` so specs compare and hash identically — means
+    the paper's round-robin; anything else threads through the analytic
+    solver, the simulator, and the canonical scenario key.
     """
 
     preset: str | None = None
     args: dict = field(default_factory=dict)
     config: SystemConfig | None = None
     axis: SweepAxis | None = None
+    policy: SchedulingPolicy | None = None
 
     def __post_init__(self):
         if (self.preset is None) == (self.config is None):
@@ -116,6 +124,12 @@ class SystemSpec:
             raise ValidationError(
                 "a sweep axis requires a preset system (an inline config "
                 "cannot be re-parameterized)")
+        if self.policy is not None:
+            pol = resolve_policy(self.policy)
+            # Round-robin is the absence of a policy: normalizing keeps
+            # the canonical hash (and the warm service store) unchanged.
+            object.__setattr__(self, "policy",
+                               None if pol.is_default else pol)
         object.__setattr__(self, "args", dict(self.args))
 
     def config_for(self, value: float | None = None) -> SystemConfig:
@@ -287,6 +301,17 @@ class Scenario:
                          tuple(float(v) for v in values))
         return dataclasses.replace(
             self, system=dataclasses.replace(self.system, axis=axis))
+
+    def with_policy(self, policy: SchedulingPolicy | None) -> "Scenario":
+        """A copy evaluated under a different scheduling policy.
+
+        ``None`` leaves the scenario untouched (flag not given); an
+        explicit round-robin is normalized away by ``SystemSpec``.
+        """
+        if policy is None:
+            return self
+        return dataclasses.replace(
+            self, system=dataclasses.replace(self.system, policy=policy))
 
 
 def engine_field_names() -> tuple[str, ...]:

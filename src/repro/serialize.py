@@ -61,11 +61,15 @@ __all__ = [
     "load_scenario",
 ]
 
-#: Version stamped into every serialized scenario.  The loader accepts
-#: any version up to the current one and tolerates unknown fields, so
-#: old readers reject genuinely newer files while new readers keep
-#: consuming old ones.
-SCENARIO_SCHEMA_VERSION = 1
+#: Maximum scenario schema version this reader understands.  The
+#: loader accepts any version up to the current one and tolerates
+#: unknown fields, so old readers reject genuinely newer files while
+#: new readers keep consuming old ones.  Writers stamp the *lowest*
+#: version that can express the scenario — a non-default scheduling
+#: policy needs version 2; everything else stays version 1, keeping
+#: plain files byte-identical to pre-policy output (and readable by
+#: old readers).
+SCENARIO_SCHEMA_VERSION = 2
 
 
 def phase_type_to_dict(dist: PhaseType) -> dict:
@@ -174,11 +178,18 @@ def scenario_to_dict(scenario) -> dict:
             "parameter": sys_spec.axis.parameter,
             "values": [float(v) for v in sys_spec.axis.values],
         }
+    # A non-default policy is the only version-2 feature; round-robin
+    # (always normalized to ``policy=None`` by SystemSpec) is omitted
+    # entirely so pre-policy files and hashes are reproduced exactly.
+    if sys_spec.policy is not None:
+        from repro.policy import policy_to_dict
+        system["policy"] = policy_to_dict(sys_spec.policy)
+    version = 2 if sys_spec.policy is not None else 1
     eng = scenario.engine
     out = scenario.output
     return {
         "schema": "repro-scenario",
-        "version": SCENARIO_SCHEMA_VERSION,
+        "version": version,
         "name": scenario.name,
         "description": scenario.description,
         "system": system,
@@ -251,11 +262,17 @@ def _system_from_dict(data: dict):
         except KeyError as exc:
             raise ValidationError(
                 f"missing field in sweep axis: {exc}") from exc
+    policy = None
+    if data.get("policy") is not None:
+        from repro.policy import policy_from_dict
+        policy = policy_from_dict(data["policy"])
     if "config" in data:
-        return SystemSpec(config=system_from_dict(data["config"]), axis=axis)
+        return SystemSpec(config=system_from_dict(data["config"]),
+                          axis=axis, policy=policy)
     if "preset" in data:
         return SystemSpec(preset=str(data["preset"]),
-                          args=dict(data.get("args", {})), axis=axis)
+                          args=dict(data.get("args", {})),
+                          axis=axis, policy=policy)
     raise ValidationError(
         "system spec needs either a 'preset' or a 'config'")
 

@@ -84,6 +84,7 @@ class ServiceConfig:
     breaker_window: float = 30.0
     task_kill_limit: int = 2
     trace: str | None = None
+    compact_on_start: bool = False
 
     def __post_init__(self):
         if self.max_pending < 1:
@@ -119,6 +120,8 @@ class ScenarioService:
             self._armed_obs = True
         self.store = ResultStore(cfg.store_dir,
                                  segment_max_bytes=cfg.segment_max_bytes)
+        if cfg.compact_on_start:
+            self.store.compact()
         self.pool = SupervisedPool(
             cfg.workers, backoff_base=cfg.backoff_base,
             backoff_cap=cfg.backoff_cap, breaker_limit=cfg.breaker_limit,
@@ -238,12 +241,36 @@ class ScenarioService:
         metrics.observe("service.request.elapsed", time.monotonic() - t0)
         return response
 
+    @staticmethod
+    def _derived_budget(scenario, deadline: float | None,
+                        cold_points: int) -> float | None:
+        """Per-point solve budget carved out of the request deadline.
+
+        When the request carries a deadline but the scenario sets no
+        ``solve_budget`` of its own, each cold point gets an equal
+        slice of the remaining time.  A single divergent solve then
+        aborts inside its slice (one explicit error point) instead of
+        silently eating the whole request's deadline and degrading
+        every point queued behind it.  Point cache keys are computed
+        from the *unbudgeted* scenario, so the derived budget never
+        changes result identity — a budget-limited solve either
+        finishes with the same numbers or fails and is not persisted.
+        """
+        if deadline is None or cold_points == 0:
+            return None
+        if scenario.engine.solve_budget is not None:
+            return None                 # the scenario's own budget wins
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return None                 # the pool times the points out
+        return remaining / cold_points
+
     def _solve_request(self, request: Request, scenario, key: str,
                        t0: float, deadline: float | None) -> dict:
         values = (list(scenario.grid()) if scenario.axis is not None
                   else [None])
         shards: dict[int, tuple[str, object]] = {}
-        tasks = []                      # (index, shard dict, value, pk)
+        misses = []                     # (index, shard Scenario, value, pk)
         for i, v in enumerate(values):
             pk = point_key(scenario, v)
             hit = self.store.get_point(pk)
@@ -253,8 +280,14 @@ class ScenarioService:
             else:
                 shard = (scenario.with_grid([v]) if v is not None
                          else scenario)
-                tasks.append((i, scenario_to_dict(shard), v, pk))
-        if tasks:
+                misses.append((i, shard, v, pk))
+        if misses:
+            budget = self._derived_budget(scenario, deadline, len(misses))
+            if budget is not None:
+                misses = [(i, s.with_engine(solve_budget=budget), v, pk)
+                          for i, s, v, pk in misses]
+            tasks = [(i, scenario_to_dict(s), v, pk)
+                     for i, s, v, pk in misses]
             keys_by_task = {i: pk for i, _, _, pk in tasks}
 
             def persist(task_id, status, payload):

@@ -67,6 +67,7 @@ class ResultStore:
         self.repaired_tails = 0
         self.quarantined_lines = 0
         self.quarantined_segments = 0
+        self.compactions = 0
         self._fh = None
         with span("service.store.open", root=str(self.root)):
             self._replay()
@@ -221,6 +222,60 @@ class ResultStore:
     def get_point(self, key: str) -> dict | None:
         return self._index.get(("point", key))
 
+    def compact(self) -> dict:
+        """Rewrite the live records into one fresh segment.
+
+        An append-only store never reclaims anything: healed rewrites
+        leave ``*.quarantine`` sidecars behind and a long-lived daemon
+        accumulates segments whose records have long been superseded in
+        the index.  Compaction writes the current index — exactly the
+        live records, one line per key — into a fresh first segment,
+        then drops every other segment and every quarantine sidecar.
+
+        Crash-safe by ordering: the compacted segment is fully written
+        and fsync-ed to a temporary file, atomically renamed over
+        ``seg-00000001.jsonl``, and only then are the remaining old
+        segments unlinked.  A crash at any point leaves segments whose
+        replay yields a superset of the live records, never a loss.
+        Returns a summary dict (segment/byte counts and sidecars
+        dropped); rotation restarts from the single compacted segment.
+        """
+        if self._fh is None:
+            raise ValidationError("result store is closed")
+        with span("service.store.compact", root=str(self.root)):
+            self._fh.close()
+            self._fh = None
+            old_segments = self._segments()
+            old_bytes = sum(p.stat().st_size for p in old_segments)
+            tmp = self.root / "compact.jsonl.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(_header_line())
+                for (kind, key), value in self._index.items():
+                    fh.write(json.dumps(
+                        {"kind": kind, "key": key, "value": value},
+                        separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            target = self.root / "seg-00000001.jsonl"
+            os.replace(tmp, target)
+            for path in old_segments:
+                if path != target:
+                    path.unlink(missing_ok=True)
+            sidecars = 0
+            for path in self.root.glob("*.quarantine"):
+                path.unlink()
+                sidecars += 1
+            self._open_active()
+            self.compactions += 1
+            metrics.inc("service.store.compactions")
+            new_bytes = target.stat().st_size
+            return {
+                "segments_before": len(old_segments),
+                "records": len(self._index),
+                "reclaimed_bytes": max(0, old_bytes - new_bytes),
+                "quarantine_files_dropped": sidecars,
+            }
+
     def __len__(self) -> int:
         return len(self._index)
 
@@ -232,6 +287,7 @@ class ResultStore:
             "repaired_tails": self.repaired_tails,
             "quarantined_lines": self.quarantined_lines,
             "quarantined_segments": self.quarantined_segments,
+            "compactions": self.compactions,
         }
 
     def close(self) -> None:

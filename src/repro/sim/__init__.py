@@ -32,13 +32,23 @@ from repro.sim.runner import (
 )
 from repro.sim.stats import ClassStats, SimulationReport
 from repro.sim.trace import ScheduleTrace, TracingGangSimulation
-from repro.sim.variants import PartitionLendingSimulation
+from repro.sim.variants import (
+    MalleableSpeedupSimulation,
+    PartitionLendingSimulation,
+    PriorityCycleSimulation,
+    WeightedQuantumSimulation,
+    simulation_for,
+)
 
 __all__ = [
     "Simulator",
     "GangSimulation",
     "VacationServerSimulation",
     "PartitionLendingSimulation",
+    "WeightedQuantumSimulation",
+    "PriorityCycleSimulation",
+    "MalleableSpeedupSimulation",
+    "simulation_for",
     "TimeSharingSimulation",
     "SpaceSharingSimulation",
     "ClassStats",

@@ -30,6 +30,7 @@ from collections import deque
 from repro.core.config import SystemConfig
 from repro.errors import SimulationError
 from repro.phasetype.random import sampler_for
+from repro.policy import resolve_policy
 from repro.sim.engine import Event, Simulator
 from repro.sim.jobs import Job
 from repro.sim.stats import ClassStats, SimulationReport
@@ -50,6 +51,11 @@ class GangSimulation:
         stream, so runs are reproducible and policies comparable.
     warmup:
         Statistics before this time are discarded.
+    policy:
+        Scheduling policy shaping the cycle (``None`` = the paper's
+        round-robin).  The simulator samples services and quanta from
+        the policy's per-class views and walks the policy's turn
+        order, mirroring the analytic side exactly.
 
     Examples
     --------
@@ -63,12 +69,19 @@ class GangSimulation:
     """
 
     def __init__(self, config: SystemConfig, *, seed: int | None = None,
-                 warmup: float = 0.0):
+                 warmup: float = 0.0, policy=None):
         self.config = config
         self.warmup = warmup
+        self.policy = resolve_policy(policy)
+        self.views = self.policy.views(config)
         self.sim = Simulator()
         self._streams = StreamFactory(seed)
         L = config.num_classes
+        #: Per-class capacity c_p, as granted by the policy.
+        self._caps = [v.partitions for v in self.views]
+        #: The cycle's turn order and each class's position in it.
+        self._order = self.policy.turn_order(config)
+        self._pos = {p: i for i, p in enumerate(self._order)}
         self.stats = [ClassStats(warmup) for _ in range(L)]
         # Per-class job pools.
         self._active: list[list[Job]] = [[] for _ in range(L)]   # hold a partition
@@ -110,6 +123,10 @@ class GangSimulation:
     def _rng(self, name: str):
         return self._streams.get(name)
 
+    def _turn_at(self, p: int, k: int) -> int:
+        """The class whose turn comes ``k`` turns after class ``p``'s."""
+        return self._order[(self._pos[p] + k) % len(self._order)]
+
     def _sample(self, dist, stream: str) -> float:
         # Hot path: resolve (sampler, rng) once per stream name.
         entry = self._draw_cache.get(stream)
@@ -122,7 +139,7 @@ class GangSimulation:
         for p, cls in enumerate(self.config.classes):
             delay = self._sample(cls.arrival, f"arrival.{p}")
             self.sim.schedule(delay, self._on_arrival, p)
-        self.sim.schedule(0.0, self._begin_class_turn, 0)
+        self.sim.schedule(0.0, self._begin_class_turn, self._order[0])
 
     def run(self, horizon: float) -> SimulationReport:
         """Run to ``horizon`` and return the statistics report."""
@@ -151,10 +168,11 @@ class GangSimulation:
         self._job_counter += 1
         job = Job(
             job_id=self._job_counter, class_id=p, arrival_time=now,
-            service_requirement=self._sample(cls.service, f"service.{p}"),
+            service_requirement=self._sample(self.views[p].service,
+                                             f"service.{p}"),
         )
         self.stats[p].on_arrival(now)
-        if len(self._active[p]) < self.config.partitions(p):
+        if len(self._active[p]) < self._caps[p]:
             self._active[p].append(job)
             if self._current_class == p:
                 self._start_job(job)
@@ -188,7 +206,7 @@ class GangSimulation:
         # Freed partition goes to the head of the queue.  (The slot-count
         # guard is an invariant here but matters for the lending variant,
         # where borrowed capacity can inflate the active set.)
-        if self._queue[p] and len(self._active[p]) < self.config.partitions(p):
+        if self._queue[p] and len(self._active[p]) < self._caps[p]:
             nxt = self._queue[p].popleft()
             self._active[p].append(nxt)
             if self._current_class == p:
@@ -204,7 +222,6 @@ class GangSimulation:
     # ------------------------------------------------------------------
 
     def _begin_class_turn(self, p: int) -> None:
-        cls = self.config.classes[p]
         if not self._active[p]:
             # Nothing to run: skip the quantum, pay the overhead.
             self.quanta_skipped[p] += 1
@@ -218,7 +235,7 @@ class GangSimulation:
             return
         self.quanta_started[p] += 1
         self._current_class = p
-        quantum = self._sample(cls.quantum, f"quantum.{p}")
+        quantum = self._sample(self.views[p].quantum, f"quantum.{p}")
         self._quantum_end_event = self.sim.schedule(
             quantum, self._on_quantum_expiry, p
         )
@@ -247,10 +264,9 @@ class GangSimulation:
         self._begin_overhead(p)
 
     def _begin_overhead(self, p: int) -> None:
-        cls = self.config.classes[p]
-        overhead = self._sample(cls.overhead, f"overhead.{p}")
-        nxt = (p + 1) % self.config.num_classes
-        self.sim.schedule(overhead, self._begin_class_turn, nxt)
+        overhead = self._sample(self.views[p].overhead, f"overhead.{p}")
+        self.sim.schedule(overhead, self._begin_class_turn,
+                          self._turn_at(p, 1))
 
     def _unpark(self) -> None:
         """Resume the cycle by replaying the parked empty spin exactly.
@@ -266,26 +282,27 @@ class GangSimulation:
         """
         p = self._parked
         self._parked = None
-        L = self.config.num_classes
         elapsed = self.sim.now - self._park_time
         if self._park_uniform_rate is not None:
             spins = int(self._rng("park").poisson(
                 self._park_uniform_rate * elapsed))
         else:
-            # Unequal exponential rates: replay the renewal sequence.
+            # Unequal exponential rates: replay the renewal sequence,
+            # walking the policy's turn order.
             rng = self._rng("park")
             spins = 0
             t = 0.0
             while True:
                 t += rng.exponential(
-                    1.0 / self.config.classes[(p + spins) % L].overhead_rate)
+                    1.0 / self.config.classes[
+                        self._turn_at(p, spins)].overhead_rate)
                 if t > elapsed:
                     break
                 spins += 1
         # Each completed overhead led to a skipped (empty) quantum.
         for k in range(1, spins + 1):
-            self.quanta_skipped[(p + k) % L] += 1
-        j = (p + spins) % L          # overhead currently in progress
-        residual = self._sample(self.config.classes[j].overhead,
-                                f"overhead.{j}")
-        self.sim.schedule(residual, self._begin_class_turn, (j + 1) % L)
+            self.quanta_skipped[self._turn_at(p, k)] += 1
+        j = self._turn_at(p, spins)  # overhead currently in progress
+        residual = self._sample(self.views[j].overhead, f"overhead.{j}")
+        self.sim.schedule(residual, self._begin_class_turn,
+                          self._turn_at(j, 1))

@@ -142,15 +142,16 @@ def simulate_scenario_point(scenario, config) -> SimPointEstimate:
     is estimated across independent replications (Student-t CI);
     otherwise it is one seeded run.
     """
-    from repro.sim.gang import GangSimulation
+    from repro.sim.variants import simulation_for
 
     eng = scenario.engine
+    policy = getattr(scenario.system, "policy", None)
     with span("scenario.sim_point", scenario=scenario.name,
               replications=eng.replications):
         if eng.replications >= 2:
             summaries = run_replications(
-                lambda seed, warmup: GangSimulation(config, seed=seed,
-                                                    warmup=warmup),
+                lambda seed, warmup: simulation_for(config, policy=policy,
+                                                    seed=seed, warmup=warmup),
                 replications=eng.replications, horizon=eng.horizon,
                 warmup=eng.warmup, base_seed=eng.seed)
             jobs = summaries["mean_jobs"]
@@ -161,7 +162,7 @@ def simulate_scenario_point(scenario, config) -> SimPointEstimate:
                 replications=eng.replications,
                 summaries=summaries,
             )
-        report = GangSimulation(config, seed=eng.seed,
+        report = simulation_for(config, policy=policy, seed=eng.seed,
                                 warmup=eng.warmup).run(eng.horizon)
         return SimPointEstimate(
             mean_jobs=tuple(report.mean_jobs),

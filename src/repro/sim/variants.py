@@ -1,28 +1,49 @@
-"""Scheduling variants beyond the modeled policy.
+"""Scheduling variants beyond the paper's round-robin cycle.
 
-The paper's conclusion describes the deviation its SP2 implementation
-makes from the analyzed model: *"As soon as a partition becomes idle
-in a given class, it switches to the next class, while other
-partitions of that class may still be busy"* — context switches are
-not system-wide.  :class:`PartitionLendingSimulation` implements that
-behaviour so the effect of the deviation can be quantified against the
-modeled policy (the variants bench).
+Two kinds of variant live here:
 
-Interpretation implemented here: during class ``p``'s quantum, any
-processor capacity not used by class-``p`` jobs (idle partitions) is
-immediately lent, in cycle order, to waiting jobs of other classes
-whose partition size fits the idle capacity.  Lent jobs are preempted
-(work-conserving) when the machine switches turns or when class ``p``
-reclaims the capacity for a new arrival.
+* **Policy-driven variants.**  :class:`~repro.sim.gang.GangSimulation`
+  consumes a :class:`~repro.policy.SchedulingPolicy`'s per-class views
+  (capacity, effective service, quantum mass, turn order), so every
+  registered policy already *has* a simulator.  The thin subclasses
+  below (:class:`WeightedQuantumSimulation`,
+  :class:`PriorityCycleSimulation`, :class:`MalleableSpeedupSimulation`)
+  name the pairing explicitly and validate that they were given the
+  matching policy kind; :func:`simulation_for` picks the right class
+  from a policy instance.
+
+* **Mechanism variants.**  :class:`PartitionLendingSimulation` changes
+  the *machinery*, not the cycle: the paper's conclusion describes the
+  deviation its SP2 implementation makes from the analyzed model —
+  *"As soon as a partition becomes idle in a given class, it switches
+  to the next class, while other partitions of that class may still be
+  busy"* — context switches are not system-wide.  During class ``p``'s
+  quantum, idle capacity is lent, in cycle order, to waiting jobs of
+  other classes; lent jobs are preempted (work-conserving) when the
+  machine switches turns or the running class reclaims capacity.
 """
 
 from __future__ import annotations
 
 from repro.core.config import SystemConfig
+from repro.errors import ValidationError
+from repro.policy import (
+    MalleableSpeedup,
+    PriorityCycle,
+    SchedulingPolicy,
+    WeightedQuantum,
+    resolve_policy,
+)
 from repro.sim.gang import GangSimulation
 from repro.sim.jobs import Job
 
-__all__ = ["PartitionLendingSimulation"]
+__all__ = [
+    "PartitionLendingSimulation",
+    "WeightedQuantumSimulation",
+    "PriorityCycleSimulation",
+    "MalleableSpeedupSimulation",
+    "simulation_for",
+]
 
 
 class PartitionLendingSimulation(GangSimulation):
@@ -34,8 +55,8 @@ class PartitionLendingSimulation(GangSimulation):
     """
 
     def __init__(self, config: SystemConfig, *, seed: int | None = None,
-                 warmup: float = 0.0):
-        super().__init__(config, seed=seed, warmup=warmup)
+                 warmup: float = 0.0, policy=None):
+        super().__init__(config, seed=seed, warmup=warmup, policy=policy)
         #: Jobs of *other* classes currently borrowing idle capacity.
         self._borrowers: list[Job] = []
         #: Processors lent out right now.
@@ -49,7 +70,7 @@ class PartitionLendingSimulation(GangSimulation):
         p = self._current_class
         if p is None:
             return 0
-        g = self.config.classes[p].partition_size
+        g = self.views[p].job_processors
         used = len(self._active[p]) * g
         return self.config.processors - used - self._lent
 
@@ -60,8 +81,8 @@ class PartitionLendingSimulation(GangSimulation):
             return
         L = self.config.num_classes
         for off in range(1, L):
-            n = (p + off) % L
-            g = self.config.classes[n].partition_size
+            n = self._turn_at(p, off)
+            g = self.views[n].job_processors
             # Only queued jobs (no partition slot) borrow; active jobs of
             # class n conceptually keep their slots for class n's own turn.
             while self._queue[n] and self._idle_processors() >= g:
@@ -76,7 +97,7 @@ class PartitionLendingSimulation(GangSimulation):
         """Preempt most-recently-granted borrowers to free ``needed`` procs."""
         while needed > 0 and self._borrowers:
             job = self._borrowers.pop()
-            g = self.config.classes[job.class_id].partition_size
+            g = self.views[job.class_id].job_processors
             if job.running_since is not None:
                 self._pause_job(job)
             self._active[job.class_id].remove(job)
@@ -101,10 +122,10 @@ class PartitionLendingSimulation(GangSimulation):
     def _on_arrival(self, p: int) -> None:
         current = self._current_class
         if (current is not None and p == current
-                and len(self._active[p]) < self.config.partitions(p)
-                and self._idle_processors() < self.config.classes[p].partition_size):
+                and len(self._active[p]) < self._caps[p]
+                and self._idle_processors() < self.views[p].job_processors):
             # The running class reclaims lent capacity for its own work.
-            self._reclaim_from_borrowers(self.config.classes[p].partition_size)
+            self._reclaim_from_borrowers(self.views[p].job_processors)
         super()._on_arrival(p)
         if current is not None:
             self._lend_idle_capacity()
@@ -112,10 +133,68 @@ class PartitionLendingSimulation(GangSimulation):
     def _on_completion(self, job: Job) -> None:
         if job in self._borrowers:
             self._borrowers.remove(job)
-            self._lent -= self.config.classes[job.class_id].partition_size
+            self._lent -= self.views[job.class_id].job_processors
         was_current = self._current_class
         super()._on_completion(job)
         # A completion may have freed capacity worth lending (unless the
         # turn just ended via switch-on-empty).
         if self._current_class == was_current and self._current_class is not None:
             self._lend_idle_capacity()
+
+
+class _PolicySimulation(GangSimulation):
+    """A simulation bound to one policy kind (checked at construction)."""
+
+    #: The policy class this simulation pairs with.
+    policy_class: type[SchedulingPolicy] = SchedulingPolicy
+
+    def __init__(self, config: SystemConfig, policy, *,
+                 seed: int | None = None, warmup: float = 0.0):
+        if not isinstance(policy, self.policy_class):
+            raise ValidationError(
+                f"{type(self).__name__} requires a "
+                f"{self.policy_class.__name__} policy, got "
+                f"{type(policy).__name__}")
+        super().__init__(config, seed=seed, warmup=warmup, policy=policy)
+
+
+class WeightedQuantumSimulation(_PolicySimulation):
+    """Simulator for :class:`~repro.policy.WeightedQuantum` cycles."""
+
+    policy_class = WeightedQuantum
+
+
+class PriorityCycleSimulation(_PolicySimulation):
+    """Simulator for :class:`~repro.policy.PriorityCycle` cycles."""
+
+    policy_class = PriorityCycle
+
+
+class MalleableSpeedupSimulation(_PolicySimulation):
+    """Simulator for :class:`~repro.policy.MalleableSpeedup` classes."""
+
+    policy_class = MalleableSpeedup
+
+
+#: Policy kind -> paired simulation class.
+_SIMULATIONS: dict[str, type[_PolicySimulation]] = {
+    WeightedQuantum.kind: WeightedQuantumSimulation,
+    PriorityCycle.kind: PriorityCycleSimulation,
+    MalleableSpeedup.kind: MalleableSpeedupSimulation,
+}
+
+
+def simulation_for(config: SystemConfig, *, policy=None,
+                   seed: int | None = None,
+                   warmup: float = 0.0) -> GangSimulation:
+    """Build the simulation matching ``policy`` (round-robin default).
+
+    Unregistered policy kinds still run — the base simulation consumes
+    any policy's views — they just have no dedicated subclass.
+    """
+    pol = resolve_policy(policy)
+    sim_cls = _SIMULATIONS.get(pol.kind)
+    if sim_cls is None:
+        return GangSimulation(config, seed=seed, warmup=warmup,
+                              policy=None if pol.is_default else pol)
+    return sim_cls(config, pol, seed=seed, warmup=warmup)

@@ -401,9 +401,15 @@ def sweep_scenario(scenario) -> SweepResult:
     eng = scenario.engine
     solve_kwargs = eng.solve_kwargs()
     heavy_traffic_only = solve_kwargs.pop("heavy_traffic_only")
+    model_kwargs = eng.model_kwargs()
+    policy = getattr(scenario.system, "policy", None)
+    if policy is not None:
+        # Policies are frozen dataclasses: they pickle cleanly to the
+        # sweep worker processes alongside the rest of the kwargs.
+        model_kwargs["policy"] = policy
     return sweep(axis.parameter, axis.values, scenario.system.config_for,
                  heavy_traffic_only=heavy_traffic_only,
-                 model_kwargs=eng.model_kwargs(),
+                 model_kwargs=model_kwargs,
                  solve_kwargs=solve_kwargs,
                  checkpoint=eng.checkpoint,
                  workers=eng.workers)

@@ -1,0 +1,271 @@
+"""Unit tests for the scheduling-policy layer: protocol, registry, parsing."""
+
+import pickle
+
+import pytest
+
+from repro.core import ClassConfig, SystemConfig
+from repro.errors import ValidationError
+from repro.policy import (
+    ROUND_ROBIN,
+    MalleableSpeedup,
+    PriorityCycle,
+    RoundRobin,
+    SchedulingPolicy,
+    WeightedQuantum,
+    parse_policy,
+    policy_from_dict,
+    policy_kinds,
+    policy_to_dict,
+    register_policy,
+    registered_policies,
+    resolve_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SystemConfig(processors=8, classes=tuple(
+        ClassConfig.markovian(g, arrival_rate=0.3, service_rate=1.0,
+                              quantum_mean=2.0, overhead_mean=0.05,
+                              name=f"class{p}")
+        for p, g in enumerate((1, 2, 4, 8))))
+
+
+class TestRegistry:
+    def test_all_shipped_kinds_registered(self):
+        assert set(policy_kinds()) >= {
+            "round-robin", "weighted", "priority", "malleable"}
+
+    def test_registered_policies_is_a_copy(self):
+        reg = registered_policies()
+        reg.pop("round-robin")
+        assert "round-robin" in policy_kinds()
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            @register_policy
+            class Impostor(SchedulingPolicy):
+                kind = "round-robin"
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty kind"):
+            @register_policy
+            class Nameless(SchedulingPolicy):
+                pass
+
+    def test_resolve_none_is_the_shared_round_robin(self):
+        assert resolve_policy(None) is ROUND_ROBIN
+        assert resolve_policy(ROUND_ROBIN) is ROUND_ROBIN
+
+    def test_resolve_rejects_non_policies(self):
+        with pytest.raises(ValidationError, match="SchedulingPolicy"):
+            resolve_policy("weighted")
+
+    def test_only_round_robin_is_default(self):
+        assert RoundRobin().is_default
+        assert not WeightedQuantum(weights=(1.0, 1.0)).is_default
+
+
+class TestParsing:
+    @pytest.mark.parametrize("spec,expected", [
+        ("round-robin", RoundRobin()),
+        ("weighted:2/1.5/1/1",
+         WeightedQuantum(weights=(2.0, 1.5, 1.0, 1.0))),
+        ("weighted:weights=2/1.5/1/1",
+         WeightedQuantum(weights=(2.0, 1.5, 1.0, 1.0))),
+        ("priority:order=3/2/1/0,decay=0.7,floor=0.3",
+         PriorityCycle(order=(3, 2, 1, 0), decay=0.7, floor=0.3)),
+        ("priority:3/2/1/0", PriorityCycle(order=(3, 2, 1, 0))),
+        ("malleable:procs=2/2/4/8,sigma=0.7",
+         MalleableSpeedup(processors=(2, 2, 4, 8), sigma=0.7)),
+        ("malleable:2/2/4/8", MalleableSpeedup(processors=(2, 2, 4, 8))),
+    ])
+    def test_spec_round_trip(self, spec, expected):
+        assert parse_policy(spec) == expected
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scheduling"):
+            parse_policy("fifo")
+
+    def test_bad_argument_rejected(self):
+        with pytest.raises(ValidationError, match="bad arguments"):
+            parse_policy("weighted:nope=1")
+
+    def test_bare_value_needs_a_primary_param(self):
+        with pytest.raises(ValidationError, match="key=value"):
+            parse_policy("round-robin:3")
+
+
+class TestSerialization:
+    POLICIES = [
+        RoundRobin(),
+        WeightedQuantum(weights=(2.0, 1.5, 1.0, 1.0)),
+        PriorityCycle(order=(3, 2, 1, 0), decay=0.7, floor=0.3),
+        MalleableSpeedup(processors=(2, 2, 4, 8), sigma=0.7),
+    ]
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.kind)
+    def test_dict_round_trip(self, policy):
+        data = policy_to_dict(policy)
+        assert data["kind"] == policy.kind
+        assert policy_from_dict(data) == policy
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.kind)
+    def test_pickle_and_hash(self, policy):
+        # Policies ride inside frozen FixedPointOptions and travel to
+        # sweep worker processes: they must pickle and hash.
+        assert pickle.loads(pickle.dumps(policy)) == policy
+        assert {policy: 1}[policy] == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scheduling"):
+            policy_from_dict({"kind": "fifo"})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValidationError, match="bad parameters"):
+            policy_from_dict({"kind": "weighted", "weightz": [1, 1]})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValidationError, match="'kind'"):
+            policy_from_dict({"weights": [1, 1]})
+
+
+class TestRoundRobinViews:
+    def test_views_alias_config_distributions(self, cfg):
+        # Identity, not just equality: aliasing is what makes
+        # round-robin-as-a-policy byte-identical to the legacy path
+        # (same PH objects -> same convolutions, same sampler caches).
+        for p, view in enumerate(ROUND_ROBIN.views(cfg)):
+            cls = cfg.classes[p]
+            assert view.arrival is cls.arrival
+            assert view.service is cls.service
+            assert view.quantum is cls.quantum
+            assert view.overhead is cls.overhead
+            assert view.partitions == cfg.partitions(p)
+            assert view.job_processors == cls.partition_size
+
+    def test_turn_order_and_successor(self, cfg):
+        assert ROUND_ROBIN.turn_order(cfg) == (0, 1, 2, 3)
+        assert ROUND_ROBIN.successor(cfg, 3) == 0
+
+    def test_cycle_parts_is_theorem_41_shape(self, cfg):
+        # C_p, then (G_n, C_n) for the other L-1 classes in turn order.
+        parts = ROUND_ROBIN.cycle_parts(cfg, 1)
+        assert len(parts) == 1 + 2 * (cfg.num_classes - 1)
+        assert parts[0] is cfg.classes[1].overhead
+        assert parts[1] is cfg.classes[2].quantum
+        assert parts[2] is cfg.classes[2].overhead
+        assert parts[-2] is cfg.classes[0].quantum
+        assert parts[-1] is cfg.classes[0].overhead
+
+    def test_cycle_parts_substitutes_effective_quanta(self, cfg):
+        eff = {p: cfg.classes[p].quantum.rescaled(0.5)
+               for p in range(cfg.num_classes)}
+        parts = ROUND_ROBIN.cycle_parts(cfg, 0, effective_quanta=eff)
+        assert parts[1] is eff[1] and parts[3] is eff[2]
+
+
+class TestWeightedQuantum:
+    def test_quantum_mass_scales_with_weight_and_is_conserved(self, cfg):
+        pol = WeightedQuantum(weights=(2.0, 1.0, 1.0, 1.0))
+        views = pol.views(cfg)
+        base = [cls.quantum.mean for cls in cfg.classes]
+        scaled = [v.quantum.mean for v in views]
+        # Class 0 holds 2x the share of class 1...
+        assert scaled[0] / scaled[1] == pytest.approx(2.0)
+        # ...and total quantum mass in the cycle is conserved.
+        assert sum(scaled) == pytest.approx(sum(base))
+
+    def test_uniform_weights_reduce_to_round_robin(self, cfg):
+        views = WeightedQuantum(weights=(1.0, 1.0, 1.0, 1.0)).views(cfg)
+        for p, view in enumerate(views):
+            assert view.quantum is cfg.classes[p].quantum
+
+    def test_arity_and_sign_validated(self, cfg):
+        with pytest.raises(ValidationError, match="4 classes"):
+            WeightedQuantum(weights=(1.0, 1.0)).views(cfg)
+        with pytest.raises(ValidationError, match="positive"):
+            WeightedQuantum(weights=(1.0, -1.0, 1.0, 1.0)).views(cfg)
+
+
+class TestPriorityCycle:
+    def test_turn_order_follows_priority(self, cfg):
+        pol = PriorityCycle(order=(3, 2, 1, 0))
+        assert pol.turn_order(cfg) == (3, 2, 1, 0)
+        assert pol.successor(cfg, 3) == 2
+        assert pol.successor(cfg, 0) == 3
+
+    def test_quantum_mass_decays_by_rank_with_floor(self, cfg):
+        pol = PriorityCycle(order=(3, 2, 1, 0), decay=0.5, floor=0.2)
+        views = pol.views(cfg)
+        means = [v.quantum.mean for v in views]
+        # Priority order 3 > 2 > 1 > 0: quantum mass is monotone in rank.
+        assert means[3] > means[2] > means[1] >= means[0]
+        # The starvation bound: raw shares 1, .5, .25, then the floor
+        # (0.2 > 0.5**3) keeps the lowest class at a guaranteed slice.
+        assert means[1] / means[3] == pytest.approx(0.25)
+        assert means[0] / means[3] == pytest.approx(0.2)
+        # Total quantum mass in the cycle is conserved.
+        assert sum(means) == pytest.approx(
+            sum(cls.quantum.mean for cls in cfg.classes))
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValidationError, match="permutation"):
+            PriorityCycle(order=(0, 0, 1, 2)).views(cfg)
+        with pytest.raises(ValidationError, match="decay"):
+            PriorityCycle(order=(0, 1, 2, 3), decay=0.0).views(cfg)
+        with pytest.raises(ValidationError, match="floor"):
+            PriorityCycle(order=(0, 1, 2, 3), floor=1.5).views(cfg)
+
+
+class TestMalleableSpeedup:
+    def test_capacity_and_service_rescaling(self, cfg):
+        pol = MalleableSpeedup(processors=(2, 2, 4, 8), sigma=0.7)
+        views = pol.views(cfg)
+        for p, view in enumerate(views):
+            k = pol.processors[p]
+            assert view.partitions == cfg.processors // k
+            assert view.job_processors == k
+        # Class 0 folds from g=1 onto k=2 processors: service mean
+        # shrinks by s(1)/s(2) = 2**-0.7.
+        assert views[0].service.mean == pytest.approx(
+            cfg.classes[0].service.mean * 2.0 ** -0.7)
+        # Class 3 keeps its rigid allocation: service is untouched.
+        assert views[3].service is cfg.classes[3].service
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValidationError, match="does not divide"):
+            MalleableSpeedup(processors=(3, 2, 4, 8)).views(cfg)
+        with pytest.raises(ValidationError, match="sigma"):
+            MalleableSpeedup(processors=(1, 2, 4, 8), sigma=1.5).views(cfg)
+        with pytest.raises(ValidationError, match="k must be >= 1"):
+            MalleableSpeedup(processors=(0, 2, 4, 8)).views(cfg)
+        with pytest.raises(ValidationError, match="sizes 2 classes"):
+            MalleableSpeedup(processors=(2, 2)).views(cfg)
+
+
+class TestScenarioIntegration:
+    def test_explicit_round_robin_normalizes_to_absent(self):
+        from repro.scenario import get_scenario, scenario_key
+        fig2 = get_scenario("fig2")
+        aliased = fig2.with_policy(RoundRobin())
+        assert aliased.system.policy is None
+        assert scenario_key(aliased) == scenario_key(fig2)
+
+    def test_non_default_policy_changes_key_and_round_trips(self):
+        from repro.scenario import get_scenario, scenario_key
+        from repro.serialize import scenario_from_dict, scenario_to_dict
+        fig2 = get_scenario("fig2")
+        weighted = fig2.with_policy(
+            WeightedQuantum(weights=(2.0, 1.5, 1.0, 1.0)))
+        assert scenario_key(weighted) != scenario_key(fig2)
+        data = scenario_to_dict(weighted)
+        assert data["version"] == 2
+        assert data["system"]["policy"]["kind"] == "weighted"
+        assert scenario_from_dict(data) == weighted
+
+    def test_describe_is_stable(self):
+        assert RoundRobin().describe() == "round-robin"
+        assert PriorityCycle(order=(1, 0)).describe() == \
+            "priority(decay=0.5, floor=0.05, order=[1, 0])"

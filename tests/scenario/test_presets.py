@@ -87,7 +87,9 @@ class TestPresetSerializationDrift:
 class TestCheckedInScenarioFiles:
     """scenarios/*.json must match the registry's canonical form."""
 
-    @pytest.mark.parametrize("stem", ["fig2", "crosscheck-moderate"])
+    @pytest.mark.parametrize("stem", ["fig2", "crosscheck-moderate",
+                                      "policy-weighted",
+                                      "policy-malleable"])
     def test_file_matches_preset(self, stem):
         path = REPO / "scenarios" / f"{stem}.json"
         on_disk = json.loads(path.read_text())
@@ -97,7 +99,9 @@ class TestCheckedInScenarioFiles:
             f"get_scenario; from repro.serialize import save_scenario; "
             f"save_scenario(get_scenario('{stem}'), '{path.name}')\"")
 
-    @pytest.mark.parametrize("stem", ["fig2", "crosscheck-moderate"])
+    @pytest.mark.parametrize("stem", ["fig2", "crosscheck-moderate",
+                                      "policy-weighted",
+                                      "policy-malleable"])
     def test_file_loads_to_the_preset(self, stem):
         from repro.serialize import load_scenario
         path = REPO / "scenarios" / f"{stem}.json"

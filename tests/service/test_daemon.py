@@ -162,3 +162,77 @@ class TestStoreResilience:
             assert svc.store.repaired_tails == 1
             r2 = svc.handle({"id": "b", "scenario": shard})
         assert r2["cached"] and r2["result"] == r1["result"]
+
+
+class TestDerivedSolveBudget:
+    """Satellite regression: a request deadline must be carved into
+    per-point solve budgets when the scenario sets none of its own, so
+    one divergent point burns its slice — not the whole request."""
+
+    def test_budget_is_remaining_deadline_over_cold_points(self, service):
+        import time
+        scenario = normalized("fig2", "quick")
+        deadline = time.monotonic() + 10.0
+        budget = service._derived_budget(scenario, deadline, 5)
+        assert budget == pytest.approx(2.0, rel=0.05)
+
+    def test_no_deadline_or_explicit_budget_means_no_derivation(
+            self, service):
+        import time
+        scenario = normalized("fig2", "quick")
+        assert service._derived_budget(scenario, None, 5) is None
+        budgeted = scenario.with_engine(solve_budget=3.0)
+        assert service._derived_budget(
+            budgeted, time.monotonic() + 10.0, 5) is None
+        # An expired deadline derives nothing; the pool times out.
+        assert service._derived_budget(
+            scenario, time.monotonic() - 1.0, 5) is None
+
+    def test_divergent_point_degrades_alone_under_derived_budget(
+            self, service, monkeypatch):
+        """One shard that would run forever must come back as a single
+        error point while its siblings still solve cleanly."""
+        from repro.service import supervisor
+
+        seen_budgets = []
+        real_solve = supervisor.solve_shard
+
+        def instrumented(shard):
+            budget = shard["engine"].get("solve_budget")
+            seen_budgets.append(budget)
+            value = shard["system"]["axis"]["values"][0]
+            if value == 0.5:
+                # Stand-in for a divergent fixed point: the solver's
+                # wall-clock budget check is what would abort it.
+                raise RuntimeError(
+                    f"BudgetExceededError: solve exceeded its "
+                    f"{budget:.3f}s budget")
+            return real_solve(shard)
+
+        monkeypatch.setattr(supervisor, "solve_shard", instrumented)
+        reply = service.handle({"id": "a", "preset": "fig2",
+                                "grid": "quick", "timeout": 60.0})
+        grid = get_scenario("fig2", grid="quick").grid()
+        # Every cold shard carried an equal slice of the deadline.
+        assert len(seen_budgets) == len(grid)
+        assert all(b is not None for b in seen_budgets)
+        assert all(b == pytest.approx(60.0 / len(grid), rel=0.05)
+                   for b in seen_budgets)
+        assert reply["error_points"] == 1
+        assert reply["solved_points"] == len(grid) - 1
+        bad = [pt for pt in reply["result"]["points"] if pt.get("error")]
+        assert len(bad) == 1 and bad[0]["value"] == 0.5
+        # The failed point is never persisted; the clean ones are,
+        # under their unbudgeted keys — so a retry without a deadline
+        # only re-solves the divergent point.
+        scenario = normalized("fig2", "quick")
+        assert service.store.get_point(point_key(scenario, 0.5)) is None
+        assert service.store.get_point(
+            point_key(scenario, grid[0])) is not None
+        assert service.store.get_result(reply["key"]) is None
+        monkeypatch.setattr(supervisor, "solve_shard", real_solve)
+        retry = service.handle({"id": "b", "preset": "fig2",
+                                "grid": "quick"})
+        assert retry["status"] == "ok"
+        assert retry["solved_points"] == 1
+        assert retry["store_points"] == len(grid) - 1

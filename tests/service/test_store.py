@@ -145,3 +145,58 @@ class TestCorruption:
         with ResultStore(tmp_path) as store:
             assert store.quarantined_lines == 0
             assert store.get_point("k0") is not None
+
+
+class TestCompaction:
+    def test_compact_collapses_segments_and_keeps_records(self, tmp_path):
+        with ResultStore(tmp_path, segment_max_bytes=64) as store:
+            for i in range(6):
+                store.put_result(f"k{i}", {"v": i})
+            assert len(sorted(tmp_path.glob("seg-*.jsonl"))) > 1
+            summary = store.compact()
+            assert summary["records"] == 6
+            assert summary["segments_before"] > 1
+            # Everything is still served after compaction...
+            for i in range(6):
+                assert store.get_result(f"k{i}") == {"v": i}
+            # ...and new appends keep working.
+            assert store.put_result("after", {"v": "post-compact"})
+        # The compacted layout replays from disk like any other store.
+        with ResultStore(tmp_path) as store:
+            assert store.get_result("k3") == {"v": 3}
+            assert store.get_result("after") == {"v": "post-compact"}
+            assert store.stats()["results"] == 7
+
+    def test_compact_drops_quarantine_sidecars(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            store.put_result("a", {"v": 1})
+            store.put_result("b", {"v": 2})
+        segment = sorted(tmp_path.glob("seg-*.jsonl"))[0]
+        lines = segment.read_text().splitlines()
+        lines.insert(1, "%% rot %%")       # mid-segment damage
+        segment.write_text("\n".join(lines) + "\n")
+        with ResultStore(tmp_path) as store:
+            assert store.quarantined_lines == 1
+            assert list(tmp_path.glob("*.quarantine"))
+            summary = store.compact()
+            assert summary["quarantine_files_dropped"] == 1
+            assert not list(tmp_path.glob("*.quarantine"))
+            assert store.get_result("a") == {"v": 1}
+            assert store.stats()["compactions"] == 1
+
+    def test_compact_writes_one_record_per_live_key(self, tmp_path):
+        with ResultStore(tmp_path, segment_max_bytes=64) as store:
+            store.put_result("k", {"v": 1})
+            store.put_point("p", {"v": 2})
+            store.compact()
+        segments = sorted(tmp_path.glob("seg-*.jsonl"))
+        records = [r for s in segments for r in record_lines(s)
+                   if r["kind"] != "header"]
+        assert sorted((r["kind"], r["key"]) for r in records) \
+            == [("point", "p"), ("result", "k")]
+
+    def test_closed_store_rejects_compact(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.close()
+        with pytest.raises(ValidationError, match="closed"):
+            store.compact()

@@ -29,7 +29,18 @@ class TestParser:
     def test_solve_defaults(self):
         args = build_parser().parse_args(["solve"])
         assert args.processors == 8
-        assert args.policy == "switch"
+        assert args.empty_queue == "switch"
+        assert args.policy is None
+
+    @pytest.mark.parametrize("command", EVALUATING_SUBCOMMANDS)
+    def test_policy_flag_parses_everywhere(self, command):
+        argv = _subcommand_argv(command) + ["--policy", "weighted:2/1/1/1"]
+        args = build_parser().parse_args(argv)
+        assert args.policy == "weighted:2/1/1/1"
+
+    def test_bad_policy_spec_exits_2(self, capsys):
+        assert main(["solve", "--policy", "no-such-kind"]) == 2
+        assert "ValidationError" in capsys.readouterr().err
 
     def test_bad_class_spec(self):
         with pytest.raises(SystemExit):
@@ -81,6 +92,24 @@ class TestOptimize:
         out = capsys.readouterr().out
         assert "optimal quantum mean" in out
         assert "converged=True" in out
+
+
+class TestPolicyFlag:
+    def test_solve_with_weighted_policy(self, capsys):
+        rc = main(["solve", "--heavy-traffic",
+                   "--policy", "weighted:2/1/1/1"])
+        assert rc == 0
+        assert "total N=" in capsys.readouterr().out
+
+    def test_optimize_search_priority(self, capsys):
+        rc = main(["optimize", "--search", "priority",
+                   "--processors", "4",
+                   "--class", "1,0.5,1,2,0.1",
+                   "--class", "2,0.3,1.5,2,0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimal policy: priority" in out
+        assert "total N=" in out
 
 
 class TestSimulate:
@@ -272,6 +301,13 @@ class TestServiceCLI:
         # The store persists across one-shot invocations.
         assert main(["request", str(path), "--store", store]) == 0
         assert json.loads(capsys.readouterr().out)["cached"] is True
+
+    def test_serve_compact_on_start_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "s", "--compact-on-start"])
+        assert args.compact_on_start is True
+        args = build_parser().parse_args(["serve", "--store", "s"])
+        assert args.compact_on_start is False
 
     def test_request_requires_exactly_one_target(self):
         with pytest.raises(SystemExit):
