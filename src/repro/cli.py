@@ -71,6 +71,12 @@ ENGINE_FLAGS: tuple[tuple[str, str, dict], ...] = (
      {"metavar": "FILE",
       "help": "journal completed sweep points to FILE (JSONL) and "
               "resume from it if it exists"}),
+    ("batch_points", "--batch",
+     {"type": int, "metavar": "N",
+      "help": "solve up to N adjacent sweep points at once through the "
+              "batched lockstep engine (stacked BLAS, continuation "
+              "warm-starts, adaptive backend crossover); 0 or 1 keeps "
+              "the per-point path"}),
     ("max_iterations", "--max-iterations",
      {"type": int, "metavar": "N",
       "help": "fixed-point iteration budget (default 200)"}),
@@ -107,6 +113,11 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     g = p.add_argument_group("engine options (shared scenario schema)")
     for field, flag, kwargs in ENGINE_FLAGS:
         g.add_argument(flag, dest=field, default=None, **kwargs)
+    # ``--no-batch`` is sugar for ``--batch 0`` (force the per-point
+    # path even when the scenario asks for batching).
+    g.add_argument("--no-batch", dest="batch_points", action="store_const",
+                   const=0, help="disable batched sweep solving "
+                   "(equivalent to --batch 0)")
 
 
 def _engine_overrides(args) -> dict:

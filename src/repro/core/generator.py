@@ -145,7 +145,8 @@ def _with_diagonal(local: np.ndarray, other_blocks) -> np.ndarray:
     for blk in other_blocks:
         if blk is not None:
             total = total + blk.sum(axis=1)
-    out[np.diag_indices_from(out)] -= total
+    r = np.arange(out.shape[0])
+    out[r, r] -= total
     return out
 
 

@@ -72,15 +72,30 @@ def weighted_response_objective(weights: Sequence[float]
 
 
 def _evaluate(config: SystemConfig, objective, model_kwargs,
-              policy: SchedulingPolicy | None = None) -> float:
+              policy: SchedulingPolicy | None = None,
+              cache=None) -> float:
     kwargs = dict(model_kwargs or {})
     if policy is not None:
         kwargs["policy"] = policy
+    if cache is not None:
+        kwargs["cache"] = cache
     try:
         solved = GangSchedulingModel(config, **kwargs).solve()
     except UnstableSystemError:
         return math.inf
     return float(objective(solved))
+
+
+def _config_key(config: SystemConfig) -> str:
+    """Content key of a system configuration (canonical JSON hash)."""
+    import hashlib
+    import json
+
+    from repro.serialize import system_to_dict
+
+    blob = json.dumps(system_to_dict(config), sort_keys=True,
+                      separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 class QuantumOptimum:
@@ -105,7 +120,8 @@ def optimize_quantum(config_factory: Callable[[float], SystemConfig],
                      *, bounds: tuple[float, float],
                      objective: Callable[[SolvedModel], float] = total_jobs_objective,
                      tol: float = 1e-3, max_evaluations: int = 60,
-                     model_kwargs: dict | None = None) -> QuantumOptimum:
+                     model_kwargs: dict | None = None,
+                     memo: dict | None = None) -> QuantumOptimum:
     """Golden-section search for the best quantum length.
 
     Parameters
@@ -123,7 +139,22 @@ def optimize_quantum(config_factory: Callable[[float], SystemConfig],
         objective, grid-search first.
     tol:
         Relative interval width at which to stop.
+    memo:
+        Optional content-keyed objective memo, keyed by the *built
+        configuration* rather than the raw quantum: bracket endpoints
+        that collapse to bit-identical configs (ulp-different quanta, a
+        quantizing factory, repeated searches sharing the dict) cost
+        zero solves.  Entries assume the same ``objective`` and
+        ``model_kwargs``; pass a fresh dict when either changes.
+        ``evaluations`` counts actual model solves only.
+
+    All evaluations in one search also share one
+    :class:`~repro.pipeline.cache.ArtifactCache`, so bit-identical
+    per-class QBD sub-solves across bracket points are served from
+    cache instead of re-solved.
     """
+    from repro.pipeline.cache import ArtifactCache
+
     lo, hi = bounds
     if not 0 < lo <= hi:
         raise ValidationError(
@@ -132,12 +163,19 @@ def optimize_quantum(config_factory: Callable[[float], SystemConfig],
     evals = 0
 
     cache: dict[float, float] = {}
+    content_memo = memo if memo is not None else {}
+    artifacts = ArtifactCache()
 
     def f(q: float) -> float:
         nonlocal evals
         if q not in cache:
-            cache[q] = _evaluate(config_factory(q), objective, model_kwargs)
-            evals += 1
+            config = config_factory(q)
+            ck = _config_key(config)
+            if ck not in content_memo:
+                content_memo[ck] = _evaluate(config, objective,
+                                             model_kwargs, cache=artifacts)
+                evals += 1
+            cache[q] = content_memo[ck]
         return cache[q]
 
     if lo == hi:

@@ -273,7 +273,7 @@ def reduce_order(dist: PhaseType, reduction: str, *,
         return PhaseType(np.zeros(1), [[-1.0]])
     cond = 1.0 - atom
     kmax = 2 if reduction == "moments2" else 3
-    if select_backend(backend, dist.order) == "sparse":
+    if select_backend(backend, dist.order, site="reduce") == "sparse":
         moments = ph_moments(dist.alpha, dist.S, kmax, backend=backend)
     else:
         moments = [dist.moment(k) for k in range(1, kmax + 1)]

@@ -9,13 +9,29 @@ The package splits into:
 * :mod:`repro.kernels.kron` — sparse Kronecker assembly and the
   matrix-free Kronecker-sum / generalized-Sylvester operators;
 * :mod:`repro.kernels.boundary` — the block-tridiagonal boundary
-  solver replacing the dense all-levels least-squares path.
+  solver replacing the dense all-levels least-squares path;
+* :mod:`repro.kernels.batched` — ``(n, m, m)`` stacked twins of the
+  R/G solvers, driving many sweep points through one batched-BLAS
+  iteration with per-point dropout;
+* :mod:`repro.kernels.adaptive` — measured dense/sparse crossover:
+  armed per-site winners plus the host+shape-keyed JSON sidecar.
 
 Every kernel here has a dense reference twin elsewhere in the repo;
 ``backend="dense"`` routes around this package entirely and the
 sparse paths fall back to the references on numerical failure.
 """
 
+from repro.kernels.adaptive import (
+    CALIBRATION_ENV,
+    arm_decisions,
+    armed_decision,
+    armed_decisions,
+    calibrated,
+    calibration_key,
+    calibration_path,
+    load_calibration,
+    store_calibration,
+)
 from repro.kernels.backend import (
     AUTO,
     BACKENDS,
@@ -26,6 +42,16 @@ from repro.kernels.backend import (
     SPARSE_SIZE_THRESHOLD,
     resolve_backend,
     select_backend,
+)
+from repro.kernels.batched import (
+    batched_boundary_solve,
+    batched_drift,
+    batched_gth,
+    batched_r_from_g,
+    batched_refine_R,
+    batched_solve_G,
+    batched_solve_R,
+    stack_blocks,
 )
 from repro.kernels.boundary import solve_boundary_blocktridiag
 from repro.kernels.kron import KronSumOperator, kron2, solve_sylvester
@@ -53,6 +79,23 @@ __all__ = [
     "SPARSE_SIZE_THRESHOLD",
     "resolve_backend",
     "select_backend",
+    "CALIBRATION_ENV",
+    "arm_decisions",
+    "armed_decision",
+    "armed_decisions",
+    "calibrated",
+    "calibration_key",
+    "calibration_path",
+    "load_calibration",
+    "store_calibration",
+    "stack_blocks",
+    "batched_gth",
+    "batched_drift",
+    "batched_solve_G",
+    "batched_r_from_g",
+    "batched_refine_R",
+    "batched_solve_R",
+    "batched_boundary_solve",
     "solve_boundary_blocktridiag",
     "KronSumOperator",
     "kron2",

@@ -27,6 +27,7 @@ Kronecker assembly) picks the same way.  Callers thread a user-facing
 from __future__ import annotations
 
 from repro.errors import ValidationError
+from repro.kernels import adaptive
 from repro.obs import metrics
 
 __all__ = [
@@ -103,10 +104,16 @@ def select_backend(backend: str | None, size: int,
         ``"dense"`` or ``"sparse"`` — never ``"auto"``.
     """
     mode = resolve_backend(backend)
+    calibrated = adaptive.armed_decision(site) if mode == AUTO else None
     if mode == DENSE:
         choice = DENSE
     elif size < min_size:
         choice = DENSE
+    elif calibrated is not None:
+        # A measured per-site winner (see :mod:`repro.kernels.adaptive`)
+        # overrides the static thresholds in auto mode; the tiny-operand
+        # guard above still applies.
+        choice = calibrated
     elif mode == SPARSE:
         choice = SPARSE
     elif size < size_threshold:

@@ -159,6 +159,24 @@ def _rollup_section(summary: TraceSummary, title: str,
     return [f"{title}:", render_snapshot(sub, indent="  "), ""]
 
 
+def _continuation_lines(summary: TraceSummary) -> list[str]:
+    """Derived continuation hit rate of batched sweeps.
+
+    The batched sweep engine counts every solved point as
+    ``sweep.points{start=warm}`` (continuation-seeded from a sweep
+    neighbor) or ``{start=cold}``; the hit rate is the fraction of
+    points the continuation actually reached.
+    """
+    counters = summary.metrics.get("counters") or {}
+    warm = float(counters.get("sweep.points{start=warm}", 0.0))
+    cold = float(counters.get("sweep.points{start=cold}", 0.0))
+    total = warm + cold
+    if total <= 0:
+        return []
+    return [f"continuation: warm={warm:g} cold={cold:g} "
+            f"hit rate {100.0 * warm / total:.1f}%", ""]
+
+
 def render_report(summary: TraceSummary) -> str:
     """The full text report of ``repro report``."""
     lines = [f"trace: {summary.path}",
@@ -207,6 +225,7 @@ def render_report(summary: TraceSummary) -> str:
                             "fixed_point."))
     lines += _rollup_section(
         summary, "resilience", ("faults.", "checkpoint.", "sweep."))
+    lines += _continuation_lines(summary)
     remaining_prefixes = ("cache.", "backend.", "rsolve.", "fallback.",
                           "gmres.", "boundary.", "fixed_point.", "faults.",
                           "checkpoint.", "sweep.")

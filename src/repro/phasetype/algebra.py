@@ -50,14 +50,37 @@ def convolve_many(parts: Sequence[PhaseType]) -> PhaseType:
     Used to assemble the heavy-traffic vacation distribution
     ``C_p * G_{p+1} * C_{p+1} * ... * G_{p-1} * C_{p-1}``
     of Theorem 4.1 in one call.
+
+    The chain is built in one preallocated buffer instead of pairwise
+    :func:`convolve` calls.  Each step replays the pairwise arithmetic
+    exactly — the intermediate's exit rates and zero-atom are the same
+    row/prefix sums over slices holding the already-written values — so
+    the result is bit-identical to the folded form while skipping every
+    intermediate ``PhaseType`` (this chain runs once per class per
+    fixed-point iteration; see ``repro.core.vacation``).
     """
     parts = list(parts)
     if not parts:
         raise ValidationError("convolve_many requires at least one distribution")
-    out = parts[0]
-    for nxt in parts[1:]:
-        out = convolve(out, nxt)
-    return out
+    if len(parts) == 1:
+        return parts[0]
+    orders = [p.order for p in parts]
+    total = sum(orders)
+    S = np.zeros((total, total))
+    alpha = np.empty(total)
+    pos = orders[0]
+    S[:pos, :pos] = parts[0].S
+    alpha[:pos] = parts[0].alpha
+    for p in parts[1:]:
+        n = p.order
+        a = np.asarray(p.alpha)
+        exit_prev = np.clip(-S[:pos, :pos].sum(axis=1), 0.0, None)
+        atom_prev = max(0.0, 1.0 - float(alpha[:pos].sum()))
+        S[:pos, pos:pos + n] = np.outer(exit_prev, a)
+        S[pos:pos + n, pos:pos + n] = p.S
+        alpha[pos:pos + n] = atom_prev * a
+        pos += n
+    return PhaseType.from_trusted(alpha, S)
 
 
 def mixture(weights: Sequence[float], parts: Sequence[PhaseType]) -> PhaseType:

@@ -41,7 +41,9 @@ def exponential(rate: float | None = None, *, mean: float | None = None) -> Phas
     if (rate is None) == (mean is None):
         raise ValidationError("specify exactly one of rate= or mean=")
     lam = _positive(rate if rate is not None else 1.0 / _positive(mean, "mean"), "rate")
-    return PhaseType([1.0], [[-lam]])
+    # Canonical valid forms: the scalar parameters are validated above,
+    # so the (alpha, S) pairs are subgenerators by construction.
+    return PhaseType.from_trusted([1.0], [[-lam]])
 
 
 def erlang(k: int, rate: float | None = None, *, mean: float | None = None) -> PhaseType:
@@ -85,7 +87,7 @@ def hypoexponential(rates: Sequence[float]) -> PhaseType:
             S[i, i + 1] = r
     alpha = np.zeros(m)
     alpha[0] = 1.0
-    return PhaseType(alpha, S)
+    return PhaseType.from_trusted(alpha, S)
 
 
 def hyperexponential(probs: Sequence[float], rates: Sequence[float]) -> PhaseType:
@@ -102,7 +104,7 @@ def hyperexponential(probs: Sequence[float], rates: Sequence[float]) -> PhaseTyp
     if np.any(probs < 0) or abs(probs.sum() - 1.0) > 1e-9:
         raise ValidationError("probs must be a probability vector")
     S = np.diag([-r for r in rates])
-    return PhaseType(probs, S)
+    return PhaseType.from_trusted(probs, S)
 
 
 def coxian(rates: Sequence[float], completion_probs: Sequence[float]) -> PhaseType:
@@ -133,4 +135,4 @@ def coxian(rates: Sequence[float], completion_probs: Sequence[float]) -> PhaseTy
             S[i, i + 1] = rates[i] * (1.0 - ps[i])
     alpha = np.zeros(m)
     alpha[0] = 1.0
-    return PhaseType(alpha, S)
+    return PhaseType.from_trusted(alpha, S)

@@ -63,7 +63,8 @@ def _with_diagonal_any(local, other_blocks):
     if is_sparse(local):
         return _sp.csr_array(local - _sp.diags_array(total))
     out = local.copy()
-    out[np.diag_indices_from(out)] -= total
+    r = np.arange(out.shape[0])
+    out[r, r] -= total
     return out
 
 
@@ -172,6 +173,16 @@ class AssemblyWorkspace:
                     M[vi, vmap[tuple(w)]] += aB[n]
             self.Uent[i] = M
 
+        # Cycle-size-keyed Kronecker products that do not depend on the
+        # quantum/vacation *values* — only on their orders.  The fixed
+        # point rebuilds the generator every iteration with a new
+        # vacation of (almost always) the same order, so these blocks
+        # are identical call to call; caching them skips the dominant
+        # kron2 work.  Keyed by (m_quantum, m_vacation, switch, csr
+        # pattern); values are reused as-is, so the assembled blocks
+        # stay bitwise equal to a cold build.
+        self._static: dict[tuple, dict] = {}
+
     def matches(self, partitions: int, arrival: PhaseType,
                 service: PhaseType, policy: str) -> bool:
         return (self.partitions == partitions and self.policy == policy
@@ -247,7 +258,7 @@ def build_class_qbd_fast(partitions: int, arrival: PhaseType,
     # Representation per boundary level: CSR for levels past the
     # selector's threshold, dense below it.  The repeating levels
     # (c, c+1) are forced dense — A0/A1/A2 feed the dense R solvers.
-    csr_level = [select_backend(backend, dim_at(i)) == "sparse"
+    csr_level = [select_backend(backend, dim_at(i), site="assembly") == "sparse"
                  for i in range(c + 2)]
     csr_level[c] = csr_level[c + 1] = False
 
@@ -256,38 +267,65 @@ def build_class_qbd_fast(partitions: int, arrival: PhaseType,
 
     # Off-diagonal blocks, mirroring generator._BlockBuilder.  A block
     # between two levels goes CSR only when both endpoints do (a mixed
-    # pair is small on one side anyway).
-    ups: list[np.ndarray] = []
-    for i in range(c + 1):
-        f = csr_level[i] and csr_level[i + 1]
-        Vup = ws.Uent[i] if i < c else np.eye(ws.nv[i])
-        Kup = E0up if (i == 0 and switch) else I_nk
-        ups.append(kron2(ws.Aup, kron2(Vup, Kup, sparse=f), sparse=f))
+    # pair is small on one side anyway).  Everything that depends on
+    # the quantum/vacation only through their *orders* — the up blocks,
+    # the non-switch down blocks, and the static local addends — comes
+    # from the workspace cache (see ``AssemblyWorkspace._static``);
+    # only the value-carrying pieces are rebuilt per call.
+    sa_jumps = bool(ws.SA_off.any())
+    ckey = (M, N, switch, tuple(csr_level))
+    static = ws._static.get(ckey)
+    if static is None:
+        ups_s: list[np.ndarray] = []
+        for i in range(c + 1):
+            f = csr_level[i] and csr_level[i + 1]
+            Vup = ws.Uent[i] if i < c else np.eye(ws.nv[i])
+            Kup = E0up if (i == 0 and switch) else I_nk
+            ups_s.append(kron2(ws.Aup, kron2(Vup, Kup, sparse=f), sparse=f))
+        downs_s: dict[int, np.ndarray] = {}
+        for i in range(1, c + 2):
+            if i == 1 and switch:
+                continue  # Tq0 carries vacation values; rebuilt per call
+            f = csr_level[i] and csr_level[i - 1]
+            Dv = ws.Dref if i > c else ws.Dplain[i]
+            downs_s[i] = kron2(I_mA, kron2(Dv, Eq, sparse=f), sparse=f)
+        sjump_s: dict[int, np.ndarray] = {}
+        sa_s: dict[int, np.ndarray] = {}
+        for i in range(c + 2):
+            f = csr_level[i]
+            nv = ws.nv[i]
+            nki = nk_at(i)
+            if not (i == 0 and switch) and min(i, c) > 0 \
+                    and bool(ws.Sjump[i].any()):
+                sjump_s[i] = kron2(I_mA, kron2(ws.Sjump[i], Eq, sparse=f),
+                                   sparse=f)
+            if sa_jumps:
+                sa_s[i] = kron2(ws.SA_off, _eye(nv * nki, f), sparse=f)
+        static = {"ups": ups_s, "downs": downs_s, "sjump": sjump_s,
+                  "sa": sa_s}
+        ws._static[ckey] = static
+
+    ups = static["ups"]
 
     downs: list[np.ndarray | None] = [None]
     for i in range(1, c + 2):
-        f = csr_level[i] and csr_level[i - 1]
-        Dv = ws.Dref if i > c else ws.Dplain[i]
-        Kd = Tq0 if (i == 1 and switch) else Eq
-        downs.append(kron2(I_mA, kron2(Dv, Kd, sparse=f), sparse=f))
+        if i == 1 and switch:
+            f = csr_level[1] and csr_level[0]
+            Dv = ws.Dref if 1 > c else ws.Dplain[1]
+            downs.append(kron2(I_mA, kron2(Dv, Tq0, sparse=f), sparse=f))
+        else:
+            downs.append(static["downs"][i])
 
     locals_: list[np.ndarray] = []
-    sa_jumps = bool(ws.SA_off.any())
     for i in range(c + 2):
         f = csr_level[i]
         nv = ws.nv[i]
-        nki = nk_at(i)
-        if i == 0 and switch:
-            Ki = K0
-            svc_jumps = False
-        else:
-            Ki = Kfull
-            svc_jumps = min(i, c) > 0 and bool(ws.Sjump[i].any())
+        Ki = K0 if (i == 0 and switch) else Kfull
         L = kron2(I_mA, kron2(_eye(nv, f), Ki, sparse=f), sparse=f)
-        if svc_jumps:
-            L = L + kron2(I_mA, kron2(ws.Sjump[i], Eq, sparse=f), sparse=f)
+        if i in static["sjump"]:
+            L = L + static["sjump"][i]
         if sa_jumps:
-            L = L + kron2(ws.SA_off, _eye(nv * nki, f), sparse=f)
+            L = L + static["sa"][i]
         locals_.append(L)
 
     # Boundary/diagonal assembly, identical to build_class_qbd.

@@ -253,7 +253,7 @@ def refine_R(A0, A1, A2, R0, *, tol: float = 1e-12,
     d = A1.shape[0]
     if R.shape != A1.shape:
         return None
-    matrix_free = select_backend(backend, d * d) == "sparse"
+    matrix_free = select_backend(backend, d * d, site="rsolve") == "sparse"
     if matrix_free:
         maybe_fault("kernels.sparse", key="refine_R")
     scale = max(1.0, float(np.max(np.abs(A1))))

@@ -273,7 +273,7 @@ def resilient_solve_R(A0, A1, A2, *, method: str = "logreduction",
     def _sparse_active(bk: str | None) -> bool:
         # Mirrors refine_R: the only sparse path in the R solve is the
         # matrix-free Newton correction on the d^2-sized linearization.
-        return select_backend(bk, d * d) == "sparse"
+        return select_backend(bk, d * d, site="rsolve") == "sparse"
 
     cur_backend = backend
 

@@ -174,6 +174,13 @@ class EngineSpec:
     # Sweep execution knobs.
     workers: int | None = None
     checkpoint: str | None = None
+    #: Batched sweep chunk width: solve up to this many adjacent grid
+    #: points at once through :mod:`repro.workloads.batched` (stacked
+    #: BLAS, continuation warm-starts, adaptive backend crossover).
+    #: ``0`` (default) and ``1`` keep the per-point path.  Unlike
+    #: ``workers``, this knob participates in the scenario's semantic
+    #: hash: continuation changes which warm starts each point sees.
+    batch_points: int = 0
     # Simulation knobs.
     horizon: float = 20_000.0
     seed: int = 0
@@ -200,6 +207,9 @@ class EngineSpec:
         if self.solve_budget is not None and self.solve_budget <= 0:
             raise ValidationError(
                 f"solve_budget must be > 0 seconds, got {self.solve_budget}")
+        if self.batch_points < 0:
+            raise ValidationError(
+                f"batch_points must be >= 0, got {self.batch_points}")
 
     @property
     def analytic(self) -> bool:

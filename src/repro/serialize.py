@@ -204,6 +204,11 @@ def scenario_to_dict(scenario) -> dict:
             "solve_budget": eng.solve_budget,
             "workers": eng.workers,
             "checkpoint": eng.checkpoint,
+            # ``batch_points`` appears only when engaged, so files and
+            # hashes written before the batched engine existed (and all
+            # per-point scenarios) are reproduced byte-for-byte.
+            **({"batch_points": eng.batch_points}
+               if eng.batch_points else {}),
             "horizon": eng.horizon,
             "seed": eng.seed,
             "replications": eng.replications,
@@ -224,6 +229,7 @@ _ENGINE_FIELD_TYPES = {
     "max_iterations": int, "tol": float, "heavy_traffic_only": bool,
     "horizon": float, "seed": int, "replications": int,
     "warmup_fraction": float, "max_evaluations": int,
+    "batch_points": int,
     # Optional (None-able) fields.
     "workers": int, "checkpoint": str, "solve_budget": float,
 }

@@ -31,6 +31,16 @@ Robustness semantics:
   the same requests reproduces byte-identical results (each sweep point
   is an independent solve, so a shard equals the corresponding point of
   a full-grid run bit for bit).
+* **Adjacency-preserving shards** — when the scenario engages the
+  batched sweep engine (``engine.batch_points > 1``), cold points are
+  grouped into shards of up to ``batch_points`` *consecutive* grid
+  values (a store-hit gap splits the run), so continuation warm-starts
+  survive sharding: every point in a shard seeds from its real sweep
+  neighbor.  ``batch_points`` is part of result identity
+  (:func:`~repro.scenario.hashing.point_key`), so batched and
+  per-point store entries never alias; within a batched request,
+  point-level entries carry the warm-started values, identical to the
+  per-point path within the engine's 1e-8 parity budget.
 
 Every stage is observable: ``service.requests{status=...}``,
 ``service.shards{source=store|solve|error|timeout}``,
@@ -265,12 +275,38 @@ class ScenarioService:
             return None                 # the pool times the points out
         return remaining / cold_points
 
+    @staticmethod
+    def _plan_shards(scenario, misses: list) -> list[list]:
+        """Group cold points into adjacency-preserving shards.
+
+        ``misses`` is ``(grid index, value, point key)`` tuples in grid
+        order.  Without batching every point is its own shard (the
+        historical behavior).  With ``engine.batch_points > 1``, runs
+        of *consecutive* grid indices are chunked up to that size — a
+        store-hit gap splits the run, because continuation across the
+        gap would seed from a neighbor the shard does not contain.
+        """
+        batch = int(getattr(scenario.engine, "batch_points", 0) or 0)
+        size = batch if (batch > 1 and scenario.axis is not None) else 1
+        chunks: list[list] = []
+        run: list = []
+        prev = None
+        for item in misses:
+            if run and (len(run) >= size or item[0] != prev + 1):
+                chunks.append(run)
+                run = []
+            run.append(item)
+            prev = item[0]
+        if run:
+            chunks.append(run)
+        return chunks
+
     def _solve_request(self, request: Request, scenario, key: str,
                        t0: float, deadline: float | None) -> dict:
         values = (list(scenario.grid()) if scenario.axis is not None
                   else [None])
         shards: dict[int, tuple[str, object]] = {}
-        misses = []                     # (index, shard Scenario, value, pk)
+        misses = []                     # (index, value, pk) in grid order
         for i, v in enumerate(values):
             pk = point_key(scenario, v)
             hit = self.store.get_point(pk)
@@ -278,37 +314,48 @@ class ScenarioService:
                 shards[i] = ("store", hit)
                 metrics.inc("service.shards", source="store")
             else:
-                shard = (scenario.with_grid([v]) if v is not None
-                         else scenario)
-                misses.append((i, shard, v, pk))
+                misses.append((i, v, pk))
         if misses:
             budget = self._derived_budget(scenario, deadline, len(misses))
-            if budget is not None:
-                misses = [(i, s.with_engine(solve_budget=budget), v, pk)
-                          for i, s, v, pk in misses]
-            tasks = [(i, scenario_to_dict(s), v, pk)
-                     for i, s, v, pk in misses]
-            keys_by_task = {i: pk for i, _, _, pk in tasks}
+            chunks = self._plan_shards(scenario, misses)
+            tasks = []
+            chunk_by_task: dict[int, list] = {}
+            for chunk in chunks:
+                shard = (scenario.with_grid([v for _, v, _ in chunk])
+                         if scenario.axis is not None else scenario)
+                if budget is not None:
+                    shard = shard.with_engine(solve_budget=budget)
+                task_id = chunk[0][0]
+                tasks.append((task_id, scenario_to_dict(shard),
+                              chunk[0][1]))
+                chunk_by_task[task_id] = chunk
 
             def persist(task_id, status, payload):
-                # Clean shards hit the store the moment they complete,
-                # not after the whole sweep: a daemon SIGKILLed
-                # mid-sweep loses only its in-flight shards, and the
-                # replay resumes from the persisted prefix.
-                if (status == "ok"
-                        and payload["points"][0].get("error") is None):
-                    self.store.put_point(keys_by_task[task_id], payload)
+                # Clean points hit the store the moment their shard
+                # completes, not after the whole sweep: a daemon
+                # SIGKILLed mid-sweep loses only its in-flight shards,
+                # and the replay resumes from the persisted prefix.
+                if status != "ok":
+                    return
+                for k, (_, _, pk) in enumerate(chunk_by_task[task_id]):
+                    pt = payload["points"][k]
+                    if pt.get("error") is None:
+                        self.store.put_point(
+                            pk, {**payload, "points": [pt]})
 
             outcomes = self.pool.run_tasks(
-                [(i, d, v) for i, d, v, _ in tasks], deadline=deadline,
-                on_result=persist)
-            for i, _, v, pk in tasks:
+                tasks, deadline=deadline, on_result=persist)
+            for task_id, chunk in chunk_by_task.items():
                 status, payload = outcomes.get(
-                    i, ("timeout", "request deadline exceeded"))
-                shards[i] = (status if status != "ok" else "solve",
-                             payload)
-                metrics.inc("service.shards",
-                            source=shards[i][0])
+                    task_id, ("timeout", "request deadline exceeded"))
+                for k, (i, _, _) in enumerate(chunk):
+                    if status == "ok":
+                        shards[i] = ("solve",
+                                     {**payload,
+                                      "points": [payload["points"][k]]})
+                    else:
+                        shards[i] = (status, payload)
+                    metrics.inc("service.shards", source=shards[i][0])
         return self._assemble(request, scenario, key, values, shards, t0)
 
     def _assemble(self, request: Request, scenario, key: str, values,

@@ -3,9 +3,12 @@
 :mod:`~repro.workloads.presets` builds the exact configurations of the
 paper's Section 5 experiments (Figures 2-5);
 :mod:`~repro.workloads.sweeps` provides the generic one-parameter sweep
-driver used by the benchmark harness.
+driver used by the benchmark harness;
+:mod:`~repro.workloads.batched` is the batched continuation engine the
+driver dispatches to when ``batch > 1``.
 """
 
+from repro.workloads.batched import plan_chunks
 from repro.workloads.generators import (
     ClassTrace,
     TraceDrivenGangSimulation,
@@ -34,6 +37,7 @@ __all__ = [
     "fig4_config",
     "fig5_config",
     "sp2_like_config",
+    "plan_chunks",
     "sweep",
     "sweep_scenario",
     "SweepPoint",

@@ -29,6 +29,7 @@ parallel sweeps compose with checkpointing unchanged.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -54,6 +55,16 @@ class SweepPoint:
     iterations: int
     converged: bool
     error: str | None = None
+    #: Wall-clock seconds spent solving this point (``None`` when the
+    #: point predates the field or errored before solving).  Not
+    #: part of equality: two runs of the same sweep produce equal
+    #: points even though their timings differ.
+    solve_seconds: float | None = field(default=None, compare=False)
+    #: Whether the solve was continuation-seeded (``True``), cold
+    #: (``False``) or solved by an engine that does not track warm
+    #: starts (``None``).  Not part of equality either: a warm solve
+    #: and a cold solve of the same point agree to solver tolerance.
+    warm: bool | None = field(default=None, compare=False)
 
 
 @dataclass
@@ -98,6 +109,9 @@ class SweepResult:
 
 
 def _point_record(pt: SweepPoint) -> dict:
+    # ``solve_seconds`` / ``warm`` are run-local provenance and are
+    # deliberately NOT journaled: the journal of a resumed run must be
+    # byte-identical to an uninterrupted one, and wall times are not.
     return {
         "value": pt.value,
         "mean_jobs": list(pt.mean_jobs),
@@ -167,6 +181,7 @@ def _solve_point(v: float, config: SystemConfig, heavy_traffic_only: bool,
     tracer = _worker_obs_begin(obs_cfg)
     try:
         with span("sweep.point", value=v):
+            t0 = time.perf_counter()
             model = GangSchedulingModel(config, **(model_kwargs or {}))
             solved = model.solve(heavy_traffic_only=heavy_traffic_only,
                                  **(solve_kwargs or {}))
@@ -177,6 +192,7 @@ def _solve_point(v: float, config: SystemConfig, heavy_traffic_only: bool,
                                          for c in solved.classes),
                 iterations=solved.iterations,
                 converged=solved.converged,
+                solve_seconds=time.perf_counter() - t0,
             )
     except Exception as exc:  # noqa: BLE001 - reported per point
         if raise_errors:
@@ -222,7 +238,8 @@ def sweep(parameter: str, values: Sequence[float],
           skip_errors: bool = True,
           checkpoint: str | os.PathLike | None = None,
           resume: bool = True,
-          workers: int | None = None) -> SweepResult:
+          workers: int | None = None,
+          batch: int | None = None) -> SweepResult:
     """Solve the analytic model along a parameter grid.
 
     Parameters
@@ -248,6 +265,15 @@ def sweep(parameter: str, values: Sequence[float],
         With ``checkpoint``, load journaled points and skip their
         solves (default).  ``False`` ignores an existing journal and
         overwrites it.
+    batch:
+        Solve up to this many adjacent grid points at once through the
+        batched lockstep engine (:mod:`repro.workloads.batched`):
+        stacked BLAS across points, continuation warm-starts within
+        each chunk, and (in ``backend="auto"`` mode) an adaptive
+        dense/sparse crossover calibrated on the first chunks.
+        ``None``/``0``/``1`` keeps the per-point path; ``workers``
+        takes precedence (worker processes already amortize the
+        per-point overhead the batch engine targets).
     workers:
         Solve points in this many OS processes (``None``/``0``/``1``:
         serially in-process).  Configs are built — and fault-injection
@@ -266,6 +292,9 @@ def sweep(parameter: str, values: Sequence[float],
         raise ValueError("sweep requires at least one grid value")
     journal = SweepJournal(checkpoint) if checkpoint is not None else None
     done: dict[float, SweepPoint] = {}
+    #: Raw journal records by value — the batched engine reads its
+    #: continuation seeds and probe timings back from these on resume.
+    done_records: dict[float, dict] = {}
     result: SweepResult | None = None
     header_written = False
     if journal is not None:
@@ -276,6 +305,7 @@ def sweep(parameter: str, values: Sequence[float],
                 journal.validate_header(header, parameter=parameter)
                 done = {pt.value: pt
                         for pt in map(_point_from_record, records)}
+                done_records = {float(rec["value"]): rec for rec in records}
                 result = SweepResult(parameter=parameter,
                                      class_names=tuple(header["class_names"]))
                 header_written = True
@@ -331,7 +361,8 @@ def sweep(parameter: str, values: Sequence[float],
     if result.stale:
         metrics.inc("sweep.points", result.stale, status="stale")
 
-    def finish(slot: int, point: SweepPoint) -> None:
+    def finish(slot: int, point: SweepPoint,
+               extra: dict | None = None) -> None:
         if points[slot] is not None:
             return
         points[slot] = point
@@ -340,7 +371,13 @@ def sweep(parameter: str, values: Sequence[float],
         if point.error is not None and not skip_errors:
             _reraise_point_error(point.error)
         if journal is not None:
-            journal.append(_point_record(point))
+            rec = _point_record(point)
+            if extra:
+                # Batched-engine payloads (continuation seeds, probe
+                # timings) ride on the point record; resume hands them
+                # back through ``done_records``.
+                rec.update(extra)
+            journal.append(rec)
 
     parallel = workers is not None and int(workers) > 1 and len(pending) > 1
     if parallel:
@@ -363,7 +400,23 @@ def sweep(parameter: str, values: Sequence[float],
         finally:
             if tracer is not None:
                 obs_trace.merge_worker_traces(tracer)
-    if not parallel:
+    batched = (not parallel and batch is not None and int(batch) > 1
+               and pending)
+    if batched:
+        from repro.workloads.batched import run_batched_pending
+
+        run_batched_pending(
+            grid=grid,
+            pending=[job for job in pending if points[job[0]] is None],
+            batch=int(batch),
+            heavy_traffic_only=heavy_traffic_only,
+            model_kwargs=model_kwargs,
+            solve_kwargs=solve_kwargs,
+            skip_errors=skip_errors,
+            finish=finish,
+            done_records=done_records,
+        )
+    elif not parallel:
         for slot, v, config in pending:
             if points[slot] is not None:
                 continue
@@ -412,7 +465,8 @@ def sweep_scenario(scenario) -> SweepResult:
                  model_kwargs=model_kwargs,
                  solve_kwargs=solve_kwargs,
                  checkpoint=eng.checkpoint,
-                 workers=eng.workers)
+                 workers=eng.workers,
+                 batch=getattr(eng, "batch_points", 0))
 
 
 def _run_parallel(pending, workers: int, heavy_traffic_only: bool,

@@ -125,6 +125,56 @@ class TestOptimizeQuantum:
         assert opt.quantum > 0.1
 
 
+class TestContentKeyedMemo:
+    """Repeated quanta must cost zero solves (content-keyed memo)."""
+
+    @staticmethod
+    def _counting_solves(monkeypatch):
+        from repro.core import model as model_module
+        calls = []
+        real_solve = model_module.GangSchedulingModel.solve
+
+        def spy(self, *args, **kwargs):
+            calls.append(1)
+            return real_solve(self, *args, **kwargs)
+
+        monkeypatch.setattr(model_module.GangSchedulingModel,
+                            "solve", spy)
+        return calls
+
+    def test_identical_configs_solved_once(self, monkeypatch):
+        """A factory quantizing the bracket collapses distinct floats
+        onto identical configs; each distinct config solves once."""
+        calls = self._counting_solves(monkeypatch)
+        built = []
+
+        def factory(q):
+            rounded = round(q, 1)
+            built.append(rounded)
+            return fig23_config(0.4, rounded)
+
+        opt = optimize_quantum(factory, bounds=(0.5, 4.0), tol=0.02)
+        distinct = len(set(built))
+        assert len(built) > distinct  # the bracket did revisit quanta
+        assert opt.evaluations == distinct
+        assert sum(calls) == distinct
+
+    def test_shared_memo_spans_searches(self, monkeypatch):
+        """A caller-provided memo makes a repeat search solve-free."""
+        calls = self._counting_solves(monkeypatch)
+        memo: dict = {}
+        first = optimize_quantum(lambda q: fig23_config(0.4, q),
+                                 bounds=(0.5, 4.0), tol=0.05, memo=memo)
+        solves_after_first = sum(calls)
+        assert solves_after_first == first.evaluations > 0
+        second = optimize_quantum(lambda q: fig23_config(0.4, q),
+                                  bounds=(0.5, 4.0), tol=0.05, memo=memo)
+        assert sum(calls) == solves_after_first  # zero new solves
+        assert second.evaluations == 0
+        assert second.quantum == first.quantum
+        assert second.objective_value == first.objective_value
+
+
 class TestOptimizeCycleSplit:
     @staticmethod
     def builder(fractions):

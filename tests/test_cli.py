@@ -136,7 +136,7 @@ class TestEngineFlagParity:
     SAMPLE = {
         "--backend": "dense", "--workers": "2", "--checkpoint": "cp.jsonl",
         "--max-iterations": "50", "--fp-tol": "1e-7",
-        "--heavy-traffic": None, "--solve-budget": "2.5",
+        "--heavy-traffic": None, "--solve-budget": "2.5", "--batch": "8",
         "--horizon": "500", "--seed": "7",
         "--replications": "3", "--budget": "9",
     }
