@@ -27,6 +27,7 @@ import time
 
 from repro import obs
 from repro.obs import metrics
+from repro.obs.log import StructuredLog
 from repro.obs.trace import span
 from repro.workloads import fig23_config, sweep
 
@@ -34,6 +35,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 GRID = [0.25, 1.0, 3.0]
 CALIBRATION_CALLS = 200_000
+LOG_CALLS = 20_000
 
 
 def run_sweep():
@@ -88,6 +90,15 @@ def test_disabled_obs_overhead_under_two_percent(tmp_path):
     overhead = spans * span_cost + metric_calls * inc_cost
     ratio = overhead / base_seconds
 
+    # Enabled-path costs, recorded (not gated: opting in buys the
+    # overhead).  The structured log is the new per-event sink; size it
+    # so 3x20k events cannot trip rotation mid-measurement.
+    log = StructuredLog(tmp_path / "bench.log", max_bytes=1 << 30)
+    log_cost = per_call_cost(
+        lambda: log.write("info", "bench.tick", i=1), calls=LOG_CALLS)
+    log.close()
+    enabled_ratio = max(0.0, enabled_seconds - base_seconds) / base_seconds
+
     payload = {
         "grid": GRID,
         "spans_per_sweep": spans,
@@ -96,6 +107,8 @@ def test_disabled_obs_overhead_under_two_percent(tmp_path):
         "disabled_inc_ns": round(inc_cost * 1e9, 1),
         "bound_overhead_seconds": round(overhead, 6),
         "bound_overhead_ratio": round(ratio, 6),
+        "log_write_ns": round(log_cost * 1e9, 1),
+        "enabled_overhead_ratio": round(enabled_ratio, 4),
         # bench_compare.py fields: gate the collectors-ON sweep,
         # host-calibrated by the collectors-OFF sweep.
         "pipeline_seconds": round(enabled_seconds, 4),

@@ -13,7 +13,12 @@ service's whole robustness contract:
    entirely from the store: the ``service.shards{source=solve}``
    counter must not move (zero cold solves);
 5. shut the daemon down cleanly so its trace file (uploaded as a CI
-   artifact) closes with the final metrics snapshot.
+   artifact) closes with the final metrics snapshot;
+6. restart once more as an HTTP front end with a structured log and
+   curl the operable surface: ``GET /healthz`` must be 200 ok,
+   ``POST /`` must serve a warm request, ``GET /metrics`` must parse
+   as Prometheus text, ``GET /stats`` must remember the request, and
+   the log must cover start -> request.done -> stop.
 
 Exits nonzero on the first violation.
 """
@@ -22,16 +27,20 @@ import argparse
 import json
 import os
 import queue
+import re
 import signal
 import subprocess
 import sys
 import tempfile
 import threading
 import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]
 SRC = ROOT / "src"
+sys.path.insert(0, str(SRC))
 
 
 class Daemon:
@@ -89,6 +98,58 @@ class Daemon:
             self.kill_group()
 
 
+class HttpDaemon:
+    """A ``serve --http`` subprocess driven over urllib."""
+
+    def __init__(self, store, *, workers=0, log=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--store", str(store), "--workers", str(workers),
+                "--http", "0"]
+        if log:
+            argv += ["--log", str(log)]
+        self.proc = subprocess.Popen(
+            argv, stderr=subprocess.PIPE, text=True, env=env,
+            start_new_session=True)
+        self.base = None
+        for line in self.proc.stderr:   # the port is kernel-assigned
+            match = re.search(r"serving HTTP on ([\w.]+):(\d+)", line)
+            if match:
+                self.base = f"http://{match.group(1)}:{match.group(2)}"
+                break
+        assert self.base, "no HTTP banner before stderr closed"
+        threading.Thread(target=self._drain, daemon=True).start()
+
+    def _drain(self):
+        for _ in self.proc.stderr:
+            pass
+
+    def get(self, path, timeout=60):
+        try:
+            with urllib.request.urlopen(self.base + path,
+                                        timeout=timeout) as resp:
+                return (resp.status, resp.read().decode("utf-8"),
+                        resp.headers.get("Content-Type", ""))
+        except urllib.error.HTTPError as err:
+            return (err.code, err.read().decode("utf-8"),
+                    err.headers.get("Content-Type", ""))
+
+    def post(self, obj, timeout=900):
+        req = urllib.request.Request(
+            self.base + "/", data=json.dumps(obj).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def kill_group(self):
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        self.proc.wait(timeout=10)
+
+
 def point_records(store):
     """Count durable per-point records across the store's segments."""
     count = 0
@@ -118,6 +179,8 @@ def main():
                         help="store directory (default: a temp dir)")
     parser.add_argument("--trace", default=None,
                         help="trace file for the restarted daemon")
+    parser.add_argument("--log", default=None,
+                        help="structured log for the HTTP-phase daemon")
     parser.add_argument("--workers", type=int, default=2)
     args = parser.parse_args()
     store = args.store or tempfile.mkdtemp(prefix="repro-store-")
@@ -177,6 +240,49 @@ def main():
         daemon.shutdown()
     finally:
         daemon.kill_group()
+
+    # -- HTTP front end: the operable surface -------------------------
+    from repro.obs.prom import parse_exposition
+
+    log_path = Path(args.log) if args.log else Path(store) / "service.log"
+    http = HttpDaemon(store, log=log_path)
+    try:
+        code, body, _ = http.get("/healthz")
+        health = json.loads(body)
+        check(code == 200 and health["status"] == "ok",
+              "GET /healthz is 200 ok", health)
+        reply = http.post({"id": "http1",
+                           "scenario": requests[0]["scenario"],
+                           "timeout": 900})
+        check(reply["status"] == "ok" and reply["cached"],
+              "POST / served the warm scenario from the store", reply)
+        code, body, ctype = http.get("/metrics")
+        check(code == 200 and ctype.startswith("text/plain"),
+              "GET /metrics is Prometheus text")
+        families = parse_exposition(body)
+        check(families["repro_service_up"]["samples"][0][2] == 1.0,
+              "exposition parses and service_up gauge reads 1")
+        totals = {labels.get("status"): value for _, labels, value
+                  in families["repro_service_requests_total"]["samples"]}
+        check(totals.get("cached", 0) >= 1,
+              "request counter moved on the cached reply", totals)
+        code, body, _ = http.get("/stats")
+        stats = json.loads(body)
+        check(stats["recent"]
+              and stats["recent"][-1]["request_id"] == "http1.1",
+              "GET /stats ring remembers the request", stats.get("recent"))
+        reply = http.post({"id": "bye", "op": "shutdown"}, timeout=60)
+        check(reply["op"] == "shutdown", "HTTP shutdown acknowledged",
+              reply)
+        http.proc.wait(timeout=60)
+        check(http.proc.returncode == 0, "HTTP daemon exited cleanly")
+        events = [json.loads(line)["event"]
+                  for line in log_path.read_text().splitlines()]
+        check(events[0] == "service.start" and events[-1] == "service.stop"
+              and "request.done" in events,
+              "structured log covers the request lifecycle", events)
+    finally:
+        http.kill_group()
     print("service smoke: all checks passed")
 
 

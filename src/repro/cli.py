@@ -420,7 +420,10 @@ def _cmd_serve(args) -> int:
         store_dir=args.store, workers=args.workers,
         max_pending=args.max_pending, default_timeout=args.timeout,
         trace=getattr(args, "trace", None),
-        compact_on_start=bool(getattr(args, "compact_on_start", False)))
+        compact_on_start=bool(getattr(args, "compact_on_start", False)),
+        log=getattr(args, "log", None),
+        log_max_bytes=getattr(args, "log_max_bytes", 16 << 20),
+        profile_workers=bool(getattr(args, "profile_workers", False)))
     with ScenarioService(config) as service:
         if args.http is not None:
             httpd = service.serve_http(args.host, args.http)
@@ -501,14 +504,22 @@ def _cmd_request(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.obs import render_report, summarize_trace
+    from repro.obs import (render_report, render_requests,
+                           summarize_trace, write_chrome_trace)
     try:
         summary = summarize_trace(args.trace_file)
     except FileNotFoundError:
         print(f"repro-gang: no such trace file: {args.trace_file}",
               file=sys.stderr)
         return 2
-    print(render_report(summary))
+    if getattr(args, "chrome", None):
+        n = write_chrome_trace(args.trace_file, args.chrome)
+        print(f"repro-gang: wrote {n} trace event(s) to {args.chrome} "
+              "(open in ui.perfetto.dev or speedscope)", file=sys.stderr)
+    if getattr(args, "requests", False):
+        print(render_requests(summary))
+    else:
+        print(render_report(summary))
     return 0
 
 
@@ -629,6 +640,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="HTTP bind address (default 127.0.0.1)")
     p_srv.add_argument("--trace", metavar="FILE", default=None,
                        help="record the daemon's span trace to FILE")
+    p_srv.add_argument("--log", metavar="FILE", default=None,
+                       help="structured JSON-lines event log (rotated "
+                            "by size)")
+    p_srv.add_argument("--log-max-bytes", type=int, default=16 << 20,
+                       metavar="N",
+                       help="rotate the --log file past N bytes "
+                            "(default 16 MiB, keeping 3 backups)")
+    p_srv.add_argument("--profile-workers", action="store_true",
+                       help="cProfile every worker task; hotspots land "
+                            "in the trace and 'repro-gang report'")
     p_srv.add_argument("--compact-on-start", action="store_true",
                        help="compact the result store before serving "
                             "(rewrite live records, drop superseded and "
@@ -664,6 +685,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "per-stage timings and metric rollups")
     p_rep.add_argument("trace_file", metavar="TRACE",
                        help="JSONL trace file written by --trace")
+    p_rep.add_argument("--requests", action="store_true",
+                       help="per-request table (service traces): elapsed, "
+                            "span time, and pids per request ID")
+    p_rep.add_argument("--chrome", metavar="OUT", default=None,
+                       help="also export Chrome trace-event JSON to OUT "
+                            "(open in ui.perfetto.dev or speedscope)")
     p_rep.set_defaults(func=_cmd_report)
     return parser
 

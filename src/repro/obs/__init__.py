@@ -14,8 +14,19 @@ Zero-dependency (stdlib-only) substrate shared by every solver layer:
     fallback attempts, GMRES iterations, dense boundary fallbacks,
     fault injections, checkpoint writes...).
 ``repro.obs.report``
-    Trace-file summarization: the per-class/per-stage table and metric
-    rollups behind the ``repro report`` CLI subcommand.
+    Trace-file summarization: the per-class/per-stage table, metric
+    rollups, per-request timelines, and worker-profile hotspots behind
+    the ``repro report`` CLI subcommand.
+``repro.obs.prom``
+    Prometheus text exposition of a metrics snapshot (the daemon's
+    ``GET /metrics``), with the strict parser the tests round-trip
+    through.
+``repro.obs.log``
+    Size-rotated structured JSON-lines event log (``serve --log``),
+    request-ID-aware via the trace module's request scope.
+``repro.obs.chrome``
+    Chrome trace-event export (``repro report --chrome``): any JSONL
+    trace rendered as a Perfetto/speedscope-loadable timeline.
 
 Both collectors are **off by default**; every instrumented site then
 costs a single global test, holding the disabled-path overhead on the
@@ -35,21 +46,27 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-from repro.obs import metrics, trace
+from repro.obs import chrome, log, metrics, prom, trace
+from repro.obs.chrome import write_chrome_trace
 from repro.obs.metrics import (
     MetricsRegistry,
+    histogram_quantile,
     merge_snapshots,
     render_snapshot,
 )
+from repro.obs.prom import parse_exposition, render_exposition
 from repro.obs.report import (
     TraceSummary,
     load_trace,
     render_report,
+    render_requests,
     summarize_trace,
 )
 from repro.obs.trace import (
     StageTimings,
     Tracer,
+    current_request_id,
+    request_scope,
     span,
     tracing_enabled,
 )
@@ -57,6 +74,9 @@ from repro.obs.trace import (
 __all__ = [
     "metrics",
     "trace",
+    "prom",
+    "log",
+    "chrome",
     "span",
     "start",
     "stop",
@@ -68,8 +88,15 @@ __all__ = [
     "load_trace",
     "summarize_trace",
     "render_report",
+    "render_requests",
     "render_snapshot",
     "merge_snapshots",
+    "histogram_quantile",
+    "render_exposition",
+    "parse_exposition",
+    "write_chrome_trace",
+    "request_scope",
+    "current_request_id",
     "tracing_enabled",
 ]
 

@@ -1,0 +1,90 @@
+"""Chrome trace-event export: ``repro report FILE --chrome out.json``.
+
+Converts a JSONL trace (:mod:`repro.obs.trace`) into the Chrome
+trace-event JSON format understood by Perfetto (ui.perfetto.dev),
+speedscope, and ``chrome://tracing``:
+
+* each balanced ``B``/``E`` pair becomes one ``"X"`` (complete) event
+  with microsecond ``ts``/``dur``; span attributes, the ``wall``/``cpu``
+  seconds, and the request ID travel in ``args``;
+* an unclosed ``B`` (crashed worker) becomes an ``"i"`` (instant)
+  event so the kill point is visible on the timeline;
+* trace headers become ``"M"`` ``process_name`` metadata records, so
+  the daemon and each spawn worker show up as named process tracks.
+
+Timestamps are ``time.monotonic()`` seconds rebased to the earliest
+event in the file.  On Linux the monotonic clock is system-wide, so
+daemon and worker spans from one merged trace line up on a common
+axis — which is the whole point: one service request renders as one
+end-to-end timeline across pids, grouped by its shared request ID.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.report import load_trace
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+
+def chrome_trace(events) -> dict:
+    """Build a Chrome trace-event document from parsed trace records."""
+    events = list(events)
+    t0 = min((e["ts"] for e in events if "ts" in e), default=0.0)
+
+    def us(ts: float) -> float:
+        return (ts - t0) * 1e6
+
+    out: list[dict] = []
+    open_b: dict[tuple, dict] = {}
+    for e in events:
+        kind = e.get("kind")
+        if kind == "trace-header":
+            out.append({
+                "ph": "M", "name": "process_name", "pid": e.get("pid", 0),
+                "tid": 0, "args": {"name": f"pid {e.get('pid', 0)}"}})
+        elif kind == "B":
+            open_b[(e.get("pid"), e.get("sid"))] = e
+        elif kind == "E":
+            b = open_b.pop((e.get("pid"), e.get("sid")), None)
+            if b is None:
+                continue            # E without B: clock-skewed merge tail
+            wall = float(e.get("wall") or 0.0)
+            args = dict(b.get("attrs") or {})
+            args.update(e.get("attrs") or {})
+            args["wall_s"] = wall
+            if "cpu" in e:
+                args["cpu_s"] = e["cpu"]
+            req = e.get("req") or b.get("req")
+            if req is not None:
+                args["request_id"] = req
+            out.append({
+                "ph": "X", "name": e.get("name", "?"),
+                "cat": "req:" + str(req) if req is not None else "span",
+                "pid": e.get("pid", 0), "tid": e.get("tid", 0),
+                "ts": us(float(b["ts"])), "dur": wall * 1e6,
+                "args": args})
+        # metrics / profile / unknown records carry no timeline geometry
+    for (pid, _sid), b in open_b.items():
+        args = dict(b.get("attrs") or {})
+        if b.get("req") is not None:
+            args["request_id"] = b["req"]
+        args["note"] = "span never closed (crashed writer?)"
+        out.append({
+            "ph": "i", "s": "p", "name": b.get("name", "?") + " (unclosed)",
+            "cat": "unclosed", "pid": pid, "tid": b.get("tid", 0),
+            "ts": us(float(b["ts"])), "args": args})
+    out.sort(key=lambda e: e.get("ts", 0.0))
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace_path: str | os.PathLike,
+                       out_path: str | os.PathLike) -> int:
+    """Convert a JSONL trace file; returns the trace-event count."""
+    doc = chrome_trace(load_trace(trace_path))
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(doc["traceEvents"])

@@ -1,0 +1,161 @@
+"""Structured JSON-lines event log for the service.
+
+Trace files (:mod:`repro.obs.trace`) answer "where did the time go";
+this log answers "what happened, when, to which request".  Each event
+is one JSON object per line:
+
+* ``ts`` — wall-clock epoch seconds (for humans and log shippers);
+* ``mono`` — monotonic seconds (orderable across restarts is *not*
+  guaranteed, but within one process it never goes backwards);
+* ``level`` — ``debug`` / ``info`` / ``warn`` / ``error``;
+* ``event`` — dotted event name (``service.start``, ``worker.crash``,
+  ``store.quarantine``, ``request.shed``, ...);
+* ``pid`` — emitting process;
+* ``request_id`` — present when the event fired inside a request
+  scope (:func:`repro.obs.trace.request_scope`), linking log lines to
+  the trace spans and the ``stats`` ring buffer for the same request;
+* any extra keyword fields the call site passed.
+
+The log rotates by size: when an event would push the file past
+``max_bytes`` the file is renamed to ``<path>.1`` (existing backups
+shift up, the oldest beyond ``backups`` is deleted) and a fresh file
+is started.  Rotation is checked before each write so a single file
+can exceed the limit by at most one event.
+
+Like the metrics registry, the module keeps one process-global
+instance behind :func:`configure`/:func:`shutdown`, and the
+module-level :func:`emit` (plus ``debug/info/warn/error`` shorthands)
+is a no-op costing one global load + one ``is None`` test while
+unconfigured — the same disabled-path contract the overhead bench
+enforces for spans and counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.obs.trace import current_request_id
+
+__all__ = [
+    "StructuredLog",
+    "configure",
+    "shutdown",
+    "configured",
+    "emit",
+    "debug",
+    "info",
+    "warn",
+    "error",
+]
+
+LEVELS = ("debug", "info", "warn", "error")
+
+
+class StructuredLog:
+    """Size-rotated JSON-lines event log (thread-safe)."""
+
+    def __init__(self, path, *, max_bytes: int = 16 << 20,
+                 backups: int = 3):
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = self._fh.tell()
+
+    def write(self, level: str, event: str, **fields) -> None:
+        """Append one event; rotates first if the file is full."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        record = {"ts": time.time(), "mono": time.monotonic(),
+                  "level": level, "event": event, "pid": os.getpid()}
+        rid = current_request_id()
+        if rid is not None:
+            record["request_id"] = rid
+        record.update(fields)
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            if self._fh is None:
+                return
+            if self._size and self._size + len(line) > self.max_bytes:
+                self._rotate()
+            self._fh.write(line)
+            self._fh.flush()
+            self._size += len(line)
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        oldest = self.path.with_name(self.path.name + f".{self.backups}")
+        oldest.unlink(missing_ok=True)
+        for i in range(self.backups - 1, 0, -1):
+            src = self.path.with_name(self.path.name + f".{i}")
+            if src.exists():
+                os.replace(src, self.path.with_name(
+                    self.path.name + f".{i + 1}"))
+        if self.backups > 0:
+            os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+        else:
+            self.path.unlink(missing_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+#: Process-global log, or ``None`` while unconfigured (the fast path).
+_LOG: StructuredLog | None = None
+
+
+def configure(path, *, max_bytes: int = 16 << 20,
+              backups: int = 3) -> StructuredLog:
+    """Open (replacing any previous) process-global structured log."""
+    global _LOG
+    if _LOG is not None:
+        _LOG.close()
+    _LOG = StructuredLog(path, max_bytes=max_bytes, backups=backups)
+    return _LOG
+
+
+def shutdown() -> None:
+    """Close and detach the process-global log (idempotent)."""
+    global _LOG
+    if _LOG is not None:
+        _LOG.close()
+        _LOG = None
+
+
+def configured() -> bool:
+    """Whether a process-global log is currently attached."""
+    return _LOG is not None
+
+
+def emit(level: str, event: str, **fields) -> None:
+    """Write one event to the global log; no-op while unconfigured."""
+    log = _LOG
+    if log is not None:
+        log.write(level, event, **fields)
+
+
+def debug(event: str, **fields) -> None:
+    emit("debug", event, **fields)
+
+
+def info(event: str, **fields) -> None:
+    emit("info", event, **fields)
+
+
+def warn(event: str, **fields) -> None:
+    emit("warn", event, **fields)
+
+
+def error(event: str, **fields) -> None:
+    emit("error", event, **fields)

@@ -16,9 +16,10 @@ Three instrument kinds:
 
 * **counter** — monotonically increasing float (:func:`inc`);
 * **gauge** — last-written value (:func:`set_gauge`);
-* **histogram** — running ``count/sum/min/max`` of observations
-  (:func:`observe`; no buckets — the trace file keeps raw events for
-  anything finer).
+* **histogram** — running ``count/sum/min/max`` plus fixed log-spaced
+  bucket counts (:data:`BUCKET_BOUNDS`), from which
+  :func:`histogram_quantile` estimates latency percentiles
+  (p50/p95/p99 in reports and the ``/metrics`` exposition).
 
 :func:`snapshot` returns a plain-JSON dict (what
 :func:`repro.obs.stop` embeds in the trace file as a ``"metrics"``
@@ -37,9 +38,11 @@ The canonical metric names live in the Observability section of
 
 from __future__ import annotations
 
+import bisect
 import threading
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "MetricsRegistry",
     "REGISTRY",
     "enable",
@@ -52,8 +55,17 @@ __all__ = [
     "reset",
     "merge_snapshots",
     "render_snapshot",
+    "histogram_quantile",
     "metric_key",
 ]
+
+#: Inclusive upper bounds of the fixed log-spaced histogram buckets:
+#: half-decade spacing from 1e-6 to 1e3 (microseconds to ~17 minutes on
+#: the latency scale every ``observe`` site uses).  Observations above
+#: the last bound land in an implicit overflow bucket, so every
+#: histogram carries ``len(BUCKET_BOUNDS) + 1`` counts.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (e / 2.0) for e in range(-12, 7))
 
 
 def metric_key(name: str, labels: dict | None) -> str:
@@ -62,6 +74,14 @@ def metric_key(name: str, labels: dict | None) -> str:
         return name
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def _copy_hist(h: dict) -> dict:
+    """Deep-enough copy of one histogram dict (buckets list included)."""
+    out = dict(h)
+    if "buckets" in out:
+        out["buckets"] = list(out["buckets"])
+    return out
 
 
 class MetricsRegistry:
@@ -89,13 +109,15 @@ class MetricsRegistry:
         with self._lock:
             h = self._histograms.get(key)
             if h is None:
-                self._histograms[key] = {"count": 1.0, "sum": value,
-                                         "min": value, "max": value}
-            else:
-                h["count"] += 1.0
-                h["sum"] += value
-                h["min"] = min(h["min"], value)
-                h["max"] = max(h["max"], value)
+                buckets = [0.0] * (len(BUCKET_BOUNDS) + 1)
+                h = self._histograms[key] = {
+                    "count": 0.0, "sum": 0.0, "min": value, "max": value,
+                    "buckets": buckets}
+            h["count"] += 1.0
+            h["sum"] += value
+            h["min"] = min(h["min"], value)
+            h["max"] = max(h["max"], value)
+            h["buckets"][bisect.bisect_left(BUCKET_BOUNDS, value)] += 1.0
 
     def snapshot(self) -> dict:
         """Plain-JSON view: ``{"counters": ..., "gauges": ...,
@@ -104,7 +126,7 @@ class MetricsRegistry:
             return {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
-                "histograms": {k: dict(v)
+                "histograms": {k: _copy_hist(v)
                                for k, v in self._histograms.items()},
             }
 
@@ -177,9 +199,13 @@ def merge_snapshots(snapshots) -> dict:
     """Fold many snapshots into one rollup.
 
     Counters add, gauges keep the last value seen, histograms merge
-    their ``count/sum/min/max``.  Used by the trace report, where one
-    file may carry the parent's close-time snapshot plus one record
-    per completed worker point.
+    their ``count/sum/min/max`` and bucket counts.  Used by the trace
+    report, where one file may carry the parent's close-time snapshot
+    plus one record per completed worker point.  Colliding histogram
+    keys whose bucket layouts disagree (one side bucket-less — a
+    pre-bucket trace — or a different bound count) merge the summary
+    fields and drop the buckets rather than mixing incompatible
+    layouts.
     """
     out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
     for snap in snapshots:
@@ -190,13 +216,47 @@ def merge_snapshots(snapshots) -> dict:
         for key, h in (snap.get("histograms") or {}).items():
             cur = out["histograms"].get(key)
             if cur is None:
-                out["histograms"][key] = dict(h)
+                out["histograms"][key] = _copy_hist(h)
             else:
                 cur["count"] += h["count"]
                 cur["sum"] += h["sum"]
                 cur["min"] = min(cur["min"], h["min"])
                 cur["max"] = max(cur["max"], h["max"])
+                a, b = cur.get("buckets"), h.get("buckets")
+                if a is not None and b is not None and len(a) == len(b):
+                    cur["buckets"] = [x + y for x, y in zip(a, b)]
+                else:
+                    cur.pop("buckets", None)
     return out
+
+
+def histogram_quantile(hist: dict, q: float) -> float | None:
+    """Estimate the ``q``-quantile of one histogram from its buckets.
+
+    Linear interpolation inside the bucket holding the target rank
+    (the standard Prometheus ``histogram_quantile`` estimate), with the
+    result clamped into the exact observed ``[min, max]`` — so a
+    single-observation histogram reports the observation itself.
+    Returns ``None`` for empty or bucket-less (legacy) histograms.
+    """
+    count = float(hist.get("count") or 0.0)
+    buckets = hist.get("buckets")
+    if count <= 0 or not buckets:
+        return None
+    target = q * count
+    cum = 0.0
+    value = float(hist["max"])
+    for i, n in enumerate(buckets):
+        if n <= 0:
+            continue
+        if cum + n >= target:
+            lo = BUCKET_BOUNDS[i - 1] if i > 0 else 0.0
+            hi = (BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS)
+                  else float(hist["max"]))
+            value = lo + (hi - lo) * max(0.0, target - cum) / n
+            break
+        cum += n
+    return min(max(value, float(hist["min"])), float(hist["max"]))
 
 
 def render_snapshot(snap: dict, *, indent: str = "") -> str:
@@ -218,9 +278,14 @@ def render_snapshot(snap: dict, *, indent: str = "") -> str:
         for key in sorted(hists):
             h = hists[key]
             mean = h["sum"] / h["count"] if h["count"] else 0.0
-            lines.append(
-                f"{indent}  {key}: count={h['count']:g} mean={mean:g} "
-                f"min={h['min']:g} max={h['max']:g}")
+            line = (f"{indent}  {key}: count={h['count']:g} mean={mean:g} "
+                    f"min={h['min']:g} max={h['max']:g}")
+            p50 = histogram_quantile(h, 0.50)
+            if p50 is not None:
+                line += (f" p50={p50:g}"
+                         f" p95={histogram_quantile(h, 0.95):g}"
+                         f" p99={histogram_quantile(h, 0.99):g}")
+            lines.append(line)
     if not lines:
         lines.append(f"{indent}(no metrics recorded)")
     return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Prometheus text exposition of a metrics snapshot.
+
+:func:`render_exposition` turns the plain-JSON snapshot of
+:mod:`repro.obs.metrics` into the Prometheus text format (version
+0.0.4) served by the daemon's ``GET /metrics`` endpoint:
+
+* series keys (``service.requests{status=ok}``) are split back into a
+  metric name and labels; names are sanitized into the Prometheus
+  alphabet (``service_requests``) and label values escaped per the
+  spec (backslash, double-quote, newline);
+* counters gain the conventional ``_total`` suffix;
+* histograms render as cumulative ``_bucket{le="..."}`` series (one
+  per :data:`~repro.obs.metrics.BUCKET_BOUNDS` bound plus ``+Inf``)
+  with ``_sum`` and ``_count``, and the registry's exact ``min``/``max``
+  ride along as two gauge families — a scrape loses nothing the
+  snapshot had;
+* every family gets one ``# TYPE`` line, families and samples are
+  emitted in sorted order, so the output is byte-stable for a given
+  snapshot.
+
+:func:`parse_exposition` is the matching strict parser — the tests
+round-trip ``render → parse → compare`` through it, and the CI smoke
+job validates the live daemon's ``/metrics`` body with it.  Both ends
+are stdlib-only.
+
+Metric names may not round-trip (sanitization is lossy: ``a.b`` and
+``a_b`` collide); values and label sets do.  Label *values* containing
+commas are refused by :func:`split_series_key` rather than silently
+mis-split — the registry's call sites use simple scalar labels.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import BUCKET_BOUNDS
+
+__all__ = [
+    "CONTENT_TYPE",
+    "split_series_key",
+    "sanitize_name",
+    "escape_label_value",
+    "render_exposition",
+    "parse_exposition",
+]
+
+#: The Content-Type a Prometheus scraper expects for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def split_series_key(key: str) -> tuple[str, dict]:
+    """Split a registry series key back into ``(name, labels)``.
+
+    The inverse of :func:`repro.obs.metrics.metric_key` for the label
+    shapes the instrumented sites actually produce.  A label value
+    containing ``,`` or ``=`` would be ambiguous in the key encoding
+    and raises ``ValueError``.
+    """
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict = {}
+    for part in inner[:-1].split(","):
+        k, eq, v = part.partition("=")
+        if not eq or "=" in v:
+            raise ValueError(f"unsplittable series key {key!r}")
+        labels[k] = v
+    return name, labels
+
+
+def sanitize_name(name: str) -> str:
+    """Map a registry metric name into the Prometheus name alphabet."""
+    out = _NAME_BAD_CHARS.sub("_", name)
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt_value(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    return format(float(v), "g")
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{escape_label_value(str(labels[k]))}"'
+                     for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+def _family(out: dict, name: str, kind: str):
+    fam = out.setdefault(name, {"type": kind, "samples": []})
+    if fam["type"] != kind:
+        raise ValueError(
+            f"metric family {name!r} rendered as both {fam['type']} "
+            f"and {kind} — colliding sanitized names")
+    return fam
+
+
+def render_exposition(snap: dict, *, prefix: str = "repro_") -> str:
+    """Render one metrics snapshot as Prometheus exposition text."""
+    families: dict[str, dict] = {}
+    for key, val in (snap.get("counters") or {}).items():
+        name, labels = split_series_key(key)
+        fam = _family(families, prefix + sanitize_name(name) + "_total",
+                      "counter")
+        fam["samples"].append(("", labels, float(val)))
+    for key, val in (snap.get("gauges") or {}).items():
+        name, labels = split_series_key(key)
+        fam = _family(families, prefix + sanitize_name(name), "gauge")
+        fam["samples"].append(("", labels, float(val)))
+    for key, h in (snap.get("histograms") or {}).items():
+        name, labels = split_series_key(key)
+        base = prefix + sanitize_name(name)
+        buckets = h.get("buckets")
+        if buckets is not None:
+            fam = _family(families, base, "histogram")
+            cum = 0.0
+            for i, n in enumerate(buckets):
+                cum += n
+                bound = (BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS)
+                         else float("inf"))
+                fam["samples"].append(
+                    ("_bucket", {**labels, "le": _fmt_value(bound)}, cum))
+            fam["samples"].append(("_sum", labels, float(h["sum"])))
+            fam["samples"].append(("_count", labels, float(h["count"])))
+        else:                   # legacy count/sum/min/max-only histogram
+            fam = _family(families, base + "_sum", "gauge")
+            fam["samples"].append(("", labels, float(h["sum"])))
+            fam = _family(families, base + "_count", "gauge")
+            fam["samples"].append(("", labels, float(h["count"])))
+        for stat in ("min", "max"):
+            fam = _family(families, f"{base}_{stat}", "gauge")
+            fam["samples"].append(("", labels, float(h[stat])))
+
+    lines: list[str] = []
+    for name in sorted(families):
+        fam = families[name]
+        lines.append(f"# TYPE {name} {fam['type']}")
+        for suffix, labels, value in fam["samples"]:
+            lines.append(
+                f"{name}{suffix}{_fmt_labels(labels)} {_fmt_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# The strict parser the tests (and the CI smoke job) validate with.
+
+def _parse_label_block(block: str, line: str) -> dict:
+    """Parse the inside of a ``{...}`` label block, honoring escapes."""
+    labels: dict = {}
+    i = 0
+    while i < len(block):
+        eq = block.find("=", i)
+        if eq < 0 or eq + 1 >= len(block) or block[eq + 1] != '"':
+            raise ValueError(f"malformed labels in line {line!r}")
+        key = block[i:eq]
+        if not _NAME_OK.match(key):
+            raise ValueError(f"bad label name {key!r} in line {line!r}")
+        i = eq + 2
+        chars: list[str] = []
+        while i < len(block) and block[i] != '"':
+            c = block[i]
+            if c == "\\":
+                if i + 1 >= len(block):
+                    raise ValueError(f"dangling escape in line {line!r}")
+                nxt = block[i + 1]
+                chars.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                i += 2
+            else:
+                chars.append(c)
+                i += 1
+        if i >= len(block):
+            raise ValueError(f"unterminated label value in line {line!r}")
+        labels[key] = "".join(chars)
+        i += 1                              # the closing quote
+        if i < len(block):
+            if block[i] != ",":
+                raise ValueError(f"malformed labels in line {line!r}")
+            i += 1
+    return labels
+
+
+def _find_label_end(line: str, start: int) -> int:
+    """Index of the ``}`` closing the label block opened at ``start``."""
+    i = start + 1
+    in_quotes = False
+    while i < len(line):
+        c = line[i]
+        if in_quotes:
+            if c == "\\":
+                i += 1
+            elif c == '"':
+                in_quotes = False
+        elif c == '"':
+            in_quotes = True
+        elif c == "}":
+            return i
+        i += 1
+    raise ValueError(f"unterminated label block in line {line!r}")
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse Prometheus exposition text into families.
+
+    Returns ``{family_name: {"type": ..., "samples":
+    [(sample_name, labels, value), ...]}}`` where ``sample_name``
+    includes any ``_bucket``/``_sum``/``_count`` suffix.  Raises
+    ``ValueError`` on any malformed line — this is the validation the
+    tests and the CI smoke job rely on, not a lenient scraper.
+    """
+    families: dict[str, dict] = {}
+    last_typed: str | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(f"malformed TYPE line {raw!r}")
+                _, _, name, kind = parts
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    raise ValueError(f"unknown metric type in {raw!r}")
+                if name in families:
+                    raise ValueError(f"duplicate TYPE for {name!r}")
+                families[name] = {"type": kind, "samples": []}
+                last_typed = name
+            continue                        # HELP / comments
+        brace = line.find("{")
+        if brace >= 0:
+            end = _find_label_end(line, brace)
+            sample_name = line[:brace]
+            labels = _parse_label_block(line[brace + 1:end], raw)
+            rest = line[end + 1:].split()
+        else:
+            fields = line.split()
+            sample_name, labels, rest = fields[0], {}, fields[1:]
+        if not rest:
+            raise ValueError(f"sample without a value: {raw!r}")
+        if not _NAME_OK.match(sample_name):
+            raise ValueError(f"bad metric name in line {raw!r}")
+        value = float(rest[0])              # accepts +Inf/-Inf/NaN
+        family = None
+        if last_typed is not None and sample_name.startswith(last_typed):
+            family = last_typed
+        if family is None:
+            family = sample_name
+            families.setdefault(family, {"type": "untyped", "samples": []})
+        families[family]["samples"].append((sample_name, labels, value))
+    return families

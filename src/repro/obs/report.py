@@ -15,20 +15,28 @@ reduces the raw event stream written by :mod:`repro.obs.trace` to:
   merged with :func:`repro.obs.metrics.merge_snapshots`: cache
   hits/misses/evictions, backend decisions, fallback attempts,
   R-solve iterations, GMRES iterations, dense boundary fallbacks,
-  fault injections, checkpoint writes.
+  fault injections, checkpoint writes;
+* a **per-request rollup** — spans tagged with a service request ID
+  (``"req"``; see :func:`repro.obs.trace.request_scope`) grouped per
+  request with span counts, wall time, and the set of pids that worked
+  on it, rendered by ``repro report --requests``;
+* a **profile rollup** — ``"profile"`` records written by
+  ``serve --profile-workers`` summed by function into a top-N hotspot
+  table.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.obs.metrics import merge_snapshots, render_snapshot
 
 __all__ = ["TraceSummary", "load_trace", "summarize_trace",
-           "render_report"]
+           "render_report", "render_requests"]
 
 #: Prefix of the spans that form the per-class/per-stage table.
 STAGE_PREFIX = "stage."
@@ -54,6 +62,12 @@ class TraceSummary:
     metrics: dict = field(default_factory=dict)
     #: ``B`` events with no matching ``E`` (crash mid-span).
     unclosed: int = 0
+    #: request id -> ``{"spans", "wall", "pids", "first_ts", "last_ts",
+    #: "names"}`` for spans tagged with a service request ID.
+    requests: dict = field(default_factory=dict)
+    #: ``"file:line:function"`` -> summed ``{"calls", "tottime",
+    #: "cumtime"}`` from ``"profile"`` records (``--profile-workers``).
+    profile: dict = field(default_factory=dict)
 
     @property
     def stages(self) -> list[str]:
@@ -86,8 +100,11 @@ class TraceSummary:
 def load_trace(path: str | os.PathLike) -> list[dict]:
     """Parse a trace JSONL file into a list of event dicts.
 
-    A corrupt *trailing* line (crash mid-write) is dropped; corruption
-    anywhere else raises ``ValueError``.
+    A corrupt *trailing* line (the writer was killed mid-write — the
+    same torn tail the result store repairs) is silently dropped;
+    corruption anywhere else is skipped with a ``UserWarning`` naming
+    the line, so a partially damaged trace still reports rather than
+    refusing outright.
     """
     lines = Path(path).read_text(encoding="utf-8").splitlines()
     events: list[dict] = []
@@ -98,9 +115,10 @@ def load_trace(path: str | os.PathLike) -> list[dict]:
             events.append(json.loads(line))
         except json.JSONDecodeError:
             if i == len(lines) - 1:
-                break
-            raise ValueError(
-                f"corrupt trace {path}: unparseable line {i + 1}") from None
+                break               # torn tail: expected after a crash
+            warnings.warn(
+                f"corrupt trace {path}: skipping unparseable line {i + 1}",
+                stacklevel=2)
     return events
 
 
@@ -117,7 +135,7 @@ def summarize_trace(path: str | os.PathLike) -> TraceSummary:
         if kind == "B":
             open_spans[(ev.get("pid"), ev.get("sid"))] = ev
         elif kind == "E":
-            open_spans.pop((ev.get("pid"), ev.get("sid")), None)
+            begun = open_spans.pop((ev.get("pid"), ev.get("sid")), None)
             name = ev.get("name", "?")
             wall = float(ev.get("wall", 0.0))
             cpu = float(ev.get("cpu", 0.0))
@@ -126,6 +144,22 @@ def summarize_trace(path: str | os.PathLike) -> TraceSummary:
             agg["count"] += 1
             agg["wall"] += wall
             agg["cpu"] += cpu
+            rid = ev.get("req") or (begun or {}).get("req")
+            if rid is not None:
+                req = summary.requests.setdefault(
+                    rid, {"spans": 0, "wall": 0.0, "pids": set(),
+                          "first_ts": None, "last_ts": None, "names": {}})
+                req["spans"] += 1
+                req["wall"] += wall
+                if "pid" in ev:
+                    req["pids"].add(ev["pid"])
+                ts_b = float(begun["ts"]) if begun else float(ev["ts"]) - wall
+                ts_e = float(ev["ts"])
+                req["first_ts"] = (ts_b if req["first_ts"] is None
+                                   else min(req["first_ts"], ts_b))
+                req["last_ts"] = (ts_e if req["last_ts"] is None
+                                  else max(req["last_ts"], ts_e))
+                req["names"][name] = req["names"].get(name, 0) + 1
             if name.startswith(STAGE_PREFIX):
                 stage = name[len(STAGE_PREFIX):]
                 klass = (ev.get("attrs") or {}).get("klass")
@@ -136,6 +170,14 @@ def summarize_trace(path: str | os.PathLike) -> TraceSummary:
                     summary.stage_counts.get(key, 0) + 1)
         elif kind == "metrics":
             snapshots.append(ev)
+        elif kind == "profile":
+            for hot in ev.get("hotspots") or []:
+                func = hot.get("func", "?")
+                agg = summary.profile.setdefault(
+                    func, {"calls": 0, "tottime": 0.0, "cumtime": 0.0})
+                agg["calls"] += int(hot.get("calls") or 0)
+                agg["tottime"] += float(hot.get("tottime") or 0.0)
+                agg["cumtime"] += float(hot.get("cumtime") or 0.0)
     summary.unclosed = len(open_spans)
     summary.metrics = merge_snapshots(snapshots)
     return summary
@@ -175,6 +217,49 @@ def _continuation_lines(summary: TraceSummary) -> list[str]:
         return []
     return [f"continuation: warm={warm:g} cold={cold:g} "
             f"hit rate {100.0 * warm / total:.1f}%", ""]
+
+
+def render_requests(summary: TraceSummary) -> str:
+    """Per-request table of ``repro report --requests``.
+
+    One row per service request ID found in the trace: elapsed
+    wall-clock between its first span begin and last span end, summed
+    span wall time, span count, and the pids that worked on it — the
+    end-to-end view of one daemon request across its spawn workers.
+    """
+    if not summary.requests:
+        return "(no request-tagged spans in trace)\n"
+    lines = [f"{'request':<24}{'elapsed_s':>10}{'span_s':>10}"
+             f"{'spans':>7}{'pids':>6}  processes"]
+    lines.append("-" * len(lines[0]))
+
+    def order(item):
+        req = item[1]
+        return req["first_ts"] if req["first_ts"] is not None else 0.0
+
+    for rid, req in sorted(summary.requests.items(), key=order):
+        elapsed = ((req["last_ts"] - req["first_ts"])
+                   if req["first_ts"] is not None else 0.0)
+        pids = ",".join(str(p) for p in sorted(req["pids"]))
+        lines.append(f"{rid:<24}{elapsed:>10.4f}{req['wall']:>10.4f}"
+                     f"{req['spans']:>7}{len(req['pids']):>6}  {pids}")
+    return "\n".join(lines) + "\n"
+
+
+def _profile_lines(summary: TraceSummary, top: int = 15) -> list[str]:
+    if not summary.profile:
+        return []
+    lines = ["worker profile hotspots (by tottime):",
+             f"  {'tottime_s':>10}{'cumtime_s':>10}{'calls':>9}  function"]
+    ranked = sorted(summary.profile.items(),
+                    key=lambda kv: kv[1]["tottime"], reverse=True)
+    for func, agg in ranked[:top]:
+        lines.append(f"  {agg['tottime']:>10.4f}{agg['cumtime']:>10.4f}"
+                     f"{agg['calls']:>9}  {func}")
+    if len(ranked) > top:
+        lines.append(f"  ... {len(ranked) - top} more function(s)")
+    lines.append("")
+    return lines
 
 
 def render_report(summary: TraceSummary) -> str:
@@ -218,6 +303,11 @@ def render_report(summary: TraceSummary) -> str:
                          f"wall={agg['wall']:.4f}s cpu={agg['cpu']:.4f}s")
         lines.append("")
 
+    if summary.requests:
+        lines.append(f"requests: {len(summary.requests)} traced "
+                     "(see `repro report --requests` for the table)")
+        lines.append("")
+    lines += _profile_lines(summary)
     lines += _rollup_section(summary, "cache", ("cache.",))
     lines += _rollup_section(summary, "backend", ("backend.",))
     lines += _rollup_section(

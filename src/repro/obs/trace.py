@@ -50,11 +50,25 @@ A parallel sweep's workers cannot share the parent's file handle (and
 a forked child must never write through it).  Workers instead append
 to a sibling file ``<trace>.w<pid>`` via :func:`ensure_worker_tracer`;
 after the pool joins, the parent folds every worker file into the main
-trace with :func:`merge_worker_traces` and deletes them.
+trace with :func:`merge_worker_traces` and deletes them.  A worker
+SIGKILLed mid-write leaves a stale (possibly torn) ``.w`` file behind;
+the next :func:`start_tracing` on the same base path salvages its
+valid lines and removes it, so crashes never leak sidecars forever.
+
+Request scoping
+---------------
+The service tags every span with the request that caused it:
+:func:`request_scope` sets a :mod:`contextvars` request ID for the
+duration of one request, and both ``B`` and ``E`` events carry it as
+``"req"``.  The ID rides into spawn workers as a plain task argument
+(the daemon appends it to each task tuple), so after
+:func:`merge_worker_traces` one request renders as one end-to-end
+timeline across daemon and worker pids.
 """
 
 from __future__ import annotations
 
+import contextvars
 import glob
 import itertools
 import json
@@ -74,6 +88,9 @@ __all__ = [
     "tracing",
     "tracing_enabled",
     "current_tracer",
+    "current_request_id",
+    "set_request_id",
+    "request_scope",
     "ensure_worker_tracer",
     "merge_worker_traces",
     "worker_trace_paths",
@@ -81,6 +98,36 @@ __all__ = [
 
 #: Trace file format version, written in the header record.
 TRACE_VERSION = 1
+
+#: The request ID tagged onto spans emitted inside a request scope.
+_REQUEST_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_request_id", default=None)
+
+
+def current_request_id() -> str | None:
+    """The request ID of the active :func:`request_scope`, if any."""
+    return _REQUEST_ID.get()
+
+
+def set_request_id(rid: str | None) -> None:
+    """Set (or clear, with ``None``) the ambient request ID.
+
+    Prefer :func:`request_scope`; this unscoped setter exists for
+    worker processes whose task loop cannot wrap the whole body in a
+    ``with`` block per request.
+    """
+    _REQUEST_ID.set(rid)
+
+
+@contextmanager
+def request_scope(rid: str):
+    """Tag every span (and structured-log event) in the body with
+    request ID ``rid``; restores the previous ID on exit."""
+    token = _REQUEST_ID.set(rid)
+    try:
+        yield rid
+    finally:
+        _REQUEST_ID.reset(token)
 
 
 class StageTimings:
@@ -155,6 +202,9 @@ class Tracer:
                  "pid": self.pid, "tid": threading.get_ident(), "sid": sid,
                  "parent": stack[-1] if stack else None,
                  "depth": len(stack)}
+        rid = _REQUEST_ID.get()
+        if rid is not None:
+            event["req"] = rid
         if attrs:
             event["attrs"] = attrs
         stack.append(sid)
@@ -169,6 +219,9 @@ class Tracer:
         event = {"kind": "E", "name": name, "ts": time.monotonic(),
                  "pid": self.pid, "tid": threading.get_ident(), "sid": sid,
                  "wall": wall, "cpu": cpu}
+        rid = _REQUEST_ID.get()
+        if rid is not None:
+            event["req"] = rid
         if attrs:
             event["attrs"] = attrs
         self._emit(event)
@@ -178,20 +231,28 @@ class Tracer:
         self._emit(obj)
 
     def absorb(self, path: str | os.PathLike) -> int:
-        """Append every record of another trace file; returns the count.
+        """Append every valid record of another trace file; returns the
+        count.
 
         Used to fold worker trace files into the parent's.  Header
-        records travel along (the report keys events by ``pid``), and
-        blank lines are skipped.
+        records travel along (the report keys events by ``pid``), blank
+        lines are skipped, and lines that do not parse as JSON — the
+        torn tail a SIGKILLed worker leaves mid-write — are dropped
+        rather than corrupting the merged trace.
         """
         n = 0
         with open(path, encoding="utf-8") as src:
             with self._lock:
                 for line in src:
-                    if line.strip():
-                        self._fh.write(line if line.endswith("\n")
-                                       else line + "\n")
-                        n += 1
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    try:
+                        json.loads(stripped)
+                    except ValueError:
+                        continue        # torn tail from a killed writer
+                    self._fh.write(stripped + "\n")
+                    n += 1
                 self._fh.flush()
                 self.events += n
         return n
@@ -309,11 +370,28 @@ def current_tracer() -> Tracer | None:
 
 
 def start_tracing(path: str | os.PathLike) -> Tracer:
-    """Arm the process-global tracer writing to ``path`` (truncates)."""
+    """Arm the process-global tracer writing to ``path`` (truncates).
+
+    Stale ``<path>.w*`` sidecars left by SIGKILLed workers of an
+    earlier run are salvaged into the fresh trace (valid lines kept,
+    torn tails dropped) and removed; a sidecar that cannot even be
+    read is renamed to ``<sidecar>.quarantine`` for inspection instead
+    of being silently leaked or destroyed.
+    """
     global _TRACER
     if _TRACER is not None:
         stop_tracing()
+    stale = worker_trace_paths(path)
     _TRACER = Tracer(path)
+    for wpath in stale:
+        try:
+            _TRACER.absorb(wpath)
+            wpath.unlink()
+        except OSError:
+            try:
+                os.replace(wpath, f"{wpath}.quarantine")
+            except OSError:
+                pass
     return _TRACER
 
 

@@ -51,17 +51,21 @@ sibling modules.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
 import queue as queue_mod
 import sys
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import ReproError, ValidationError
+from repro.obs import log as obs_log
 from repro.obs import metrics
+from repro.obs import prom
 from repro.obs import trace as obs_trace
-from repro.obs.trace import span
+from repro.obs.trace import request_scope, span
 from repro.scenario import (
     OutputSpec,
     RunPoint,
@@ -95,6 +99,16 @@ class ServiceConfig:
     task_kill_limit: int = 2
     trace: str | None = None
     compact_on_start: bool = False
+    #: Structured JSON-lines event log (``serve --log FILE``); rotated
+    #: by size (``log_max_bytes``, keeping ``log_backups`` old files).
+    log: str | None = None
+    log_max_bytes: int = 16 << 20
+    log_backups: int = 3
+    #: cProfile every worker task and emit hotspot records into the
+    #: trace (``serve --profile-workers``).
+    profile_workers: bool = False
+    #: Ring-buffer depth of per-request summaries behind ``stats``.
+    recent_requests: int = 100
 
     def __post_init__(self):
         if self.max_pending < 1:
@@ -114,8 +128,18 @@ class ScenarioService:
         self.store: ResultStore | None = None
         self.pool: SupervisedPool | None = None
         self._armed_obs = False
+        self._armed_log = False
         self._lock = threading.Lock()
         self.shutting_down = False
+        self.started_mono: float | None = None
+        self.started_wall: float | None = None
+        #: Distinct service-assigned IDs: ``<client id>.<seq>`` — two
+        #: requests reusing one client id still trace separately.
+        self._rid_seq = itertools.count(1)
+        #: status -> handled-request count (includes busy sheds).
+        self.request_counts: dict[str, int] = {}
+        #: Newest-last summaries of recent requests (``stats`` reply).
+        self.recent: deque = deque(maxlen=config.recent_requests)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -128,28 +152,52 @@ class ScenarioService:
             from repro import obs
             obs.start(trace_path=cfg.trace, collect_metrics=True)
             self._armed_obs = True
+        if cfg.log is not None and not obs_log.configured():
+            obs_log.configure(cfg.log, max_bytes=cfg.log_max_bytes,
+                              backups=cfg.log_backups)
+            self._armed_log = True
+        self.started_mono = time.monotonic()
+        self.started_wall = time.time()
         self.store = ResultStore(cfg.store_dir,
                                  segment_max_bytes=cfg.segment_max_bytes)
         if cfg.compact_on_start:
             self.store.compact()
+        tracer = obs_trace.current_tracer()
         self.pool = SupervisedPool(
             cfg.workers, backoff_base=cfg.backoff_base,
             backoff_cap=cfg.backoff_cap, breaker_limit=cfg.breaker_limit,
             breaker_window=cfg.breaker_window,
-            task_kill_limit=cfg.task_kill_limit)
+            task_kill_limit=cfg.task_kill_limit,
+            trace_base=str(tracer.path) if tracer is not None else None,
+            profile=cfg.profile_workers)
+        obs_log.info("service.start", store_dir=str(cfg.store_dir),
+                     workers=cfg.workers,
+                     profile_workers=cfg.profile_workers,
+                     trace=str(tracer.path) if tracer is not None else None)
         return self
 
     def close(self) -> None:
         if self.pool is not None:
             self.pool.close()
             self.pool = None
+        # Fold worker trace sidecars in while the tracer is still open,
+        # so one request reads as one timeline across pids.
+        tracer = obs_trace.current_tracer()
+        if tracer is not None:
+            obs_trace.merge_worker_traces(tracer)
         if self.store is not None:
             self.store.close()
             self.store = None
+        obs_log.info("service.stop",
+                     requests={k: v for k, v
+                               in sorted(self.request_counts.items())})
         if self._armed_obs:
             from repro import obs
             obs.stop()
             self._armed_obs = False
+        if self._armed_log:
+            obs_log.shutdown()
+            self._armed_log = False
 
     def __enter__(self) -> "ScenarioService":
         return self.open()
@@ -164,12 +212,21 @@ class ScenarioService:
         try:
             request = protocol.decode_request(line)
         except ReproError as exc:
-            metrics.inc("service.requests", status="error")
+            self._count("error")
+            obs_log.warn("request.reject", error=type(exc).__name__,
+                         message=str(exc))
             return protocol.error_response(self._peek_id(line), exc)
         return self.handle(request)
 
     def handle(self, request: Request | dict) -> dict:
-        """Serve one request; every failure becomes an error reply."""
+        """Serve one request; every failure becomes an error reply.
+
+        Run requests execute inside a :func:`request_scope` carrying a
+        service-assigned request ID (``<client id>.<seq>``): every span
+        the daemon emits, every structured-log event, and — because the
+        ID travels in the task tuples — every worker span for the
+        request shares it.
+        """
         try:
             if isinstance(request, dict):
                 request = protocol.parse_request(request)
@@ -179,17 +236,49 @@ class ScenarioService:
                 return protocol.stats_response(request.id, self._stats())
             if request.op == "shutdown":
                 self.shutting_down = True
+                obs_log.info("service.shutdown_requested",
+                             client_id=request.id)
                 return protocol.shutdown_response(request.id)
             with self._lock:
-                return self._handle_run(request)
+                rid = f"{request.id or 'req'}.{next(self._rid_seq)}"
+                with request_scope(rid):
+                    response = self._handle_run(request)
+                    self._note_request(rid, request, response)
+                return response
         except ReproError as exc:
-            metrics.inc("service.requests", status="error")
-            rid = request.id if isinstance(request, Request) else None
-            return protocol.error_response(rid, exc)
+            return self._handle_error(request, exc)
         except Exception as exc:        # noqa: BLE001 — daemon must not die
-            metrics.inc("service.requests", status="error")
-            rid = request.id if isinstance(request, Request) else None
-            return protocol.error_response(rid, exc)
+            return self._handle_error(request, exc)
+
+    def _handle_error(self, request, exc: Exception) -> dict:
+        self._count("error")
+        rid = request.id if isinstance(request, Request) else None
+        obs_log.error("request.error", client_id=rid,
+                      error=type(exc).__name__, message=str(exc))
+        return protocol.error_response(rid, exc)
+
+    def _count(self, status: str) -> None:
+        metrics.inc("service.requests", status=status)
+        self.request_counts[status] = (
+            self.request_counts.get(status, 0) + 1)
+
+    def _note_request(self, rid: str, request: Request,
+                      response: dict) -> None:
+        """Push one finished run into the recent-requests ring."""
+        summary = {
+            "request_id": rid,
+            "client_id": request.id,
+            "status": response.get("status"),
+            "key": response.get("key"),
+            "cached": response.get("cached"),
+            "elapsed": response.get("elapsed"),
+            "store_points": response.get("store_points"),
+            "solved_points": response.get("solved_points"),
+            "error_points": response.get("error_points"),
+        }
+        self.recent.append(summary)
+        obs_log.info("request.done", **{k: v for k, v in summary.items()
+                                        if k != "request_id"})
 
     @staticmethod
     def _peek_id(line: str) -> str | None:
@@ -202,11 +291,68 @@ class ScenarioService:
             return None
 
     def _stats(self) -> dict:
+        health = self.health()
         return {
             "store": self.store.stats(),
             "pool": self.pool.stats(),
             "metrics": metrics.snapshot() if metrics.enabled() else {},
+            "uptime_seconds": health["uptime_seconds"],
+            "started": self.started_wall,
+            "health": health,
+            "requests": {
+                "total": sum(self.request_counts.values()),
+                "by_status": dict(sorted(self.request_counts.items())),
+            },
+            "recent": list(self.recent),
         }
+
+    def health(self) -> dict:
+        """Liveness summary behind ``GET /healthz`` (503 when degraded).
+
+        Degraded means the service cannot currently make progress on a
+        run request: the store or pool is closed, every worker slot's
+        circuit breaker is open, or shutdown has been requested.
+        """
+        pool_stats = self.pool.stats() if self.pool is not None else None
+        store_ok = self.store is not None
+        pool_ok = (pool_stats is not None
+                   and (pool_stats["workers"] == 0
+                        or pool_stats["broken"] < pool_stats["workers"]))
+        ok = store_ok and pool_ok and not self.shutting_down
+        uptime = (time.monotonic() - self.started_mono
+                  if self.started_mono is not None else 0.0)
+        return {
+            "status": "ok" if ok else "degraded",
+            "uptime_seconds": uptime,
+            "checks": {
+                "store": "ok" if store_ok else "closed",
+                "pool": ("closed" if pool_stats is None
+                         else "ok" if pool_ok else "breaker_open"),
+                "accepting": not self.shutting_down,
+            },
+        }
+
+    def metrics_exposition(self) -> str:
+        """The ``GET /metrics`` body: registry snapshot plus service
+        gauges (health, uptime, pool and store state), rendered as
+        Prometheus text by :func:`repro.obs.prom.render_exposition`."""
+        snap = (metrics.snapshot() if metrics.enabled()
+                else {"counters": {}, "gauges": {}, "histograms": {}})
+        health = self.health()
+        gauges = snap.setdefault("gauges", {})
+        gauges["service.up"] = 1.0
+        gauges["service.healthy"] = (
+            1.0 if health["status"] == "ok" else 0.0)
+        gauges["service.uptime_seconds"] = health["uptime_seconds"]
+        if self.pool is not None:
+            for k, v in self.pool.stats().items():
+                if isinstance(v, (int, float)):
+                    gauges[f"service.pool.{k}"] = float(v)
+        if self.store is not None:
+            for k, v in self.store.stats().items():
+                if isinstance(v, (int, float)):
+                    gauges[f"service.store.{k}"] = float(v)
+        return prom.render_exposition(snap)
 
     # -- the run path ------------------------------------------------------
 
@@ -237,7 +383,7 @@ class ScenarioService:
                   scenario=scenario.name or "(inline)"):
             cached = self.store.get_result(key)
             if cached is not None:
-                metrics.inc("service.requests", status="cached")
+                self._count("cached")
                 metrics.observe("service.request.elapsed",
                                 time.monotonic() - t0)
                 return protocol.result_response(
@@ -247,7 +393,7 @@ class ScenarioService:
                     elapsed=time.monotonic() - t0)
             response = self._solve_request(request, scenario, key, t0,
                                            deadline)
-        metrics.inc("service.requests", status=response["status"])
+        self._count(response["status"])
         metrics.observe("service.request.elapsed", time.monotonic() - t0)
         return response
 
@@ -326,8 +472,10 @@ class ScenarioService:
                 if budget is not None:
                     shard = shard.with_engine(solve_budget=budget)
                 task_id = chunk[0][0]
+                # The 4th element carries the request ID into the spawn
+                # worker, where it scopes every span the shard emits.
                 tasks.append((task_id, scenario_to_dict(shard),
-                              chunk[0][1]))
+                              chunk[0][1], obs_trace.current_request_id()))
                 chunk_by_task[task_id] = chunk
 
             def persist(task_id, status, payload):
@@ -431,7 +579,10 @@ class ScenarioService:
                 if not line.strip():
                     continue
                 if pending.qsize() >= self.config.max_pending:
-                    metrics.inc("service.requests", status="busy")
+                    self._count("busy")
+                    obs_log.warn("request.shed", front_end="stdio",
+                                 pending=pending.qsize(),
+                                 limit=self.config.max_pending)
                     emit(protocol.busy_response(
                         self._peek_id(line), pending=pending.qsize(),
                         limit=self.config.max_pending))
@@ -457,7 +608,9 @@ class ScenarioService:
         """An HTTP front end over the same protocol (stdlib only).
 
         ``POST /`` takes one request object per body and returns the
-        reply; ``GET /stats`` returns the stats reply unauthenticated.
+        reply; ``GET /stats`` returns the stats reply, ``GET /metrics``
+        the Prometheus exposition, and ``GET /healthz`` the health
+        summary (200 ok / 503 degraded) — all unauthenticated.
         Concurrency beyond ``max_pending`` in-flight requests is shed
         with a 503 busy reply.  Returns the (already bound, not yet
         serving) ``ThreadingHTTPServer``; run it with
@@ -479,7 +632,9 @@ class ScenarioService:
 
             def do_POST(self):          # noqa: N802 — http.server API
                 if not gate.acquire(blocking=False):
-                    metrics.inc("service.requests", status="busy")
+                    service._count("busy")
+                    obs_log.warn("request.shed", front_end="http",
+                                 limit=service.config.max_pending)
                     self._reply(503, protocol.busy_response(
                         None, pending=service.config.max_pending,
                         limit=service.config.max_pending))
@@ -497,10 +652,27 @@ class ScenarioService:
                     threading.Thread(target=self.server.shutdown,
                                      daemon=True).start()
 
+            def _reply_text(self, code: int, body: str,
+                            content_type: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
             def do_GET(self):           # noqa: N802 — http.server API
-                if self.path.rstrip("/") in ("", "/stats"):
+                path = self.path.rstrip("/")
+                if path in ("", "/stats"):
                     self._reply(200, protocol.stats_response(
                         "stats", service._stats()))
+                elif path == "/metrics":
+                    self._reply_text(200, service.metrics_exposition(),
+                                     prom.CONTENT_TYPE)
+                elif path == "/healthz":
+                    health = service.health()
+                    code = 200 if health["status"] == "ok" else 503
+                    self._reply(code, health)
                 else:
                     self._reply(404, {"status": "error",
                                       "error": "NotFound",

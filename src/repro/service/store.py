@@ -36,6 +36,7 @@ import os
 import pathlib
 
 from repro.errors import ValidationError
+from repro.obs import log as obs_log
 from repro.obs import metrics
 from repro.obs.trace import span
 
@@ -144,6 +145,8 @@ class ResultStore:
                 os.fsync(fh.fileno())
             self.repaired_tails += 1
             metrics.inc("service.store.repairs")
+            obs_log.warn("store.tail_repair", segment=str(path),
+                         dropped_lines=len(bad))
             return
         # Mid-segment damage: rewrite the good lines atomically and
         # keep the damaged original for forensics.
@@ -159,11 +162,14 @@ class ResultStore:
         os.replace(tmp, path)
         self.quarantined_lines += len(bad)
         metrics.inc("service.store.quarantined", len(bad))
+        obs_log.warn("store.quarantine", segment=str(path),
+                     quarantined_lines=len(bad))
 
     def _quarantine_segment(self, path: pathlib.Path) -> None:
         path.rename(path.with_suffix(".jsonl.quarantine"))
         self.quarantined_segments += 1
         metrics.inc("service.store.quarantined_segments")
+        obs_log.error("store.quarantine_segment", segment=str(path))
 
     # -- appending ---------------------------------------------------------
 

@@ -43,8 +43,10 @@ import time
 from collections import deque
 
 from repro.errors import ValidationError
+from repro.obs import log as obs_log
 from repro.obs import metrics
-from repro.obs.trace import span
+from repro.obs.trace import (current_tracer, ensure_worker_tracer,
+                             request_scope, span)
 
 __all__ = ["CHAOS_ENV", "SupervisedPool", "chaos_from_env", "solve_shard"]
 
@@ -119,20 +121,97 @@ def _maybe_die(kill_cfg: dict | None, value: float | None) -> None:
     os.kill(os.getpid(), signal.SIGKILL)
 
 
-def _worker_main(task_queue, result_queue) -> None:
-    """Worker loop: one task at a time, results keyed by task id."""
+def _profile_hotspots(profiler, top: int = 30) -> list[dict]:
+    """Top-``top`` functions of one cProfile run, by tottime."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    hot = [{"func": f"{os.path.basename(fn)}:{line}:{name}",
+            "calls": nc, "tottime": tt, "cumtime": ct}
+           for (fn, line, name), (cc, nc, tt, ct, _callers)
+           in stats.stats.items()]
+    hot.sort(key=lambda h: h["tottime"], reverse=True)
+    return hot[:top]
+
+
+def _solve_traced(shard: dict, value, rid: str | None,
+                  profile: bool) -> dict:
+    """Solve one shard inside its request scope, optionally profiled.
+
+    Emits a ``"profile"`` record (top hotspots, tagged with the request
+    ID) into the worker's trace file when profiling is on; the parent
+    merges them and ``repro report`` sums them into the hotspot table.
+    """
+    with request_scope(rid) if rid is not None else _NULL_CTX:
+        with span("worker.task", value=value):
+            if not profile:
+                return solve_shard(shard)
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                return solve_shard(shard)
+            finally:
+                profiler.disable()
+                tracer = current_tracer()
+                if tracer is not None:
+                    record = {"kind": "profile", "pid": os.getpid(),
+                              "hotspots": _profile_hotspots(profiler)}
+                    if rid is not None:
+                        record["req"] = rid
+                    tracer.emit(record)
+
+
+class _NullCtx:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CTX = _NullCtx()
+
+
+def _worker_main(task_queue, result_queue, trace_base=None,
+                 profile=False) -> None:
+    """Worker loop: one task at a time, results keyed by task id.
+
+    With ``trace_base`` set the worker arms its own ``.w<pid>`` tracer
+    and metrics registry and emits a per-task metrics snapshot record,
+    so the merged trace carries request-tagged worker spans (and, with
+    ``profile``, cProfile hotspot records).
+    """
     kill_cfg = chaos_from_env()
+    tracer = None
+    if trace_base is not None:
+        tracer = ensure_worker_tracer(trace_base)
+        metrics.reset()
+        metrics.enable()
     while True:
         item = task_queue.get()
         if item is None:
             return
-        task_id, shard, value = item
+        task_id, shard, value = item[0], item[1], item[2]
+        rid = item[3] if len(item) > 3 else None
         _maybe_die(kill_cfg, value)
         try:
-            result_queue.put((task_id, "ok", solve_shard(shard)))
+            result_queue.put(
+                (task_id, "ok", _solve_traced(shard, value, rid, profile)))
         except Exception as exc:        # noqa: BLE001 — report, don't die
             result_queue.put(
                 (task_id, "error", f"{type(exc).__name__}: {exc}"))
+        if tracer is not None:
+            snap = metrics.snapshot()
+            metrics.reset()
+            record = {"kind": "metrics", "pid": os.getpid(),
+                      "scope": "task", **snap}
+            if rid is not None:
+                record["req"] = rid
+            tracer.emit(record)
 
 
 class _Slot:
@@ -153,9 +232,10 @@ class _Slot:
     def alive(self) -> bool:
         return self.proc is not None and self.proc.is_alive()
 
-    def start(self, result_queue) -> None:
+    def start(self, result_queue, trace_base=None, profile=False) -> None:
         self.proc = self.ctx.Process(
-            target=_worker_main, args=(self.task_queue, result_queue),
+            target=_worker_main,
+            args=(self.task_queue, result_queue, trace_base, profile),
             daemon=True, name=f"repro-service-worker-{self.index}")
         self.proc.start()
 
@@ -178,10 +258,17 @@ class SupervisedPool:
                  backoff_cap: float = 2.0,
                  breaker_limit: int = 5,
                  breaker_window: float = 30.0,
-                 task_kill_limit: int = 2):
+                 task_kill_limit: int = 2,
+                 trace_base: str | None = None,
+                 profile: bool = False):
         if workers < 0:
             raise ValidationError(f"workers must be >= 0, got {workers}")
         self.workers = workers
+        #: Parent trace path workers sidecar onto (``<base>.w<pid>``),
+        #: or ``None`` for untraced workers.
+        self.trace_base = trace_base
+        #: Whether workers cProfile each task (``serve --profile-workers``).
+        self.profile = profile
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.breaker_limit = breaker_limit
@@ -232,9 +319,14 @@ class SupervisedPool:
         slot.restarts.append(now)
         self.total_restarts += 1
         metrics.inc("service.worker.crashes", worker=slot.index)
+        obs_log.warn("worker.crash", worker=slot.index,
+                     consecutive=slot.consecutive)
         if len(slot.restarts) >= self.breaker_limit:
             slot.broken = True
             metrics.inc("service.worker.breaker_trips", worker=slot.index)
+            obs_log.error("worker.breaker_open", worker=slot.index,
+                          restarts_in_window=len(slot.restarts),
+                          window_s=self.breaker_window)
             return
         delay = min(self.backoff_cap,
                     self.backoff_base * (2 ** (slot.consecutive - 1)))
@@ -253,8 +345,10 @@ class SupervisedPool:
                 slot.task_queue.get_nowait()
         except queue_mod.Empty:
             pass
-        slot.start(self._result_queue)
+        slot.start(self._result_queue, self.trace_base, self.profile)
         metrics.inc("service.worker.starts", worker=slot.index)
+        obs_log.debug("worker.start", worker=slot.index,
+                      worker_pid=slot.proc.pid)
         return True
 
     def _reap(self, results: dict, pending: deque,
@@ -276,17 +370,23 @@ class SupervisedPool:
                     "error",
                     f"shard killed {kills[task_id]} worker(s); "
                     f"giving up (task_kill_limit={self.task_kill_limit})")
+                obs_log.error("task.poisoned", task=task_id,
+                              worker_deaths=kills[task_id])
                 if on_result is not None:
                     on_result(task_id, *results[task_id])
             else:
                 pending.appendleft(task)
+                obs_log.warn("task.requeue", task=task_id,
+                             worker=slot.index,
+                             worker_deaths=kills[task_id])
             self._note_crash(slot, now)
 
     # -- the work loop -----------------------------------------------------
 
     def run_tasks(self, tasks, *, deadline: float | None = None,
                   on_result=None) -> dict:
-        """Run ``(task_id, shard_dict, value)`` tasks; map id -> outcome.
+        """Run ``(task_id, shard_dict, value[, request_id])`` tasks;
+        map id -> outcome.
 
         Outcomes are ``("ok", result_dict)``, ``("error", message)`` or
         ``("timeout", message)``.  The call returns when every task has
@@ -308,13 +408,16 @@ class SupervisedPool:
 
     def _run_inline(self, tasks, deadline, on_result) -> dict:
         results: dict = {}
-        for task_id, shard, _value in tasks:
+        for task in tasks:
+            task_id, shard, value = task[0], task[1], task[2]
+            rid = task[3] if len(task) > 3 else None
             if deadline is not None and time.monotonic() >= deadline:
                 results[task_id] = ("timeout",
                                     "request deadline exceeded")
                 continue
             try:
-                results[task_id] = ("ok", solve_shard(shard))
+                results[task_id] = (
+                    "ok", _solve_traced(shard, value, rid, self.profile))
             except Exception as exc:    # noqa: BLE001 — mirror the pool
                 results[task_id] = (
                     "error", f"{type(exc).__name__}: {exc}")
@@ -333,9 +436,9 @@ class SupervisedPool:
                 break
             self._reap(results, pending, kills, now, on_result)
             if all(s.broken for s in self._slots):
-                for task_id, _, _ in tasks:
+                for task in tasks:
                     results.setdefault(
-                        task_id,
+                        task[0],
                         ("error", "worker pool circuit breaker open: "
                                   f"every slot crash-looped (limit "
                                   f"{self.breaker_limit} restarts per "
@@ -373,8 +476,8 @@ class SupervisedPool:
     def _finish(self, tasks, results: dict) -> None:
         """Deadline cleanup: time out leftovers, recycle busy workers."""
         leftovers = [t for t in tasks if t[0] not in results]
-        for task_id, _, _ in leftovers:
-            results[task_id] = ("timeout", "request deadline exceeded")
+        for task in leftovers:
+            results[task[0]] = ("timeout", "request deadline exceeded")
         for slot in self._slots:
             if slot.inflight is not None and slot.inflight[0] in {
                     t[0] for t in leftovers}:
@@ -383,3 +486,5 @@ class SupervisedPool:
                 slot.stop()
                 slot.inflight = None
                 metrics.inc("service.worker.recycled", worker=slot.index)
+                obs_log.warn("worker.recycle", worker=slot.index,
+                             reason="deadline")

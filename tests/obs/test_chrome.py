@@ -1,0 +1,89 @@
+"""Chrome trace-event export: schema validity and span mapping."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs.chrome import chrome_trace, write_chrome_trace
+from repro.obs.trace import request_scope, span, start_tracing, stop_tracing
+
+
+def make_trace(path):
+    with obs.session(trace_path=path):
+        with request_scope("cli.1"):
+            with span("service.request", scenario="fig2"):
+                with span("worker.task"):
+                    pass
+
+
+def validate_schema(doc):
+    """The subset of the trace-event schema Perfetto insists on."""
+    assert isinstance(doc["traceEvents"], list)
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in ("X", "M", "i")
+        assert isinstance(ev["name"], str)
+        assert isinstance(ev["pid"], int)
+        if ev["ph"] == "X":
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+        elif ev["ph"] == "i":
+            assert isinstance(ev["ts"], (int, float))
+
+
+class TestChromeTrace:
+    def test_balanced_spans_become_complete_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)
+        doc = chrome_trace(obs.load_trace(path))
+        validate_schema(doc)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"service.request",
+                                           "worker.task"}
+        req = next(e for e in xs if e["name"] == "service.request")
+        assert req["args"]["request_id"] == "cli.1"
+        assert req["args"]["scenario"] == "fig2"
+        assert req["cat"] == "req:cli.1"
+
+    def test_header_becomes_process_metadata(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)
+        doc = chrome_trace(obs.load_trace(path))
+        ms = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert ms and ms[0]["name"] == "process_name"
+
+    def test_unclosed_span_becomes_instant(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = start_tracing(path)
+        tracer.begin("crashy", None)
+        stop_tracing()
+        doc = chrome_trace(obs.load_trace(path))
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert "crashy" in instants[0]["name"]
+
+    def test_events_sorted_by_ts(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)
+        doc = chrome_trace(obs.load_trace(path))
+        ts = [e.get("ts", 0.0) for e in doc["traceEvents"]]
+        assert ts == sorted(ts)
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        out = tmp_path / "t.chrome.json"
+        make_trace(trace)
+        n = write_chrome_trace(trace, out)
+        doc = json.loads(out.read_text())
+        validate_schema(doc)
+        assert n == len(doc["traceEvents"]) > 0
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_metrics_records_are_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)                    # session embeds no metrics here
+        events = obs.load_trace(path)
+        events.append({"kind": "metrics", "pid": 1, "counters": {}})
+        events.append({"kind": "profile", "pid": 1, "hotspots": []})
+        doc = chrome_trace(events)
+        assert all(e["ph"] in ("X", "M", "i") for e in doc["traceEvents"])

@@ -1,0 +1,118 @@
+"""Structured log: record shape, rotation, global gating, request IDs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import log as obs_log
+from repro.obs.log import StructuredLog
+from repro.obs.trace import request_scope
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_log():
+    yield
+    obs_log.shutdown()
+
+
+def read_events(path):
+    return [json.loads(line)
+            for line in path.read_text().splitlines() if line.strip()]
+
+
+class TestStructuredLog:
+    def test_record_shape(self, tmp_path):
+        log = StructuredLog(tmp_path / "s.log")
+        log.write("info", "service.start", workers=2)
+        log.close()
+        (rec,) = read_events(tmp_path / "s.log")
+        assert rec["level"] == "info"
+        assert rec["event"] == "service.start"
+        assert rec["workers"] == 2
+        assert isinstance(rec["ts"], float)
+        assert isinstance(rec["mono"], float)
+        assert isinstance(rec["pid"], int)
+        assert "request_id" not in rec
+
+    def test_request_id_from_trace_scope(self, tmp_path):
+        log = StructuredLog(tmp_path / "s.log")
+        with request_scope("req.7"):
+            log.write("warn", "request.shed")
+        log.write("info", "outside")
+        log.close()
+        recs = read_events(tmp_path / "s.log")
+        assert recs[0]["request_id"] == "req.7"
+        assert "request_id" not in recs[1]
+
+    def test_unknown_level_rejected(self, tmp_path):
+        log = StructuredLog(tmp_path / "s.log")
+        with pytest.raises(ValueError):
+            log.write("fatal", "boom")
+        log.close()
+
+    def test_rotation_by_size(self, tmp_path):
+        path = tmp_path / "s.log"
+        log = StructuredLog(path, max_bytes=400, backups=2)
+        for i in range(30):
+            log.write("info", "tick", i=i, pad="x" * 50)
+        log.close()
+        assert path.exists()
+        assert (tmp_path / "s.log.1").exists()
+        assert (tmp_path / "s.log.2").exists()
+        assert not (tmp_path / "s.log.3").exists()  # backups capped
+        # Every surviving file holds whole, parseable events.
+        for p in (path, tmp_path / "s.log.1", tmp_path / "s.log.2"):
+            assert all(rec["event"] == "tick" for rec in read_events(p))
+
+    def test_rotation_preserves_newest_events(self, tmp_path):
+        path = tmp_path / "s.log"
+        log = StructuredLog(path, max_bytes=400, backups=1)
+        for i in range(30):
+            log.write("info", "tick", i=i, pad="x" * 50)
+        log.close()
+        newest = read_events(path)[-1]["i"]
+        assert newest == 29
+
+    def test_append_on_reopen(self, tmp_path):
+        path = tmp_path / "s.log"
+        StructuredLog(path).write("info", "first")
+        log2 = StructuredLog(path)
+        log2.write("info", "second")
+        log2.close()
+        assert [r["event"] for r in read_events(path)] == \
+            ["first", "second"]
+
+
+class TestGlobalHelpers:
+    def test_unconfigured_emit_is_noop(self):
+        assert not obs_log.configured()
+        obs_log.info("nobody.listening")     # must not raise
+
+    def test_configure_emit_shutdown(self, tmp_path):
+        obs_log.configure(tmp_path / "g.log")
+        assert obs_log.configured()
+        obs_log.warn("worker.crash", worker=3)
+        obs_log.error("store.quarantine")
+        obs_log.shutdown()
+        assert not obs_log.configured()
+        recs = read_events(tmp_path / "g.log")
+        assert [r["event"] for r in recs] == \
+            ["worker.crash", "store.quarantine"]
+        assert recs[0]["level"] == "warn"
+        assert recs[1]["level"] == "error"
+
+    def test_reconfigure_replaces_sink(self, tmp_path):
+        obs_log.configure(tmp_path / "a.log")
+        obs_log.configure(tmp_path / "b.log")
+        obs_log.info("hello")
+        obs_log.shutdown()
+        assert read_events(tmp_path / "b.log")[0]["event"] == "hello"
+        assert (tmp_path / "a.log").read_text() == ""
+
+    def test_non_serializable_fields_stringified(self, tmp_path):
+        obs_log.configure(tmp_path / "g.log")
+        obs_log.info("odd", value={1, 2})    # sets are not JSON
+        obs_log.shutdown()
+        assert "odd" in read_events(tmp_path / "g.log")[0]["event"]

@@ -1,0 +1,149 @@
+"""Prometheus exposition: rendering, escaping, and the round-trip."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry
+from repro.obs.prom import (
+    escape_label_value,
+    parse_exposition,
+    render_exposition,
+    sanitize_name,
+    split_series_key,
+)
+
+
+def registry_snapshot():
+    reg = MetricsRegistry()
+    reg.inc("service.requests", 3, status="ok")
+    reg.inc("service.requests", 1, status="error")
+    reg.set_gauge("service.up", 1.0)
+    for v in (0.002, 0.05, 1.3):
+        reg.observe("service.request.elapsed", v)
+    return reg.snapshot()
+
+
+class TestSplitSeriesKey:
+    def test_bare_name(self):
+        assert split_series_key("cache.hits") == ("cache.hits", {})
+
+    def test_labels(self):
+        assert split_series_key("x{a=1,b=two}") == (
+            "x", {"a": "1", "b": "two"})
+
+    def test_ambiguous_key_refused(self):
+        with pytest.raises(ValueError):
+            split_series_key("x{a=1=2}")
+
+
+class TestSanitizeAndEscape:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("service.request.elapsed") == \
+            "service_request_elapsed"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_name("9lives")[0] not in "0123456789"
+
+    def test_escapes(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+
+class TestRender:
+    def test_counter_total_suffix_and_type_lines(self):
+        text = render_exposition(registry_snapshot())
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert 'repro_service_requests_total{status="ok"} 3' in text
+
+    def test_histogram_series_shape(self):
+        text = render_exposition(registry_snapshot())
+        assert "# TYPE repro_service_request_elapsed histogram" in text
+        assert text.count("repro_service_request_elapsed_bucket") == \
+            len(BUCKET_BOUNDS) + 1
+        assert 'le="+Inf"' in text
+        assert "repro_service_request_elapsed_sum" in text
+        assert "repro_service_request_elapsed_count 3" in text
+        assert "repro_service_request_elapsed_min" in text
+        assert "repro_service_request_elapsed_max" in text
+
+    def test_buckets_are_cumulative(self):
+        fams = parse_exposition(render_exposition(registry_snapshot()))
+        samples = [s for s in
+                   fams["repro_service_request_elapsed"]["samples"]
+                   if s[0].endswith("_bucket")]
+        counts = [v for _, _, v in samples]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3.0            # +Inf covers everything
+
+    def test_legacy_histogram_renders_sum_count_only(self):
+        snap = {"histograms": {"h": {"count": 2.0, "sum": 3.0,
+                                     "min": 1.0, "max": 2.0}}}
+        text = render_exposition(snap)
+        assert "repro_h_sum 3" in text
+        assert "repro_h_count 2" in text
+        assert "_bucket" not in text
+
+    def test_output_is_deterministic(self):
+        snap = registry_snapshot()
+        assert render_exposition(snap) == render_exposition(snap)
+
+    def test_custom_prefix(self):
+        text = render_exposition({"counters": {"c": 1.0}}, prefix="x_")
+        assert "x_c_total 1" in text
+
+
+class TestRoundTrip:
+    def test_full_registry_round_trips(self):
+        snap = registry_snapshot()
+        fams = parse_exposition(render_exposition(snap))
+        totals = {tuple(sorted(labels.items())): v
+                  for _, labels, v
+                  in fams["repro_service_requests_total"]["samples"]}
+        assert totals[(("status", "ok"),)] == 3.0
+        assert totals[(("status", "error"),)] == 1.0
+        assert fams["repro_service_up"]["samples"][0][2] == 1.0
+        assert fams["repro_service_request_elapsed"]["type"] == "histogram"
+
+    def test_label_values_with_quotes_newlines_unicode(self):
+        nasty = 'he said "hi"\nüñí\\done'
+        snap = {"counters": {f"c{{k={nasty}}}": 2.0}}
+        fams = parse_exposition(render_exposition(snap))
+        (_, labels, value), = fams["repro_c_total"]["samples"]
+        assert labels["k"] == nasty
+        assert value == 2.0
+
+    def test_infinite_bound_round_trips(self):
+        fams = parse_exposition('x_bucket{le="+Inf"} 4\n')
+        (_, labels, value), = fams["x_bucket"]["samples"]
+        assert math.isinf(float(labels["le"].replace("+Inf", "inf")))
+        assert value == 4.0
+
+
+class TestParserStrictness:
+    def test_missing_value_rejected(self):
+        with pytest.raises(ValueError):
+            parse_exposition("just_a_name\n")
+
+    def test_unterminated_labels_rejected(self):
+        with pytest.raises(ValueError):
+            parse_exposition('x{a="b 1\n')
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            parse_exposition("9bad 1\n")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ValueError):
+            parse_exposition("x abc\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE x counter\n# TYPE x gauge\n")
+
+    def test_help_lines_ignored(self):
+        fams = parse_exposition("# HELP x whatever\nx 1\n")
+        assert fams["x"]["samples"] == [("x", {}, 1.0)]

@@ -8,8 +8,8 @@ import pytest
 
 from repro import obs
 from repro.obs import metrics, summarize_trace
-from repro.obs.report import load_trace, render_report
-from repro.obs.trace import span, start_tracing, stop_tracing
+from repro.obs.report import load_trace, render_report, render_requests
+from repro.obs.trace import request_scope, span, start_tracing, stop_tracing
 
 
 def make_trace(path):
@@ -43,14 +43,17 @@ class TestLoadTrace:
             fh.write('{"kind": "B", "name": "tru')  # crash mid-write
         assert len(load_trace(path)) == whole
 
-    def test_corrupt_interior_line_raises(self, tmp_path):
+    def test_corrupt_interior_line_skipped_with_warning(self, tmp_path):
         path = tmp_path / "t.jsonl"
         make_trace(path)
+        whole = len(load_trace(path))
         with open(path, "a") as fh:
             fh.write("not json\n")
             fh.write('{"kind": "custom"}\n')
-        with pytest.raises(ValueError, match="corrupt trace"):
-            load_trace(path)
+        with pytest.warns(UserWarning, match="corrupt trace"):
+            events = load_trace(path)
+        assert len(events) == whole + 1     # the bad line, and only it
+        assert events[-1] == {"kind": "custom"}
 
 
 class TestSummarize:
@@ -100,6 +103,72 @@ class TestSummarize:
         s = summarize_trace(path)
         assert s.metrics["counters"]["cache.hits"] == 5.0
         assert 4242 in s.pids
+
+
+class TestRequestsAndProfile:
+    def make_request_trace(self, path):
+        with obs.session(trace_path=path):
+            with request_scope("cli.1"):
+                with span("service.request"):
+                    with span("worker.task"):
+                        pass
+            with request_scope("cli.2"):
+                with span("service.request"):
+                    pass
+        with open(path, "a") as fh:     # a merged worker-side record
+            fh.write(json.dumps(
+                {"kind": "B", "name": "worker.task", "ts": 1.0,
+                 "pid": 999, "tid": 1, "sid": 1, "parent": None,
+                 "depth": 0, "req": "cli.1"}) + "\n")
+            fh.write(json.dumps(
+                {"kind": "E", "name": "worker.task", "ts": 1.5,
+                 "pid": 999, "tid": 1, "sid": 1, "wall": 0.5,
+                 "cpu": 0.4, "req": "cli.1"}) + "\n")
+            fh.write(json.dumps(
+                {"kind": "profile", "pid": 999, "req": "cli.1",
+                 "hotspots": [
+                     {"func": "a.py:1:f", "calls": 10,
+                      "tottime": 0.2, "cumtime": 0.3},
+                     {"func": "a.py:1:f", "calls": 5,
+                      "tottime": 0.1, "cumtime": 0.1}]}) + "\n")
+
+    def test_spans_group_by_request_across_pids(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.make_request_trace(path)
+        s = summarize_trace(path)
+        assert set(s.requests) == {"cli.1", "cli.2"}
+        assert len(s.requests["cli.1"]["pids"]) == 2
+        assert s.requests["cli.1"]["spans"] == 3
+        assert s.requests["cli.2"]["spans"] == 1
+
+    def test_profile_records_sum_by_function(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.make_request_trace(path)
+        s = summarize_trace(path)
+        agg = s.profile["a.py:1:f"]
+        assert agg["calls"] == 15
+        assert agg["tottime"] == pytest.approx(0.3)
+
+    def test_render_requests_table(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.make_request_trace(path)
+        text = render_requests(summarize_trace(path))
+        assert "cli.1" in text and "cli.2" in text
+        assert "999" in text                    # the worker pid column
+
+    def test_render_requests_empty(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_trace(path)
+        assert "no request-tagged spans" in render_requests(
+            summarize_trace(path))
+
+    def test_report_mentions_requests_and_hotspots(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.make_request_trace(path)
+        text = render_report(summarize_trace(path))
+        assert "requests: 2 traced" in text
+        assert "worker profile hotspots" in text
+        assert "a.py:1:f" in text
 
 
 class TestRender:

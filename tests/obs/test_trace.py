@@ -12,8 +12,11 @@ from repro.obs import trace
 from repro.obs.trace import (
     StageTimings,
     Tracer,
+    current_request_id,
     ensure_worker_tracer,
     merge_worker_traces,
+    request_scope,
+    set_request_id,
     span,
     start_tracing,
     stop_tracing,
@@ -191,6 +194,85 @@ class TestWorkerTraces:
             assert ensure_worker_tracer(base) is first
         finally:
             stop_tracing()
+
+
+class TestRequestScope:
+    def test_scope_sets_and_restores(self):
+        assert current_request_id() is None
+        with request_scope("r.1"):
+            assert current_request_id() == "r.1"
+            with request_scope("r.2"):
+                assert current_request_id() == "r.2"
+            assert current_request_id() == "r.1"
+        assert current_request_id() is None
+
+    def test_set_request_id_unscoped(self):
+        set_request_id("r.9")
+        try:
+            assert current_request_id() == "r.9"
+        finally:
+            set_request_id(None)
+        assert current_request_id() is None
+
+    def test_spans_tagged_with_request_id(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        start_tracing(path)
+        with request_scope("cli.1"):
+            with span("service.request"):
+                pass
+        with span("untagged"):
+            pass
+        stop_tracing()
+        events = read_events(path)
+        tagged = [ev for ev in events if ev.get("name") ==
+                  "service.request"]
+        assert all(ev["req"] == "cli.1" for ev in tagged)
+        assert len(tagged) == 2             # both B and E carry it
+        assert all("req" not in ev for ev in events
+                   if ev.get("name") == "untagged")
+
+    def test_scope_is_per_thread(self):
+        seen = {}
+
+        def other():
+            seen["other"] = current_request_id()
+
+        with request_scope("r.main"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen["other"] is None        # contextvar did not leak
+
+
+class TestStaleWorkerCleanup:
+    def test_start_tracing_salvages_stale_worker_files(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        stale = tmp_path / "t.jsonl.w11111"
+        with open(stale, "w") as fh:
+            fh.write(json.dumps({"kind": "custom", "pid": 11111}) + "\n")
+            fh.write('{"kind": "B", "name": "torn mid-wri')  # SIGKILL tail
+        start_tracing(path)
+        stop_tracing()
+        assert not stale.exists()
+        events = read_events(path)
+        assert any(ev.get("kind") == "custom" and ev.get("pid") == 11111
+                   for ev in events)
+        # The torn tail was dropped, not copied.
+        assert all(ev.get("name") != "torn mid-wri" for ev in events)
+
+    def test_absorb_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        parent = start_tracing(path)
+        wpath = tmp_path / "t.jsonl.w22222"
+        with open(wpath, "w") as fh:
+            fh.write(json.dumps({"kind": "custom"}) + "\n")
+            fh.write("garbage not json\n")
+            fh.write(json.dumps({"kind": "custom2"}) + "\n")
+        absorbed = merge_worker_traces(parent)
+        stop_tracing()
+        assert absorbed == 2
+        kinds = [ev["kind"] for ev in read_events(path)]
+        assert "custom" in kinds and "custom2" in kinds
 
 
 class TestSession:

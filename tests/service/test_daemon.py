@@ -164,6 +164,121 @@ class TestStoreResilience:
         assert r2["cached"] and r2["result"] == r1["result"]
 
 
+class TestObservabilitySurface:
+    """Health, enriched stats, exposition, and structured log wiring."""
+
+    def test_health_ok_while_open(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0.0
+        assert health["checks"] == {"store": "ok", "pool": "ok",
+                                    "accepting": True}
+
+    def test_health_degraded_once_shutting_down(self, service):
+        service.handle({"id": "q", "op": "shutdown"})
+        health = service.health()
+        assert health["status"] == "degraded"
+        assert health["checks"]["accepting"] is False
+
+    def test_health_degraded_after_close(self, tmp_path):
+        config = ServiceConfig(store_dir=str(tmp_path / "store"))
+        svc = ScenarioService(config)
+        svc.open()
+        svc.close()
+        health = svc.health()
+        assert health["status"] == "degraded"
+        assert health["checks"]["store"] == "closed"
+        assert health["checks"]["pool"] == "closed"
+
+    def test_stats_enriched_and_backward_compatible(self, service):
+        service.handle({"id": "a", "preset": "fig2", "grid": "quick"})
+        stats = service.handle({"id": "s", "op": "stats"})
+        # The pre-existing surface survives for old clients.
+        assert "store" in stats and "pool" in stats and "metrics" in stats
+        assert stats["uptime_seconds"] >= 0.0
+        assert stats["health"]["status"] == "ok"
+        assert stats["requests"]["total"] == 1
+        assert stats["requests"]["by_status"] == {"ok": 1}
+        (entry,) = stats["recent"]
+        assert entry["request_id"] == "a.1"   # service-assigned, distinct
+        assert entry["client_id"] == "a"
+        assert entry["status"] == "ok" and entry["cached"] is False
+
+    def test_recent_ring_is_bounded(self, tmp_path):
+        config = ServiceConfig(store_dir=str(tmp_path / "store"),
+                               recent_requests=2)
+        with ScenarioService(config) as svc:
+            for cid in ("a", "b", "c"):
+                svc.handle({"id": cid, "preset": "fig2", "grid": "quick"})
+            recent = svc._stats()["recent"]
+        assert [e["client_id"] for e in recent] == ["b", "c"]
+        assert [e["request_id"] for e in recent] == ["b.2", "c.3"]
+
+    def test_metrics_exposition_round_trips(self, service):
+        from repro.obs.prom import parse_exposition
+        service.handle({"id": "a", "preset": "fig2", "grid": "quick"})
+        families = parse_exposition(service.metrics_exposition())
+        up = dict((s[0], s[2])
+                  for s in families["repro_service_up"]["samples"])
+        assert up["repro_service_up"] == 1.0
+        assert families["repro_service_healthy"]["samples"][0][2] == 1.0
+        totals = {tuple(sorted(labels.items())): v for _, labels, v
+                  in families["repro_service_requests_total"]["samples"]}
+        assert totals[(("status", "ok"),)] == 1.0
+        assert families["repro_service_requests_total"]["type"] == "counter"
+        assert "repro_service_pool_workers" in families
+
+    def test_structured_log_covers_request_lifecycle(self, tmp_path):
+        import json
+        log_path = tmp_path / "svc.log"
+        config = ServiceConfig(store_dir=str(tmp_path / "store"),
+                               log=str(log_path))
+        with ScenarioService(config) as svc:
+            svc.handle({"id": "a", "preset": "fig2", "grid": "quick"})
+        records = [json.loads(line)
+                   for line in log_path.read_text().splitlines()]
+        events = [r["event"] for r in records]
+        assert events[0] == "service.start"
+        assert events[-1] == "service.stop"
+        done = next(r for r in records if r["event"] == "request.done")
+        assert done["request_id"] == "a.1"
+        assert done["status"] == "ok"
+
+
+class TestCrossProcessTracing:
+    """One service request must read as one timeline across pids."""
+
+    def test_worker_spans_share_the_request_id(self, tmp_path):
+        from repro.obs import summarize_trace
+        trace_path = tmp_path / "svc.jsonl"
+        config = ServiceConfig(store_dir=str(tmp_path / "store"),
+                               workers=1, trace=str(trace_path))
+        with ScenarioService(config) as svc:
+            reply = svc.handle({"id": "t1", "preset": "fig2",
+                                "grid": "quick"})
+            assert reply["status"] == "ok"
+        # Worker sidecar files were folded back into the main trace.
+        assert not list(tmp_path.glob("svc.jsonl.w*"))
+        summary = summarize_trace(trace_path)
+        assert "t1.1" in summary.requests
+        # Daemon pid plus at least one spawned worker pid.
+        assert len(summary.requests["t1.1"]["pids"]) >= 2
+        assert summary.requests["t1.1"]["spans"] > 0
+
+    def test_inline_profile_records_reach_the_trace(self, tmp_path):
+        from repro.obs import summarize_trace
+        trace_path = tmp_path / "svc.jsonl"
+        config = ServiceConfig(store_dir=str(tmp_path / "store"),
+                               trace=str(trace_path),
+                               profile_workers=True)
+        with ScenarioService(config) as svc:
+            svc.handle({"id": "p1", "preset": "fig2", "grid": "quick"})
+        summary = summarize_trace(trace_path)
+        assert summary.profile            # hotspots were aggregated
+        assert all(agg["calls"] >= 0 and agg["tottime"] >= 0.0
+                   for agg in summary.profile.values())
+
+
 class TestDerivedSolveBudget:
     """Satellite regression: a request deadline must be carved into
     per-point solve budgets when the scenario sets none of its own, so
