@@ -12,9 +12,12 @@ service's whole robustness contract:
 4. replay the scenario files again — the warm pass must be served
    entirely from the store: the ``service.shards{source=solve}``
    counter must not move (zero cold solves);
-5. shut the daemon down cleanly so its trace file (uploaded as a CI
+5. request a preset with distribution metric selectors
+   (``metrics=["mean", "p99"]``) and assert the reply carries the new
+   per-class percentile columns end to end (stored result included);
+6. shut the daemon down cleanly so its trace file (uploaded as a CI
    artifact) closes with the final metrics snapshot;
-6. restart once more as an HTTP front end with a structured log and
+7. restart once more as an HTTP front end with a structured log and
    curl the operable surface: ``GET /healthz`` must be 200 ok,
    ``POST /`` must serve a warm request, ``GET /metrics`` must parse
    as Prometheus text, ``GET /stats`` must remember the request, and
@@ -237,6 +240,37 @@ def main():
         check(after == before,
               f"zero cold solves on the warm pass "
               f"(solve counter {before} -> {after})")
+
+        # -- distribution metrics flow through the daemon -------------
+        import dataclasses
+
+        from repro.scenario import get_scenario, run_result_from_dict
+        from repro.serialize import scenario_to_dict
+
+        base = get_scenario("fig2", grid="quick")
+        slim = dataclasses.replace(
+            base,
+            system=dataclasses.replace(
+                base.system,
+                axis=dataclasses.replace(base.system.axis,
+                                         values=(1.0, 2.0, 4.5))),
+            output=base.output.__class__(measures=base.output.measures,
+                                         metrics=("mean", "p99")))
+        reply = daemon.request({"id": "p99",
+                                "scenario": scenario_to_dict(slim),
+                                "timeout": 900})
+        check(reply["status"] == "ok" and reply["error_points"] == 0,
+              "preset with metrics=['mean', 'p99'] solved", reply)
+        result = reply["result"]
+        check(result.get("metric_names") == ["mean", "p99"],
+              "reply result names its metric columns",
+              sorted(result.keys()))
+        check(all(pt.get("metrics") and pt.get("dist_kinds")
+                  for pt in result["points"]),
+              "every point carries per-class metric rows")
+        table = run_result_from_dict(result).metrics_table().render()
+        check("p99[" in table and "mean[" in table,
+              "report table grew the per-class percentile columns")
         daemon.shutdown()
     finally:
         daemon.kill_group()

@@ -14,7 +14,8 @@ Subcommands
 ``figure``
     Regenerate one of the paper's figures (2-5) as a text table.
 ``optimize``
-    Find the quantum length minimizing total mean jobs.
+    Find the quantum length minimizing total mean jobs — or, with
+    ``--target 'p99<=X'``, the smallest quantum meeting a tail SLO.
 ``simulate``
     Run the discrete-event simulator on a configuration and print the
     statistics (optionally next to the analytic solution).
@@ -40,7 +41,10 @@ Observability
 -------------
 The evaluating subcommands all accept ``--trace FILE`` (record a span
 trace of the run as JSONL) and ``--metrics`` (print the solver's
-metric snapshot to stderr on exit); see :mod:`repro.obs`.
+metric snapshot to stderr on exit); see :mod:`repro.obs`.  ``run`` and
+``figure`` additionally accept ``--metrics-select 'mean,p95,p99'`` to
+report per-class response-time percentiles and tail probabilities
+(:mod:`repro.metrics`).
 """
 
 from __future__ import annotations
@@ -207,6 +211,34 @@ def _print_comparison(result) -> None:
               f"sim N={pt.sim_mean_jobs[p]:.4f} ({pt.delta[p]:+.1%})")
 
 
+def _print_metric_result(result) -> None:
+    """Render per-class distribution metrics when the run carried any."""
+    table = result.metrics_table()
+    if table is None:
+        return
+    print()
+    print("# response-time metrics")
+    print(table.render())
+    kinds = next((pt.dist_kinds for pt in result.points
+                  if pt.dist_kinds is not None), None)
+    if kinds is not None and any(k != "exact" for k in kinds):
+        pairs = ", ".join(f"{n}={k}"
+                          for n, k in zip(result.class_names, kinds))
+        print(f"# distribution kinds: {pairs}")
+
+
+def _metric_selectors_arg(args) -> tuple[str, ...] | None:
+    """Selector tuple from ``--metrics-select`` (``None`` if unset)."""
+    spec = getattr(args, "metrics_select", None)
+    if spec is None:
+        return None
+    selectors = tuple(s.strip() for s in spec.split(",") if s.strip())
+    if not selectors:
+        raise SystemExit("repro-gang: --metrics-select needs at least one "
+                         "selector (e.g. 'mean,p95,p99')")
+    return selectors
+
+
 def _cmd_solve(args) -> int:
     from repro.scenario import run as run_scenario
     scenario = Scenario(name="solve",
@@ -223,8 +255,11 @@ def _cmd_figure(args) -> int:
     from repro.scenario import figure_scenarios
     from repro.scenario import run as run_scenario
     policy = _parse_policy_arg(args)
+    selectors = _metric_selectors_arg(args)
     scenarios = [s.with_engine(**_engine_overrides(args)).with_policy(policy)
                  for s in figure_scenarios(args.number)]
+    if selectors is not None:
+        scenarios = [s.with_output(metrics=selectors) for s in scenarios]
     if len(scenarios) == 1:
         result = run_scenario(scenarios[0])
         _checkpoint_summary(args.checkpoint, result)
@@ -247,6 +282,8 @@ def _cmd_figure(args) -> int:
             table.add_row(f, [results[p].points[i].mean_jobs[p]
                               for p in range(4)])
     print(table.render())
+    if selectors is not None and len(scenarios) == 1:
+        _print_metric_result(result)
     if args.plot:
         from repro.analysis import ascii_plot
         print()
@@ -265,6 +302,10 @@ def _cmd_optimize(args) -> int:
     eng = _engine_spec(args)
     policy = _parse_policy_arg(args)
     model_kwargs = eng.model_kwargs()
+
+    if args.target is not None and args.search != "quantum":
+        raise SystemExit("repro-gang optimize: --target (tail SLO) is only "
+                         "supported with --search quantum")
 
     if args.search == "weights":
         best = optimize_weights(base, max_evaluations=eng.max_evaluations,
@@ -307,6 +348,32 @@ def _cmd_optimize(args) -> int:
             empty_queue_policy=base.empty_queue_policy,
         )
 
+    if args.target is not None:
+        from repro.core.optimize import optimize_quantum_for_slo
+        best = optimize_quantum_for_slo(
+            with_quantum, target=args.target, bounds=(args.min, args.max),
+            tol=args.search_tol, max_evaluations=eng.max_evaluations,
+            model_kwargs=model_kwargs)
+        sel, bound = best.target.selector, best.target.bound
+        if not best.feasible:
+            print(f"SLO {sel}<={bound:g} is infeasible on "
+                  f"[{args.min:g}, {args.max:g}]: the best quantum "
+                  f"({best.best_quantum:.4f}) only reaches "
+                  f"{sel}={best.best_metric_value:.4f} "
+                  f"({best.evaluations} model solves)", file=sys.stderr)
+            return 2
+        print(f"smallest quantum meeting {sel}<={bound:g}: "
+              f"{best.quantum:.4f}")
+        print(f"worst-class {sel} at that quantum: "
+              f"{best.metric_value:.4f}")
+        print(f"model solves: {best.evaluations}")
+        solved = GangSchedulingModel(
+            with_quantum(best.quantum),
+            **model_kwargs).solve(**eng.solve_kwargs())
+        print()
+        print(solved.describe())
+        return 0
+
     best = optimize_quantum(with_quantum, bounds=(args.min, args.max),
                             tol=args.search_tol,
                             max_evaluations=eng.max_evaluations,
@@ -346,6 +413,7 @@ def _print_run_result(result, *, plot: bool = False) -> None:
             print(result.sim.describe(result.class_names))
         if result.engine == "both":
             _print_comparison(result)
+        _print_metric_result(result)
         return
     measures = result.scenario.output.measures or ("mean_jobs",)
     tables = [(m, result.to_table(m)) for m in measures]
@@ -355,6 +423,7 @@ def _print_run_result(result, *, plot: bool = False) -> None:
         if len(tables) > 1:
             print(f"# {measure}")
         print(table.render())
+    _print_metric_result(result)
     if plot:
         from repro.analysis import ascii_plot
         table = tables[0][1]
@@ -391,6 +460,9 @@ def _cmd_run(args) -> int:
         overrides["engine"] = args.engine
     scenario = scenario.with_engine(**overrides) \
                        .with_policy(_parse_policy_arg(args))
+    selectors = _metric_selectors_arg(args)
+    if selectors is not None:
+        scenario = scenario.with_output(metrics=selectors)
     result = run_scenario(scenario)
     _checkpoint_summary(scenario.engine.checkpoint, result)
     _print_run_result(result, plot=args.plot)
@@ -532,6 +604,15 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                         "stderr on exit")
 
 
+def _add_metric_select_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--metrics-select", dest="metrics_select",
+                   metavar="SEL[,SEL...]", default=None,
+                   help="report these response-time metrics per class "
+                        "('mean,p95,p99,tail@t'); anything beyond the "
+                        "default mean extracts per-class distributions "
+                        "from the solved model")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gang",
@@ -560,6 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_arg(p_run)
     _add_engine_args(p_run)
     _add_obs_args(p_run)
+    _add_metric_select_arg(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sc = sub.add_parser("scenarios",
@@ -587,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_arg(p_fig)
     _add_engine_args(p_fig)
     _add_obs_args(p_fig)
+    _add_metric_select_arg(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_opt = sub.add_parser("optimize",
@@ -606,6 +689,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--tol", dest="search_tol", type=float, default=0.01,
                        help="relative interval tolerance of the quantum "
                             "search (default 0.01)")
+    p_opt.add_argument("--target", metavar="SLO", default=None,
+                       help="find the smallest quantum meeting a tail-SLO "
+                            "bound instead of minimizing congestion: "
+                            "'p99<=2.5', 'tail@5<=0.01', 'mean<=3' "
+                            "(worst class must meet the bound; "
+                            "--search quantum only)")
     _add_engine_args(p_opt)
     _add_obs_args(p_opt)
     p_opt.set_defaults(func=_cmd_optimize)

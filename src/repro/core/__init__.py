@@ -22,10 +22,14 @@ from repro.core.batchmodel import BatchGangSchedulingModel, BatchSolvedModel
 from repro.core.config import ClassConfig, SystemConfig
 from repro.core.model import GangSchedulingModel, SolvedModel
 from repro.core.optimize import (
+    SLOTarget,
     optimize_cycle_split,
     optimize_priority_order,
     optimize_quantum,
+    optimize_quantum_for_slo,
     optimize_weights,
+    parse_slo_target,
+    slo_objective,
     total_jobs_objective,
     weighted_response_objective,
 )
@@ -51,9 +55,13 @@ __all__ = [
     "transient_mean_jobs",
     "TransientResult",
     "optimize_quantum",
+    "optimize_quantum_for_slo",
     "optimize_cycle_split",
     "optimize_weights",
     "optimize_priority_order",
     "total_jobs_objective",
     "weighted_response_objective",
+    "slo_objective",
+    "SLOTarget",
+    "parse_slo_target",
 ]

@@ -70,10 +70,28 @@ class SolvedModel:
     #: (:meth:`repro.pipeline.cache.ArtifactCache.stats`).  The cache
     #: lives on the model, so repeated solves see cumulative numbers.
     cache_stats: dict[str, int] = field(default_factory=dict, compare=False)
+    #: Lazily built per-class :class:`ClassDistributions` cache
+    #: (see :meth:`distributions`); never compared.
+    _distributions: dict = field(default_factory=dict, compare=False,
+                                 repr=False)
 
     @property
     def iterations(self) -> int:
         return len(self.history)
+
+    def distributions(self, p: int):
+        """Response/waiting-time laws of class ``p``, lazily cached.
+
+        Returns a :class:`repro.metrics.distributions.ClassDistributions`;
+        saturated or unsupported classes yield an explicit marker kind
+        instead of raising, so sweep grid points degrade gracefully.
+        """
+        got = self._distributions.get(p)
+        if got is None:
+            from repro.metrics.distributions import class_distributions
+            got = class_distributions(self, p)
+            self._distributions[p] = got
+        return got
 
     def mean_jobs(self, p: int | None = None) -> float:
         """``N_p`` for one class, or the system total ``sum_p N_p``."""

@@ -17,7 +17,11 @@ tuning loop:
   instead of rebuilding the system;
 * :func:`optimize_priority_order` — exhaustive search over
   :class:`~repro.policy.PriorityCycle` orderings (``L!`` solves, so
-  guarded to small ``L`` — the paper's systems have 4 classes).
+  guarded to small ``L`` — the paper's systems have 4 classes);
+* :func:`optimize_quantum_for_slo` — *tail-SLO* tuning: the smallest
+  quantum whose worst-class distribution metric (``p99``, ``P{T > t}``)
+  meets a bound like ``p99<=2.5``, built from a golden-section
+  feasibility probe plus a bisection on the left feasibility edge.
 
 Objectives receive the :class:`~repro.core.model.SolvedModel` and
 return a scalar; saturated classes contribute ``inf``, which steers
@@ -41,11 +45,16 @@ from repro.policy import PriorityCycle, SchedulingPolicy, WeightedQuantum
 __all__ = [
     "total_jobs_objective",
     "weighted_response_objective",
+    "slo_objective",
     "optimize_quantum",
+    "optimize_quantum_for_slo",
     "optimize_cycle_split",
     "optimize_weights",
     "optimize_priority_order",
     "QuantumOptimum",
+    "SLOTarget",
+    "parse_slo_target",
+    "SLOOptimum",
     "CycleSplitOptimum",
     "PolicyOptimum",
 ]
@@ -67,6 +76,34 @@ def weighted_response_objective(weights: Sequence[float]
                 f"{len(w)} weights for {len(solved.classes)} classes")
         return sum(wi * c.mean_response_time
                    for wi, c in zip(w, solved.classes))
+
+    return objective
+
+
+def slo_objective(selector: str) -> Callable[[SolvedModel], float]:
+    """Worst-class value of one distribution metric selector.
+
+    ``slo_objective("p99")(solved)`` is ``max_p Q_p(0.99)`` over the
+    per-class response-time distributions
+    (:meth:`repro.core.model.SolvedModel.distributions`); an SLO holds
+    exactly when this objective is below the bound.  ``mean`` falls
+    back to the scalar measures.  Saturated classes evaluate to
+    ``inf`` (quantile) / ``1.0`` (tail), steering searches away.
+    """
+    from repro.metrics.selectors import parse_metric
+
+    sel = parse_metric(selector)
+
+    def objective(solved: SolvedModel) -> float:
+        values = []
+        for p in range(len(solved.classes)):
+            if sel.kind == "mean":
+                values.append(solved.classes[p].mean_response_time)
+            elif sel.kind == "quantile":
+                values.append(solved.distributions(p).quantile(sel.value))
+            else:
+                values.append(solved.distributions(p).tail(sel.value))
+        return max(values)
 
     return objective
 
@@ -195,6 +232,149 @@ def optimize_quantum(config_factory: Callable[[float], SystemConfig],
     best_q = min(cache, key=cache.get)
     return QuantumOptimum(quantum=best_q, objective_value=cache[best_q],
                           evaluations=evals)
+
+
+class SLOTarget:
+    """A parsed tail-SLO bound: ``<selector> <= <bound>``."""
+
+    def __init__(self, selector: str, bound: float):
+        from repro.metrics.selectors import parse_metric
+
+        #: The metric selector the bound constrains (``"p99"``,
+        #: ``"tail@5"``, ``"mean"``) — validated on construction.
+        self.selector = parse_metric(selector).raw
+        #: The bound the worst class must stay at or below.
+        self.bound = float(bound)
+        if not math.isfinite(self.bound) or self.bound < 0:
+            raise ValidationError(
+                f"SLO bound must be finite and >= 0, got {bound!r}")
+
+    def __repr__(self) -> str:
+        return f"SLOTarget({self.selector}<={self.bound:g})"
+
+
+def parse_slo_target(spec: str) -> SLOTarget:
+    """Parse an SLO spec like ``"p99<=2.5"`` or ``"tail@5<=0.01"``.
+
+    The left side is any metric selector accepted by
+    :func:`repro.metrics.selectors.parse_metric`; the right side the
+    numeric bound the worst class must meet.
+    """
+    parts = str(spec).split("<=")
+    if len(parts) != 2:
+        raise ValidationError(
+            f"SLO target must look like 'p99<=2.5', got {spec!r}")
+    selector, bound_text = parts[0].strip(), parts[1].strip()
+    try:
+        bound = float(bound_text)
+    except ValueError:
+        raise ValidationError(
+            f"SLO bound {bound_text!r} is not a number") from None
+    return SLOTarget(selector, bound)
+
+
+class SLOOptimum:
+    """Result of :func:`optimize_quantum_for_slo`."""
+
+    def __init__(self, quantum: float, metric_value: float,
+                 target: SLOTarget, feasible: bool, evaluations: int,
+                 best_quantum: float, best_metric_value: float):
+        #: Smallest quantum meeting the bound (the unconstrained
+        #: optimum when the search was infeasible).
+        self.quantum = quantum
+        #: The worst-class metric at :attr:`quantum`.
+        self.metric_value = metric_value
+        #: The parsed constraint.
+        self.target = target
+        #: Whether any quantum in the bracket met the bound.
+        self.feasible = feasible
+        #: Total model solves across probe and bisection.
+        self.evaluations = evaluations
+        #: The unconstrained minimizer (and its metric) — reported so
+        #: an infeasible search still says how close it got.
+        self.best_quantum = best_quantum
+        self.best_metric_value = best_metric_value
+
+    def __repr__(self) -> str:
+        state = "feasible" if self.feasible else "INFEASIBLE"
+        return (f"SLOOptimum({self.target.selector}<={self.target.bound:g} "
+                f"{state}: quantum={self.quantum:.6g}, "
+                f"{self.target.selector}={self.metric_value:.6g}, "
+                f"evaluations={self.evaluations})")
+
+
+def optimize_quantum_for_slo(config_factory: Callable[[float], SystemConfig],
+                             *, target: SLOTarget | str,
+                             bounds: tuple[float, float],
+                             tol: float = 1e-3, max_evaluations: int = 80,
+                             model_kwargs: dict | None = None,
+                             memo: dict | None = None) -> SLOOptimum:
+    """Smallest quantum meeting a tail-SLO bound.
+
+    Two stages on the same content-keyed memo (so no configuration is
+    ever solved twice):
+
+    1. a golden-section probe (:func:`optimize_quantum` with
+       :func:`slo_objective`) locates the quantum minimizing the
+       worst-class metric — if even that minimum violates the bound,
+       the SLO is infeasible on this bracket and the probe's optimum
+       is returned with ``feasible=False``;
+    2. the metric curve is unimodal in the quantum (same empirical
+       fact Figures 2/3 rest on), so the feasible set is an interval
+       around the minimizer; a bisection on ``[lo, q*]`` walks to its
+       left edge — the *smallest* feasible quantum.
+    """
+    if isinstance(target, str):
+        target = parse_slo_target(target)
+    lo, hi = bounds
+    if not 0 < lo <= hi:
+        raise ValidationError(
+            f"bounds must satisfy 0 < lo <= hi, got {bounds}")
+    objective = slo_objective(target.selector)
+    content_memo = memo if memo is not None else {}
+
+    probe = optimize_quantum(config_factory, bounds=bounds,
+                             objective=objective, tol=tol,
+                             max_evaluations=max_evaluations,
+                             model_kwargs=model_kwargs, memo=content_memo)
+    evals = probe.evaluations
+    if not probe.objective_value <= target.bound:
+        return SLOOptimum(quantum=probe.quantum,
+                          metric_value=probe.objective_value,
+                          target=target, feasible=False, evaluations=evals,
+                          best_quantum=probe.quantum,
+                          best_metric_value=probe.objective_value)
+
+    from repro.pipeline.cache import ArtifactCache
+
+    artifacts = ArtifactCache()
+
+    def g(q: float) -> float:
+        nonlocal evals
+        config = config_factory(q)
+        ck = _config_key(config)
+        if ck not in content_memo:
+            content_memo[ck] = _evaluate(config, objective, model_kwargs,
+                                         cache=artifacts)
+            evals += 1
+        return content_memo[ck]
+
+    best_q, best_v = probe.quantum, probe.objective_value
+    if g(lo) <= target.bound:
+        return SLOOptimum(quantum=lo, metric_value=g(lo), target=target,
+                          feasible=True, evaluations=evals,
+                          best_quantum=best_q, best_metric_value=best_v)
+    # g(lo) violates, g(best_q) meets: bisect the crossing.
+    a, b = lo, best_q
+    while (b - a) > tol * max(1.0, b) and evals < max_evaluations:
+        mid = 0.5 * (a + b)
+        if g(mid) <= target.bound:
+            b = mid
+        else:
+            a = mid
+    return SLOOptimum(quantum=b, metric_value=g(b), target=target,
+                      feasible=True, evaluations=evals,
+                      best_quantum=best_q, best_metric_value=best_v)
 
 
 class CycleSplitOptimum:

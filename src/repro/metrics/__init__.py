@@ -1,0 +1,57 @@
+"""Distribution-first metrics: percentiles, tails, SLOs.
+
+The paper's headline measures are means (``N_p``, ``T_p``); this
+package makes full *distributions* first-class so every surface — the
+sweep engine, scenarios, the CLI, the service daemon — can answer SLA
+questions (``p99``, ``P{T > t}``, loss probabilities) instead of only
+averages.
+
+Three modules:
+
+* :mod:`repro.metrics.quantiles` — the single numerical contract every
+  quantile in the repo evaluates (exact CDFs, finite samples,
+  histogram buckets);
+* :mod:`repro.metrics.selectors` — parsing/validation of the
+  ``("mean", "p95", "p99", "tail@t")`` metric selectors carried by
+  :class:`repro.scenario.OutputSpec`;
+* :mod:`repro.metrics.distributions` — :class:`ClassDistributions`,
+  the per-class response/waiting-time laws extracted from a solved
+  model (exact tagged-job phase type where feasible, moment-matched
+  fallback otherwise, explicit ``saturated``/``unsupported`` markers).
+"""
+
+from repro.metrics.distributions import (
+    ClassDistributions,
+    class_distributions,
+    metric_values,
+)
+from repro.metrics.quantiles import (
+    bucket_quantile,
+    cdf_quantile,
+    check_level,
+    empirical_quantile,
+    empirical_tail,
+)
+from repro.metrics.selectors import (
+    DEFAULT_METRICS,
+    MetricSelector,
+    parse_metric,
+    parse_metrics,
+    selector_columns,
+)
+
+__all__ = [
+    "ClassDistributions",
+    "class_distributions",
+    "metric_values",
+    "bucket_quantile",
+    "cdf_quantile",
+    "check_level",
+    "empirical_quantile",
+    "empirical_tail",
+    "DEFAULT_METRICS",
+    "MetricSelector",
+    "parse_metric",
+    "parse_metrics",
+    "selector_columns",
+]

@@ -1,0 +1,156 @@
+"""One numerical contract for every quantile in the repository.
+
+Three code paths used to answer "what is the ``q``-quantile?" with
+three private conventions: :meth:`repro.phasetype.PhaseType.quantile`
+bisected its own CDF, the simulator's per-class statistics called
+``np.quantile`` on raw sojourn samples, and
+:func:`repro.obs.metrics.histogram_quantile` interpolated Prometheus
+style inside log-spaced buckets.  This module is now the single home
+of all three estimators; the call sites delegate here.
+
+**Contract.**  For a distribution with CDF ``F`` the ``q``-quantile is
+the left-continuous generalized inverse
+
+    ``Q(q) = inf { t : F(t) >= q }``,  with ``0 <= q < 1``.
+
+Levels outside ``[0, 1)`` raise :class:`ValueError` from every entry
+point (``q = 1`` is excluded because ``Q(1)`` is infinite for the
+unbounded laws this library works with).  The three estimators are
+consistent approximations of ``Q``:
+
+* :func:`cdf_quantile` evaluates ``Q`` exactly (to a relative
+  bisection tolerance) given a callable CDF;
+* :func:`empirical_quantile` estimates ``Q`` from finite samples with
+  the linear-interpolation order statistic (``numpy``'s default),
+  which converges to ``Q`` as the sample grows;
+* :func:`bucket_quantile` knows only bucket counts, so it interpolates
+  linearly *within* the bucket holding the target rank and clamps into
+  the observed ``[min, max]`` — Prometheus semantics.
+
+All three agree in the limit of infinite data / vanishing bucket
+width; ``tail(Q(q)) -> 1 - q`` wherever ``F`` is continuous (asserted
+by the hypothesis suite in ``tests/metrics``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_level",
+    "cdf_quantile",
+    "empirical_quantile",
+    "empirical_tail",
+    "bucket_quantile",
+]
+
+
+def check_level(q: float) -> float:
+    """Validate a quantile level against the shared contract."""
+    if not 0.0 <= q < 1.0:
+        raise ValueError(f"quantile level must be in [0, 1), got {q}")
+    return float(q)
+
+
+def cdf_quantile(cdf: Callable[[float], float], q: float, *,
+                 mean_hint: float, atom_at_zero: float = 0.0,
+                 tol: float = 1e-10, max_iter: int = 200) -> float:
+    """``Q(q)`` for an exact CDF, by bracketed bisection.
+
+    Parameters
+    ----------
+    cdf:
+        Monotone CDF of a non-negative random variable.
+    q:
+        Level in ``[0, 1)``.
+    mean_hint:
+        Any positive scale for the initial bracket (the mean works);
+        the bracket doubles until ``cdf`` crosses ``q``.
+    atom_at_zero:
+        ``F(0)``; levels at or below it return exactly ``0.0``.
+    tol:
+        Relative width at which the bisection stops.
+    """
+    q = check_level(q)
+    if q <= atom_at_zero:
+        return 0.0
+    lo, hi = 0.0, max(float(mean_hint), 1e-12)
+    while cdf(hi) < q:
+        hi *= 2.0
+        if hi > 1e18:  # pragma: no cover - pathological
+            raise ArithmeticError("quantile search diverged")
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < q:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
+
+
+def empirical_quantile(samples: Sequence[float], q: float) -> float:
+    """``Q(q)`` estimated from raw samples; ``nan`` when empty."""
+    q = check_level(q)
+    if len(samples) == 0:
+        return float("nan")
+    return float(np.quantile(np.asarray(samples, dtype=float), q))
+
+
+def empirical_tail(samples: Sequence[float], t: float) -> float:
+    """``P{X > t}`` estimated from raw samples; ``nan`` when empty.
+
+    The empirical survival function — the sample analogue of
+    :meth:`repro.phasetype.PhaseType.sf`, kept here so the simulated
+    and analytic ``tail@t`` columns estimate the same functional.
+    """
+    if len(samples) == 0:
+        return float("nan")
+    arr = np.asarray(samples, dtype=float)
+    return float(np.count_nonzero(arr > float(t)) / arr.size)
+
+
+def bucket_quantile(buckets: Sequence[float], bounds: Sequence[float],
+                    q: float, *, count: float, lo: float,
+                    hi: float) -> float | None:
+    """``Q(q)`` from histogram bucket counts (Prometheus semantics).
+
+    Parameters
+    ----------
+    buckets:
+        Per-bucket observation counts; bucket ``i`` spans
+        ``(bounds[i-1], bounds[i]]`` with an implicit leading edge at
+        ``0`` and an implicit final bucket ``(bounds[-1], hi]``.
+    bounds:
+        Upper bucket bounds (``len(bounds) in {len(buckets) - 1,
+        len(buckets)}``).
+    q:
+        Level in ``[0, 1)``.
+    count:
+        Total observation count (may exceed ``sum(buckets)`` for
+        merged histograms); ``None`` is returned when non-positive.
+    lo, hi:
+        Exact observed extremes; the interpolated value is clamped
+        into ``[lo, hi]`` so a single-observation histogram reports
+        the observation itself.
+    """
+    check_level(q)
+    count = float(count or 0.0)
+    if count <= 0 or not buckets:
+        return None
+    target = q * count
+    cum = 0.0
+    value = float(hi)
+    for i, n in enumerate(buckets):
+        if n <= 0:
+            continue
+        if cum + n >= target:
+            b_lo = bounds[i - 1] if i > 0 else 0.0
+            b_hi = bounds[i] if i < len(bounds) else float(hi)
+            value = b_lo + (b_hi - b_lo) * max(0.0, target - cum) / n
+            break
+        cum += n
+    return min(max(value, float(lo)), float(hi))

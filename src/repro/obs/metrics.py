@@ -233,30 +233,20 @@ def merge_snapshots(snapshots) -> dict:
 def histogram_quantile(hist: dict, q: float) -> float | None:
     """Estimate the ``q``-quantile of one histogram from its buckets.
 
-    Linear interpolation inside the bucket holding the target rank
-    (the standard Prometheus ``histogram_quantile`` estimate), with the
-    result clamped into the exact observed ``[min, max]`` — so a
+    Delegates to :func:`repro.metrics.quantiles.bucket_quantile` — the
+    Prometheus-style estimator of the repository-wide quantile
+    contract: linear interpolation inside the bucket holding the
+    target rank, clamped into the exact observed ``[min, max]`` so a
     single-observation histogram reports the observation itself.
     Returns ``None`` for empty or bucket-less (legacy) histograms.
     """
-    count = float(hist.get("count") or 0.0)
+    from repro.metrics.quantiles import bucket_quantile
     buckets = hist.get("buckets")
-    if count <= 0 or not buckets:
+    if not buckets:
         return None
-    target = q * count
-    cum = 0.0
-    value = float(hist["max"])
-    for i, n in enumerate(buckets):
-        if n <= 0:
-            continue
-        if cum + n >= target:
-            lo = BUCKET_BOUNDS[i - 1] if i > 0 else 0.0
-            hi = (BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS)
-                  else float(hist["max"]))
-            value = lo + (hi - lo) * max(0.0, target - cum) / n
-            break
-        cum += n
-    return min(max(value, float(hist["min"])), float(hist["max"]))
+    return bucket_quantile(buckets, BUCKET_BOUNDS, q,
+                           count=float(hist.get("count") or 0.0),
+                           lo=float(hist["min"]), hi=float(hist["max"]))
 
 
 def render_snapshot(snap: dict, *, indent: str = "") -> str:

@@ -272,25 +272,15 @@ class PhaseType:
         return val + self.atom_at_zero
 
     def quantile(self, q: float, *, tol: float = 1e-10, max_iter: int = 200) -> float:
-        """Numerical quantile (bisection on the CDF)."""
-        if not 0.0 <= q < 1.0:
-            raise ValueError(f"quantile level must be in [0, 1), got {q}")
-        if q <= self.atom_at_zero:
-            return 0.0
-        lo, hi = 0.0, max(self.mean, 1e-12)
-        while self.cdf(hi) < q:
-            hi *= 2.0
-            if hi > 1e18:  # pragma: no cover - pathological
-                raise ArithmeticError("quantile search diverged")
-        for _ in range(max_iter):
-            mid = 0.5 * (lo + hi)
-            if self.cdf(mid) < q:
-                lo = mid
-            else:
-                hi = mid
-            if hi - lo < tol * max(1.0, hi):
-                break
-        return 0.5 * (lo + hi)
+        """Numerical quantile under the contract of
+        :mod:`repro.metrics.quantiles` (left-continuous generalized
+        inverse, evaluated by bracketed bisection on the CDF)."""
+        # Imported lazily: repro.metrics re-exports distribution types
+        # built on PhaseType, so a module-level import would cycle.
+        from repro.metrics.quantiles import cdf_quantile
+        return cdf_quantile(self.cdf, q, mean_hint=self.mean,
+                            atom_at_zero=self.atom_at_zero,
+                            tol=tol, max_iter=max_iter)
 
     # ------------------------------------------------------------------
     # Sampling

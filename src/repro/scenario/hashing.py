@@ -60,7 +60,13 @@ def semantic_scenario_dict(scenario) -> dict:
     that cannot affect the computed numbers:
 
     * ``name`` / ``description`` — display only;
-    * ``output`` — selects what is *reported*, not what is solved;
+    * ``output`` — selects what is *reported*, not what is solved —
+      with one exception: metric selectors beyond the default
+      ``("mean",)`` make the engines compute per-class distribution
+      statistics that land in the stored point payloads, so they
+      *are* part of result identity.  They enter the hash only when
+      non-default, keeping every pre-distribution key (and the whole
+      warm service store) bit-for-bit intact;
     * ``schema`` / ``version`` — the store segments carry the schema
       version themselves, so a no-op version bump does not cold the
       cache;
@@ -73,7 +79,13 @@ def semantic_scenario_dict(scenario) -> dict:
     data = scenario_to_dict(scenario)
     engine = {k: v for k, v in data["engine"].items()
               if k not in EXECUTION_ONLY_ENGINE_FIELDS}
-    return {"system": data["system"], "engine": engine}
+    semantic = {"system": data["system"], "engine": engine}
+    metrics = data.get("output", {}).get("metrics")
+    if isinstance(metrics, (list, tuple)):
+        # Only the v3 writer emits a selector list (and only for
+        # non-default selectors); the legacy boolean stays unhashed.
+        semantic["metrics"] = list(metrics)
+    return semantic
 
 
 def canonical_bytes(data: dict) -> bytes:

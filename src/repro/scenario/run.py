@@ -54,6 +54,17 @@ class RunPoint:
     sim_mean_response_time: tuple[float, ...] | None = None
     sim_half_width: tuple[float, ...] | None = None
     delta: tuple[float, ...] | None = None
+    #: Analytic per-class response-time metric rows — ``metrics[p]``
+    #: holds one value per selector in ``RunResult.metric_names`` —
+    #: and the distribution kind backing them ("exact", "moment",
+    #: "saturated", "unsupported").  ``None`` unless the scenario asked
+    #: for selectors beyond the default ``("mean",)``.
+    metrics: tuple[tuple[float, ...], ...] | None = None
+    dist_kinds: tuple[str, ...] | None = None
+    #: Simulated empirical counterparts, same shape, with Student-t CI
+    #: half-widths (zeros for a single run).
+    sim_metrics: tuple[tuple[float, ...], ...] | None = None
+    sim_metric_half_width: tuple[tuple[float, ...], ...] | None = None
 
 
 @dataclass
@@ -65,6 +76,9 @@ class RunResult:
     parameter: str | None
     class_names: tuple[str, ...]
     points: list[RunPoint] = field(default_factory=list)
+    #: Metric selectors the points' ``metrics`` rows are aligned to
+    #: (``None`` when the run carried only means).
+    metric_names: tuple[str, ...] | None = None
     #: Sweep points loaded from the checkpoint journal (analytic sweeps).
     resumed: int = 0
     #: Journaled points no longer on the grid (ignored, warned about).
@@ -135,6 +149,50 @@ class RunResult:
             table.add_row(pt.value if pt.value is not None else float(i), row)
         return table
 
+    def metrics_table(self):
+        """Per-class response-time metric columns along the grid.
+
+        One column per ``(selector, class)`` for whichever engines
+        carried metric rows — ``p99[interactive]`` for the analytic
+        distribution value, ``sim:p99[interactive]`` for the empirical
+        estimate.  Returns ``None`` when the run carried no selectors
+        beyond the default mean.
+        """
+        from repro.analysis import Table
+
+        if self.metric_names is None:
+            return None
+        analytic = any(pt.metrics is not None for pt in self.points)
+        simulated = any(pt.sim_metrics is not None for pt in self.points)
+        columns = []
+        if analytic:
+            columns += [f"{sel}[{n}]" for sel in self.metric_names
+                        for n in self.class_names]
+        if simulated:
+            columns += [f"sim:{sel}[{n}]" for sel in self.metric_names
+                        for n in self.class_names]
+        if not columns:
+            return None
+        table = Table(self.parameter or "point", columns)
+        width = len(self.metric_names) * len(self.class_names)
+        nan = [float("nan")] * width
+
+        def flat(rows):
+            # rows[p][s] -> selector-major order to match the columns.
+            if rows is None:
+                return nan
+            return [rows[p][s] for s in range(len(self.metric_names))
+                    for p in range(len(self.class_names))]
+
+        for i, pt in enumerate(self.points):
+            row: list[float] = []
+            if analytic:
+                row += flat(pt.metrics)
+            if simulated:
+                row += flat(pt.sim_metrics)
+            table.add_row(pt.value if pt.value is not None else float(i), row)
+        return table
+
 
 def run_point_to_dict(pt: RunPoint) -> dict:
     """JSON form of one :class:`RunPoint` (round-trips exactly).
@@ -146,7 +204,7 @@ def run_point_to_dict(pt: RunPoint) -> dict:
     def seq(t):
         return None if t is None else [float(x) for x in t]
 
-    return {
+    data = {
         "value": None if pt.value is None else float(pt.value),
         "mean_jobs": seq(pt.mean_jobs),
         "mean_response_time": seq(pt.mean_response_time),
@@ -158,12 +216,27 @@ def run_point_to_dict(pt: RunPoint) -> dict:
         "sim_half_width": seq(pt.sim_half_width),
         "delta": seq(pt.delta),
     }
+    # Distribution-metric fields only appear when computed, so every
+    # pre-distribution store payload keeps its exact historical bytes.
+    if pt.metrics is not None:
+        data["metrics"] = [seq(row) for row in pt.metrics]
+    if pt.dist_kinds is not None:
+        data["dist_kinds"] = list(pt.dist_kinds)
+    if pt.sim_metrics is not None:
+        data["sim_metrics"] = [seq(row) for row in pt.sim_metrics]
+    if pt.sim_metric_half_width is not None:
+        data["sim_metric_half_width"] = [
+            seq(row) for row in pt.sim_metric_half_width]
+    return data
 
 
 def run_point_from_dict(data: dict) -> RunPoint:
     """Rebuild a :class:`RunPoint` from :func:`run_point_to_dict`."""
     def seq(v):
         return None if v is None else tuple(float(x) for x in v)
+
+    def rows(v):
+        return None if v is None else tuple(seq(row) for row in v)
 
     return RunPoint(
         value=None if data.get("value") is None else float(data["value"]),
@@ -176,6 +249,11 @@ def run_point_from_dict(data: dict) -> RunPoint:
         sim_mean_response_time=seq(data.get("sim_mean_response_time")),
         sim_half_width=seq(data.get("sim_half_width")),
         delta=seq(data.get("delta")),
+        metrics=rows(data.get("metrics")),
+        dist_kinds=(None if data.get("dist_kinds") is None
+                    else tuple(str(k) for k in data["dist_kinds"])),
+        sim_metrics=rows(data.get("sim_metrics")),
+        sim_metric_half_width=rows(data.get("sim_metric_half_width")),
     )
 
 
@@ -191,12 +269,15 @@ def run_result_to_dict(result: RunResult) -> dict:
     solved cold, resumed from a checkpoint, or assembled shard by
     shard by the service.
     """
-    return {
+    data = {
         "engine": result.engine,
         "parameter": result.parameter,
         "class_names": list(result.class_names),
         "points": [run_point_to_dict(pt) for pt in result.points],
     }
+    if result.metric_names is not None:
+        data["metric_names"] = list(result.metric_names)
+    return data
 
 
 def run_result_from_dict(data: dict, scenario: Scenario | None = None,
@@ -208,23 +289,48 @@ def run_result_from_dict(data: dict, scenario: Scenario | None = None,
     extras (``solved``/``sim``/resume counters) are gone for good —
     they never travel.
     """
+    metric_names = data.get("metric_names")
     return RunResult(
         scenario=scenario,
         engine=str(data["engine"]),
         parameter=data.get("parameter"),
         class_names=tuple(str(n) for n in data["class_names"]),
         points=[run_point_from_dict(p) for p in data.get("points", [])],
+        metric_names=(None if metric_names is None
+                      else tuple(str(m) for m in metric_names)),
     )
 
 
+def _sim_metric_rows(spt: SimPointEstimate | None,
+                     selectors: tuple[str, ...] | None,
+                     ) -> tuple[tuple | None, tuple | None]:
+    """Reshape a sim estimate's per-selector dicts into per-class rows.
+
+    :class:`SimPointEstimate` keys its empirical metrics by selector;
+    :class:`RunPoint` stores selector values per class (matching the
+    analytic rows), so transpose on the scenario's selector order.
+    """
+    if (spt is None or selectors is None or spt.metrics is None):
+        return None, None
+    num_classes = len(spt.mean_jobs)
+    est = tuple(tuple(float(spt.metrics[sel][p]) for sel in selectors)
+                for p in range(num_classes))
+    hw = tuple(tuple(float(spt.metric_half_width[sel][p])
+                     for sel in selectors)
+               for p in range(num_classes))
+    return est, hw
+
+
 def _combine(value: float | None, apt: SweepPoint | None,
-             spt: SimPointEstimate | None) -> RunPoint:
+             spt: SimPointEstimate | None,
+             selectors: tuple[str, ...] | None = None) -> RunPoint:
     """Fold one grid point's analytic and/or sim output into a RunPoint."""
     delta = None
     if apt is not None and spt is not None and apt.error is None:
         delta = tuple(
             (a - s) / s if s > 0 else float("nan")
             for a, s in zip(apt.mean_jobs, spt.mean_jobs))
+    sim_metrics, sim_metric_hw = _sim_metric_rows(spt, selectors)
     return RunPoint(
         value=value,
         mean_jobs=apt.mean_jobs if apt is not None else None,
@@ -238,10 +344,24 @@ def _combine(value: float | None, apt: SweepPoint | None,
                                 if spt is not None else None),
         sim_half_width=spt.half_width if spt is not None else None,
         delta=delta,
+        metrics=apt.metrics if apt is not None else None,
+        dist_kinds=apt.dist_kinds if apt is not None else None,
+        sim_metrics=sim_metrics,
+        sim_metric_half_width=sim_metric_hw,
     )
 
 
-def _solved_point(solved: SolvedModel) -> SweepPoint:
+def _solved_point(solved: SolvedModel,
+                  selectors: tuple[str, ...] | None = None) -> SweepPoint:
+    point_metrics = dist_kinds = None
+    if selectors:
+        from repro.metrics import metric_values
+
+        num_classes = len(solved.classes)
+        point_metrics = tuple(metric_values(solved, p, selectors)
+                              for p in range(num_classes))
+        dist_kinds = tuple(solved.distributions(p).kind
+                           for p in range(num_classes))
     return SweepPoint(
         value=0.0,
         mean_jobs=tuple(c.mean_jobs for c in solved.classes),
@@ -249,12 +369,23 @@ def _solved_point(solved: SolvedModel) -> SweepPoint:
                                  for c in solved.classes),
         iterations=solved.iterations,
         converged=solved.converged,
+        metrics=point_metrics,
+        dist_kinds=dist_kinds,
     )
+
+
+def _metric_selectors(scenario: Scenario) -> tuple[str, ...] | None:
+    """The scenario's selector tuple, or ``None`` for means-only runs."""
+    out = getattr(scenario, "output", None)
+    if out is not None and getattr(out, "wants_distributions", False):
+        return tuple(out.metrics)
+    return None
 
 
 def _run_sweep(scenario: Scenario) -> RunResult:
     eng = scenario.engine
     axis = scenario.system.axis
+    selectors = _metric_selectors(scenario)
     sweep_res = sweep_scenario(scenario) if eng.analytic else None
     sims: list[SimPointEstimate] | None = None
     if eng.simulated:
@@ -266,12 +397,14 @@ def _run_sweep(scenario: Scenario) -> RunResult:
     points = [
         _combine(v,
                  sweep_res.points[i] if sweep_res is not None else None,
-                 sims[i] if sims is not None else None)
+                 sims[i] if sims is not None else None,
+                 selectors)
         for i, v in enumerate(axis.values)
     ]
     return RunResult(
         scenario=scenario, engine=eng.engine, parameter=axis.parameter,
         class_names=names, points=points,
+        metric_names=selectors,
         resumed=sweep_res.resumed if sweep_res is not None else 0,
         stale=sweep_res.stale if sweep_res is not None else 0,
     )
@@ -280,6 +413,7 @@ def _run_sweep(scenario: Scenario) -> RunResult:
 def _run_point(scenario: Scenario) -> RunResult:
     eng = scenario.engine
     config = scenario.system.config_for()
+    selectors = _metric_selectors(scenario)
     solved = None
     apt = None
     if eng.analytic:
@@ -288,13 +422,14 @@ def _run_point(scenario: Scenario) -> RunResult:
             model_kwargs["policy"] = scenario.system.policy
         solved = GangSchedulingModel(
             config, **model_kwargs).solve(**eng.solve_kwargs())
-        apt = _solved_point(solved)
+        apt = _solved_point(solved, selectors)
     sim_est = (simulate_scenario_point(scenario, config)
                if eng.simulated else None)
     return RunResult(
         scenario=scenario, engine=eng.engine, parameter=None,
         class_names=config.class_names,
-        points=[_combine(None, apt, sim_est)],
+        points=[_combine(None, apt, sim_est, selectors)],
+        metric_names=selectors,
         solved=solved, sim=sim_est,
     )
 
@@ -310,10 +445,10 @@ def run(scenario: Scenario) -> RunResult:
     wrapped in its own observability session.
     """
     out = scenario.output
-    arm = ((out.trace is not None or out.metrics)
+    arm = ((out.trace is not None or out.collect_metrics)
            and obs_trace.current_tracer() is None and not metrics.enabled())
     if arm:
-        obs.start(trace_path=out.trace, collect_metrics=out.metrics)
+        obs.start(trace_path=out.trace, collect_metrics=out.collect_metrics)
     policy = scenario.system.policy
     policy_kind = policy.kind if policy is not None else "round-robin"
     try:

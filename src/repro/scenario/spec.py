@@ -244,11 +244,24 @@ class EngineSpec:
 
 @dataclass(frozen=True)
 class OutputSpec:
-    """What to report: measures, optional trace file, metrics."""
+    """What to report: measures, metric selectors, observability.
+
+    ``metrics`` names the response-time statistics to report per class
+    — ``("mean",)`` by default, extendable with quantile and tail
+    selectors such as ``("mean", "p95", "p99", "tail@2.5")`` (see
+    :mod:`repro.metrics.selectors`).  Anything beyond the default
+    makes the engines extract per-class response-time *distributions*
+    alongside the scalar measures.
+
+    ``collect_metrics`` arms the in-process observability registry
+    (the CLI's ``--metrics`` flag; historically this field was the
+    boolean ``metrics``, which is still accepted and coerced).
+    """
 
     measures: tuple[str, ...] = ("mean_jobs", "mean_response_time")
     trace: str | None = None
-    metrics: bool = False
+    metrics: tuple[str, ...] = ("mean",)
+    collect_metrics: bool = False
 
     def __post_init__(self):
         measures = tuple(str(m) for m in self.measures)
@@ -257,6 +270,24 @@ class OutputSpec:
             raise ValidationError(
                 f"unknown measures {unknown}; known: {list(MEASURES)}")
         object.__setattr__(self, "measures", measures)
+        metrics = self.metrics
+        if isinstance(metrics, bool):
+            # Legacy schema: ``metrics`` was the observability toggle.
+            object.__setattr__(self, "collect_metrics",
+                               bool(self.collect_metrics) or metrics)
+            metrics = ("mean",)
+        else:
+            metrics = tuple(str(m) for m in metrics)
+            if not metrics:
+                metrics = ("mean",)
+            from repro.metrics.selectors import parse_metrics
+            parse_metrics(metrics)      # validate, reject duplicates
+        object.__setattr__(self, "metrics", metrics)
+
+    @property
+    def wants_distributions(self) -> bool:
+        """Whether any selector needs more than the scalar means."""
+        return any(m != "mean" for m in self.metrics)
 
 
 @dataclass(frozen=True)

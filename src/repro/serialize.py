@@ -65,11 +65,12 @@ __all__ = [
 #: loader accepts any version up to the current one and tolerates
 #: unknown fields, so old readers reject genuinely newer files while
 #: new readers keep consuming old ones.  Writers stamp the *lowest*
-#: version that can express the scenario — a non-default scheduling
-#: policy needs version 2; everything else stays version 1, keeping
-#: plain files byte-identical to pre-policy output (and readable by
-#: old readers).
-SCENARIO_SCHEMA_VERSION = 2
+#: version that can express the scenario — non-default metric
+#: selectors (``output.metrics`` beyond ``("mean",)``) need version 3,
+#: a non-default scheduling policy needs version 2; everything else
+#: stays version 1, keeping plain files byte-identical to pre-policy
+#: output (and readable by old readers).
+SCENARIO_SCHEMA_VERSION = 3
 
 
 def phase_type_to_dict(dist: PhaseType) -> dict:
@@ -184,9 +185,18 @@ def scenario_to_dict(scenario) -> dict:
     if sys_spec.policy is not None:
         from repro.policy import policy_to_dict
         system["policy"] = policy_to_dict(sys_spec.policy)
-    version = 2 if sys_spec.policy is not None else 1
     eng = scenario.engine
     out = scenario.output
+    # Metric selectors beyond the default ``("mean",)`` are the only
+    # version-3 feature; default-selector scenarios keep emitting the
+    # legacy boolean observability toggle in the ``metrics`` slot, so
+    # pre-distribution files, hashes and old readers are untouched.
+    from repro.metrics.selectors import DEFAULT_METRICS
+    wants_distributions = tuple(out.metrics) != DEFAULT_METRICS
+    if wants_distributions:
+        version = 3
+    else:
+        version = 2 if sys_spec.policy is not None else 1
     return {
         "schema": "repro-scenario",
         "version": version,
@@ -218,7 +228,10 @@ def scenario_to_dict(scenario) -> dict:
         "output": {
             "measures": list(out.measures),
             "trace": out.trace,
-            "metrics": out.metrics,
+            **({"metrics": list(out.metrics),
+                **({"collect_metrics": True} if out.collect_metrics else {})}
+               if wants_distributions
+               else {"metrics": out.collect_metrics}),
         },
     }
 
@@ -294,7 +307,14 @@ def _output_from_dict(data: dict):
     if data.get("trace") is not None:
         kwargs["trace"] = str(data["trace"])
     if "metrics" in data:
-        kwargs["metrics"] = bool(data["metrics"])
+        value = data["metrics"]
+        if isinstance(value, bool):
+            # v1/v2 files: ``metrics`` was the observability toggle.
+            kwargs["collect_metrics"] = value
+        else:
+            kwargs["metrics"] = tuple(str(m) for m in value)
+    if data.get("collect_metrics"):
+        kwargs["collect_metrics"] = True
     return OutputSpec(**kwargs)
 
 

@@ -53,7 +53,6 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import json
-import queue as queue_mod
 import sys
 import threading
 import time
@@ -364,13 +363,17 @@ class ScenarioService:
         if request.engine:
             scenario = scenario.with_engine(**request.engine)
         # Execution is the service's business: drop the caller's
-        # worker/checkpoint knobs and any trace/metrics output request
-        # (both are excluded from the content hash anyway).
+        # worker/checkpoint knobs and any trace/solver-metrics output
+        # request (both are excluded from the content hash anyway).
+        # Metric *selectors* survive the strip — they are part of
+        # result identity (the stored points carry the percentile
+        # columns they name).
         return dataclasses.replace(
             scenario,
             engine=dataclasses.replace(scenario.engine,
                                        workers=None, checkpoint=None),
-            output=OutputSpec(measures=scenario.output.measures))
+            output=OutputSpec(measures=scenario.output.measures,
+                              metrics=scenario.output.metrics))
 
     def _handle_run(self, request: Request) -> dict:
         t0 = time.monotonic()
@@ -537,6 +540,13 @@ class ScenarioService:
                             else list(self._class_names(scenario, values))),
             "points": points,
         }
+        metric_names = (meta.get("metric_names") if meta is not None
+                        else None)
+        if metric_names is None and getattr(
+                scenario.output, "wants_distributions", False):
+            metric_names = scenario.output.metrics
+        if metric_names:
+            result["metric_names"] = list(metric_names)
         error_points = sum(1 for pt in points if pt.get("error"))
         if not degraded and error_points == 0:
             self.store.put_result(key, result)
@@ -556,10 +566,17 @@ class ScenarioService:
         """JSONL daemon loop: requests on stdin, replies on stdout.
 
         Emits a ready banner first (clients block on it), then one
-        reply line per request, in order.  A reader thread keeps
-        draining stdin so overload is *shed* — lines beyond
-        ``max_pending`` queued requests get an immediate busy reply —
-        rather than backpressured into the peer's pipe buffer.
+        reply line per request.  A reader thread keeps draining stdin
+        so overload is *shed* — lines beyond ``max_pending`` queued
+        requests get an immediate busy reply — rather than
+        backpressured into the peer's pipe buffer.
+
+        Intake is *fair*, not FIFO: queued lines are grouped by their
+        client ID and served round-robin across clients (FIFO within
+        each client), so one chatty client that stuffs the queue with
+        a burst cannot starve a second client's single request — it is
+        served after at most one of the burst's requests, not after
+        all of them.
         """
         stdin = stdin if stdin is not None else sys.stdin
         stdout = stdout if stdout is not None else sys.stdout
@@ -572,28 +589,60 @@ class ScenarioService:
 
         emit(protocol.ready_banner(workers=self.config.workers,
                                    store_dir=str(self.config.store_dir)))
-        pending: queue_mod.Queue = queue_mod.Queue()
+        intake = threading.Condition()
+        #: client id -> FIFO of ``(enqueue time, line)``.
+        queues: dict[str | None, deque] = {}
+        #: Clients with queued work, in round-robin turn order.
+        turn: deque = deque()
+        state = {"total": 0, "eof": False}
 
         def reader() -> None:
             for line in stdin:
                 if not line.strip():
                     continue
-                if pending.qsize() >= self.config.max_pending:
-                    self._count("busy")
-                    obs_log.warn("request.shed", front_end="stdio",
-                                 pending=pending.qsize(),
-                                 limit=self.config.max_pending)
-                    emit(protocol.busy_response(
-                        self._peek_id(line), pending=pending.qsize(),
-                        limit=self.config.max_pending))
-                    continue
-                pending.put((time.monotonic(), line))
-            pending.put(None)
+                with intake:
+                    if state["total"] >= self.config.max_pending:
+                        self._count("busy")
+                        obs_log.warn("request.shed", front_end="stdio",
+                                     pending=state["total"],
+                                     limit=self.config.max_pending)
+                        emit(protocol.busy_response(
+                            self._peek_id(line), pending=state["total"],
+                            limit=self.config.max_pending))
+                        continue
+                    cid = self._peek_id(line)
+                    q = queues.get(cid)
+                    if q is None:
+                        q = queues[cid] = deque()
+                        turn.append(cid)
+                    q.append((time.monotonic(), line))
+                    state["total"] += 1
+                    intake.notify()
+            with intake:
+                state["eof"] = True
+                intake.notify()
+
+        def next_line():
+            """The next request under round-robin fairness."""
+            with intake:
+                while state["total"] == 0 and not state["eof"]:
+                    intake.wait()
+                if state["total"] == 0:
+                    return None
+                cid = turn.popleft()
+                q = queues[cid]
+                item = q.popleft()
+                if q:
+                    turn.append(cid)    # more queued: back of the line
+                else:
+                    del queues[cid]
+                state["total"] -= 1
+                return item
 
         threading.Thread(target=reader, daemon=True,
                          name="repro-service-reader").start()
         while True:
-            item = pending.get()
+            item = next_line()
             if item is None:
                 break
             enqueued, line = item

@@ -49,9 +49,28 @@ class ReplicationSummary:
         return "\n".join(rows)
 
 
+def _metric_row(simulation, selector: str,
+                num_classes: int) -> tuple[float, ...]:
+    """Per-class selector estimates from a finished simulation.
+
+    Every simulator in :mod:`repro.sim` keeps its per-class
+    :class:`~repro.sim.stats.ClassStats` on ``.stats`` after a run;
+    selectors evaluate on the raw sojourn samples there (the shared
+    contract of :mod:`repro.metrics.quantiles`).
+    """
+    stats = getattr(simulation, "stats", None)
+    if stats is None:  # pragma: no cover - non-standard simulator
+        return (float("nan"),) * num_classes
+    if not isinstance(stats, (list, tuple)):
+        stats = [stats]
+    return tuple(st.response_metric(selector) for st in stats)
+
+
 def run_replications(factory, *, replications: int = 10, horizon: float,
                      warmup: float = 0.0, base_seed: int = 0,
-                     confidence: float = 0.95) -> dict[str, ReplicationSummary]:
+                     confidence: float = 0.95,
+                     metrics: tuple[str, ...] = (),
+                     ) -> dict[str, ReplicationSummary]:
     """Run independent replications of a simulation.
 
     Parameters
@@ -68,23 +87,35 @@ def run_replications(factory, *, replications: int = 10, horizon: float,
         Replication ``r`` uses seed ``base_seed + r``.
     confidence:
         Two-sided confidence level of the returned intervals.
+    metrics:
+        Optional metric selectors (``"p99"``, ``"tail@t"``, …; see
+        :mod:`repro.metrics.selectors`).  Each adds a
+        ``"metric:<selector>"`` entry whose per-replication samples
+        are the empirical per-class estimates, so analytic
+        percentiles can be crosschecked against a Student-t CI.
 
     Returns
     -------
-    dict mapping ``"mean_jobs"``, ``"mean_response_time"`` and
-    ``"throughput"`` to :class:`ReplicationSummary`.
+    dict mapping ``"mean_jobs"``, ``"mean_response_time"``,
+    ``"throughput"`` — plus ``"metric:<selector>"`` per requested
+    selector — to :class:`ReplicationSummary`.
     """
     if replications < 2:
         raise ValueError("need at least 2 replications for confidence intervals")
     samples: dict[str, list[tuple[float, ...]]] = {
         "mean_jobs": [], "mean_response_time": [], "throughput": [],
     }
+    for sel in metrics:
+        samples[f"metric:{sel}"] = []
     for r in range(replications):
         simulation = factory(base_seed + r, warmup)
         report = simulation.run(horizon)
         samples["mean_jobs"].append(report.mean_jobs)
         samples["mean_response_time"].append(report.mean_response_time)
         samples["throughput"].append(report.throughput)
+        for sel in metrics:
+            samples[f"metric:{sel}"].append(
+                _metric_row(simulation, sel, len(report.mean_jobs)))
 
     return _summarize(samples, confidence)
 
@@ -125,6 +156,11 @@ class SimPointEstimate:
     replications: int
     report: object | None = None
     summaries: dict | None = None
+    #: Per-selector empirical estimates (``{"p99": (...per class...)}``)
+    #: when the scenario asked for metric selectors; ``None`` otherwise.
+    metrics: dict | None = None
+    #: Matching CI half-widths (zeros for a single run).
+    metric_half_width: dict | None = None
 
     def describe(self, class_names) -> str:
         if self.summaries is not None:
@@ -146,6 +182,9 @@ def simulate_scenario_point(scenario, config) -> SimPointEstimate:
 
     eng = scenario.engine
     policy = getattr(scenario.system, "policy", None)
+    selectors = tuple(getattr(scenario.output, "metrics", ()) or ())
+    if selectors == ("mean",):
+        selectors = ()                  # nothing beyond the means
     with span("scenario.sim_point", scenario=scenario.name,
               replications=eng.replications):
         if eng.replications >= 2:
@@ -153,23 +192,41 @@ def simulate_scenario_point(scenario, config) -> SimPointEstimate:
                 lambda seed, warmup: simulation_for(config, policy=policy,
                                                     seed=seed, warmup=warmup),
                 replications=eng.replications, horizon=eng.horizon,
-                warmup=eng.warmup, base_seed=eng.seed)
+                warmup=eng.warmup, base_seed=eng.seed, metrics=selectors)
             jobs = summaries["mean_jobs"]
+            metrics_est = metric_hw = None
+            if selectors:
+                metrics_est = {sel: summaries[f"metric:{sel}"].mean
+                               for sel in selectors}
+                metric_hw = {sel: summaries[f"metric:{sel}"].half_width
+                             for sel in selectors}
             return SimPointEstimate(
                 mean_jobs=jobs.mean,
                 mean_response_time=summaries["mean_response_time"].mean,
                 half_width=jobs.half_width,
                 replications=eng.replications,
                 summaries=summaries,
+                metrics=metrics_est,
+                metric_half_width=metric_hw,
             )
-        report = simulation_for(config, policy=policy, seed=eng.seed,
-                                warmup=eng.warmup).run(eng.horizon)
+        simulation = simulation_for(config, policy=policy, seed=eng.seed,
+                                    warmup=eng.warmup)
+        report = simulation.run(eng.horizon)
+        metrics_est = metric_hw = None
+        if selectors:
+            metrics_est = {sel: _metric_row(simulation, sel,
+                                            config.num_classes)
+                           for sel in selectors}
+            metric_hw = {sel: (0.0,) * config.num_classes
+                         for sel in selectors}
         return SimPointEstimate(
             mean_jobs=tuple(report.mean_jobs),
             mean_response_time=tuple(report.mean_response_time),
             half_width=(0.0,) * config.num_classes,
             replications=1,
             report=report,
+            metrics=metrics_est,
+            metric_half_width=metric_hw,
         )
 
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
+from repro.metrics.quantiles import empirical_quantile, empirical_tail
+from repro.metrics.selectors import parse_metrics
 
 __all__ = ["ClassStats", "SimulationReport"]
 
@@ -100,9 +101,22 @@ class ClassStats:
         return self._completed / T if T > 0 else float("nan")
 
     def response_quantile(self, q: float) -> float:
-        if not self._resp_samples:
-            return float("nan")
-        return float(np.quantile(self._resp_samples, q))
+        """Empirical response-time quantile (shared contract of
+        :mod:`repro.metrics.quantiles`); ``nan`` with no samples."""
+        return empirical_quantile(self._resp_samples, q)
+
+    def response_tail(self, t: float) -> float:
+        """Empirical ``P{T > t}``; ``nan`` with no samples."""
+        return empirical_tail(self._resp_samples, t)
+
+    def response_metric(self, selector: str) -> float:
+        """Evaluate one metric selector on the recorded sojourns."""
+        (sel,) = parse_metrics((selector,))
+        if sel.kind == "mean":
+            return self.mean_response_time
+        if sel.kind == "quantile":
+            return self.response_quantile(sel.value)
+        return self.response_tail(sel.value)
 
 
 @dataclass(frozen=True)

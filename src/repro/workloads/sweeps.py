@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import SystemConfig
 from repro.core.model import GangSchedulingModel
-from repro.obs import metrics
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.trace import span
 from repro.resilience.checkpoint import SweepJournal
@@ -55,6 +55,15 @@ class SweepPoint:
     iterations: int
     converged: bool
     error: str | None = None
+    #: Per-class metric selector values — ``metrics[p][j]`` is class
+    #: ``p`` evaluated at the sweep's ``j``-th requested selector
+    #: (``"mean"``, ``"p99"``, ``"tail@t"``, …).  ``None`` unless the
+    #: sweep asked for distribution metrics, so default sweeps (and
+    #: their journals) are byte-identical to pre-distribution runs.
+    metrics: tuple[tuple[float, ...], ...] | None = None
+    #: Per-class distribution kinds backing ``metrics`` (``"exact"``,
+    #: ``"moment"``, ``"saturated"``, ``"unsupported"``).
+    dist_kinds: tuple[str, ...] | None = None
     #: Wall-clock seconds spent solving this point (``None`` when the
     #: point predates the field or errored before solving).  Not
     #: part of equality: two runs of the same sweep produce equal
@@ -112,7 +121,7 @@ def _point_record(pt: SweepPoint) -> dict:
     # ``solve_seconds`` / ``warm`` are run-local provenance and are
     # deliberately NOT journaled: the journal of a resumed run must be
     # byte-identical to an uninterrupted one, and wall times are not.
-    return {
+    rec = {
         "value": pt.value,
         "mean_jobs": list(pt.mean_jobs),
         "mean_response_time": list(pt.mean_response_time),
@@ -120,9 +129,18 @@ def _point_record(pt: SweepPoint) -> dict:
         "converged": pt.converged,
         "error": pt.error,
     }
+    # Emitted only when present, so journals of default sweeps keep
+    # their pre-distribution bytes.
+    if pt.metrics is not None:
+        rec["metrics"] = [list(row) for row in pt.metrics]
+    if pt.dist_kinds is not None:
+        rec["dist_kinds"] = list(pt.dist_kinds)
+    return rec
 
 
 def _point_from_record(rec: dict) -> SweepPoint:
+    metrics_rows = rec.get("metrics")
+    dist_kinds = rec.get("dist_kinds")
     return SweepPoint(
         value=float(rec["value"]),
         mean_jobs=tuple(float(v) for v in rec["mean_jobs"]),
@@ -130,6 +148,10 @@ def _point_from_record(rec: dict) -> SweepPoint:
         iterations=int(rec["iterations"]),
         converged=bool(rec["converged"]),
         error=rec.get("error"),
+        metrics=(tuple(tuple(float(v) for v in row) for row in metrics_rows)
+                 if metrics_rows is not None else None),
+        dist_kinds=(tuple(str(k) for k in dist_kinds)
+                    if dist_kinds is not None else None),
     )
 
 
@@ -147,8 +169,8 @@ def _worker_obs_begin(obs_cfg: tuple | None):
     base, collect = obs_cfg
     tracer = obs_trace.ensure_worker_tracer(base) if base is not None else None
     if collect:
-        metrics.reset()
-        metrics.enable()
+        obs_metrics.reset()
+        obs_metrics.enable()
     return tracer
 
 
@@ -156,8 +178,8 @@ def _worker_obs_end(obs_cfg: tuple | None, tracer, value: float) -> None:
     """Flush one point's metrics snapshot into the worker trace file."""
     if obs_cfg is None or not obs_cfg[1]:
         return
-    snap = metrics.snapshot()
-    metrics.reset()
+    snap = obs_metrics.snapshot()
+    obs_metrics.reset()
     if tracer is not None and (snap.get("counters") or snap.get("gauges")
                                or snap.get("histograms")):
         tracer.emit({"kind": "metrics", "pid": os.getpid(), "scope": "point",
@@ -167,7 +189,8 @@ def _worker_obs_end(obs_cfg: tuple | None, tracer, value: float) -> None:
 def _solve_point(v: float, config: SystemConfig, heavy_traffic_only: bool,
                  model_kwargs: dict | None, solve_kwargs: dict | None,
                  raise_errors: bool = False,
-                 obs_cfg: tuple | None = None) -> SweepPoint:
+                 obs_cfg: tuple | None = None,
+                 metrics_sel: tuple[str, ...] | None = None) -> SweepPoint:
     """Solve one grid point; errors become error-points by default.
 
     Module-level (and closure-free) so it pickles into worker
@@ -176,7 +199,9 @@ def _solve_point(v: float, config: SystemConfig, heavy_traffic_only: bool,
     so the original exception object propagates.  ``obs_cfg`` carries
     the parent's observability state into worker processes (the serial
     path leaves it ``None`` — the parent's collectors are already
-    armed).
+    armed).  ``metrics_sel`` asks for per-class distribution metrics
+    (quantiles/tails) on top of the means; saturated classes degrade
+    to the ``saturated`` marker kind instead of failing the point.
     """
     tracer = _worker_obs_begin(obs_cfg)
     try:
@@ -185,6 +210,16 @@ def _solve_point(v: float, config: SystemConfig, heavy_traffic_only: bool,
             model = GangSchedulingModel(config, **(model_kwargs or {}))
             solved = model.solve(heavy_traffic_only=heavy_traffic_only,
                                  **(solve_kwargs or {}))
+            point_metrics = dist_kinds = None
+            if metrics_sel:
+                from repro.metrics.distributions import metric_values
+                with span("sweep.point_metrics", value=v):
+                    point_metrics = tuple(
+                        metric_values(solved, p, metrics_sel)
+                        for p in range(len(solved.classes)))
+                    dist_kinds = tuple(
+                        solved.distributions(p).kind
+                        for p in range(len(solved.classes)))
             return SweepPoint(
                 value=v,
                 mean_jobs=tuple(c.mean_jobs for c in solved.classes),
@@ -193,6 +228,8 @@ def _solve_point(v: float, config: SystemConfig, heavy_traffic_only: bool,
                 iterations=solved.iterations,
                 converged=solved.converged,
                 solve_seconds=time.perf_counter() - t0,
+                metrics=point_metrics,
+                dist_kinds=dist_kinds,
             )
     except Exception as exc:  # noqa: BLE001 - reported per point
         if raise_errors:
@@ -239,7 +276,8 @@ def sweep(parameter: str, values: Sequence[float],
           checkpoint: str | os.PathLike | None = None,
           resume: bool = True,
           workers: int | None = None,
-          batch: int | None = None) -> SweepResult:
+          batch: int | None = None,
+          metrics: Sequence[str] | None = None) -> SweepResult:
     """Solve the analytic model along a parameter grid.
 
     Parameters
@@ -280,6 +318,15 @@ def sweep(parameter: str, values: Sequence[float],
         sites fired — in the parent, in grid order; results are
         journaled as they complete.  Falls back to the serial path when
         worker processes cannot be spawned.
+    metrics:
+        Metric selectors (see :mod:`repro.metrics.selectors`) to
+        evaluate per class at every point, populating
+        :attr:`SweepPoint.metrics` / :attr:`SweepPoint.dist_kinds`
+        from the solved model's response-time distributions.
+        Saturated points degrade to the ``saturated`` marker instead
+        of erroring.  Selectors force the per-point engine (the
+        batched engine keeps only the R-iterates, not the full
+        stationary laws the distributions need).
 
     Raises
     ------
@@ -290,6 +337,9 @@ def sweep(parameter: str, values: Sequence[float],
     """
     if len(values) == 0:
         raise ValueError("sweep requires at least one grid value")
+    metrics_sel = None
+    if metrics is not None and any(m != "mean" for m in metrics):
+        metrics_sel = tuple(str(m) for m in metrics)
     journal = SweepJournal(checkpoint) if checkpoint is not None else None
     done: dict[float, SweepPoint] = {}
     #: Raw journal records by value — the batched engine reads its
@@ -357,16 +407,16 @@ def sweep(parameter: str, values: Sequence[float],
                 stacklevel=2)
 
     if resumed:
-        metrics.inc("sweep.points", resumed, status="resumed")
+        obs_metrics.inc("sweep.points", resumed, status="resumed")
     if result.stale:
-        metrics.inc("sweep.points", result.stale, status="stale")
+        obs_metrics.inc("sweep.points", result.stale, status="stale")
 
     def finish(slot: int, point: SweepPoint,
                extra: dict | None = None) -> None:
         if points[slot] is not None:
             return
         points[slot] = point
-        metrics.inc("sweep.points",
+        obs_metrics.inc("sweep.points",
                     status="ok" if point.error is None else "error")
         if point.error is not None and not skip_errors:
             _reraise_point_error(point.error)
@@ -385,13 +435,13 @@ def sweep(parameter: str, values: Sequence[float],
         # land in per-worker sibling trace files, merged below.
         tracer = obs_trace.current_tracer()
         obs_cfg = None
-        if tracer is not None or metrics.enabled():
+        if tracer is not None or obs_metrics.enabled():
             obs_cfg = (os.fspath(tracer.path) if tracer is not None else None,
-                       metrics.enabled())
+                       obs_metrics.enabled())
         try:
             _run_parallel(pending, int(workers), heavy_traffic_only,
                           model_kwargs, solve_kwargs, skip_errors, finish,
-                          obs_cfg)
+                          obs_cfg, metrics_sel)
         except OSError:
             # No process support here (restricted sandboxes); the
             # points already journaled above stay journaled, and the
@@ -401,7 +451,7 @@ def sweep(parameter: str, values: Sequence[float],
             if tracer is not None:
                 obs_trace.merge_worker_traces(tracer)
     batched = (not parallel and batch is not None and int(batch) > 1
-               and pending)
+               and pending and metrics_sel is None)
     if batched:
         from repro.workloads.batched import run_batched_pending
 
@@ -424,7 +474,8 @@ def sweep(parameter: str, values: Sequence[float],
                 maybe_fault("sweeps.point", key=v)
                 point = _solve_point(v, config, heavy_traffic_only,
                                      model_kwargs, solve_kwargs,
-                                     raise_errors=True)
+                                     raise_errors=True,
+                                     metrics_sel=metrics_sel)
             except Exception as exc:  # noqa: BLE001 - reported per point
                 if not skip_errors:
                     raise
@@ -460,19 +511,25 @@ def sweep_scenario(scenario) -> SweepResult:
         # Policies are frozen dataclasses: they pickle cleanly to the
         # sweep worker processes alongside the rest of the kwargs.
         model_kwargs["policy"] = policy
+    out = getattr(scenario, "output", None)
+    metrics_sel = (tuple(out.metrics)
+                   if out is not None
+                   and getattr(out, "wants_distributions", False) else None)
     return sweep(axis.parameter, axis.values, scenario.system.config_for,
                  heavy_traffic_only=heavy_traffic_only,
                  model_kwargs=model_kwargs,
                  solve_kwargs=solve_kwargs,
                  checkpoint=eng.checkpoint,
                  workers=eng.workers,
-                 batch=getattr(eng, "batch_points", 0))
+                 batch=getattr(eng, "batch_points", 0),
+                 metrics=metrics_sel)
 
 
 def _run_parallel(pending, workers: int, heavy_traffic_only: bool,
                   model_kwargs: dict | None, solve_kwargs: dict | None,
                   skip_errors: bool, finish,
-                  obs_cfg: tuple | None = None) -> None:
+                  obs_cfg: tuple | None = None,
+                  metrics_sel: tuple[str, ...] | None = None) -> None:
     """Fan the pending points over a process pool.
 
     Fault-injection sites fire in the parent at submission, in grid
@@ -497,7 +554,8 @@ def _run_parallel(pending, workers: int, heavy_traffic_only: bool,
                     continue
                 futures[pool.submit(_solve_point, v, config,
                                     heavy_traffic_only, model_kwargs,
-                                    solve_kwargs, False, obs_cfg)] = slot
+                                    solve_kwargs, False, obs_cfg,
+                                    metrics_sel)] = slot
             for fut in cf.as_completed(futures):
                 finish(futures[fut], fut.result())
         except BaseException:

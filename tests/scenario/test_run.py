@@ -153,3 +153,71 @@ class TestObservability:
             obs.stop()
         assert not inner.exists()
         assert "scenario.run" in outer.read_text()
+
+
+class TestDistributionMetrics:
+    """Selector threading: RunPoint.metrics end to end."""
+
+    OUT = OutputSpec(metrics=("mean", "p95", "p99"))
+
+    def test_analytic_point_metrics(self):
+        result = run(Scenario(name="pt", system=SMALL_POINT,
+                              output=self.OUT))
+        assert result.metric_names == ("mean", "p95", "p99")
+        pt = result.points[0]
+        assert pt.dist_kinds == ("exact",) * len(pt.metrics)
+        for p, row in enumerate(pt.metrics):
+            mean, p95, p99 = row
+            assert mean == pytest.approx(pt.mean_response_time[p])
+            assert mean < p95 < p99
+
+    def test_default_scenarios_carry_no_metrics(self):
+        result = run(Scenario(name="pt", system=SMALL_POINT))
+        assert result.metric_names is None
+        assert result.points[0].metrics is None
+        assert result.metrics_table() is None
+
+    def test_both_engine_reports_sim_quantiles(self):
+        result = run(Scenario(
+            name="both", system=SMALL_POINT, output=self.OUT,
+            engine=EngineSpec(engine="both", horizon=2000.0,
+                              replications=2)))
+        pt = result.points[0]
+        assert pt.sim_metrics is not None
+        assert pt.sim_metric_half_width is not None
+        num_classes = len(pt.metrics)
+        assert len(pt.sim_metrics) == num_classes
+        for p in range(num_classes):
+            sim_mean, sim_p95, sim_p99 = pt.sim_metrics[p]
+            assert sim_mean < sim_p95 < sim_p99
+            assert all(hw >= 0 for hw in pt.sim_metric_half_width[p])
+        table = result.metrics_table()
+        cols = table.column_names
+        assert any(c.startswith("p99[") for c in cols)
+        assert any(c.startswith("sim:p99[") for c in cols)
+
+    def test_round_trip_preserves_metric_fields(self):
+        from repro.scenario import run_result_from_dict, run_result_to_dict
+        result = run(Scenario(name="pt", system=SMALL_POINT,
+                              output=self.OUT))
+        back = run_result_from_dict(run_result_to_dict(result))
+        assert back.metric_names == result.metric_names
+        assert back.points[0].metrics == result.points[0].metrics
+        assert back.points[0].dist_kinds == result.points[0].dist_kinds
+
+    def test_default_payloads_keep_historical_keys(self):
+        from repro.scenario import run_point_to_dict
+        result = run(Scenario(name="pt", system=SMALL_POINT))
+        payload = run_point_to_dict(result.points[0])
+        assert "metrics" not in payload
+        assert "dist_kinds" not in payload
+        assert "sim_metrics" not in payload
+        assert "sim_metric_half_width" not in payload
+
+    def test_sweep_threads_selectors(self):
+        result = run(Scenario(name="sw", system=SMALL_SWEEP,
+                              output=OutputSpec(metrics=("mean", "p99"))))
+        assert result.metric_names == ("mean", "p99")
+        for pt in result.points:
+            assert pt.metrics is not None
+            assert all(row[1] > row[0] for row in pt.metrics)

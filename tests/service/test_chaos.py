@@ -122,7 +122,8 @@ def normalized(preset, grid):
         scenario,
         engine=dataclasses.replace(scenario.engine,
                                    workers=None, checkpoint=None),
-        output=OutputSpec(measures=scenario.output.measures))
+        output=OutputSpec(measures=scenario.output.measures,
+                          metrics=scenario.output.metrics))
 
 
 def test_chaos_kill_restart_replay_byte_identical(tmp_path):

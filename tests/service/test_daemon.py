@@ -35,7 +35,8 @@ def normalized(preset, grid="default"):
         scenario,
         engine=dataclasses.replace(scenario.engine,
                                    workers=None, checkpoint=None),
-        output=OutputSpec(measures=scenario.output.measures))
+        output=OutputSpec(measures=scenario.output.measures,
+                          metrics=scenario.output.metrics))
 
 
 class TestRunPath:
@@ -351,3 +352,60 @@ class TestDerivedSolveBudget:
         assert retry["status"] == "ok"
         assert retry["solved_points"] == 1
         assert retry["store_points"] == len(grid) - 1
+
+
+class TestStdioFairness:
+    """Round-robin intake across client IDs (not FIFO)."""
+
+    def test_burst_client_cannot_starve_second_client(self, service,
+                                                      monkeypatch):
+        """A five-line script: client ``w`` warms the loop, client
+        ``a`` bursts three requests while ``w``'s request is still
+        being handled, and client ``b`` sends one afterwards.  Under
+        FIFO ``b`` would wait out the whole burst; under round-robin
+        it is served after exactly one of ``a``'s requests.
+        """
+        import io
+        import json as jsonlib
+        import threading
+
+        enqueued_all = threading.Event()
+        handled = []
+
+        def stdin_lines():
+            for rid in ("w", "a", "a", "a", "b"):
+                yield jsonlib.dumps({"id": rid, "op": "ping"}) + "\n"
+            # Resumed only after the reader thread consumed (and
+            # therefore enqueued) the last line — unblocking "w"
+            # here makes the burst-vs-single ordering deterministic.
+            enqueued_all.set()
+
+        def fake_handle_line(line):
+            rid = jsonlib.loads(line)["id"]
+            if rid == "w":
+                assert enqueued_all.wait(timeout=30)
+            handled.append(rid)
+            return {"id": rid, "status": "ok"}
+
+        monkeypatch.setattr(service, "handle_line", fake_handle_line)
+        out = io.StringIO()
+        service.serve_stdio(stdin=stdin_lines(), stdout=out)
+
+        assert handled == ["w", "a", "b", "a", "a"]
+        replies = [jsonlib.loads(l) for l in out.getvalue().splitlines()]
+        assert replies[0]["status"] == "ready"
+        assert [r["id"] for r in replies[1:]] == handled
+
+    def test_single_client_stays_fifo(self, service, monkeypatch):
+        import io
+        import json as jsonlib
+
+        handled = []
+        monkeypatch.setattr(
+            service, "handle_line",
+            lambda line: handled.append(jsonlib.loads(line)["id"])
+            or {"id": handled[-1], "status": "ok"})
+        lines = iter(jsonlib.dumps({"id": "c", "seq": i}) + "\n"
+                     for i in range(4))
+        service.serve_stdio(stdin=lines, stdout=io.StringIO())
+        assert handled == ["c", "c", "c", "c"]
